@@ -1,0 +1,56 @@
+//! Benchmarks of the clustering algorithms used by the differentiators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rm_clustering::{kmeans, KMeansConfig};
+use rm_differentiator::{ClusteringStrategy, TopoAc};
+use rm_differentiator::DiffSample;
+use rm_geometry::{MultiPolygon, Point, Polygon};
+
+fn synthetic_samples(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<DiffSample>) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut features = Vec::new();
+    let mut samples = Vec::new();
+    for i in 0..n {
+        let profile: Vec<f64> = (0..d).map(|_| f64::from(rng.gen_bool(0.2))).collect();
+        let location = Point::new(rng.gen_range(0.0..60.0), rng.gen_range(0.0..40.0));
+        let mut f = profile.clone();
+        f.push(location.x * 0.25);
+        f.push(location.y * 0.25);
+        features.push(f);
+        samples.push(DiffSample {
+            record_index: i,
+            profile,
+            location: Some(location),
+        });
+    }
+    (features, samples)
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let (features, _) = synthetic_samples(300, 40);
+    c.bench_function("kmeans_300x42_k12", |bencher| {
+        bencher.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            std::hint::black_box(kmeans(&features, &KMeansConfig::new(12), &mut rng))
+        })
+    });
+}
+
+fn bench_topoac(c: &mut Criterion) {
+    let (_, samples) = synthetic_samples(150, 40);
+    let walls = MultiPolygon::new(vec![
+        Polygon::rectangle(Point::new(20.0, 0.0), Point::new(20.4, 40.0)),
+        Polygon::rectangle(Point::new(40.0, 0.0), Point::new(40.4, 40.0)),
+    ]);
+    c.bench_function("topoac_150_samples_2_walls", |bencher| {
+        bencher.iter(|| {
+            let strategy = TopoAc::new(walls.clone());
+            std::hint::black_box(strategy.cluster(&samples))
+        })
+    });
+}
+
+criterion_group!(clustering, bench_kmeans, bench_topoac);
+criterion_main!(clustering);

@@ -1,0 +1,50 @@
+//! Benchmarks of the deterministic imputers and a single BiSIM training epoch
+//! on a small radio map (the neural imputers' full training is exercised by
+//! the experiment binaries instead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rm_bisim::{Bisim, BisimConfig};
+use rm_differentiator::{Differentiator, MnarOnly};
+use rm_imputers::{Imputer, LinearInterpolation, MatrixFactorization, Mice, SemiSupervised};
+use rm_venue_sim::{DatasetSpec, VenuePreset};
+
+fn bench_deterministic_imputers(c: &mut Criterion) {
+    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 9).with_scale(0.06).build();
+    let map = dataset.radio_map.clone();
+    let mask = MnarOnly.differentiate(&map);
+
+    c.bench_function("imputer_li", |b| {
+        b.iter(|| std::hint::black_box(LinearInterpolation.impute(&map, &mask)))
+    });
+    c.bench_function("imputer_sl", |b| {
+        b.iter(|| std::hint::black_box(SemiSupervised::default().impute(&map, &mask)))
+    });
+    c.bench_function("imputer_mice", |b| {
+        b.iter(|| std::hint::black_box(Mice::default().impute(&map, &mask)))
+    });
+    c.bench_function("imputer_mf", |b| {
+        b.iter(|| std::hint::black_box(MatrixFactorization::default().impute(&map, &mask)))
+    });
+}
+
+fn bench_bisim_single_epoch(c: &mut Criterion) {
+    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 9).with_scale(0.05).build();
+    let map = dataset.radio_map.clone();
+    let mask = MnarOnly.differentiate(&map);
+    let mut group = c.benchmark_group("bisim");
+    group.sample_size(10);
+    group.bench_function("bisim_train_1_epoch_small", |b| {
+        b.iter(|| {
+            let bisim = Bisim::new(BisimConfig {
+                epochs: 1,
+                hidden_size: 16,
+                ..BisimConfig::default()
+            });
+            std::hint::black_box(bisim.impute(&map, &mask))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(imputers, bench_deterministic_imputers, bench_bisim_single_epoch);
+criterion_main!(imputers);

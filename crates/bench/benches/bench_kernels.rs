@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the numerical kernels underlying the neural imputers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_nn::{LstmCell, LstmState};
+use rm_tensor::{Matrix, Var};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::random_uniform(64, 128, 1.0, &mut rng);
+    let b = Matrix::random_uniform(128, 64, 1.0, &mut rng);
+    c.bench_function("matrix_matmul_64x128x64", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cell = LstmCell::new(96, 64, &mut rng);
+    let input = Var::constant(Matrix::random_uniform(96, 1, 1.0, &mut rng));
+    let state = LstmState::zeros(64);
+    c.bench_function("lstm_cell_step_96_to_64", |bencher| {
+        bencher.iter(|| std::hint::black_box(cell.step(&input, &state).h.value()))
+    });
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = Var::parameter(Matrix::random_uniform(64, 64, 0.1, &mut rng));
+    let x = Var::constant(Matrix::random_uniform(64, 1, 1.0, &mut rng));
+    c.bench_function("autodiff_forward_backward_64", |bencher| {
+        bencher.iter(|| {
+            w.zero_grad();
+            let loss = w.matmul(&x).tanh().square().sum();
+            loss.backward();
+            std::hint::black_box(w.grad())
+        })
+    });
+}
+
+criterion_group!(kernels, bench_matmul, bench_lstm_step, bench_backward);
+criterion_main!(kernels);

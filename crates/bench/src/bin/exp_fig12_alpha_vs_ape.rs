@@ -1,0 +1,42 @@
+//! Fig. 12: removal ratio α vs APE for the five differentiators, with BiSIM as
+//! the imputer and WKNN as the location estimator, on both Wi-Fi venues.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{DifferentiatorKind, ImputerKind};
+use rm_bench::{experiment_dataset, fmt, run_cell, wifi_presets, ReportTable};
+
+fn main() {
+    let alphas = [0.0, 0.05, 0.10, 0.15, 0.20];
+    let differentiators = [
+        DifferentiatorKind::TopoAc,
+        DifferentiatorKind::DasaKm,
+        DifferentiatorKind::ElbowKm,
+        DifferentiatorKind::MarOnly,
+        DifferentiatorKind::MnarOnly,
+    ];
+    for preset in wifi_presets() {
+        let dataset = experiment_dataset(preset);
+        let mut table = ReportTable::new(
+            &format!("Fig. 12 — removal ratio α vs APE (m), {} (BiSIM + WKNN)", preset.name()),
+            &["Differentiator", "α=0%", "α=5%", "α=10%", "α=15%", "α=20%"],
+        );
+        for diff in differentiators {
+            let mut row = vec![diff.name().to_string()];
+            for &alpha in &alphas {
+                let cell = run_cell(
+                    &dataset,
+                    diff,
+                    ImputerKind::Bisim,
+                    &[EstimatorKind::Wknn],
+                    AttentionMode::SparsityFriendly,
+                    TimeLagMode::Encoder,
+                    alpha,
+                    0.1,
+                );
+                row.push(fmt(cell.ape(EstimatorKind::Wknn)));
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

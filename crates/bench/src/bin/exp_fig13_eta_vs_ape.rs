@@ -1,0 +1,42 @@
+//! Fig. 13: fraction threshold η vs APE for the differentiators, with BiSIM as
+//! the imputer and WKNN as the location estimator.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{DifferentiatorKind, ImputerKind};
+use rm_bench::{experiment_dataset, fmt, run_cell, wifi_presets, ReportTable};
+
+fn main() {
+    let etas = [0.0, 0.1, 0.2, 0.3];
+    let differentiators = [
+        DifferentiatorKind::TopoAc,
+        DifferentiatorKind::DasaKm,
+        DifferentiatorKind::ElbowKm,
+        DifferentiatorKind::MarOnly,
+        DifferentiatorKind::MnarOnly,
+    ];
+    for preset in wifi_presets() {
+        let dataset = experiment_dataset(preset);
+        let mut table = ReportTable::new(
+            &format!("Fig. 13 — threshold η vs APE (m), {} (BiSIM + WKNN)", preset.name()),
+            &["Differentiator", "η=0", "η=0.1", "η=0.2", "η=0.3"],
+        );
+        for diff in differentiators {
+            let mut row = vec![diff.name().to_string()];
+            for &eta in &etas {
+                let cell = run_cell(
+                    &dataset,
+                    diff,
+                    ImputerKind::Bisim,
+                    &[EstimatorKind::Wknn],
+                    AttentionMode::SparsityFriendly,
+                    TimeLagMode::Encoder,
+                    0.0,
+                    eta,
+                );
+                row.push(fmt(cell.ape(EstimatorKind::Wknn)));
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 14: removal ratio β vs RSSI-imputation MAE (dBm) for the model-based
+//! imputers. β removes observed RSSIs *after* MNAR filling, and the removed
+//! values are the ground truth.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{rssi_imputation_mae, DifferentiatorKind, ImputerKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_bench::{experiment_dataset, experiment_seed, fmt, impute_only, wifi_presets, ReportTable};
+
+fn main() {
+    let betas = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let imputers = [
+        ("T-BiSIM", DifferentiatorKind::TopoAc, ImputerKind::Bisim),
+        ("D-BiSIM", DifferentiatorKind::DasaKm, ImputerKind::Bisim),
+        ("SSGAN", DifferentiatorKind::TopoAc, ImputerKind::Ssgan),
+        ("BRITS", DifferentiatorKind::TopoAc, ImputerKind::Brits),
+        ("MF", DifferentiatorKind::TopoAc, ImputerKind::MatrixFactorization),
+        ("MICE", DifferentiatorKind::TopoAc, ImputerKind::Mice),
+    ];
+    for preset in wifi_presets() {
+        let dataset = experiment_dataset(preset);
+        let mut table = ReportTable::new(
+            &format!("Fig. 14 — removal ratio β vs RSSI MAE (dBm), {}", preset.name()),
+            &["Imputer", "β=10%", "β=20%", "β=30%", "β=40%", "β=50%"],
+        );
+        for (label, diff, imputer) in imputers {
+            let mut row = vec![label.to_string()];
+            for &beta in &betas {
+                let mut rng = StdRng::seed_from_u64(experiment_seed() ^ (beta * 1000.0) as u64);
+                let (perturbed, removed) = remove_random_rssis(&dataset.radio_map, beta, &mut rng);
+                let imputed = impute_only(&perturbed, &dataset.venue.walls, diff, imputer);
+                row.push(
+                    rssi_imputation_mae(&imputed, &removed)
+                        .map(fmt)
+                        .unwrap_or_else(|| "n/a".into()),
+                );
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

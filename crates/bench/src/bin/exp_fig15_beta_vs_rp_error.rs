@@ -1,0 +1,42 @@
+//! Fig. 15: removal ratio β vs RP-imputation error (mean Euclidean distance in
+//! metres) for the imputers that impute reference points.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{rp_imputation_error, DifferentiatorKind, ImputerKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_bench::{experiment_dataset, experiment_seed, fmt, impute_only, wifi_presets, ReportTable};
+
+fn main() {
+    let betas = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let imputers = [
+        ("T-BiSIM", DifferentiatorKind::TopoAc, ImputerKind::Bisim),
+        ("D-BiSIM", DifferentiatorKind::DasaKm, ImputerKind::Bisim),
+        ("LI", DifferentiatorKind::TopoAc, ImputerKind::LinearInterpolation),
+        ("SL", DifferentiatorKind::TopoAc, ImputerKind::SemiSupervised),
+        ("MICE", DifferentiatorKind::TopoAc, ImputerKind::Mice),
+        ("MF", DifferentiatorKind::TopoAc, ImputerKind::MatrixFactorization),
+    ];
+    for preset in wifi_presets() {
+        let dataset = experiment_dataset(preset);
+        let mut table = ReportTable::new(
+            &format!("Fig. 15 — removal ratio β vs RP error (m), {}", preset.name()),
+            &["Imputer", "β=10%", "β=20%", "β=30%", "β=40%", "β=50%"],
+        );
+        for (label, diff, imputer) in imputers {
+            let mut row = vec![label.to_string()];
+            for &beta in &betas {
+                let mut rng = StdRng::seed_from_u64(experiment_seed() ^ (beta * 977.0) as u64);
+                let (perturbed, removed) = remove_random_rps(&dataset.radio_map, beta, &mut rng);
+                let imputed = impute_only(&perturbed, &dataset.venue.walls, diff, imputer);
+                row.push(
+                    rp_imputation_error(&imputed, &removed)
+                        .map(fmt)
+                        .unwrap_or_else(|| "n/a".into()),
+                );
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 16: RP density vs APE — keeping only a fraction of the RP records in
+//! the raw walking survey and running the full T-BiSIM pipeline.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{DifferentiatorKind, ImputerKind};
+use rm_bench::{experiment_dataset_with_rp_density, fmt, run_cell, wifi_presets, ReportTable};
+
+fn main() {
+    let densities = [0.6, 0.7, 0.8, 0.9, 1.0];
+    let mut table = ReportTable::new(
+        "Fig. 16 — RP density vs APE (m), T-BiSIM + WKNN",
+        &["Venue", "60%", "70%", "80%", "90%", "100%"],
+    );
+    for preset in wifi_presets() {
+        let mut row = vec![preset.name().to_string()];
+        for &density in &densities {
+            let dataset = experiment_dataset_with_rp_density(preset, density);
+            let cell = run_cell(
+                &dataset,
+                DifferentiatorKind::TopoAc,
+                ImputerKind::Bisim,
+                &[EstimatorKind::Wknn],
+                AttentionMode::SparsityFriendly,
+                TimeLagMode::Encoder,
+                0.0,
+                0.1,
+            );
+            row.push(fmt(cell.ape(EstimatorKind::Wknn)));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,37 @@
+//! Fig. 17: attention ablation — T-BiSIM with the sparsity-friendly adapted
+//! Bahdanau attention, plain Bahdanau attention, and no attention.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{DifferentiatorKind, ImputerKind};
+use rm_bench::{experiment_dataset, fmt, run_cell, wifi_presets, ReportTable};
+
+fn main() {
+    let variants = [
+        ("Adapted Bahdanau", AttentionMode::SparsityFriendly),
+        ("Bahdanau", AttentionMode::Standard),
+        ("No attention", AttentionMode::None),
+    ];
+    let mut table = ReportTable::new(
+        "Fig. 17 — attention ablation, APE (m), T-BiSIM + WKNN",
+        &["Variant", "kaide-like", "wanda-like"],
+    );
+    let datasets: Vec<_> = wifi_presets().iter().map(|&p| experiment_dataset(p)).collect();
+    for (label, attention) in variants {
+        let mut row = vec![label.to_string()];
+        for dataset in &datasets {
+            let cell = run_cell(
+                dataset,
+                DifferentiatorKind::TopoAc,
+                ImputerKind::Bisim,
+                &[EstimatorKind::Wknn],
+                attention,
+                TimeLagMode::Encoder,
+                0.0,
+                0.1,
+            );
+            row.push(fmt(cell.ape(EstimatorKind::Wknn)));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}

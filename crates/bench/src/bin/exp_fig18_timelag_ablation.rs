@@ -1,0 +1,38 @@
+//! Fig. 18: time-lag ablation — T-BiSIM with the time-lag mechanism in the
+//! encoder (the paper's design), in the decoder, in both, or disabled.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{DifferentiatorKind, ImputerKind};
+use rm_bench::{experiment_dataset, fmt, run_cell, wifi_presets, ReportTable};
+
+fn main() {
+    let variants = [
+        ("Time-lag in Enc.", TimeLagMode::Encoder),
+        ("Time-lag in Dec.", TimeLagMode::Decoder),
+        ("Time-lag in Enc. and Dec.", TimeLagMode::Both),
+        ("No time-lag", TimeLagMode::None),
+    ];
+    let mut table = ReportTable::new(
+        "Fig. 18 — time-lag ablation, APE (m), T-BiSIM + WKNN",
+        &["Variant", "kaide-like", "wanda-like"],
+    );
+    let datasets: Vec<_> = wifi_presets().iter().map(|&p| experiment_dataset(p)).collect();
+    for (label, time_lag) in variants {
+        let mut row = vec![label.to_string()];
+        for dataset in &datasets {
+            let cell = run_cell(
+                dataset,
+                DifferentiatorKind::TopoAc,
+                ImputerKind::Bisim,
+                &[EstimatorKind::Wknn],
+                AttentionMode::SparsityFriendly,
+                time_lag,
+                0.0,
+                0.1,
+            );
+            row.push(fmt(cell.ape(EstimatorKind::Wknn)));
+        }
+        table.add_row(row);
+    }
+    table.print();
+}

@@ -1,0 +1,56 @@
+//! Fig. 6/7: cluster shapes of DasaKM vs TopoAC — how many clusters have a
+//! convex hull that crosses walls (the "abnormal" clusters TopoAC eliminates).
+
+use radiomap_core::prelude::*;
+use rm_bench::{experiment_dataset, wifi_presets, ReportTable};
+use rm_differentiator::{build_samples, entity_exist, ClusteringStrategy, DasaKm, TopoAc};
+
+fn wall_crossing_clusters(
+    samples: &[rm_differentiator::DiffSample],
+    clusters: &[Vec<usize>],
+    walls: &MultiPolygon,
+) -> usize {
+    clusters
+        .iter()
+        .filter(|members| {
+            let pts: Vec<Point> = members
+                .iter()
+                .map(|&m| samples[m].location.unwrap_or_default())
+                .collect();
+            entity_exist(&pts, walls)
+        })
+        .count()
+}
+
+fn main() {
+    let mut table = ReportTable::new(
+        "Fig. 6/7 — Clusters whose convex hull crosses topological entities",
+        &["Venue", "Method", "#Clusters", "#Wall-crossing clusters"],
+    );
+    for preset in wifi_presets() {
+        let dataset = experiment_dataset(preset);
+        let samples = build_samples(&dataset.radio_map);
+
+        let dasa = DasaKm::new(7);
+        let dasa_clustering = dasa.cluster(&samples);
+        table.add_row(vec![
+            preset.name().to_string(),
+            "DasaKM".into(),
+            dasa_clustering.num_clusters().to_string(),
+            wall_crossing_clusters(&samples, &dasa_clustering.clusters(), &dataset.venue.walls)
+                .to_string(),
+        ]);
+
+        let topo = TopoAc::new(dataset.venue.walls.clone());
+        let topo_clustering = topo.cluster(&samples);
+        table.add_row(vec![
+            preset.name().to_string(),
+            "TopoAC".into(),
+            topo_clustering.num_clusters().to_string(),
+            wall_crossing_clusters(&samples, &topo_clustering.clusters(), &dataset.venue.walls)
+                .to_string(),
+        ]);
+    }
+    table.print();
+    println!("TopoAC should produce (near-)zero wall-crossing clusters, matching Fig. 7.");
+}

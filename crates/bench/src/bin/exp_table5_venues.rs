@@ -1,0 +1,26 @@
+//! Table V: statistics of the three synthetic venues and their radio maps.
+
+use radiomap_core::prelude::*;
+use rm_bench::{experiment_dataset, ReportTable};
+
+fn main() {
+    let mut table = ReportTable::new(
+        "Table V — Statistics of Venues and Created Radio Maps",
+        &["Venue", "Area(m2)", "RP/100m2", "#Fingerprints", "#RPs", "#APs", "RSSI-miss%", "RP-miss%"],
+    );
+    for preset in VenuePreset::all() {
+        let dataset = experiment_dataset(preset);
+        let s = dataset.stats();
+        table.add_row(vec![
+            s.venue.clone(),
+            format!("{:.1}", s.floor_area_m2),
+            format!("{:.2}", s.rp_density_per_100m2),
+            s.num_fingerprints.to_string(),
+            s.num_rps.to_string(),
+            s.num_aps.to_string(),
+            format!("{:.1}", s.missing_rssi_rate * 100.0),
+            format!("{:.1}", s.missing_rp_rate * 100.0),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,45 @@
+//! Table VIII: generalisability — APE of every imputer on the Bluetooth venue
+//! (longhu-like) under KNN, WKNN and RF.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{DifferentiatorKind, ImputerKind};
+use rm_bench::{experiment_dataset, fmt, run_cell, ReportTable};
+
+fn main() {
+    let dataset = experiment_dataset(VenuePreset::LonghuLike);
+    let estimators = EstimatorKind::all();
+    let mut table = ReportTable::new(
+        "Table VIII — APE on Bluetooth data (m), longhu-like",
+        &["Imputer", "KNN", "WKNN", "RF"],
+    );
+    let mut runs: Vec<(String, DifferentiatorKind, ImputerKind)> = vec![
+        ("CD".into(), DifferentiatorKind::TopoAc, ImputerKind::CaseDeletion),
+        ("LI".into(), DifferentiatorKind::TopoAc, ImputerKind::LinearInterpolation),
+        ("SL".into(), DifferentiatorKind::TopoAc, ImputerKind::SemiSupervised),
+        ("MICE".into(), DifferentiatorKind::TopoAc, ImputerKind::Mice),
+        ("MF".into(), DifferentiatorKind::TopoAc, ImputerKind::MatrixFactorization),
+        ("BRITS".into(), DifferentiatorKind::TopoAc, ImputerKind::Brits),
+        ("SSGAN".into(), DifferentiatorKind::TopoAc, ImputerKind::Ssgan),
+        ("D-BiSIM".into(), DifferentiatorKind::DasaKm, ImputerKind::Bisim),
+        ("T-BiSIM".into(), DifferentiatorKind::TopoAc, ImputerKind::Bisim),
+    ];
+    for (label, diff, imputer) in runs.drain(..) {
+        let cell = run_cell(
+            &dataset,
+            diff,
+            imputer,
+            &estimators,
+            AttentionMode::SparsityFriendly,
+            TimeLagMode::Encoder,
+            0.0,
+            0.1,
+        );
+        table.add_row(vec![
+            label,
+            fmt(cell.ape(EstimatorKind::Knn)),
+            fmt(cell.ape(EstimatorKind::Wknn)),
+            fmt(cell.ape(EstimatorKind::RandomForest)),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,303 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation (Section V) has a binary
+//! under `src/bin/` that regenerates it on the synthetic venues; this library
+//! provides the common machinery: dataset construction, the evaluation
+//! protocol with multiple estimators per imputation, and plain-text table
+//! rendering.
+//!
+//! Scaling knobs (environment variables):
+//!
+//! * `RM_SCALE`  — venue scale factor in `(0, 1]` (default 0.15, `RM_QUICK=1`
+//!   drops it to 0.08),
+//! * `RM_EPOCHS` — training epochs of the neural imputers (default 30,
+//!   `RM_QUICK=1` drops it to 8),
+//! * `RM_SEED`   — base RNG seed (default 2023).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use radiomap_core::prelude::*;
+use radiomap_core::{DifferentiatorKind, ImputerKind, PipelineConfig};
+use rm_radiomap::DenseRadioMap;
+
+/// The base seed used by the experiment harness (override with `RM_SEED`).
+pub fn experiment_seed() -> u64 {
+    std::env::var("RM_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2023)
+}
+
+/// Builds the dataset for a venue preset at the harness scale.
+pub fn experiment_dataset(preset: VenuePreset) -> Dataset {
+    DatasetSpec::new(preset, experiment_seed()).build()
+}
+
+/// Builds the dataset with an RP-record probability override (Fig. 16).
+pub fn experiment_dataset_with_rp_density(preset: VenuePreset, rp_probability: f64) -> Dataset {
+    DatasetSpec::new(preset, experiment_seed())
+        .with_rp_record_probability(rp_probability)
+        .build()
+}
+
+/// The two Wi-Fi venues used by most experiments.
+pub fn wifi_presets() -> [VenuePreset; 2] {
+    [VenuePreset::KaideLike, VenuePreset::WandaLike]
+}
+
+/// The outcome of one pipeline cell: per-estimator APE plus stage timings.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// APE per estimator, in the order requested.
+    pub ape_by_estimator: Vec<(EstimatorKind, f64)>,
+    /// Differentiation wall-clock seconds.
+    pub differentiation_seconds: f64,
+    /// Imputation wall-clock seconds.
+    pub imputation_seconds: f64,
+    /// Fraction of missing RSSIs classified as MAR.
+    pub mar_fraction: Option<f64>,
+}
+
+impl CellResult {
+    /// The APE of a particular estimator (NaN if missing).
+    pub fn ape(&self, kind: EstimatorKind) -> f64 {
+        self.ape_by_estimator
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Runs the Section V-A protocol for one (differentiator, imputer) pair and
+/// evaluates *all* requested estimators on the same imputed map (Table VI
+/// evaluates three estimators per imputer, so imputing once per estimator
+/// would triple the cost for no benefit).
+pub fn run_cell(
+    dataset: &Dataset,
+    differentiator: DifferentiatorKind,
+    imputer: ImputerKind,
+    estimators: &[EstimatorKind],
+    attention: AttentionMode,
+    time_lag: TimeLagMode,
+    removal_ratio_alpha: f64,
+    eta: f64,
+) -> CellResult {
+    let seed = experiment_seed();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    // Optional α-removal (Fig. 12): nullify a fraction of the observed RSSIs
+    // before differentiation.
+    let map = if removal_ratio_alpha > 0.0 {
+        remove_random_rssis(&dataset.radio_map, removal_ratio_alpha, &mut rng).0
+    } else {
+        dataset.radio_map.clone()
+    };
+
+    // Hold out 10 % of the RP-observed records as online test queries.
+    let (_, test_indices) = rm_radiomap::split_test_records(&map, 0.1, &mut rng);
+    let ground_truth: Vec<(usize, Point)> = test_indices
+        .iter()
+        .map(|&i| (i, map.record(i).rp.expect("test records have RPs")))
+        .collect();
+    let mut working = map.clone();
+    for &(i, _) in &ground_truth {
+        working.records_mut()[i].rp = None;
+    }
+
+    let config = PipelineConfig {
+        differentiator,
+        imputer,
+        eta,
+        attention,
+        time_lag,
+        seed,
+        ..PipelineConfig::default()
+    };
+    let pipeline = radiomap_core::ImputationPipeline::new(config);
+
+    let diff_start = Instant::now();
+    let mask = pipeline.differentiate(&working, &dataset.venue.walls);
+    let differentiation_seconds = diff_start.elapsed().as_secs_f64();
+    let mar_fraction = mask.mar_fraction();
+
+    let imputer_impl = imputer.build(seed, attention, time_lag);
+    let imp_start = Instant::now();
+    let imputed = imputer_impl.impute(&working, &mask);
+    let imputation_seconds = imp_start.elapsed().as_secs_f64();
+
+    // Training radio map: everything except the test records.
+    let test_set: HashSet<usize> = test_indices.iter().copied().collect();
+    let mut fingerprints = Vec::new();
+    let mut locations = Vec::new();
+    for i in 0..imputed.len() {
+        if test_set.contains(&i) {
+            continue;
+        }
+        if let Some(loc) = imputed.locations[i] {
+            fingerprints.push(imputed.fingerprints[i].clone());
+            locations.push(loc);
+        }
+    }
+    let dense = DenseRadioMap::new(fingerprints, locations, map.num_aps());
+    let queries: Vec<TestQuery> = ground_truth
+        .iter()
+        .map(|&(i, location)| TestQuery {
+            fingerprint: imputed.fingerprints[i].clone(),
+            location,
+        })
+        .collect();
+
+    let ape_by_estimator = estimators
+        .iter()
+        .map(|&kind| {
+            let estimator = kind.build(dense.clone(), 3);
+            let ape = rm_positioning::evaluate_estimator(estimator.as_ref(), &queries)
+                .unwrap_or(f64::NAN);
+            (kind, ape)
+        })
+        .collect();
+
+    CellResult {
+        ape_by_estimator,
+        differentiation_seconds,
+        imputation_seconds,
+        mar_fraction,
+    }
+}
+
+/// Runs only differentiation + imputation on a perturbed map and returns the
+/// imputed map (used by the β-removal experiments of Fig. 14/15).
+pub fn impute_only(
+    map: &RadioMap,
+    topology: &MultiPolygon,
+    differentiator: DifferentiatorKind,
+    imputer: ImputerKind,
+) -> ImputedRadioMap {
+    let seed = experiment_seed();
+    let config = PipelineConfig {
+        differentiator,
+        imputer,
+        seed,
+        ..PipelineConfig::default()
+    };
+    radiomap_core::ImputationPipeline::new(config)
+        .impute(map, topology)
+        .0
+}
+
+/// A simple fixed-width text table accumulated row by row and printed to
+/// stdout; every experiment binary emits one (or more) of these, mirroring the
+/// corresponding table or figure of the paper.
+pub struct ReportTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ReportTable {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a float with two decimals, rendering NaN as `n/a`.
+pub fn fmt(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "n/a".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_table_renders_all_rows() {
+        let mut t = ReportTable::new("demo", &["a", "b"]);
+        t.add_row(vec!["1".into(), "2.50".into()]);
+        t.add_row(vec!["long-name".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-name"));
+        assert!(s.contains("2.50"));
+    }
+
+    #[test]
+    fn fmt_handles_nan() {
+        assert_eq!(fmt(f64::NAN), "n/a");
+        assert_eq!(fmt(1.005), "1.00");
+    }
+
+    #[test]
+    fn run_cell_with_fast_imputer() {
+        std::env::set_var("RM_SCALE", "0.05");
+        let dataset = experiment_dataset(VenuePreset::KaideLike);
+        let cell = run_cell(
+            &dataset,
+            DifferentiatorKind::MnarOnly,
+            ImputerKind::LinearInterpolation,
+            &[EstimatorKind::Wknn, EstimatorKind::Knn],
+            AttentionMode::SparsityFriendly,
+            TimeLagMode::Encoder,
+            0.0,
+            0.1,
+        );
+        assert_eq!(cell.ape_by_estimator.len(), 2);
+        assert!(cell.ape(EstimatorKind::Wknn).is_finite());
+        assert!(cell.ape(EstimatorKind::RandomForest).is_nan());
+    }
+}

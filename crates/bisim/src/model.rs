@@ -1,0 +1,391 @@
+//! The internals of BiSIM (Section IV-C): encoder units, decoder units and the
+//! sparsity-friendly attention unit, assembled into one directional
+//! sequence-to-sequence pass.
+
+use rand::rngs::StdRng;
+use rm_imputers::PathSequence;
+use rm_nn::{Activation, Linear, LstmCell, LstmState, Mlp};
+use rm_tensor::{Matrix, Var};
+
+/// Which attention mechanism the decoder uses (the Fig. 17 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionMode {
+    /// The paper's sparsity-friendly adaptation of Bahdanau attention: only
+    /// the observed part of each encoder latent vector participates.
+    SparsityFriendly,
+    /// Plain Bahdanau attention (no masking of the latent vectors).
+    Standard,
+    /// No attention: the context vector is all zeros.
+    None,
+}
+
+/// Where the time-lag decay mechanism is applied (the Fig. 18 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeLagMode {
+    /// Time lag in the encoder only — the paper's final design.
+    Encoder,
+    /// Time lag in the decoder only.
+    Decoder,
+    /// Time lag in both encoder and decoder.
+    Both,
+    /// No time-lag mechanism.
+    None,
+}
+
+/// The per-step outputs of one directional pass through BiSIM.
+pub struct BisimPass {
+    /// Predicted fingerprints `f′_i` (used by the loss).
+    pub fingerprint_estimates: Vec<Var>,
+    /// Complemented fingerprints `f^c_i` (the imputations).
+    pub fingerprint_complements: Vec<Var>,
+    /// Predicted RP vectors `l′_j` (used by the loss).
+    pub rp_estimates: Vec<Var>,
+    /// Complemented RP vectors `l^c_j` (the imputations).
+    pub rp_complements: Vec<Var>,
+}
+
+/// One directional BiSIM model: an encoder stack over the fingerprint
+/// sequence, a decoder stack over the RP sequence, and an attention unit
+/// connecting them.
+pub struct BisimDirection {
+    // Encoder unit parameters (Eq. 2–5).
+    encoder_estimate: Linear,
+    encoder_decay: Linear,
+    encoder_cell: LstmCell,
+    // Decoder unit parameters (Eq. 6–8).
+    decoder_estimate: Linear,
+    decoder_decay: Linear,
+    decoder_cell: LstmCell,
+    // Attention unit parameters (Eq. 9–12).
+    attention_transform: Linear,
+    attention_align: Mlp,
+    hidden_size: usize,
+    num_aps: usize,
+    attention: AttentionMode,
+    time_lag: TimeLagMode,
+}
+
+impl BisimDirection {
+    /// Creates one directional model.
+    pub fn new(
+        num_aps: usize,
+        hidden_size: usize,
+        attention: AttentionMode,
+        time_lag: TimeLagMode,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self {
+            encoder_estimate: Linear::new(hidden_size, num_aps, rng),
+            encoder_decay: Linear::new(num_aps, hidden_size, rng),
+            encoder_cell: LstmCell::new(num_aps * 2, hidden_size, rng),
+            decoder_estimate: Linear::new(hidden_size, 2, rng),
+            decoder_decay: Linear::new(2, hidden_size, rng),
+            decoder_cell: LstmCell::new(2 + num_aps, hidden_size, rng),
+            attention_transform: Linear::new(hidden_size, num_aps, rng),
+            attention_align: Mlp::new(
+                &[hidden_size + num_aps, hidden_size, 1],
+                Activation::Tanh,
+                Activation::Identity,
+                rng,
+            ),
+            hidden_size,
+            num_aps,
+            attention,
+            time_lag,
+        }
+    }
+
+    /// All trainable parameters of this direction.
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut params = self.encoder_estimate.parameters();
+        params.extend(self.encoder_decay.parameters());
+        params.extend(self.encoder_cell.parameters());
+        params.extend(self.decoder_estimate.parameters());
+        params.extend(self.decoder_decay.parameters());
+        params.extend(self.decoder_cell.parameters());
+        params.extend(self.attention_transform.parameters());
+        params.extend(self.attention_align.parameters());
+        params
+    }
+
+    /// Runs the encoder–decoder over one prepared sequence.
+    pub fn run(&self, seq: &PathSequence) -> BisimPass {
+        let len = seq.len();
+        let mut fingerprint_estimates = Vec::with_capacity(len);
+        let mut fingerprint_complements = Vec::with_capacity(len);
+        let mut encoder_latents = Vec::with_capacity(len);
+        let mut encoder_masks = Vec::with_capacity(len);
+
+        // ---------------- Encoder stack (Eq. 2–5) ----------------
+        let mut state = LstmState::zeros(self.hidden_size);
+        for t in 0..len {
+            let fingerprint = Var::constant(Matrix::column(&seq.fingerprints[t]));
+            let mask = Matrix::column(&seq.fingerprint_masks[t]);
+            let inverse_mask = mask.map(|m| 1.0 - m);
+
+            // Eq. 2: estimate from the previous latent vector.
+            let estimate = self.encoder_estimate.forward(&state.h);
+            // Eq. 3: complement observed values with the estimate.
+            let complement = fingerprint.mask(&mask).add(&estimate.mask(&inverse_mask));
+            // Eq. 4: temporal decay factor from the time-lag vector.
+            let decayed_h = if matches!(self.time_lag, TimeLagMode::Encoder | TimeLagMode::Both) {
+                let lag = Var::constant(Matrix::column(&seq.time_lags[t]));
+                let gamma = self.encoder_decay.forward(&lag).relu().scale(-1.0).exp();
+                state.h.hadamard(&gamma)
+            } else {
+                state.h.clone()
+            };
+            // Eq. 5: LSTM over the complemented fingerprint concatenated with the mask.
+            let input = Var::concat_rows(&[complement.clone(), Var::constant(mask.clone())]);
+            state = self.encoder_cell.step(
+                &input,
+                &LstmState {
+                    h: decayed_h,
+                    c: state.c.clone(),
+                },
+            );
+
+            fingerprint_estimates.push(estimate);
+            fingerprint_complements.push(complement);
+            encoder_latents.push(state.h.clone());
+            encoder_masks.push(mask);
+        }
+
+        // Pre-compute the (possibly masked) transformed latents h''_i (Eq. 9).
+        let transformed: Vec<Var> = encoder_latents
+            .iter()
+            .zip(encoder_masks.iter())
+            .map(|(h, m)| {
+                let h_prime = self.attention_transform.forward(h);
+                match self.attention {
+                    AttentionMode::SparsityFriendly => h_prime.mask(m),
+                    _ => h_prime,
+                }
+            })
+            .collect();
+
+        // ---------------- Decoder stack with attention (Eq. 6–12) ----------------
+        // s_0 = h_T: the decoder starts from the final encoder latent vector.
+        let mut decoder_state = LstmState::from_hidden(
+            encoder_latents
+                .last()
+                .cloned()
+                .unwrap_or_else(|| Var::constant(Matrix::zeros(self.hidden_size, 1))),
+        );
+        let rp_lags = self.rp_time_lags(seq);
+        let mut rp_estimates = Vec::with_capacity(len);
+        let mut rp_complements = Vec::with_capacity(len);
+        for j in 0..len {
+            let rp = Var::constant(Matrix::column(&[seq.rps[j].0, seq.rps[j].1]));
+            let rp_mask = Matrix::column(&[seq.rp_masks[j], seq.rp_masks[j]]);
+            let inverse_mask = rp_mask.map(|m| 1.0 - m);
+
+            // Eq. 6: estimate the RP from the previous decoder latent vector.
+            let estimate = self.decoder_estimate.forward(&decoder_state.h);
+            // Eq. 7: complement.
+            let complement = rp.mask(&rp_mask).add(&estimate.mask(&inverse_mask));
+            // Attention (Eq. 10–12): context vector from the encoder latents.
+            let context = self.context_vector(&decoder_state.h, &transformed);
+            // Optional decoder-side time decay (ablation only).
+            let decoder_h = if matches!(self.time_lag, TimeLagMode::Decoder | TimeLagMode::Both) {
+                let lag = Var::constant(Matrix::column(&rp_lags[j]));
+                let gamma = self.decoder_decay.forward(&lag).relu().scale(-1.0).exp();
+                decoder_state.h.hadamard(&gamma)
+            } else {
+                decoder_state.h.clone()
+            };
+            // Eq. 8: LSTM over the complemented RP concatenated with the context.
+            let input = Var::concat_rows(&[complement.clone(), context]);
+            decoder_state = self.decoder_cell.step(
+                &input,
+                &LstmState {
+                    h: decoder_h,
+                    c: decoder_state.c.clone(),
+                },
+            );
+
+            rp_estimates.push(estimate);
+            rp_complements.push(complement);
+        }
+
+        BisimPass {
+            fingerprint_estimates,
+            fingerprint_complements,
+            rp_estimates,
+            rp_complements,
+        }
+    }
+
+    /// The attention context vector c_j for the current decoder latent vector.
+    fn context_vector(&self, decoder_hidden: &Var, transformed: &[Var]) -> Var {
+        if matches!(self.attention, AttentionMode::None) || transformed.is_empty() {
+            return Var::constant(Matrix::zeros(self.num_aps, 1));
+        }
+        // Eq. 10: energies from the alignment MLP.
+        let energies: Vec<Var> = transformed
+            .iter()
+            .map(|h| {
+                let joint = Var::concat_rows(&[decoder_hidden.clone(), h.clone()]);
+                self.attention_align.forward(&joint)
+            })
+            .collect();
+        // Eq. 11: softmax over the energies.
+        let weights = Var::concat_rows(&energies).softmax_col();
+        // Eq. 12: weighted sum of the transformed latents.
+        let mut context = Var::constant(Matrix::zeros(self.num_aps, 1));
+        for (i, h) in transformed.iter().enumerate() {
+            let weight = weights.mask(&one_hot(transformed.len(), i)).sum();
+            context = context.add(&h.mul_scalar_var(&weight));
+        }
+        context
+    }
+
+    /// Time-lag vectors for the RP sequence (2-dimensional, driven by the RP
+    /// masks), used only by the decoder-side ablations.
+    fn rp_time_lags(&self, seq: &PathSequence) -> Vec<Vec<f64>> {
+        let len = seq.len();
+        let mut lags = Vec::with_capacity(len);
+        for j in 0..len {
+            if j == 0 {
+                lags.push(vec![0.0, 0.0]);
+            } else {
+                let dt = (seq.times[j] - seq.times[j - 1]).abs() / 10.0;
+                let previous: &Vec<f64> = &lags[j - 1];
+                let lag = if seq.rp_masks[j - 1] > 0.5 {
+                    vec![dt, dt]
+                } else {
+                    vec![previous[0] + dt, previous[1] + dt]
+                };
+                lags.push(lag);
+            }
+        }
+        lags
+    }
+}
+
+/// A column one-hot mask selecting entry `index` out of `len`.
+fn one_hot(len: usize, index: usize) -> Matrix {
+    Matrix::from_fn(len, 1, |r, _| if r == index { 1.0 } else { 0.0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rm_imputers::{build_sequences, Normalization};
+    use rm_radiomap::{EntryKind, Fingerprint, MaskMatrix, RadioMap, RadioMapRecord};
+    use rm_geometry::Point;
+
+    fn sequence() -> PathSequence {
+        let mk = |values: Vec<Option<f64>>, rp: Option<Point>, t: f64| {
+            RadioMapRecord::new(Fingerprint::new(values), rp, t, 0)
+        };
+        let map = RadioMap::new(
+            vec![
+                mk(vec![Some(-70.0), Some(-80.0), None], Some(Point::new(0.0, 0.0)), 0.0),
+                mk(vec![Some(-71.0), None, None], None, 2.0),
+                mk(vec![None, Some(-75.0), Some(-90.0)], Some(Point::new(4.0, 1.0)), 4.0),
+                mk(vec![None, None, None], None, 6.0),
+            ],
+            3,
+        );
+        let mut mask = MaskMatrix::all_observed(4, 3);
+        mask.set(0, 2, EntryKind::Mnar);
+        mask.set(1, 1, EntryKind::Mar);
+        mask.set(1, 2, EntryKind::Mnar);
+        mask.set(2, 0, EntryKind::Mar);
+        mask.set(3, 0, EntryKind::Mar);
+        mask.set(3, 1, EntryKind::Mar);
+        mask.set(3, 2, EntryKind::Mnar);
+        let norm = Normalization::from_map(&map);
+        build_sequences(&map, &mask, 5, &norm).remove(0)
+    }
+
+    fn direction(attention: AttentionMode, time_lag: TimeLagMode) -> BisimDirection {
+        let mut rng = StdRng::seed_from_u64(9);
+        BisimDirection::new(3, 8, attention, time_lag, &mut rng)
+    }
+
+    #[test]
+    fn pass_produces_one_output_per_step() {
+        let seq = sequence();
+        let model = direction(AttentionMode::SparsityFriendly, TimeLagMode::Encoder);
+        let pass = model.run(&seq);
+        assert_eq!(pass.fingerprint_estimates.len(), 4);
+        assert_eq!(pass.fingerprint_complements.len(), 4);
+        assert_eq!(pass.rp_estimates.len(), 4);
+        assert_eq!(pass.rp_complements.len(), 4);
+        assert_eq!(pass.fingerprint_complements[0].shape(), (3, 1));
+        assert_eq!(pass.rp_complements[0].shape(), (2, 1));
+    }
+
+    #[test]
+    fn observed_values_pass_through_the_complement() {
+        let seq = sequence();
+        let model = direction(AttentionMode::SparsityFriendly, TimeLagMode::Encoder);
+        let pass = model.run(&seq);
+        // Step 0, AP 0 is observed: the complement must equal the input.
+        let c = pass.fingerprint_complements[0].value();
+        assert!((c.get(0, 0) - seq.fingerprints[0][0]).abs() < 1e-12);
+        // Step 0's RP is observed: complement equals normalised RP.
+        let rp = pass.rp_complements[0].value();
+        assert!((rp.get(0, 0) - seq.rps[0].0).abs() < 1e-12);
+        assert!((rp.get(1, 0) - seq.rps[0].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_modes_run_and_produce_finite_outputs() {
+        let seq = sequence();
+        for attention in [
+            AttentionMode::SparsityFriendly,
+            AttentionMode::Standard,
+            AttentionMode::None,
+        ] {
+            for time_lag in [
+                TimeLagMode::Encoder,
+                TimeLagMode::Decoder,
+                TimeLagMode::Both,
+                TimeLagMode::None,
+            ] {
+                let model = direction(attention, time_lag);
+                let pass = model.run(&seq);
+                for v in pass
+                    .fingerprint_complements
+                    .iter()
+                    .chain(pass.rp_complements.iter())
+                {
+                    assert!(v.value().is_finite(), "{attention:?}/{time_lag:?} produced NaN");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_reach_encoder_and_decoder_parameters() {
+        let seq = sequence();
+        let model = direction(AttentionMode::SparsityFriendly, TimeLagMode::Encoder);
+        let pass = model.run(&seq);
+        let mut total = Var::scalar(0.0);
+        for est in pass.fingerprint_estimates.iter().chain(pass.rp_estimates.iter()) {
+            total = total.add(&est.square().sum());
+        }
+        total.backward();
+        let with_grad = model
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().frobenius_norm() > 0.0)
+            .count();
+        assert!(
+            with_grad > model.parameters().len() / 2,
+            "only {with_grad} of {} parameters received gradient",
+            model.parameters().len()
+        );
+    }
+
+    #[test]
+    fn one_hot_mask_selects_single_entry() {
+        let m = one_hot(4, 2);
+        assert_eq!(m.get(2, 0), 1.0);
+        assert_eq!(m.sum(), 1.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Constrained agglomerative clustering.
+//!
+//! `TopoAC` (Algorithm 5 of the paper) is an agglomerative clustering where a
+//! merge is only allowed if the merged cluster passes a topological
+//! examination (its convex hull must not contain any indoor obstacle). This
+//! module implements the generic agglomerative process with a pluggable merge
+//! constraint; the topology-specific predicate lives in `rm-differentiator`.
+
+use crate::{euclidean_distance_sq, Clustering};
+
+/// A predicate deciding whether the union of two clusters (given by the member
+/// sample indices of the would-be merged cluster) is admissible.
+pub trait MergeConstraint {
+    /// Returns `true` if a cluster containing exactly `member_indices` may be
+    /// formed.
+    fn allows(&self, member_indices: &[usize]) -> bool;
+}
+
+/// A constraint that always allows merging — plain average-linkage
+/// agglomerative clustering down to `target_clusters` clusters.
+#[derive(Debug, Clone, Copy)]
+pub struct Unconstrained;
+
+impl MergeConstraint for Unconstrained {
+    fn allows(&self, _member_indices: &[usize]) -> bool {
+        true
+    }
+}
+
+/// A constraint expressed as a closure over the member indices.
+pub struct FnConstraint<F: Fn(&[usize]) -> bool>(pub F);
+
+impl<F: Fn(&[usize]) -> bool> MergeConstraint for FnConstraint<F> {
+    fn allows(&self, member_indices: &[usize]) -> bool {
+        (self.0)(member_indices)
+    }
+}
+
+/// Configuration for [`agglomerative`].
+#[derive(Debug, Clone)]
+pub struct AgglomerativeConfig {
+    /// Stop merging once this many clusters remain (1 keeps merging as long as
+    /// any admissible pair exists).
+    pub target_clusters: usize,
+}
+
+impl Default for AgglomerativeConfig {
+    fn default() -> Self {
+        Self { target_clusters: 1 }
+    }
+}
+
+/// Runs constraint-aware agglomerative clustering with centroid linkage.
+///
+/// Starting from singleton clusters, the pair of clusters with the smallest
+/// centroid-to-centroid distance whose union satisfies `constraint` is merged,
+/// until no admissible pair remains or `config.target_clusters` is reached.
+pub fn agglomerative(
+    samples: &[Vec<f64>],
+    config: &AgglomerativeConfig,
+    constraint: &impl MergeConstraint,
+) -> Clustering {
+    let n = samples.len();
+    if n == 0 {
+        return Clustering::empty();
+    }
+    // Each cluster: member indices + centroid. `None` marks a cluster merged away.
+    let mut clusters: Vec<Option<(Vec<usize>, Vec<f64>)>> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Some((vec![i], s.clone())))
+        .collect();
+    let mut active = n;
+
+    while active > config.target_clusters.max(1) {
+        // Find the closest admissible pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            let Some((_, ci)) = &clusters[i] else { continue };
+            for j in (i + 1)..clusters.len() {
+                let Some((_, cj)) = &clusters[j] else { continue };
+                let d = euclidean_distance_sq(ci, cj);
+                if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                    // Check the constraint lazily only for candidate improvements.
+                    let mut merged_members = clusters[i].as_ref().unwrap().0.clone();
+                    merged_members.extend_from_slice(&clusters[j].as_ref().unwrap().0);
+                    if constraint.allows(&merged_members) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+
+        // Merge j into i.
+        let (members_j, _) = clusters[j].take().expect("cluster j active");
+        let (members_i, _) = clusters[i].take().expect("cluster i active");
+        let mut members = members_i;
+        members.extend(members_j);
+        let dim = samples[0].len();
+        let mut centroid = vec![0.0; dim];
+        for &m in &members {
+            for (c, &v) in centroid.iter_mut().zip(samples[m].iter()) {
+                *c += v;
+            }
+        }
+        for c in centroid.iter_mut() {
+            *c /= members.len() as f64;
+        }
+        clusters[i] = Some((members, centroid));
+        active -= 1;
+    }
+
+    // Compact into a Clustering.
+    let mut assignments = vec![0usize; n];
+    let mut centroids = Vec::new();
+    for cluster in clusters.into_iter().flatten() {
+        let (members, centroid) = cluster;
+        let cluster_id = centroids.len();
+        for m in members {
+            assignments[m] = cluster_id;
+        }
+        centroids.push(centroid);
+    }
+    Clustering::new(assignments, centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.1],
+            vec![0.2, 0.4],
+            vec![10.0, 10.0],
+            vec![10.3, 9.8],
+            vec![9.9, 10.2],
+        ]
+    }
+
+    #[test]
+    fn unconstrained_merges_to_target() {
+        let samples = two_blobs();
+        let c = agglomerative(
+            &samples,
+            &AgglomerativeConfig { target_clusters: 2 },
+            &Unconstrained,
+        );
+        assert_eq!(c.num_clusters(), 2);
+        // The two spatial blobs end up in different clusters.
+        assert_eq!(c.assignments()[0], c.assignments()[1]);
+        assert_eq!(c.assignments()[3], c.assignments()[4]);
+        assert_ne!(c.assignments()[0], c.assignments()[3]);
+    }
+
+    #[test]
+    fn unconstrained_merges_everything_with_target_one() {
+        let samples = two_blobs();
+        let c = agglomerative(&samples, &AgglomerativeConfig::default(), &Unconstrained);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn constraint_blocks_merges() {
+        let samples = two_blobs();
+        // Forbid any cluster larger than 1: nothing can merge.
+        let constraint = FnConstraint(|members: &[usize]| members.len() <= 1);
+        let c = agglomerative(&samples, &AgglomerativeConfig::default(), &constraint);
+        assert_eq!(c.num_clusters(), samples.len());
+    }
+
+    #[test]
+    fn constraint_limiting_cluster_size() {
+        let samples = two_blobs();
+        let constraint = FnConstraint(|members: &[usize]| members.len() <= 3);
+        let c = agglomerative(&samples, &AgglomerativeConfig::default(), &constraint);
+        // With max size 3 the six samples form exactly the two natural blobs.
+        assert_eq!(c.num_clusters(), 2);
+        for cluster_id in 0..c.num_clusters() {
+            assert!(c.members_of(cluster_id).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn cross_blob_constraint_prevents_mixing() {
+        let samples = two_blobs();
+        // Disallow clusters containing samples from both blobs (indices < 3 and >= 3).
+        let constraint = FnConstraint(|members: &[usize]| {
+            let has_a = members.iter().any(|&m| m < 3);
+            let has_b = members.iter().any(|&m| m >= 3);
+            !(has_a && has_b)
+        });
+        let c = agglomerative(&samples, &AgglomerativeConfig::default(), &constraint);
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_clustering() {
+        let c = agglomerative(&[], &AgglomerativeConfig::default(), &Unconstrained);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_single_cluster() {
+        let c = agglomerative(
+            &[vec![1.0, 2.0]],
+            &AgglomerativeConfig::default(),
+            &Unconstrained,
+        );
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.assignments(), &[0]);
+    }
+
+    #[test]
+    fn centroids_are_member_means() {
+        let samples = vec![vec![0.0, 0.0], vec![2.0, 2.0]];
+        let c = agglomerative(&samples, &AgglomerativeConfig::default(), &Unconstrained);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.centroids()[0], vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! K-means clustering with k-means++ initialisation and the elbow method.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{euclidean_distance_sq, Clustering};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tolerance: f64,
+}
+
+impl KMeansConfig {
+    /// Creates a configuration with the default iteration budget.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Runs k-means with k-means++ seeding.
+///
+/// `samples` is a slice of equal-length feature vectors. Returns a
+/// [`Clustering`] with one assignment per sample. When `k` is zero or there
+/// are no samples an empty clustering is returned; when `k >= samples.len()`
+/// each sample becomes its own cluster.
+pub fn kmeans(samples: &[Vec<f64>], config: &KMeansConfig, rng: &mut impl Rng) -> Clustering {
+    let n = samples.len();
+    if n == 0 || config.k == 0 {
+        return Clustering::empty();
+    }
+    if config.k >= n {
+        // Each sample is its own cluster.
+        let assignments = (0..n).collect();
+        let centroids = samples.to_vec();
+        return Clustering::new(assignments, centroids);
+    }
+
+    let mut centroids = kmeans_plus_plus_init(samples, config.k, rng);
+    let mut assignments = vec![0usize; n];
+
+    for _ in 0..config.max_iterations {
+        // Assignment step.
+        for (i, sample) in samples.iter().enumerate() {
+            assignments[i] = nearest_centroid(sample, &centroids);
+        }
+        // Update step.
+        let mut new_centroids = vec![vec![0.0; samples[0].len()]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (sample, &a) in samples.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (acc, &v) in new_centroids[a].iter_mut().zip(sample.iter()) {
+                *acc += v;
+            }
+        }
+        for (centroid, &count) in new_centroids.iter_mut().zip(counts.iter()) {
+            if count > 0 {
+                for v in centroid.iter_mut() {
+                    *v /= count as f64;
+                }
+            }
+        }
+        // Re-seed empty clusters with a random sample to avoid dead centroids.
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                new_centroids[c] = samples.choose(rng).expect("samples non-empty").clone();
+            }
+        }
+
+        let movement: f64 = centroids
+            .iter()
+            .zip(new_centroids.iter())
+            .map(|(old, new)| euclidean_distance_sq(old, new).sqrt())
+            .sum();
+        centroids = new_centroids;
+        if movement < config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids.
+    for (i, sample) in samples.iter().enumerate() {
+        assignments[i] = nearest_centroid(sample, &centroids);
+    }
+    Clustering::new(assignments, centroids)
+}
+
+/// K-means++ centroid seeding: the first centroid is uniform-random, each
+/// subsequent one is drawn with probability proportional to the squared
+/// distance to the nearest already-chosen centroid.
+fn kmeans_plus_plus_init(samples: &[Vec<f64>], k: usize, rng: &mut impl Rng) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(samples.choose(rng).expect("samples non-empty").clone());
+    let mut distances: Vec<f64> = samples
+        .iter()
+        .map(|s| euclidean_distance_sq(s, &centroids[0]))
+        .collect();
+
+    while centroids.len() < k {
+        let total: f64 = distances.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All samples coincide with existing centroids; pick randomly.
+            samples.choose(rng).expect("samples non-empty").clone()
+        } else {
+            let mut threshold = rng.gen_range(0.0..total);
+            let mut chosen = samples.len() - 1;
+            for (i, &d) in distances.iter().enumerate() {
+                if threshold < d {
+                    chosen = i;
+                    break;
+                }
+                threshold -= d;
+            }
+            samples[chosen].clone()
+        };
+        for (d, s) in distances.iter_mut().zip(samples.iter()) {
+            *d = d.min(euclidean_distance_sq(s, &next));
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+/// Index of the centroid nearest to `sample`.
+fn nearest_centroid(sample: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_dist = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = euclidean_distance_sq(sample, c);
+        if d < best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Within-cluster sum of squares of a clustering over `samples`.
+pub fn within_cluster_sum_of_squares(samples: &[Vec<f64>], clustering: &Clustering) -> f64 {
+    samples
+        .iter()
+        .zip(clustering.assignments().iter())
+        .map(|(s, &a)| euclidean_distance_sq(s, &clustering.centroids()[a]))
+        .sum()
+}
+
+/// Selects `k` by the elbow method: runs k-means for `k = 1..=max_k` and
+/// returns the `k` with the largest second difference ("knee") of the
+/// within-cluster sum of squares curve.
+///
+/// This mirrors the `ElbowKM` baseline differentiator of the paper
+/// (Section V-B), which the evaluation shows to be inferior to `DasaKM`.
+pub fn elbow_method(samples: &[Vec<f64>], max_k: usize, rng: &mut impl Rng) -> usize {
+    if samples.is_empty() || max_k == 0 {
+        return 0;
+    }
+    let max_k = max_k.min(samples.len());
+    let mut wcss = Vec::with_capacity(max_k);
+    for k in 1..=max_k {
+        let clustering = kmeans(samples, &KMeansConfig::new(k), rng);
+        wcss.push(within_cluster_sum_of_squares(samples, &clustering));
+    }
+    if wcss.len() < 3 {
+        return wcss.len();
+    }
+    // Largest positive curvature of the decreasing WCSS curve.
+    let mut best_k = 2;
+    let mut best_curvature = f64::NEG_INFINITY;
+    for i in 1..wcss.len() - 1 {
+        let curvature = wcss[i - 1] - 2.0 * wcss[i] + wcss[i + 1];
+        if curvature > best_curvature {
+            best_curvature = curvature;
+            best_k = i + 1; // index i corresponds to k = i + 1
+        }
+    }
+    best_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Three well-separated 2D blobs.
+    fn blobs(rng: &mut StdRng) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)];
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for (label, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                samples.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                labels.push(label);
+            }
+        }
+        (samples, labels)
+    }
+
+    #[test]
+    fn kmeans_separates_well_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (samples, labels) = blobs(&mut rng);
+        let clustering = kmeans(&samples, &KMeansConfig::new(3), &mut rng);
+        assert_eq!(clustering.num_clusters(), 3);
+        // Every ground-truth blob must map to a single cluster.
+        for blob in 0..3 {
+            let assigned: std::collections::HashSet<usize> = labels
+                .iter()
+                .zip(clustering.assignments().iter())
+                .filter(|(l, _)| **l == blob)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(assigned.len(), 1, "blob {blob} split across clusters");
+        }
+    }
+
+    #[test]
+    fn kmeans_handles_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(kmeans(&[], &KMeansConfig::new(3), &mut rng).is_empty());
+        let samples = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert!(kmeans(&samples, &KMeansConfig::new(0), &mut rng).is_empty());
+        // k >= n: every sample its own cluster.
+        let c = kmeans(&samples, &KMeansConfig::new(5), &mut rng);
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.assignments(), &[0, 1]);
+    }
+
+    #[test]
+    fn kmeans_with_identical_samples_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples = vec![vec![1.0, 1.0]; 10];
+        let c = kmeans(&samples, &KMeansConfig::new(3), &mut rng);
+        assert_eq!(c.assignments().len(), 10);
+    }
+
+    #[test]
+    fn wcss_decreases_with_more_clusters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (samples, _) = blobs(&mut rng);
+        let w1 = within_cluster_sum_of_squares(
+            &samples,
+            &kmeans(&samples, &KMeansConfig::new(1), &mut rng),
+        );
+        let w3 = within_cluster_sum_of_squares(
+            &samples,
+            &kmeans(&samples, &KMeansConfig::new(3), &mut rng),
+        );
+        assert!(w3 < w1);
+    }
+
+    #[test]
+    fn elbow_method_finds_three_blobs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (samples, _) = blobs(&mut rng);
+        let k = elbow_method(&samples, 8, &mut rng);
+        // The elbow should be near the true cluster count.
+        assert!((2..=4).contains(&k), "elbow chose k = {k}");
+    }
+
+    #[test]
+    fn elbow_method_degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(elbow_method(&[], 5, &mut rng), 0);
+        let samples = vec![vec![0.0], vec![1.0]];
+        assert!(elbow_method(&samples, 5, &mut rng) <= 2);
+    }
+
+    #[test]
+    fn all_assignments_are_valid_cluster_indices() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (samples, _) = blobs(&mut rng);
+        let c = kmeans(&samples, &KMeansConfig::new(5), &mut rng);
+        assert!(c.assignments().iter().all(|&a| a < c.num_clusters()));
+        assert_eq!(c.assignments().len(), samples.len());
+    }
+}

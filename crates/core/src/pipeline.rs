@@ -1,0 +1,423 @@
+//! The end-to-end imputation pipeline and the evaluation protocol of
+//! Section V-A.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rm_bisim::{AttentionMode, Bisim, BisimConfig, TimeLagMode};
+use rm_differentiator::{
+    ClusteringDifferentiator, DasaKm, Differentiator, ElbowKm, MarOnly, MnarOnly, TopoAc,
+};
+use rm_geometry::MultiPolygon;
+use rm_imputers::{
+    Brits, BritsConfig, CaseDeletion, ImputedRadioMap, Imputer, LinearInterpolation,
+    MatrixFactorization, Mice, SemiSupervised, Ssgan, SsganConfig,
+};
+use rm_positioning::{evaluate_estimator, EstimatorKind, TestQuery};
+use rm_radiomap::{MaskMatrix, RadioMap, RemovedRp, RemovedRssi};
+
+/// Which missing-RSSI differentiator the pipeline uses (Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DifferentiatorKind {
+    /// Topology-aware agglomerative clustering (the paper's best).
+    TopoAc,
+    /// Differentiation-accuracy-aware sampled K-means.
+    DasaKm,
+    /// K-means with the elbow method (baseline).
+    ElbowKm,
+    /// Treat every missing RSSI as MAR (no differentiation).
+    MarOnly,
+    /// Treat every missing RSSI as MNAR (no differentiation).
+    MnarOnly,
+}
+
+impl DifferentiatorKind {
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DifferentiatorKind::TopoAc => "TopoAC",
+            DifferentiatorKind::DasaKm => "DasaKM",
+            DifferentiatorKind::ElbowKm => "ElbowKM",
+            DifferentiatorKind::MarOnly => "MAR-only",
+            DifferentiatorKind::MnarOnly => "MNAR-only",
+        }
+    }
+
+    /// Builds the differentiator. `topology` is the venue's obstacle
+    /// multipolygon (used by `TopoAC` only) and `eta` the fraction threshold.
+    pub fn build(self, topology: &MultiPolygon, eta: f64, seed: u64) -> Box<dyn Differentiator> {
+        match self {
+            DifferentiatorKind::TopoAc => {
+                Box::new(ClusteringDifferentiator::new(TopoAc::new(topology.clone())).with_eta(eta))
+            }
+            DifferentiatorKind::DasaKm => {
+                Box::new(ClusteringDifferentiator::new(DasaKm::new(seed)).with_eta(eta))
+            }
+            DifferentiatorKind::ElbowKm => {
+                Box::new(ClusteringDifferentiator::new(ElbowKm::new(seed)).with_eta(eta))
+            }
+            DifferentiatorKind::MarOnly => Box::new(MarOnly),
+            DifferentiatorKind::MnarOnly => Box::new(MnarOnly),
+        }
+    }
+}
+
+/// Which data imputer the pipeline uses (Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImputerKind {
+    /// The paper's BiSIM model.
+    Bisim,
+    /// Case deletion.
+    CaseDeletion,
+    /// Linear interpolation of RPs.
+    LinearInterpolation,
+    /// Semi-supervised RP inference.
+    SemiSupervised,
+    /// Multiple imputation by chained equations.
+    Mice,
+    /// Matrix factorization.
+    MatrixFactorization,
+    /// Bidirectional recurrent imputation (BRITS).
+    Brits,
+    /// GAN-based time-series imputation (SSGAN).
+    Ssgan,
+}
+
+impl ImputerKind {
+    /// All imputer kinds in the order of Table VI (BiSIM last).
+    pub fn all() -> [ImputerKind; 8] {
+        [
+            ImputerKind::CaseDeletion,
+            ImputerKind::LinearInterpolation,
+            ImputerKind::SemiSupervised,
+            ImputerKind::Mice,
+            ImputerKind::MatrixFactorization,
+            ImputerKind::Brits,
+            ImputerKind::Ssgan,
+            ImputerKind::Bisim,
+        ]
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImputerKind::Bisim => "BiSIM",
+            ImputerKind::CaseDeletion => "CD",
+            ImputerKind::LinearInterpolation => "LI",
+            ImputerKind::SemiSupervised => "SL",
+            ImputerKind::Mice => "MICE",
+            ImputerKind::MatrixFactorization => "MF",
+            ImputerKind::Brits => "BRITS",
+            ImputerKind::Ssgan => "SSGAN",
+        }
+    }
+
+    /// Builds the imputer with the given BiSIM ablation settings (ignored by
+    /// the other imputers).
+    pub fn build(self, seed: u64, attention: AttentionMode, time_lag: TimeLagMode) -> Box<dyn Imputer> {
+        match self {
+            ImputerKind::Bisim => Box::new(Bisim::new(BisimConfig {
+                seed,
+                attention,
+                time_lag,
+                ..BisimConfig::default()
+            })),
+            ImputerKind::CaseDeletion => Box::new(CaseDeletion),
+            ImputerKind::LinearInterpolation => Box::new(LinearInterpolation),
+            ImputerKind::SemiSupervised => Box::new(SemiSupervised::default()),
+            ImputerKind::Mice => Box::new(Mice::default()),
+            ImputerKind::MatrixFactorization => Box::new(MatrixFactorization::default()),
+            ImputerKind::Brits => Box::new(Brits::new(BritsConfig {
+                seed,
+                ..BritsConfig::default()
+            })),
+            ImputerKind::Ssgan => Box::new(Ssgan::new(SsganConfig {
+                seed,
+                ..SsganConfig::default()
+            })),
+        }
+    }
+}
+
+/// Configuration of the end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The missing-RSSI differentiator.
+    pub differentiator: DifferentiatorKind,
+    /// The data imputer.
+    pub imputer: ImputerKind,
+    /// Fraction threshold η of the differentiator (0.1 by default).
+    pub eta: f64,
+    /// The online location-estimation algorithm.
+    pub estimator: EstimatorKind,
+    /// Neighbour count `k` for the KNN-style estimators.
+    pub knn_k: usize,
+    /// Fraction of RP-observed records held out as online test queries (10 %
+    /// in the paper).
+    pub test_fraction: f64,
+    /// BiSIM attention variant (ablations).
+    pub attention: AttentionMode,
+    /// BiSIM time-lag variant (ablations).
+    pub time_lag: TimeLagMode,
+    /// RNG seed controlling the test split and model initialisation.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            differentiator: DifferentiatorKind::TopoAc,
+            imputer: ImputerKind::Bisim,
+            eta: 0.1,
+            estimator: EstimatorKind::Wknn,
+            knn_k: 3,
+            test_fraction: 0.1,
+            attention: AttentionMode::SparsityFriendly,
+            time_lag: TimeLagMode::Encoder,
+            seed: 2023,
+        }
+    }
+}
+
+/// The result of one end-to-end evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvaluationResult {
+    /// Average positioning error on the held-out test queries, in metres.
+    pub ape_m: f64,
+    /// Wall-clock time spent in differentiation, in seconds.
+    pub differentiation_seconds: f64,
+    /// Wall-clock time spent in imputation, in seconds.
+    pub imputation_seconds: f64,
+    /// Number of test queries evaluated.
+    pub num_test_queries: usize,
+    /// Fraction of missing RSSIs classified as MAR by the differentiator.
+    pub mar_fraction: Option<f64>,
+}
+
+/// The end-to-end imputation pipeline: differentiator → MNAR filling →
+/// imputer → (optionally) positioning evaluation.
+pub struct ImputationPipeline {
+    /// Pipeline configuration.
+    pub config: PipelineConfig,
+}
+
+impl ImputationPipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs only the differentiation stage.
+    pub fn differentiate(&self, map: &RadioMap, topology: &MultiPolygon) -> MaskMatrix {
+        self.config
+            .differentiator
+            .build(topology, self.config.eta, self.config.seed)
+            .differentiate(map)
+    }
+
+    /// Runs differentiation followed by imputation and returns the imputed map
+    /// together with the mask.
+    pub fn impute(&self, map: &RadioMap, topology: &MultiPolygon) -> (ImputedRadioMap, MaskMatrix) {
+        let mask = self.differentiate(map, topology);
+        let imputer = self.config.imputer.build(
+            self.config.seed,
+            self.config.attention,
+            self.config.time_lag,
+        );
+        (imputer.impute(map, &mask), mask)
+    }
+
+    /// Runs the full evaluation protocol of Section V-A:
+    ///
+    /// 1. 10 % of the records with observed RPs are selected as test queries
+    ///    and their RPs are hidden from the pipeline;
+    /// 2. the whole map (test records included) is differentiated and imputed;
+    /// 3. the non-test imputed records form the radio map used by the location
+    ///    estimator, which is evaluated on the imputed test fingerprints
+    ///    against the held-out ground-truth RPs.
+    pub fn evaluate(&self, map: &RadioMap, topology: &MultiPolygon) -> EvaluationResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let (_, test_indices) =
+            rm_radiomap::split_test_records(map, self.config.test_fraction, &mut rng);
+        let ground_truth: Vec<(usize, rm_geometry::Point)> = test_indices
+            .iter()
+            .map(|&i| (i, map.record(i).rp.expect("test records have RPs")))
+            .collect();
+
+        // Hide the test RPs from the pipeline.
+        let mut working = map.clone();
+        for &(i, _) in &ground_truth {
+            working.records_mut()[i].rp = None;
+        }
+
+        let diff_start = Instant::now();
+        let mask = self.differentiate(&working, topology);
+        let differentiation_seconds = diff_start.elapsed().as_secs_f64();
+        let mar_fraction = mask.mar_fraction();
+
+        let imputer = self.config.imputer.build(
+            self.config.seed,
+            self.config.attention,
+            self.config.time_lag,
+        );
+        let imp_start = Instant::now();
+        let imputed = imputer.impute(&working, &mask);
+        let imputation_seconds = imp_start.elapsed().as_secs_f64();
+
+        // Radio map for estimation: all imputed records except the test ones.
+        let test_set: std::collections::HashSet<usize> = test_indices.iter().copied().collect();
+        let mut fingerprints = Vec::new();
+        let mut locations = Vec::new();
+        for i in 0..imputed.len() {
+            if test_set.contains(&i) {
+                continue;
+            }
+            if let Some(loc) = imputed.locations[i] {
+                fingerprints.push(imputed.fingerprints[i].clone());
+                locations.push(loc);
+            }
+        }
+        let dense = rm_radiomap::DenseRadioMap::new(fingerprints, locations, map.num_aps());
+        let estimator = self.config.estimator.build(dense, self.config.knn_k);
+
+        // Test queries use the imputed fingerprints (online fingerprints are
+        // also imputed, cf. the footnote in Section V-A).
+        let queries: Vec<TestQuery> = ground_truth
+            .iter()
+            .map(|&(i, location)| TestQuery {
+                fingerprint: imputed.fingerprints[i].clone(),
+                location,
+            })
+            .collect();
+        let ape_m = evaluate_estimator(estimator.as_ref(), &queries).unwrap_or(f64::NAN);
+
+        EvaluationResult {
+            ape_m,
+            differentiation_seconds,
+            imputation_seconds,
+            num_test_queries: queries.len(),
+            mar_fraction,
+        }
+    }
+}
+
+/// Computes the RSSI imputation MAE against ground truth removed by
+/// [`rm_radiomap::remove_random_rssis`] (the Fig. 14 metric).
+pub fn rssi_imputation_mae(imputed: &ImputedRadioMap, removed: &[RemovedRssi]) -> Option<f64> {
+    if removed.is_empty() {
+        return None;
+    }
+    let total: f64 = removed
+        .iter()
+        .map(|r| (imputed.rssi(r.record, r.ap) - r.value).abs())
+        .sum();
+    Some(total / removed.len() as f64)
+}
+
+/// Computes the RP imputation error (mean Euclidean distance) against ground
+/// truth removed by [`rm_radiomap::remove_random_rps`] (the Fig. 15 metric).
+/// Records the imputer could not locate are skipped; returns `None` if none
+/// could be evaluated.
+pub fn rp_imputation_error(imputed: &ImputedRadioMap, removed: &[RemovedRp]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for r in removed {
+        if let Some(p) = imputed.locations[r.record] {
+            total += p.distance(r.location);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_venue_sim::{DatasetSpec, VenuePreset};
+
+    fn small_dataset() -> rm_venue_sim::Dataset {
+        DatasetSpec::new(VenuePreset::KaideLike, 3)
+            .with_scale(0.05)
+            .build()
+    }
+
+    #[test]
+    fn kinds_expose_names_and_builders() {
+        assert_eq!(ImputerKind::all().len(), 8);
+        assert_eq!(DifferentiatorKind::TopoAc.name(), "TopoAC");
+        assert_eq!(ImputerKind::Bisim.name(), "BiSIM");
+        let topology = MultiPolygon::empty();
+        for kind in [
+            DifferentiatorKind::MarOnly,
+            DifferentiatorKind::MnarOnly,
+            DifferentiatorKind::TopoAc,
+        ] {
+            let d = kind.build(&topology, 0.1, 1);
+            assert_eq!(d.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn pipeline_with_fast_imputer_produces_reasonable_ape() {
+        let dataset = small_dataset();
+        let config = PipelineConfig {
+            imputer: ImputerKind::LinearInterpolation,
+            differentiator: DifferentiatorKind::MnarOnly,
+            ..PipelineConfig::default()
+        };
+        let result = ImputationPipeline::new(config).evaluate(&dataset.radio_map, &dataset.venue.walls);
+        assert!(result.num_test_queries > 0);
+        assert!(result.ape_m.is_finite());
+        // The venue is ~64 x 50 m; any sane pipeline stays well below the diagonal.
+        assert!(result.ape_m < 60.0, "APE {} too large", result.ape_m);
+        assert!(result.imputation_seconds >= 0.0);
+    }
+
+    #[test]
+    fn impute_returns_mask_and_dense_map() {
+        let dataset = small_dataset();
+        let config = PipelineConfig {
+            imputer: ImputerKind::CaseDeletion,
+            differentiator: DifferentiatorKind::TopoAc,
+            ..PipelineConfig::default()
+        };
+        let (imputed, mask) =
+            ImputationPipeline::new(config).impute(&dataset.radio_map, &dataset.venue.walls);
+        assert_eq!(imputed.len(), dataset.radio_map.len());
+        assert_eq!(mask.rows(), dataset.radio_map.len());
+    }
+
+    #[test]
+    fn imputation_error_helpers() {
+        let imputed = ImputedRadioMap {
+            fingerprints: vec![vec![-70.0, -80.0], vec![-60.0, -90.0]],
+            locations: vec![Some(rm_geometry::Point::new(0.0, 0.0)), None],
+        };
+        let removed_rssis = vec![RemovedRssi {
+            record: 0,
+            ap: 1,
+            value: -76.0,
+        }];
+        assert_eq!(rssi_imputation_mae(&imputed, &removed_rssis), Some(4.0));
+        assert_eq!(rssi_imputation_mae(&imputed, &[]), None);
+
+        let removed_rps = vec![
+            RemovedRp {
+                record: 0,
+                location: rm_geometry::Point::new(3.0, 4.0),
+            },
+            RemovedRp {
+                record: 1,
+                location: rm_geometry::Point::new(1.0, 1.0),
+            },
+        ];
+        // Record 1 has no imputed location and is skipped.
+        assert_eq!(rp_imputation_error(&imputed, &removed_rps), Some(5.0));
+    }
+}

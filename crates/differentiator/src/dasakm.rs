@@ -1,0 +1,458 @@
+//! `DasaKM`: differentiation-accuracy-aware, sampling-based K-means
+//! (Algorithm 3), together with the ground-truth sampling procedure and the
+//! differentiation accuracy (DA) metric of Section III-B.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use rm_clustering::{euclidean_distance_sq, kmeans, Clustering, KMeansConfig};
+
+use crate::differentiation::ClusteringStrategy;
+use crate::samples::{DiffSample, SampleConfig};
+
+/// One sampled ground-truth missing entry used by the DA metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruthEntry {
+    /// Index of the sample (radio-map record) the entry belongs to.
+    pub sample_index: usize,
+    /// Access-point dimension of the entry.
+    pub ap: usize,
+    /// `true` if the entry is a sampled MAR, `false` for a sampled MNAR.
+    pub is_mar: bool,
+}
+
+/// A sampled ground-truth set at one MNAR:MAR proportion `γ`, together with
+/// the modified sample profiles (`X_γ`) in which the sampled MAR observations
+/// have been nullified.
+#[derive(Debug, Clone)]
+pub struct GroundTruthSet {
+    /// The labelled missing entries.
+    pub entries: Vec<GroundTruthEntry>,
+    /// Sample profiles after nullifying the sampled MAR observations.
+    pub modified_profiles: Vec<Vec<f64>>,
+    /// The proportion γ = #MNARs / #MARs this set was sampled at.
+    pub gamma: f64,
+}
+
+/// Ground-truth sampling (Section III-B):
+///
+/// * **MARs** are created by nullifying randomly chosen *observed* entries —
+///   they are observable by construction, so a correct differentiator should
+///   call them MAR.
+/// * **MNARs** are taken from groups of `adjacency_group_size` spatially
+///   adjacent samples that *all* miss the same AP — the AP is plausibly
+///   unobservable over that whole area.
+pub fn sample_ground_truth(
+    samples: &[DiffSample],
+    gamma: f64,
+    target_mnars: usize,
+    adjacency_group_size: usize,
+    rng: &mut impl Rng,
+) -> GroundTruthSet {
+    let n = samples.len();
+    let num_aps = samples.first().map(|s| s.profile.len()).unwrap_or(0);
+    let mut entries = Vec::new();
+    let mut modified_profiles: Vec<Vec<f64>> = samples.iter().map(|s| s.profile.clone()).collect();
+
+    // ---- Sample MNARs from adjacent groups that jointly miss an AP. ----
+    let mut mnar_entries: Vec<GroundTruthEntry> = Vec::new();
+    if n > 0 && num_aps > 0 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        'outer: for &seed in &order {
+            // The seed's nearest neighbours by location.
+            let seed_loc = samples[seed].location.unwrap_or_default();
+            let mut by_distance: Vec<usize> = (0..n).filter(|&i| i != seed).collect();
+            by_distance.sort_by(|&a, &b| {
+                let da = samples[a].location.unwrap_or_default().distance_squared(seed_loc);
+                let db = samples[b].location.unwrap_or_default().distance_squared(seed_loc);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let group: Vec<usize> = std::iter::once(seed)
+                .chain(by_distance.into_iter().take(adjacency_group_size.saturating_sub(1)))
+                .collect();
+            for ap in 0..num_aps {
+                let all_missing = group.iter().all(|&i| samples[i].profile[ap] < 0.5);
+                if all_missing {
+                    for &i in &group {
+                        mnar_entries.push(GroundTruthEntry {
+                            sample_index: i,
+                            ap,
+                            is_mar: false,
+                        });
+                        if mnar_entries.len() >= target_mnars {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Sample MARs by nullifying observed entries. ----
+    let target_mars = if gamma > 0.0 {
+        ((mnar_entries.len() as f64) / gamma).round() as usize
+    } else {
+        mnar_entries.len()
+    };
+    let mut observed: Vec<(usize, usize)> = Vec::new();
+    for (i, s) in samples.iter().enumerate() {
+        for (ap, &v) in s.profile.iter().enumerate() {
+            if v > 0.5 {
+                observed.push((i, ap));
+            }
+        }
+    }
+    observed.shuffle(rng);
+    for &(i, ap) in observed.iter().take(target_mars) {
+        modified_profiles[i][ap] = 0.0;
+        entries.push(GroundTruthEntry {
+            sample_index: i,
+            ap,
+            is_mar: true,
+        });
+    }
+    entries.extend(mnar_entries);
+
+    GroundTruthSet {
+        entries,
+        modified_profiles,
+        gamma,
+    }
+}
+
+/// Differentiation accuracy (DA): the balanced accuracy of classifying the
+/// ground-truth entries using the given clustering — the arithmetic mean of
+/// the true-positive rate over MARs and the true-negative rate over MNARs.
+///
+/// Returns 0.5 (chance level) when either class is absent from the ground
+/// truth, so that degenerate samplings do not dominate the average.
+pub fn differentiation_accuracy(
+    ground_truth: &GroundTruthSet,
+    clustering: &Clustering,
+    eta: f64,
+) -> f64 {
+    if clustering.is_empty() {
+        return 0.5;
+    }
+    let clusters = clustering.clusters();
+    let assignments = clustering.assignments();
+    let num_aps = ground_truth
+        .modified_profiles
+        .first()
+        .map(Vec::len)
+        .unwrap_or(0);
+
+    // Observed fraction per (cluster, ap) on the modified profiles.
+    let mut fractions = vec![vec![0.0f64; num_aps]; clusters.len()];
+    for (c, members) in clusters.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        for ap in 0..num_aps {
+            let observed = members
+                .iter()
+                .filter(|&&m| ground_truth.modified_profiles[m][ap] > 0.5)
+                .count();
+            fractions[c][ap] = observed as f64 / members.len() as f64;
+        }
+    }
+
+    let mut mar_total = 0usize;
+    let mut mar_correct = 0usize;
+    let mut mnar_total = 0usize;
+    let mut mnar_correct = 0usize;
+    for entry in &ground_truth.entries {
+        if entry.sample_index >= assignments.len() || entry.ap >= num_aps {
+            continue;
+        }
+        let cluster = assignments[entry.sample_index];
+        let predicted_mar = fractions[cluster][entry.ap] > eta;
+        if entry.is_mar {
+            mar_total += 1;
+            if predicted_mar {
+                mar_correct += 1;
+            }
+        } else {
+            mnar_total += 1;
+            if !predicted_mar {
+                mnar_correct += 1;
+            }
+        }
+    }
+    if mar_total == 0 || mnar_total == 0 {
+        return 0.5;
+    }
+    let tpr = mar_correct as f64 / mar_total as f64;
+    let tnr = mnar_correct as f64 / mnar_total as f64;
+    (tpr + tnr) / 2.0
+}
+
+/// `DasaKM` (Algorithm 3): selects the number of clusters `K` by maximising
+/// the average differentiation accuracy over ground-truth sets sampled at
+/// several MNAR:MAR proportions, then returns the K-means clustering of the
+/// full sample set with the selected `K`.
+pub struct DasaKm {
+    /// Upper bound `U` on the searched `K`.
+    pub upper_bound_k: usize,
+    /// Step between candidate `K` values (1 reproduces the exhaustive search of
+    /// the paper; larger steps trade accuracy for speed).
+    pub k_step: usize,
+    /// The MNAR:MAR proportions `Γ` used for ground-truth sampling.
+    pub proportions: Vec<f64>,
+    /// Number of MNAR entries sampled per ground-truth set.
+    pub mnar_sample_count: usize,
+    /// Size of the adjacent-RP groups used to sample MNARs (6 in the paper).
+    pub adjacency_group_size: usize,
+    /// Fraction threshold η used when computing DA.
+    pub eta: f64,
+    /// Feature construction configuration.
+    pub sample_config: SampleConfig,
+    /// RNG seed (the strategy is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl DasaKm {
+    /// Creates a `DasaKM` strategy with defaults sized for the synthetic
+    /// datasets of this workspace. The paper uses `U = 200` and
+    /// `Γ = 1..=20`; the defaults here are smaller so that the exhaustive
+    /// search stays tractable on a CPU, and can be raised via the public
+    /// fields.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            upper_bound_k: 40,
+            k_step: 4,
+            proportions: vec![1.0, 2.0, 4.0, 8.0],
+            mnar_sample_count: 200,
+            adjacency_group_size: 6,
+            eta: 0.1,
+            sample_config: SampleConfig::default(),
+            seed,
+        }
+    }
+
+    /// Overrides the upper bound `U` and step of the `K` search.
+    pub fn with_k_search(mut self, upper_bound: usize, step: usize) -> Self {
+        self.upper_bound_k = upper_bound;
+        self.k_step = step.max(1);
+        self
+    }
+
+    /// Selects the best `K` (returned for introspection / tests).
+    pub fn select_k(&self, samples: &[DiffSample]) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let ground_truths: Vec<GroundTruthSet> = self
+            .proportions
+            .iter()
+            .map(|&gamma| {
+                sample_ground_truth(
+                    samples,
+                    gamma,
+                    self.mnar_sample_count,
+                    self.adjacency_group_size,
+                    &mut rng,
+                )
+            })
+            .collect();
+
+        // Pre-build the feature matrices of each modified sample set.
+        let feature_sets: Vec<Vec<Vec<f64>>> = ground_truths
+            .iter()
+            .map(|gt| {
+                samples
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let mut v = gt.modified_profiles[i].clone();
+                        let loc = s.location.unwrap_or_default();
+                        v.push(loc.x * self.sample_config.location_weight);
+                        v.push(loc.y * self.sample_config.location_weight);
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut best_k = 1;
+        let mut best_da = f64::NEG_INFINITY;
+        let mut k = 2;
+        while k <= self.upper_bound_k.max(2) {
+            let mut total = 0.0;
+            for (gt, features) in ground_truths.iter().zip(feature_sets.iter()) {
+                let clustering = kmeans(features, &KMeansConfig::new(k), &mut rng);
+                total += differentiation_accuracy(gt, &clustering, self.eta);
+            }
+            let avg = total / ground_truths.len().max(1) as f64;
+            if avg > best_da {
+                best_da = avg;
+                best_k = k;
+            }
+            k += self.k_step;
+        }
+        best_k
+    }
+}
+
+impl ClusteringStrategy for DasaKm {
+    fn cluster(&self, samples: &[DiffSample]) -> Clustering {
+        if samples.is_empty() {
+            return Clustering::empty();
+        }
+        let k = self.select_k(samples);
+        let features: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| s.feature_vector(self.sample_config.location_weight))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
+        kmeans(&features, &KMeansConfig::new(k), &mut rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "DasaKM"
+    }
+}
+
+/// Squared distance helper re-exported for tests of nearest-cluster logic.
+pub fn nearest_cluster(feature: &[f64], clustering: &Clustering) -> Option<usize> {
+    clustering
+        .centroids()
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            euclidean_distance_sq(feature, a)
+                .partial_cmp(&euclidean_distance_sq(feature, b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_geometry::Point;
+
+    /// Builds samples in two spatial groups: group A (near origin) observes
+    /// APs {0,1}, group B (far) observes AP {2}. AP 3 is observed nowhere.
+    fn structured_samples() -> Vec<DiffSample> {
+        let mut samples = Vec::new();
+        for i in 0..12 {
+            let (profile, location) = if i < 6 {
+                (
+                    vec![1.0, 1.0, 0.0, 0.0],
+                    Point::new(i as f64 * 0.5, 0.0),
+                )
+            } else {
+                (
+                    vec![0.0, 0.0, 1.0, 0.0],
+                    Point::new(50.0 + i as f64 * 0.5, 0.0),
+                )
+            };
+            samples.push(DiffSample {
+                record_index: i,
+                profile,
+                location: Some(location),
+            });
+        }
+        samples
+    }
+
+    #[test]
+    fn ground_truth_sampling_respects_gamma() {
+        let samples = structured_samples();
+        let mut rng = StdRng::seed_from_u64(1);
+        let gt = sample_ground_truth(&samples, 2.0, 12, 6, &mut rng);
+        let mars = gt.entries.iter().filter(|e| e.is_mar).count();
+        let mnars = gt.entries.iter().filter(|e| !e.is_mar).count();
+        assert!(mnars > 0, "AP 3 is missing everywhere, MNARs must be found");
+        assert!(mars > 0);
+        // γ = #MNAR / #MAR ≈ 2.
+        let ratio = mnars as f64 / mars as f64;
+        assert!((1.0..=4.0).contains(&ratio), "ratio {ratio}");
+        // Sampled MARs are nullified in the modified profiles.
+        for e in gt.entries.iter().filter(|e| e.is_mar) {
+            assert_eq!(gt.modified_profiles[e.sample_index][e.ap], 0.0);
+            assert_eq!(samples[e.sample_index].profile[e.ap], 1.0);
+        }
+    }
+
+    #[test]
+    fn da_is_high_for_a_good_clustering_and_low_for_a_bad_one() {
+        let samples = structured_samples();
+        let mut rng = StdRng::seed_from_u64(2);
+        let gt = sample_ground_truth(&samples, 1.0, 12, 6, &mut rng);
+
+        // Good clustering: the two spatial groups.
+        let good = Clustering::new(
+            (0..12).map(|i| usize::from(i >= 6)).collect(),
+            vec![vec![0.0], vec![1.0]],
+        );
+        // Bad clustering: everything in one cluster.
+        let bad = Clustering::new(vec![0; 12], vec![vec![0.0]]);
+        let da_good = differentiation_accuracy(&gt, &good, 0.1);
+        let da_bad = differentiation_accuracy(&gt, &bad, 0.1);
+        assert!(da_good >= da_bad, "good {da_good} < bad {da_bad}");
+        assert!(da_good > 0.6);
+    }
+
+    #[test]
+    fn da_returns_chance_level_for_degenerate_inputs() {
+        let gt = GroundTruthSet {
+            entries: vec![],
+            modified_profiles: vec![vec![1.0]],
+            gamma: 1.0,
+        };
+        let clustering = Clustering::new(vec![0], vec![vec![1.0]]);
+        assert_eq!(differentiation_accuracy(&gt, &clustering, 0.1), 0.5);
+        assert_eq!(differentiation_accuracy(&gt, &Clustering::empty(), 0.1), 0.5);
+    }
+
+    #[test]
+    fn dasakm_clusters_all_samples() {
+        let samples = structured_samples();
+        let strategy = DasaKm {
+            upper_bound_k: 6,
+            k_step: 2,
+            mnar_sample_count: 12,
+            proportions: vec![1.0, 2.0],
+            ..DasaKm::new(7)
+        };
+        let clustering = strategy.cluster(&samples);
+        assert_eq!(clustering.num_samples(), 12);
+        assert!(clustering.num_clusters() >= 2);
+        assert_eq!(strategy.name(), "DasaKM");
+    }
+
+    #[test]
+    fn dasakm_separates_the_two_spatial_groups() {
+        let samples = structured_samples();
+        let strategy = DasaKm {
+            upper_bound_k: 4,
+            k_step: 1,
+            mnar_sample_count: 12,
+            proportions: vec![1.0],
+            ..DasaKm::new(3)
+        };
+        let clustering = strategy.cluster(&samples);
+        // No cluster should contain members of both spatial groups.
+        for members in clustering.clusters() {
+            let has_a = members.iter().any(|&m| m < 6);
+            let has_b = members.iter().any(|&m| m >= 6);
+            assert!(!(has_a && has_b), "cluster mixes the two groups");
+        }
+    }
+
+    #[test]
+    fn nearest_cluster_picks_closest_centroid() {
+        let clustering = Clustering::new(vec![0, 1], vec![vec![0.0, 0.0], vec![10.0, 10.0]]);
+        assert_eq!(nearest_cluster(&[1.0, 1.0], &clustering), Some(0));
+        assert_eq!(nearest_cluster(&[9.0, 9.0], &clustering), Some(1));
+        assert_eq!(nearest_cluster(&[0.0], &Clustering::empty()), None);
+    }
+
+    #[test]
+    fn empty_samples_yield_empty_clustering() {
+        let strategy = DasaKm::new(1);
+        assert!(strategy.cluster(&[]).is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! The differentiation procedure (Algorithm 2) and the baseline
+//! differentiators that skip differentiation altogether.
+
+use rm_clustering::Clustering;
+use rm_radiomap::{EntryKind, MaskMatrix, RadioMap};
+
+use crate::samples::{build_samples, DiffSample};
+
+/// A strategy that clusters the differentiation samples. Implemented by
+/// `DasaKM`, `TopoAC` and `ElbowKM`.
+pub trait ClusteringStrategy {
+    /// Clusters the samples; the returned [`Clustering`] must assign every
+    /// sample to a cluster.
+    fn cluster(&self, samples: &[DiffSample]) -> Clustering;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A missing-RSSI differentiator: maps a sparse radio map to its MNAR/MAR
+/// mask matrix.
+pub trait Differentiator {
+    /// Classifies every missing RSSI in `map` as MAR or MNAR.
+    fn differentiate(&self, map: &RadioMap) -> MaskMatrix;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Algorithm 2: clusters the AP profiles and, within each cluster, marks
+/// missing RSSIs of an AP as MAR when the AP is observed by more than a
+/// fraction `eta` of the cluster's samples (and as MNAR otherwise).
+pub struct ClusteringDifferentiator<S: ClusteringStrategy> {
+    strategy: S,
+    /// The fraction threshold `η` of Algorithm 2 (0.1 by default, the best
+    /// value in the paper's Fig. 13).
+    pub eta: f64,
+}
+
+impl<S: ClusteringStrategy> ClusteringDifferentiator<S> {
+    /// Creates the differentiator with the paper's default threshold η = 0.1.
+    pub fn new(strategy: S) -> Self {
+        Self { strategy, eta: 0.1 }
+    }
+
+    /// Overrides the fraction threshold η.
+    pub fn with_eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// The underlying clustering strategy.
+    pub fn strategy(&self) -> &S {
+        &self.strategy
+    }
+}
+
+impl<S: ClusteringStrategy> Differentiator for ClusteringDifferentiator<S> {
+    fn differentiate(&self, map: &RadioMap) -> MaskMatrix {
+        let samples = build_samples(map);
+        if samples.is_empty() {
+            return MaskMatrix::all_observed(0, map.num_aps());
+        }
+        let clustering = self.strategy.cluster(&samples);
+        classify_with_clustering(map, &samples, &clustering, self.eta)
+    }
+
+    fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+}
+
+/// Shared mask construction used both by Algorithm 2 and by the DA metric:
+/// given a clustering of the samples, per cluster and per AP dimension compute
+/// the observed fraction `η_j`; missing entries are MAR when `η_j > eta`,
+/// MNAR otherwise.
+pub fn classify_with_clustering(
+    map: &RadioMap,
+    samples: &[DiffSample],
+    clustering: &Clustering,
+    eta: f64,
+) -> MaskMatrix {
+    let num_aps = map.num_aps();
+    let mut mask = MaskMatrix::all_observed(map.len(), num_aps);
+
+    for members in clustering.clusters() {
+        if members.is_empty() {
+            continue;
+        }
+        for ap in 0..num_aps {
+            let observed = members
+                .iter()
+                .filter(|&&s| samples[s].profile[ap] > 0.5)
+                .count();
+            let fraction = observed as f64 / members.len() as f64;
+            let kind = if fraction > eta {
+                EntryKind::Mar
+            } else {
+                EntryKind::Mnar
+            };
+            for &s in &members {
+                let record = samples[s].record_index;
+                if map.record(record).fingerprint.get(ap).is_none() {
+                    mask.set(record, ap, kind);
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Baseline that treats every missing RSSI as MAR (general data-imputation
+/// methods implicitly do this).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MarOnly;
+
+impl Differentiator for MarOnly {
+    fn differentiate(&self, map: &RadioMap) -> MaskMatrix {
+        let mut mask = MaskMatrix::all_observed(map.len(), map.num_aps());
+        for (i, record) in map.records().iter().enumerate() {
+            for ap in 0..map.num_aps() {
+                if record.fingerprint.get(ap).is_none() {
+                    mask.set(i, ap, EntryKind::Mar);
+                }
+            }
+        }
+        mask
+    }
+
+    fn name(&self) -> &'static str {
+        "MAR-only"
+    }
+}
+
+/// Baseline that treats every missing RSSI as MNAR (traditional radio-map
+/// completion methods fill them all with −100 dBm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MnarOnly;
+
+impl Differentiator for MnarOnly {
+    fn differentiate(&self, map: &RadioMap) -> MaskMatrix {
+        let mut mask = MaskMatrix::all_observed(map.len(), map.num_aps());
+        for (i, record) in map.records().iter().enumerate() {
+            for ap in 0..map.num_aps() {
+                if record.fingerprint.get(ap).is_none() {
+                    mask.set(i, ap, EntryKind::Mnar);
+                }
+            }
+        }
+        mask
+    }
+
+    fn name(&self) -> &'static str {
+        "MNAR-only"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_geometry::Point;
+    use rm_radiomap::{Fingerprint, RadioMapRecord};
+
+    /// A clustering strategy that puts everything in one cluster.
+    struct SingleCluster;
+    impl ClusteringStrategy for SingleCluster {
+        fn cluster(&self, samples: &[DiffSample]) -> Clustering {
+            Clustering::new(vec![0; samples.len()], vec![vec![0.0]])
+        }
+        fn name(&self) -> &'static str {
+            "single"
+        }
+    }
+
+    /// Map with 4 records over 2 APs. AP 0 observed by 3/4 records (missing in
+    /// one: that null should be MAR for η < 0.75). AP 1 observed by 1/4
+    /// records (η_1 = 0.25).
+    fn test_map() -> RadioMap {
+        let mk = |a: Option<f64>, b: Option<f64>, i: usize| {
+            RadioMapRecord::new(
+                Fingerprint::new(vec![a, b]),
+                Some(Point::new(i as f64, 0.0)),
+                i as f64,
+                0,
+            )
+        };
+        RadioMap::new(
+            vec![
+                mk(Some(-70.0), None, 0),
+                mk(Some(-71.0), None, 1),
+                mk(Some(-69.0), Some(-80.0), 2),
+                mk(None, None, 3),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn eta_controls_mar_mnar_split() {
+        let map = test_map();
+        // η = 0.1: AP0 fraction 0.75 > 0.1 -> MAR; AP1 fraction 0.25 > 0.1 -> MAR.
+        let diff = ClusteringDifferentiator::new(SingleCluster).with_eta(0.1);
+        let mask = diff.differentiate(&map);
+        assert_eq!(mask.get(3, 0), EntryKind::Mar);
+        assert_eq!(mask.get(0, 1), EntryKind::Mar);
+
+        // η = 0.5: AP0 still MAR, AP1 (0.25 <= 0.5) becomes MNAR.
+        let diff = ClusteringDifferentiator::new(SingleCluster).with_eta(0.5);
+        let mask = diff.differentiate(&map);
+        assert_eq!(mask.get(3, 0), EntryKind::Mar);
+        assert_eq!(mask.get(0, 1), EntryKind::Mnar);
+
+        // η = 0.9: everything missing becomes MNAR.
+        let diff = ClusteringDifferentiator::new(SingleCluster).with_eta(0.9);
+        let mask = diff.differentiate(&map);
+        let (_, mar, _) = mask.counts();
+        assert_eq!(mar, 0);
+    }
+
+    #[test]
+    fn observed_entries_stay_observed() {
+        let map = test_map();
+        let mask = ClusteringDifferentiator::new(SingleCluster).differentiate(&map);
+        assert_eq!(mask.get(0, 0), EntryKind::Observed);
+        assert_eq!(mask.get(2, 1), EntryKind::Observed);
+    }
+
+    #[test]
+    fn mar_only_and_mnar_only_baselines() {
+        let map = test_map();
+        let mar_mask = MarOnly.differentiate(&map);
+        let (observed, mar, mnar) = mar_mask.counts();
+        assert_eq!(observed, 4);
+        assert_eq!(mar, 4);
+        assert_eq!(mnar, 0);
+
+        let mnar_mask = MnarOnly.differentiate(&map);
+        let (observed, mar, mnar) = mnar_mask.counts();
+        assert_eq!(observed, 4);
+        assert_eq!(mar, 0);
+        assert_eq!(mnar, 4);
+        assert_eq!(MarOnly.name(), "MAR-only");
+        assert_eq!(MnarOnly.name(), "MNAR-only");
+    }
+
+    #[test]
+    fn empty_map_yields_empty_mask() {
+        let map = RadioMap::empty(3);
+        let mask = ClusteringDifferentiator::new(SingleCluster).differentiate(&map);
+        assert_eq!(mask.rows(), 0);
+    }
+
+    #[test]
+    fn eta_zero_marks_all_missing_as_mar_matching_mar_only() {
+        // η = 0 means every AP with at least one observation in the cluster is
+        // MAR; for APs never observed in the cluster the fraction is 0 which
+        // is not > 0, so they stay MNAR. In this map both APs are observed at
+        // least once, so the result matches MAR-only.
+        let map = test_map();
+        let mask = ClusteringDifferentiator::new(SingleCluster)
+            .with_eta(0.0)
+            .differentiate(&map);
+        let (_, mar, mnar) = mask.counts();
+        assert_eq!(mar, 4);
+        assert_eq!(mnar, 0);
+    }
+}

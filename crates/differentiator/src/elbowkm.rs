@@ -1,0 +1,102 @@
+//! `ElbowKM`: the baseline differentiator that selects `K` for K-means with
+//! the elbow method (Section V-B), disregarding differentiation accuracy.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rm_clustering::{elbow_method, kmeans, Clustering, KMeansConfig};
+
+use crate::differentiation::ClusteringStrategy;
+use crate::samples::{DiffSample, SampleConfig};
+
+/// K-means with the elbow method for selecting `K`.
+pub struct ElbowKm {
+    /// Upper bound on the searched `K` (the paper uses 200; smaller values
+    /// keep the search tractable on the synthetic datasets).
+    pub upper_bound_k: usize,
+    /// Feature construction configuration.
+    pub sample_config: SampleConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ElbowKm {
+    /// Creates the strategy with a default `K` upper bound of 40.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            upper_bound_k: 40,
+            sample_config: SampleConfig::default(),
+            seed,
+        }
+    }
+
+    /// Overrides the `K` upper bound.
+    pub fn with_upper_bound(mut self, upper_bound_k: usize) -> Self {
+        self.upper_bound_k = upper_bound_k;
+        self
+    }
+}
+
+impl ClusteringStrategy for ElbowKm {
+    fn cluster(&self, samples: &[DiffSample]) -> Clustering {
+        if samples.is_empty() {
+            return Clustering::empty();
+        }
+        let features: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|s| s.feature_vector(self.sample_config.location_weight))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let k = elbow_method(&features, self.upper_bound_k, &mut rng).max(1);
+        kmeans(&features, &KMeansConfig::new(k), &mut rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "ElbowKM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_geometry::Point;
+
+    fn blob_samples() -> Vec<DiffSample> {
+        let mut samples = Vec::new();
+        for i in 0..20 {
+            let (x, profile) = if i < 10 {
+                (i as f64 * 0.3, vec![1.0, 0.0])
+            } else {
+                (60.0 + i as f64 * 0.3, vec![0.0, 1.0])
+            };
+            samples.push(DiffSample {
+                record_index: i,
+                profile,
+                location: Some(Point::new(x, 0.0)),
+            });
+        }
+        samples
+    }
+
+    #[test]
+    fn elbowkm_clusters_all_samples() {
+        let strategy = ElbowKm::new(1).with_upper_bound(8);
+        let clustering = strategy.cluster(&blob_samples());
+        assert_eq!(clustering.num_samples(), 20);
+        assert!(clustering.num_clusters() >= 1);
+        assert_eq!(strategy.name(), "ElbowKM");
+    }
+
+    #[test]
+    fn elbowkm_handles_empty_input() {
+        assert!(ElbowKm::new(1).cluster(&[]).is_empty());
+    }
+
+    #[test]
+    fn elbowkm_is_deterministic_per_seed() {
+        let samples = blob_samples();
+        let a = ElbowKm::new(9).with_upper_bound(6).cluster(&samples);
+        let b = ElbowKm::new(9).with_upper_bound(6).cluster(&samples);
+        assert_eq!(a.assignments(), b.assignments());
+    }
+}

@@ -1,0 +1,146 @@
+//! Construction of the differentiation sample set `X` (Algorithm 2, lines 2–5).
+//!
+//! Each radio-map record contributes one sample `x_i = b_i ⊕ l̂_i`: the
+//! binarized AP profile of its fingerprint concatenated with its (possibly
+//! linearly interpolated) reference-point location.
+
+use rm_geometry::Point;
+use rm_radiomap::RadioMap;
+
+/// One differentiation sample: the binary AP profile and the (interpolated)
+/// location of a radio-map record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffSample {
+    /// Index of the originating radio-map record.
+    pub record_index: usize,
+    /// Binary AP profile `b_i` (1 = observed, 0 = missing).
+    pub profile: Vec<f64>,
+    /// The record's location: observed, or linearly interpolated along its
+    /// survey path. `None` when the path has no observed RP at all.
+    pub location: Option<Point>,
+}
+
+impl DiffSample {
+    /// The concatenated feature vector `b_i ⊕ l̂_i` used for clustering.
+    /// The location is scaled by `location_weight`; records without any
+    /// location use the venue-agnostic fallback of zeros (their profile still
+    /// participates in clustering).
+    pub fn feature_vector(&self, location_weight: f64) -> Vec<f64> {
+        let mut v = self.profile.clone();
+        match self.location {
+            Some(p) => {
+                v.push(p.x * location_weight);
+                v.push(p.y * location_weight);
+            }
+            None => {
+                v.push(0.0);
+                v.push(0.0);
+            }
+        }
+        v
+    }
+}
+
+/// Configuration of sample construction.
+#[derive(Debug, Clone)]
+pub struct SampleConfig {
+    /// Weight applied to the location coordinates when concatenating them to
+    /// the binary profile. The paper concatenates raw coordinates; a weight
+    /// below 1 balances the metre-scale coordinates against the 0/1 profile.
+    pub location_weight: f64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            location_weight: 0.25,
+        }
+    }
+}
+
+/// Builds the differentiation samples for every record of the radio map
+/// (binarized profile + interpolated location).
+pub fn build_samples(map: &RadioMap) -> Vec<DiffSample> {
+    let interpolated = map.interpolate_rps();
+    map.records()
+        .iter()
+        .enumerate()
+        .map(|(i, record)| DiffSample {
+            record_index: i,
+            profile: record.fingerprint.binarize(),
+            location: interpolated[i],
+        })
+        .collect()
+}
+
+/// Converts samples to the concatenated feature vectors used by the clustering
+/// algorithms.
+pub fn feature_matrix(samples: &[DiffSample], config: &SampleConfig) -> Vec<Vec<f64>> {
+    samples
+        .iter()
+        .map(|s| s.feature_vector(config.location_weight))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_radiomap::{Fingerprint, RadioMapRecord};
+
+    fn small_map() -> RadioMap {
+        let records = vec![
+            RadioMapRecord::new(
+                Fingerprint::new(vec![Some(-70.0), None, Some(-80.0)]),
+                Some(Point::new(0.0, 0.0)),
+                0.0,
+                0,
+            ),
+            RadioMapRecord::new(Fingerprint::new(vec![None, Some(-60.0), None]), None, 5.0, 0),
+            RadioMapRecord::new(
+                Fingerprint::new(vec![Some(-72.0), None, None]),
+                Some(Point::new(10.0, 0.0)),
+                10.0,
+                0,
+            ),
+        ];
+        RadioMap::new(records, 3)
+    }
+
+    #[test]
+    fn samples_binarize_and_interpolate() {
+        let samples = build_samples(&small_map());
+        assert_eq!(samples.len(), 3);
+        assert_eq!(samples[0].profile, vec![1.0, 0.0, 1.0]);
+        assert_eq!(samples[1].profile, vec![0.0, 1.0, 0.0]);
+        // Middle record at t=5 between (0,0) at t=0 and (10,0) at t=10.
+        let loc = samples[1].location.unwrap();
+        assert!((loc.x - 5.0).abs() < 1e-9 && loc.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_vector_appends_weighted_location() {
+        let samples = build_samples(&small_map());
+        let v = samples[2].feature_vector(0.5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[3], 5.0); // 10.0 * 0.5
+        assert_eq!(v[4], 0.0);
+    }
+
+    #[test]
+    fn missing_location_falls_back_to_zeros() {
+        let sample = DiffSample {
+            record_index: 0,
+            profile: vec![1.0, 0.0],
+            location: None,
+        };
+        assert_eq!(sample.feature_vector(1.0), vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn feature_matrix_has_one_row_per_sample() {
+        let samples = build_samples(&small_map());
+        let matrix = feature_matrix(&samples, &SampleConfig::default());
+        assert_eq!(matrix.len(), 3);
+        assert!(matrix.iter().all(|r| r.len() == 5));
+    }
+}

@@ -1,0 +1,327 @@
+//! `TopoAC`: topology-aware agglomerative clustering (Algorithms 4 and 5).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rm_clustering::Clustering;
+use rm_geometry::{convex_hull, MultiPolygon, Point, Polygon};
+
+use crate::differentiation::ClusteringStrategy;
+use crate::samples::{DiffSample, SampleConfig};
+
+/// Algorithm 4 — `EntityExist`: returns `true` if the convex hull of the
+/// cluster's member locations intersects any topological entity (wall,
+/// obstacle) of the indoor space.
+pub fn entity_exist(member_locations: &[Point], topology: &MultiPolygon) -> bool {
+    if member_locations.len() < 2 || topology.is_empty() {
+        return false;
+    }
+    let hull_points = convex_hull(member_locations);
+    if hull_points.len() < 3 {
+        // Degenerate hull (collinear RPs): check the segment they span.
+        if hull_points.len() == 2 {
+            let seg = rm_geometry::Segment::new(hull_points[0], hull_points[1]);
+            return topology.intersects_segment(&seg);
+        }
+        return false;
+    }
+    let hull = Polygon::new(hull_points);
+    topology.intersects_polygon(&hull)
+}
+
+/// Algorithm 5 — `TopoAC`: agglomerative clustering that only merges two
+/// clusters when the merged cluster passes the topological examination of
+/// Algorithm 4. No hyper-parameters are required.
+///
+/// Compared to the paper's pseudo-code this implementation adds a merge
+/// distance cap (`max_merge_distance_m`) purely as a performance guard: two
+/// clusters whose centroids are tens of metres apart always enclose walls in
+/// the venues considered, so skipping them does not change the result but
+/// avoids a quadratic blow-up of hull computations.
+pub struct TopoAc {
+    topology: MultiPolygon,
+    sample_config: SampleConfig,
+    /// Candidate pairs further apart than this (in metres, centroid-to-centroid
+    /// in location space) are never considered for merging.
+    pub max_merge_distance_m: f64,
+}
+
+impl TopoAc {
+    /// Creates the strategy for a venue whose topological entities are given
+    /// as a multipolygon.
+    pub fn new(topology: MultiPolygon) -> Self {
+        Self {
+            topology,
+            sample_config: SampleConfig::default(),
+            max_merge_distance_m: 25.0,
+        }
+    }
+
+    /// Overrides the sample feature configuration.
+    pub fn with_sample_config(mut self, config: SampleConfig) -> Self {
+        self.sample_config = config;
+        self
+    }
+
+    /// Overrides the merge distance cap.
+    pub fn with_max_merge_distance(mut self, metres: f64) -> Self {
+        self.max_merge_distance_m = metres;
+        self
+    }
+}
+
+/// A candidate merge between two cluster versions, ordered by distance
+/// (smallest first) for use in a max-heap via reversed ordering.
+struct Candidate {
+    distance: f64,
+    a: usize,
+    b: usize,
+    version_a: u32,
+    version_b: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.distance == other.distance
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest distance on top.
+        other
+            .distance
+            .partial_cmp(&self.distance)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+struct ClusterState {
+    members: Vec<usize>,
+    /// Mean location of the members (location space only).
+    centroid: Point,
+    version: u32,
+    alive: bool,
+}
+
+impl ClusteringStrategy for TopoAc {
+    fn cluster(&self, samples: &[DiffSample]) -> Clustering {
+        let n = samples.len();
+        if n == 0 {
+            return Clustering::empty();
+        }
+        let locations: Vec<Point> = samples
+            .iter()
+            .map(|s| s.location.unwrap_or(Point::origin()))
+            .collect();
+
+        let mut clusters: Vec<ClusterState> = locations
+            .iter()
+            .enumerate()
+            .map(|(i, &loc)| ClusterState {
+                members: vec![i],
+                centroid: loc,
+                version: 0,
+                alive: true,
+            })
+            .collect();
+
+        // Seed the candidate heap with all sufficiently close singleton pairs.
+        let mut heap = BinaryHeap::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = locations[i].distance(locations[j]);
+                if d <= self.max_merge_distance_m {
+                    heap.push(Candidate {
+                        distance: d,
+                        a: i,
+                        b: j,
+                        version_a: 0,
+                        version_b: 0,
+                    });
+                }
+            }
+        }
+
+        while let Some(candidate) = heap.pop() {
+            let (a, b) = (candidate.a, candidate.b);
+            if !clusters[a].alive
+                || !clusters[b].alive
+                || clusters[a].version != candidate.version_a
+                || clusters[b].version != candidate.version_b
+            {
+                continue; // Stale candidate.
+            }
+            // Topological examination of the would-be merged cluster.
+            let mut merged_members = clusters[a].members.clone();
+            merged_members.extend_from_slice(&clusters[b].members);
+            let member_locations: Vec<Point> =
+                merged_members.iter().map(|&m| locations[m]).collect();
+            if entity_exist(&member_locations, &self.topology) {
+                continue; // Merge rejected; the pair can never become valid again.
+            }
+
+            // Merge b into a.
+            let centroid = rm_geometry::centroid(&member_locations).unwrap_or(Point::origin());
+            clusters[b].alive = false;
+            clusters[a].members = merged_members;
+            clusters[a].centroid = centroid;
+            clusters[a].version += 1;
+
+            // New candidates between the merged cluster and every other live cluster.
+            let version_a = clusters[a].version;
+            for (other, state) in clusters.iter().enumerate() {
+                if other == a || !state.alive {
+                    continue;
+                }
+                let d = centroid.distance(state.centroid);
+                if d <= self.max_merge_distance_m {
+                    heap.push(Candidate {
+                        distance: d,
+                        a,
+                        b: other,
+                        version_a,
+                        version_b: state.version,
+                    });
+                }
+            }
+        }
+
+        // Compact the surviving clusters.
+        let mut assignments = vec![0usize; n];
+        let mut centroids = Vec::new();
+        for state in clusters.iter().filter(|c| c.alive) {
+            let id = centroids.len();
+            for &m in &state.members {
+                assignments[m] = id;
+            }
+            // Report the full feature-space centroid for API consistency.
+            let dim = samples[0]
+                .feature_vector(self.sample_config.location_weight)
+                .len();
+            let mut centroid = vec![0.0; dim];
+            for &m in &state.members {
+                let f = samples[m].feature_vector(self.sample_config.location_weight);
+                for (c, v) in centroid.iter_mut().zip(f.iter()) {
+                    *c += v;
+                }
+            }
+            for c in centroid.iter_mut() {
+                *c /= state.members.len() as f64;
+            }
+            centroids.push(centroid);
+        }
+        Clustering::new(assignments, centroids)
+    }
+
+    fn name(&self) -> &'static str {
+        "TopoAC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_at(i: usize, x: f64, y: f64) -> DiffSample {
+        DiffSample {
+            record_index: i,
+            profile: vec![1.0, 0.0],
+            location: Some(Point::new(x, y)),
+        }
+    }
+
+    /// A single vertical wall at x = 5 spanning y in [-10, 10].
+    fn wall() -> MultiPolygon {
+        MultiPolygon::new(vec![Polygon::rectangle(
+            Point::new(4.9, -10.0),
+            Point::new(5.1, 10.0),
+        )])
+    }
+
+    #[test]
+    fn entity_exist_detects_wall_inside_hull() {
+        let topology = wall();
+        // Hull spanning both sides of the wall.
+        let across = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 5.0),
+        ];
+        assert!(entity_exist(&across, &topology));
+        // Hull entirely on one side.
+        let one_side = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(1.5, 3.0),
+        ];
+        assert!(!entity_exist(&one_side, &topology));
+    }
+
+    #[test]
+    fn entity_exist_degenerate_cases() {
+        let topology = wall();
+        assert!(!entity_exist(&[], &topology));
+        assert!(!entity_exist(&[Point::new(0.0, 0.0)], &topology));
+        // Two points straddling the wall: the connecting segment crosses it.
+        assert!(entity_exist(
+            &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            &topology
+        ));
+        // Empty topology never blocks.
+        assert!(!entity_exist(
+            &[Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            &MultiPolygon::empty()
+        ));
+    }
+
+    #[test]
+    fn topoac_does_not_merge_across_walls() {
+        let samples = vec![
+            sample_at(0, 0.0, 0.0),
+            sample_at(1, 1.0, 0.5),
+            sample_at(2, 0.5, 1.0),
+            sample_at(3, 9.0, 0.0),
+            sample_at(4, 10.0, 0.5),
+            sample_at(5, 9.5, 1.0),
+        ];
+        let clustering = TopoAc::new(wall()).cluster(&samples);
+        assert_eq!(clustering.num_clusters(), 2);
+        assert_eq!(clustering.assignments()[0], clustering.assignments()[1]);
+        assert_eq!(clustering.assignments()[3], clustering.assignments()[4]);
+        assert_ne!(clustering.assignments()[0], clustering.assignments()[3]);
+    }
+
+    #[test]
+    fn topoac_merges_everything_without_topology() {
+        let samples = vec![
+            sample_at(0, 0.0, 0.0),
+            sample_at(1, 1.0, 0.0),
+            sample_at(2, 9.0, 0.0),
+            sample_at(3, 10.0, 0.0),
+        ];
+        let clustering = TopoAc::new(MultiPolygon::empty()).cluster(&samples);
+        assert_eq!(clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn distance_cap_prevents_distant_merges() {
+        let samples = vec![sample_at(0, 0.0, 0.0), sample_at(1, 100.0, 0.0)];
+        let clustering = TopoAc::new(MultiPolygon::empty())
+            .with_max_merge_distance(10.0)
+            .cluster(&samples);
+        assert_eq!(clustering.num_clusters(), 2);
+    }
+
+    #[test]
+    fn empty_input_and_name() {
+        let strategy = TopoAc::new(MultiPolygon::empty());
+        assert!(strategy.cluster(&[]).is_empty());
+        assert_eq!(strategy.name(), "TopoAC");
+    }
+}

@@ -1,0 +1,134 @@
+//! Convex hull computation (Andrew's monotone chain).
+
+use crate::Point;
+
+/// Computes the convex hull of a point set using Andrew's monotone chain
+/// algorithm in `O(n log n)`.
+///
+/// The result is returned in counter-clockwise order without repeating the
+/// first vertex. Degenerate inputs are handled gracefully:
+///
+/// * an empty input yields an empty hull,
+/// * a single point yields that point,
+/// * collinear points yield the two extreme points.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    pts.dedup_by(|a, b| (a.x - b.x).abs() < crate::EPS && (a.y - b.y).abs() < crate::EPS);
+
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let cross = |o: Point, a: Point, b: Point| (a - o).cross(b - o);
+
+    let mut lower: Vec<Point> = Vec::with_capacity(n);
+    for &p in &pts {
+        while lower.len() >= 2
+            && cross(lower[lower.len() - 2], lower[lower.len() - 1], p) <= crate::EPS
+        {
+            lower.pop();
+        }
+        lower.push(p);
+    }
+
+    let mut upper: Vec<Point> = Vec::with_capacity(n);
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2
+            && cross(upper[upper.len() - 2], upper[upper.len() - 1], p) <= crate::EPS
+        {
+            upper.pop();
+        }
+        upper.push(p);
+    }
+
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    lower
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Polygon;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        let poly = Polygon::new(hull);
+        assert!((poly.area() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_of_collinear_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+    }
+
+    #[test]
+    fn hull_of_small_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        assert_eq!(
+            convex_hull(&[Point::new(1.0, 1.0), Point::new(2.0, 2.0)]).len(),
+            2
+        );
+        // Duplicated points collapse.
+        assert_eq!(
+            convex_hull(&[Point::new(1.0, 1.0), Point::new(1.0, 1.0)]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(4.0, 4.0),
+            Point::new(1.0, 3.0),
+            Point::new(2.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        let poly = Polygon::new(hull);
+        assert!(poly.signed_area() > 0.0, "hull must be counter-clockwise");
+    }
+
+    #[test]
+    fn hull_contains_all_input_points() {
+        let pts: Vec<Point> = (0..30)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                Point::new(a.sin() * 5.0 + 0.1 * i as f64, a.cos() * 3.0)
+            })
+            .collect();
+        let hull = Polygon::new(convex_hull(&pts));
+        for p in &pts {
+            assert!(
+                hull.contains_or_boundary(*p),
+                "hull must contain input point {p:?}"
+            );
+        }
+    }
+}

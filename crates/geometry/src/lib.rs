@@ -1,0 +1,95 @@
+//! 2D geometry primitives used across the radio-map imputation framework.
+//!
+//! The missing-RSSI differentiator `TopoAC` needs to decide whether the convex
+//! hull of a candidate cluster of reference points intersects any topological
+//! entity (wall, pillar, closed room) of the indoor space. The venue simulator
+//! needs the same primitives to trace signal paths through walls and to lay out
+//! survey paths inside hallways.
+//!
+//! This crate provides exactly those primitives, with no external dependencies:
+//!
+//! * [`Point`] — a 2D point with the usual vector arithmetic,
+//! * [`Segment`] — a line segment with robust intersection tests,
+//! * [`Polygon`] — a simple polygon with area / containment / intersection,
+//! * [`MultiPolygon`] — a set of polygons modelling the indoor topology,
+//! * [`convex_hull`] — Andrew's monotone-chain convex hull.
+//!
+//! All coordinates are `f64` metres in a venue-local frame.
+
+pub mod hull;
+pub mod point;
+pub mod polygon;
+pub mod segment;
+
+pub use hull::convex_hull;
+pub use point::{centroid, Point};
+pub use polygon::{MultiPolygon, Polygon};
+pub use segment::Segment;
+
+/// Numerical tolerance used by the geometric predicates in this crate.
+///
+/// Coordinates are metres; one nanometre is far below any measurement noise in
+/// the indoor-positioning setting, so treating differences below `EPS` as zero
+/// is safe.
+pub const EPS: f64 = 1e-9;
+
+/// Orientation of the ordered triple `(a, b, c)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    CounterClockwise,
+    /// Clockwise turn.
+    Clockwise,
+    /// The three points are collinear.
+    Collinear,
+}
+
+/// Computes the orientation of the ordered triple `(a, b, c)`.
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let cross = (b - a).cross(c - a);
+    if cross > EPS {
+        Orientation::CounterClockwise
+    } else if cross < -EPS {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let a = Point::new(0.3, 0.7);
+        let b = Point::new(2.1, -0.4);
+        let c = Point::new(-1.0, 1.5);
+        let o1 = orientation(a, b, c);
+        let o2 = orientation(a, c, b);
+        match (o1, o2) {
+            (Orientation::CounterClockwise, Orientation::Clockwise)
+            | (Orientation::Clockwise, Orientation::CounterClockwise)
+            | (Orientation::Collinear, Orientation::Collinear) => {}
+            other => panic!("orientation not antisymmetric: {other:?}"),
+        }
+    }
+}

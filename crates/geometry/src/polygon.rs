@@ -1,0 +1,407 @@
+//! Simple polygons and multipolygons modelling indoor topology.
+
+use crate::{Point, Segment, EPS};
+
+/// A simple polygon given by its vertices in order (either orientation).
+///
+/// The polygon is implicitly closed: an edge connects the last vertex back to
+/// the first one. Polygons with fewer than three vertices are treated as
+/// degenerate (zero area, containing nothing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its vertices in order.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        Self { vertices }
+    }
+
+    /// Creates an axis-aligned rectangle from two opposite corners.
+    pub fn rectangle(corner_a: Point, corner_b: Point) -> Self {
+        let lo = corner_a.min(corner_b);
+        let hi = corner_a.max(corner_b);
+        Self::new(vec![
+            Point::new(lo.x, lo.y),
+            Point::new(hi.x, lo.y),
+            Point::new(hi.x, hi.y),
+            Point::new(lo.x, hi.y),
+        ])
+    }
+
+    /// The polygon's vertices in order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Returns `true` if the polygon has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Returns `true` if the polygon has fewer than three vertices.
+    pub fn is_degenerate(&self) -> bool {
+        self.vertices.len() < 3
+    }
+
+    /// Iterator over the polygon's edges as segments.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise vertex order).
+    pub fn signed_area(&self) -> f64 {
+        if self.is_degenerate() {
+            return 0.0;
+        }
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            acc += p.cross(q);
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area in square metres.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Perimeter length in metres.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Centroid of the polygon (area-weighted). Falls back to the vertex mean
+    /// for degenerate polygons.
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a.abs() < EPS {
+            return crate::point::centroid(&self.vertices).unwrap_or_default();
+        }
+        let n = self.vertices.len();
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Axis-aligned bounding box as `(min, max)` corners, or `None` when empty.
+    pub fn bounding_box(&self) -> Option<(Point, Point)> {
+        let first = *self.vertices.first()?;
+        let mut lo = first;
+        let mut hi = first;
+        for &v in &self.vertices[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Strict interior containment test (boundary points return `false`).
+    pub fn contains(&self, p: Point) -> bool {
+        if self.is_degenerate() || self.on_boundary(p) {
+            return false;
+        }
+        self.winding_contains(p)
+    }
+
+    /// Containment test that also accepts points on the boundary.
+    pub fn contains_or_boundary(&self, p: Point) -> bool {
+        if self.is_degenerate() {
+            return false;
+        }
+        self.on_boundary(p) || self.winding_contains(p)
+    }
+
+    /// Returns `true` if `p` lies on the polygon's boundary.
+    pub fn on_boundary(&self, p: Point) -> bool {
+        self.edges().any(|e| e.contains_point(p))
+    }
+
+    fn winding_contains(&self, p: Point) -> bool {
+        // Ray casting towards +x with careful handling of vertices.
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            let intersects = ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x);
+            if intersects {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Returns `true` if this polygon and `other` overlap: they share interior
+    /// area, one contains the other, or their boundaries cross.
+    pub fn intersects_polygon(&self, other: &Polygon) -> bool {
+        if self.is_degenerate() || other.is_degenerate() {
+            return false;
+        }
+        // Fast reject via bounding boxes.
+        if let (Some((lo_a, hi_a)), Some((lo_b, hi_b))) =
+            (self.bounding_box(), other.bounding_box())
+        {
+            if lo_a.x > hi_b.x + EPS
+                || lo_b.x > hi_a.x + EPS
+                || lo_a.y > hi_b.y + EPS
+                || lo_b.y > hi_a.y + EPS
+            {
+                return false;
+            }
+        }
+        // Edge crossings.
+        for ea in self.edges() {
+            for eb in other.edges() {
+                if ea.intersects(&eb) {
+                    return true;
+                }
+            }
+        }
+        // One fully inside the other.
+        self.contains_or_boundary(other.vertices[0]) || other.contains_or_boundary(self.vertices[0])
+    }
+
+    /// Returns `true` if the segment `s` crosses or touches this polygon.
+    pub fn intersects_segment(&self, s: &Segment) -> bool {
+        if self.is_degenerate() {
+            return false;
+        }
+        self.contains_or_boundary(s.a)
+            || self.contains_or_boundary(s.b)
+            || self.edges().any(|e| e.intersects(s))
+    }
+
+    /// Number of times segment `s` crosses the polygon boundary, counting each
+    /// crossed edge once. Used by the radio propagation model to count wall
+    /// penetrations between an access point and a receiver.
+    pub fn count_edge_crossings(&self, s: &Segment) -> usize {
+        self.edges().filter(|e| e.intersects(s)).count()
+    }
+}
+
+/// A collection of polygons modelling the topological entities of an indoor
+/// space (rooms, walls, pillars), as used by `TopoAC`'s `EntityExist` check.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MultiPolygon {
+    polygons: Vec<Polygon>,
+}
+
+impl MultiPolygon {
+    /// Creates a multipolygon from individual polygons, dropping degenerate
+    /// ones (fewer than three vertices).
+    pub fn new(polygons: Vec<Polygon>) -> Self {
+        Self {
+            polygons: polygons.into_iter().filter(|p| !p.is_degenerate()).collect(),
+        }
+    }
+
+    /// An empty multipolygon (no topological entities).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The member polygons.
+    pub fn polygons(&self) -> &[Polygon] {
+        &self.polygons
+    }
+
+    /// Number of member polygons.
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    /// Returns `true` if there are no member polygons.
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+
+    /// Adds a polygon unless it is degenerate.
+    pub fn push(&mut self, polygon: Polygon) {
+        if !polygon.is_degenerate() {
+            self.polygons.push(polygon);
+        }
+    }
+
+    /// Total area of all member polygons (overlaps counted twice).
+    pub fn area(&self) -> f64 {
+        self.polygons.iter().map(|p| p.area()).sum()
+    }
+
+    /// Returns `true` if any member polygon contains `p` (boundary included).
+    pub fn contains(&self, p: Point) -> bool {
+        self.polygons.iter().any(|poly| poly.contains_or_boundary(p))
+    }
+
+    /// Returns `true` if any member polygon overlaps `other`.
+    pub fn intersects_polygon(&self, other: &Polygon) -> bool {
+        self.polygons.iter().any(|poly| poly.intersects_polygon(other))
+    }
+
+    /// Returns `true` if any member polygon crosses or touches the segment.
+    pub fn intersects_segment(&self, s: &Segment) -> bool {
+        self.polygons.iter().any(|poly| poly.intersects_segment(s))
+    }
+
+    /// Total number of member-polygon edges crossed by segment `s`.
+    pub fn count_edge_crossings(&self, s: &Segment) -> usize {
+        self.polygons.iter().map(|poly| poly.count_edge_crossings(s)).sum()
+    }
+}
+
+impl FromIterator<Polygon> for MultiPolygon {
+    fn from_iter<T: IntoIterator<Item = Polygon>>(iter: T) -> Self {
+        MultiPolygon::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn rectangle_area_perimeter_centroid() {
+        let r = Polygon::rectangle(Point::new(1.0, 2.0), Point::new(4.0, 6.0));
+        assert!((r.area() - 12.0).abs() < 1e-9);
+        assert!((r.perimeter() - 14.0).abs() < 1e-9);
+        let c = r.centroid();
+        assert!((c.x - 2.5).abs() < 1e-9 && (c.y - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        let ccw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+        ]);
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert!(ccw.signed_area() > 0.0);
+        assert!(cw.signed_area() < 0.0);
+        assert!((ccw.area() - cw.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_interior_boundary_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(Point::new(0.5, 0.5)));
+        assert!(!sq.contains(Point::new(1.5, 0.5)));
+        assert!(!sq.contains(Point::new(1.0, 0.5))); // boundary is not interior
+        assert!(sq.contains_or_boundary(Point::new(1.0, 0.5)));
+        assert!(sq.contains_or_boundary(Point::new(0.0, 0.0)));
+        assert!(!sq.contains_or_boundary(Point::new(-0.1, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_polygons_contain_nothing() {
+        let line = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]);
+        assert!(line.is_degenerate());
+        assert!(!line.contains(Point::new(0.5, 0.0)));
+        assert_eq!(line.area(), 0.0);
+    }
+
+    #[test]
+    fn polygon_intersection_cases() {
+        let a = unit_square();
+        // Overlapping.
+        let b = Polygon::rectangle(Point::new(0.5, 0.5), Point::new(2.0, 2.0));
+        assert!(a.intersects_polygon(&b));
+        // Disjoint.
+        let c = Polygon::rectangle(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        assert!(!a.intersects_polygon(&c));
+        // Contained.
+        let d = Polygon::rectangle(Point::new(0.25, 0.25), Point::new(0.75, 0.75));
+        assert!(a.intersects_polygon(&d));
+        assert!(d.intersects_polygon(&a));
+        // Touching edge counts as intersecting.
+        let e = Polygon::rectangle(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects_polygon(&e));
+    }
+
+    #[test]
+    fn segment_intersection_and_crossing_count() {
+        let sq = unit_square();
+        let through = Segment::new(Point::new(-1.0, 0.5), Point::new(2.0, 0.5));
+        assert!(sq.intersects_segment(&through));
+        assert_eq!(sq.count_edge_crossings(&through), 2);
+
+        let outside = Segment::new(Point::new(-1.0, 2.0), Point::new(2.0, 2.0));
+        assert!(!sq.intersects_segment(&outside));
+        assert_eq!(sq.count_edge_crossings(&outside), 0);
+
+        let inside = Segment::new(Point::new(0.2, 0.2), Point::new(0.8, 0.8));
+        assert!(sq.intersects_segment(&inside));
+        assert_eq!(sq.count_edge_crossings(&inside), 0);
+    }
+
+    #[test]
+    fn multipolygon_behaviour() {
+        let mut mp = MultiPolygon::empty();
+        assert!(mp.is_empty());
+        mp.push(unit_square());
+        mp.push(Polygon::rectangle(Point::new(3.0, 3.0), Point::new(4.0, 4.0)));
+        // Degenerate polygons are dropped.
+        mp.push(Polygon::new(vec![Point::new(0.0, 0.0)]));
+        assert_eq!(mp.len(), 2);
+        assert!((mp.area() - 2.0).abs() < 1e-9);
+
+        assert!(mp.contains(Point::new(0.5, 0.5)));
+        assert!(mp.contains(Point::new(3.5, 3.5)));
+        assert!(!mp.contains(Point::new(2.0, 2.0)));
+
+        let hull = Polygon::rectangle(Point::new(2.5, 2.5), Point::new(5.0, 5.0));
+        assert!(mp.intersects_polygon(&hull));
+        let far = Polygon::rectangle(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert!(!mp.intersects_polygon(&far));
+
+        let wall_crossing = Segment::new(Point::new(2.5, 3.5), Point::new(4.5, 3.5));
+        assert_eq!(mp.count_edge_crossings(&wall_crossing), 2);
+    }
+
+    #[test]
+    fn from_iterator_builds_multipolygon() {
+        let mp: MultiPolygon = vec![unit_square(), unit_square()].into_iter().collect();
+        assert_eq!(mp.len(), 2);
+    }
+
+    #[test]
+    fn bounding_box() {
+        let p = Polygon::new(vec![
+            Point::new(1.0, 5.0),
+            Point::new(4.0, 2.0),
+            Point::new(-1.0, 3.0),
+        ]);
+        let (lo, hi) = p.bounding_box().unwrap();
+        assert_eq!(lo, Point::new(-1.0, 2.0));
+        assert_eq!(hi, Point::new(4.0, 5.0));
+        assert!(Polygon::default().bounding_box().is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Line segments and intersection predicates.
+
+use crate::{orientation, Orientation, Point, EPS};
+
+/// A closed line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Length of the segment in metres.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Returns `true` if `p` lies on this segment (within [`EPS`]).
+    pub fn contains_point(&self, p: Point) -> bool {
+        if orientation(self.a, self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        self.in_bounding_box(p)
+    }
+
+    /// Returns `true` if `p` is inside the axis-aligned bounding box of the
+    /// segment (inclusive, with tolerance).
+    fn in_bounding_box(&self, p: Point) -> bool {
+        p.x >= self.a.x.min(self.b.x) - EPS
+            && p.x <= self.a.x.max(self.b.x) + EPS
+            && p.y >= self.a.y.min(self.b.y) - EPS
+            && p.y <= self.a.y.max(self.b.y) + EPS
+    }
+
+    /// Returns `true` if this segment intersects `other`, including touching
+    /// endpoints and collinear overlap.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(self.a, self.b, other.a);
+        let o2 = orientation(self.a, self.b, other.b);
+        let o3 = orientation(other.a, other.b, self.a);
+        let o4 = orientation(other.a, other.b, self.b);
+
+        if o1 != o2 && o3 != o4 {
+            return true;
+        }
+        // Collinear special cases: one endpoint lies on the other segment.
+        (o1 == Orientation::Collinear && self.in_bounding_box(other.a))
+            || (o2 == Orientation::Collinear && self.in_bounding_box(other.b))
+            || (o3 == Orientation::Collinear && other.in_bounding_box(self.a))
+            || (o4 == Orientation::Collinear && other.in_bounding_box(self.b))
+    }
+
+    /// Intersection point with `other` when the segments cross at exactly one
+    /// point that is not an endpoint-only touch of parallel segments.
+    ///
+    /// Returns `None` for parallel or non-intersecting segments. Collinear
+    /// overlapping segments also return `None` (there is no unique point).
+    pub fn intersection_point(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        if denom.abs() < EPS {
+            return None;
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (-EPS..=1.0 + EPS).contains(&t) && (-EPS..=1.0 + EPS).contains(&u) {
+            Some(self.a + r * t)
+        } else {
+            None
+        }
+    }
+
+    /// Shortest Euclidean distance from point `p` to this segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.dot(d);
+        if len_sq < EPS {
+            return self.a.distance(p);
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        (self.a + d * t).distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        let p = s1.intersection_point(&s2).unwrap();
+        assert!((p.x - 1.0).abs() < 1e-9 && (p.y - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!s1.intersects(&s2));
+        assert!(s1.intersection_point(&s2).is_none());
+    }
+
+    #[test]
+    fn touching_at_endpoint_counts_as_intersection() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(1.0, 1.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects_but_has_no_unique_point() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(s1.intersection_point(&s2).is_none());
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn contains_point_on_and_off_segment() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(s.contains_point(Point::new(1.0, 1.0)));
+        assert!(s.contains_point(Point::new(0.0, 0.0)));
+        assert!(!s.contains_point(Point::new(3.0, 3.0)));
+        assert!(!s.contains_point(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn distance_to_point_cases() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        // Perpendicular projection inside the segment.
+        assert!((s.distance_to_point(Point::new(1.0, 1.0)) - 1.0).abs() < 1e-12);
+        // Projection beyond an endpoint.
+        assert!((s.distance_to_point(Point::new(3.0, 0.0)) - 1.0).abs() < 1e-12);
+        // Degenerate segment.
+        let d = seg(1.0, 1.0, 1.0, 1.0);
+        assert!((d.distance_to_point(Point::new(2.0, 1.0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = seg(0.0, 0.0, 3.0, 4.0);
+        assert!((s.length() - 5.0).abs() < 1e-12);
+        assert_eq!(s.midpoint(), Point::new(1.5, 2.0));
+    }
+}

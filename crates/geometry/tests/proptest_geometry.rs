@@ -1,0 +1,65 @@
+//! Property-based tests for the geometry primitives.
+
+use proptest::prelude::*;
+use rm_geometry::{convex_hull, Point, Polygon, Segment};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn convex_hull_contains_all_points(pts in prop::collection::vec(arb_point(), 3..40)) {
+        let hull_pts = convex_hull(&pts);
+        prop_assume!(hull_pts.len() >= 3);
+        let hull = Polygon::new(hull_pts);
+        for p in &pts {
+            // Allow boundary membership; numeric tolerance handled inside.
+            prop_assert!(hull.contains_or_boundary(*p), "point {:?} outside hull", p);
+        }
+    }
+
+    #[test]
+    fn convex_hull_is_convex(pts in prop::collection::vec(arb_point(), 3..40)) {
+        let hull_pts = convex_hull(&pts);
+        prop_assume!(hull_pts.len() >= 3);
+        let n = hull_pts.len();
+        for i in 0..n {
+            let a = hull_pts[i];
+            let b = hull_pts[(i + 1) % n];
+            let c = hull_pts[(i + 2) % n];
+            let cross = (b - a).cross(c - b);
+            prop_assert!(cross >= -1e-6, "hull has a clockwise turn at index {}", i);
+        }
+    }
+
+    #[test]
+    fn segment_intersection_is_symmetric(a in arb_point(), b in arb_point(), c in arb_point(), d in arb_point()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        prop_assert_eq!(s1.intersects(&s2), s2.intersects(&s1));
+    }
+
+    #[test]
+    fn rectangle_contains_its_centroid(a in arb_point(), b in arb_point()) {
+        prop_assume!((a.x - b.x).abs() > 1e-3 && (a.y - b.y).abs() > 1e-3);
+        let r = Polygon::rectangle(a, b);
+        prop_assert!(r.contains(r.centroid()));
+    }
+
+    #[test]
+    fn polygon_area_is_translation_invariant(pts in prop::collection::vec(arb_point(), 3..20), dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+        let p1 = Polygon::new(pts.clone());
+        let shifted: Vec<Point> = pts.iter().map(|p| Point::new(p.x + dx, p.y + dy)).collect();
+        let p2 = Polygon::new(shifted);
+        prop_assert!((p1.area() - p2.area()).abs() < 1e-6 * (1.0 + p1.area()));
+    }
+
+    #[test]
+    fn distance_to_point_bounded_by_endpoint_distances(a in arb_point(), b in arb_point(), p in arb_point()) {
+        let s = Segment::new(a, b);
+        let d = s.distance_to_point(p);
+        prop_assert!(d <= a.distance(p) + 1e-9);
+        prop_assert!(d <= b.distance(p) + 1e-9);
+    }
+}

@@ -1,0 +1,304 @@
+//! BRITS — Bidirectional Recurrent Imputation for Time Series (Cao et al.),
+//! adapted to radio maps: it imputes MAR RSSIs from the temporal structure of
+//! each survey path, and falls back to linear interpolation for missing RPs
+//! (BRITS itself cannot impute labels).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_nn::{loss, Adam, Linear, LstmCell, LstmState, Optimizer};
+use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
+use rm_tensor::{Matrix, Var};
+
+use crate::sequence::{build_sequences, Normalization, PathSequence};
+use crate::{ImputedRadioMap, Imputer};
+
+/// Configuration shared by the recurrent imputers.
+#[derive(Debug, Clone)]
+pub struct BritsConfig {
+    /// Hidden state size of the recurrent cell.
+    pub hidden_size: usize,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Sequence length `T` (the paper tunes this to 5).
+    pub sequence_length: usize,
+    /// RNG seed for parameter initialisation.
+    pub seed: u64,
+}
+
+impl Default for BritsConfig {
+    fn default() -> Self {
+        Self {
+            hidden_size: 32,
+            epochs: default_epochs(),
+            learning_rate: 0.01,
+            sequence_length: 5,
+            seed: 31,
+        }
+    }
+}
+
+/// Default epoch count for the neural imputers; honouring `RM_EPOCHS` lets the
+/// experiment harness trade training time for accuracy, and `RM_QUICK=1`
+/// selects a fast smoke-test setting.
+pub fn default_epochs() -> usize {
+    if let Ok(v) = std::env::var("RM_EPOCHS") {
+        if let Ok(parsed) = v.parse::<usize>() {
+            return parsed.max(1);
+        }
+    }
+    if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
+        8
+    } else {
+        30
+    }
+}
+
+/// One direction of the recurrent imputer: estimates each step's fingerprint
+/// from the decayed hidden state, complements the observation, and feeds the
+/// complemented vector (concatenated with its mask) to an LSTM cell.
+pub(crate) struct RecurrentImputer {
+    estimate: Linear,
+    decay: Linear,
+    cell: LstmCell,
+    hidden_size: usize,
+}
+
+/// The per-step outputs of one directional pass.
+pub(crate) struct DirectionalPass {
+    /// Model estimates `x̂_t` (used by the reconstruction loss).
+    pub estimates: Vec<Var>,
+    /// Complemented vectors `x_c` (the imputations).
+    pub complements: Vec<Var>,
+}
+
+impl RecurrentImputer {
+    pub(crate) fn new(num_aps: usize, hidden_size: usize, rng: &mut StdRng) -> Self {
+        Self {
+            estimate: Linear::new(hidden_size, num_aps, rng),
+            decay: Linear::new(num_aps, hidden_size, rng),
+            cell: LstmCell::new(num_aps * 2, hidden_size, rng),
+            hidden_size,
+        }
+    }
+
+    pub(crate) fn parameters(&self) -> Vec<Var> {
+        let mut params = self.estimate.parameters();
+        params.extend(self.decay.parameters());
+        params.extend(self.cell.parameters());
+        params
+    }
+
+    /// Runs the imputer over one (already ordered) sequence.
+    pub(crate) fn run(&self, seq: &PathSequence) -> DirectionalPass {
+        let mut state = LstmState::zeros(self.hidden_size);
+        let mut estimates = Vec::with_capacity(seq.len());
+        let mut complements = Vec::with_capacity(seq.len());
+        for t in 0..seq.len() {
+            let x = Var::constant(Matrix::column(&seq.fingerprints[t]));
+            let mask = Matrix::column(&seq.fingerprint_masks[t]);
+            let lag = Var::constant(Matrix::column(&seq.time_lags[t]));
+
+            // Estimate the fingerprint from the previous hidden state.
+            let x_hat = self.estimate.forward(&state.h);
+            // Complement: observed entries pass through, missing use the estimate.
+            let inverse_mask = mask.map(|m| 1.0 - m);
+            let x_c = x.mask(&mask).add(&x_hat.mask(&inverse_mask));
+            // Temporal decay of the hidden state.
+            let gamma = self.decay.forward(&lag).relu().scale(-1.0).exp();
+            let decayed = LstmState {
+                h: state.h.hadamard(&gamma),
+                c: state.c.clone(),
+            };
+            let input = Var::concat_rows(&[x_c.clone(), Var::constant(mask.clone())]);
+            state = self.cell.step(&input, &decayed);
+
+            estimates.push(x_hat);
+            complements.push(x_c);
+        }
+        DirectionalPass {
+            estimates,
+            complements,
+        }
+    }
+}
+
+/// The BRITS imputer.
+pub struct Brits {
+    /// Training configuration.
+    pub config: BritsConfig,
+}
+
+impl Default for Brits {
+    fn default() -> Self {
+        Self {
+            config: BritsConfig::default(),
+        }
+    }
+}
+
+impl Brits {
+    /// Creates a BRITS imputer with the given configuration.
+    pub fn new(config: BritsConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Imputer for Brits {
+    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
+        let num_aps = map.num_aps();
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+
+        // Fallback result when there is nothing to train on.
+        let mut fingerprints: Vec<Vec<f64>> = map
+            .records()
+            .iter()
+            .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
+            .collect();
+        let locations = map.interpolate_rps();
+        if sequences.is_empty() || num_aps == 0 {
+            return ImputedRadioMap {
+                fingerprints,
+                locations,
+            };
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let forward = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
+        let backward = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
+        let mut params = forward.parameters();
+        params.extend(backward.parameters());
+        let mut optimizer = Adam::new(params, self.config.learning_rate).with_clip(5.0);
+
+        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
+
+        for _ in 0..self.config.epochs {
+            for (seq, rev) in sequences.iter().zip(reversed.iter()) {
+                optimizer.zero_grad();
+                let fwd = forward.run(seq);
+                let bwd = backward.run(rev);
+                let mut total = Var::scalar(0.0);
+                for t in 0..seq.len() {
+                    let target = Matrix::column(&seq.fingerprints[t]);
+                    let m = Matrix::column(&seq.fingerprint_masks[t]);
+                    total = total.add(&loss::masked_mse(&fwd.estimates[t], &target, &m));
+                    let rt = rev.len() - 1 - t;
+                    let target_b = Matrix::column(&rev.fingerprints[rt]);
+                    let m_b = Matrix::column(&rev.fingerprint_masks[rt]);
+                    total = total.add(&loss::masked_mse(&bwd.estimates[rt], &target_b, &m_b));
+                    // Consistency between the two directions at the same record.
+                    total = total.add(
+                        &loss::masked_mse_between(&fwd.complements[t], &bwd.complements[rt], &m)
+                            .scale(0.1),
+                    );
+                }
+                total.scale(1.0 / seq.len() as f64).backward();
+                optimizer.step();
+            }
+        }
+
+        // Produce imputations: average of forward and backward complements at
+        // MAR positions.
+        for (seq, rev) in sequences.iter().zip(reversed.iter()) {
+            let fwd = forward.run(seq);
+            let bwd = backward.run(rev);
+            for (t, &record) in seq.record_indices.iter().enumerate() {
+                let rt = rev.len() - 1 - t;
+                let f = fwd.complements[t].value();
+                let b = bwd.complements[rt].value();
+                for ap in 0..num_aps {
+                    if mask.get(record, ap) == EntryKind::Mar {
+                        let avg = (f.get(ap, 0) + b.get(ap, 0)) / 2.0;
+                        fingerprints[record][ap] = norm.denormalize_rssi(avg);
+                    }
+                }
+            }
+        }
+
+        ImputedRadioMap {
+            fingerprints,
+            locations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "BRITS"
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use rm_geometry::Point;
+    use rm_radiomap::{Fingerprint, RadioMapRecord};
+
+    /// A path whose AP0 RSSI varies smoothly in time; one value is MAR.
+    pub(crate) fn smooth_map() -> (RadioMap, MaskMatrix) {
+        let mut records = Vec::new();
+        for i in 0..10 {
+            let v = -60.0 - i as f64;
+            let value = if i == 5 { None } else { Some(v) };
+            records.push(RadioMapRecord::new(
+                Fingerprint::new(vec![value, Some(-80.0)]),
+                Some(Point::new(i as f64, 0.0)),
+                i as f64 * 2.0,
+                0,
+            ));
+        }
+        let map = RadioMap::new(records, 2);
+        let mut mask = MaskMatrix::all_observed(10, 2);
+        mask.set(5, 0, EntryKind::Mar);
+        (map, mask)
+    }
+
+    fn quick_config() -> BritsConfig {
+        BritsConfig {
+            hidden_size: 16,
+            epochs: 30,
+            learning_rate: 0.02,
+            sequence_length: 5,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn brits_imputes_a_plausible_mar_value() {
+        let (map, mask) = smooth_map();
+        let out = Brits::new(quick_config()).impute(&map, &mask);
+        let imputed = out.rssi(5, 0);
+        // The surrounding observations are in [-69, -61]; the imputation must
+        // land far from the -100 floor and inside the plausible band.
+        assert!(
+            (-80.0..=-50.0).contains(&imputed),
+            "imputed value {imputed} is implausible"
+        );
+        // Observed entries pass through unchanged.
+        assert_eq!(out.rssi(0, 0), -60.0);
+        assert_eq!(out.rssi(3, 1), -80.0);
+        assert_eq!(Brits::default().name(), "BRITS");
+    }
+
+    #[test]
+    fn brits_uses_linear_interpolation_for_rps() {
+        let (mut map, mask) = smooth_map();
+        map.records_mut()[4].rp = None;
+        let out = Brits::new(quick_config()).impute(&map, &mask);
+        let p = out.locations[4].unwrap();
+        assert!((p.x - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn brits_handles_empty_map() {
+        let out = Brits::new(quick_config()).impute(&RadioMap::empty(3), &MaskMatrix::all_observed(0, 3));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_epochs_respects_env() {
+        // Just exercise the parsing path; the value depends on the environment.
+        let e = default_epochs();
+        assert!(e >= 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Radio-map data imputers.
+//!
+//! Every imputer consumes a sparse [`RadioMap`] together with the
+//! [`MaskMatrix`] produced by a missing-RSSI differentiator, fills the
+//! MNAR entries with −100 dBm, and produces a fully dense radio map
+//! (fingerprints and locations). The baselines of the paper's evaluation
+//! (Section V-C) are implemented here:
+//!
+//! * [`CaseDeletion`] (CD), [`LinearInterpolation`] (LI) and
+//!   [`SemiSupervised`] (SL) — traditional imputers used in fingerprinting,
+//! * [`Mice`] and [`MatrixFactorization`] (MF) — autocorrelation-based
+//!   imputers,
+//! * [`Brits`] and [`Ssgan`] — neural sequence imputers.
+//!
+//! The paper's own model, BiSIM, lives in the `rm-bisim` crate and implements
+//! the same [`Imputer`] trait.
+
+pub mod brits;
+pub mod mf;
+pub mod mice;
+pub mod sequence;
+pub mod simple;
+pub mod ssgan;
+
+pub use brits::{Brits, BritsConfig};
+pub use mf::{MatrixFactorization, MatrixFactorizationConfig};
+pub use mice::{Mice, MiceConfig};
+pub use sequence::{build_sequences, Normalization, PathSequence};
+pub use simple::{CaseDeletion, LinearInterpolation, SemiSupervised};
+pub use ssgan::{Ssgan, SsganConfig};
+
+use rm_geometry::Point;
+use rm_radiomap::{DenseRadioMap, EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
+
+/// The output of an imputer: a dense fingerprint per input record and, where
+/// the imputer supports it, a location per input record. Record indices match
+/// the input radio map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImputedRadioMap {
+    /// Dense fingerprints, one per input record.
+    pub fingerprints: Vec<Vec<f64>>,
+    /// Imputed (or passed-through) locations; `None` when the imputer does not
+    /// impute that record's location (e.g. case deletion).
+    pub locations: Vec<Option<Point>>,
+}
+
+impl ImputedRadioMap {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Returns `true` when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// The imputed RSSI of `(record, ap)`.
+    pub fn rssi(&self, record: usize, ap: usize) -> f64 {
+        self.fingerprints[record][ap]
+    }
+
+    /// Converts the result into a [`DenseRadioMap`] containing only the
+    /// records that have a location — the radio map used by the online
+    /// location-estimation algorithms.
+    pub fn to_dense(&self, num_aps: usize) -> DenseRadioMap {
+        let mut fingerprints = Vec::new();
+        let mut locations = Vec::new();
+        for (f, l) in self.fingerprints.iter().zip(self.locations.iter()) {
+            if let Some(loc) = l {
+                fingerprints.push(f.clone());
+                locations.push(*loc);
+            }
+        }
+        DenseRadioMap::new(fingerprints, locations, num_aps)
+    }
+}
+
+/// A radio-map data imputer.
+pub trait Imputer {
+    /// Imputes the missing RSSIs and reference points of `map`, guided by the
+    /// differentiator's `mask` (MNAR entries are filled with −100 dBm, MAR
+    /// entries with model predictions).
+    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Fills the MNAR entries of every fingerprint with −100 dBm and returns the
+/// resulting partially-dense matrix as `Option<f64>` values: MNARs and
+/// observed entries are `Some`, MAR entries stay `None` for the model-based
+/// imputers to predict.
+pub fn fill_mnars(map: &RadioMap, mask: &MaskMatrix) -> Vec<Vec<Option<f64>>> {
+    map.records()
+        .iter()
+        .enumerate()
+        .map(|(i, record)| {
+            (0..map.num_aps())
+                .map(|ap| match record.fingerprint.get(ap) {
+                    Some(v) => Some(v),
+                    None => match mask.get(i, ap) {
+                        EntryKind::Mnar => Some(MNAR_FILL_VALUE),
+                        _ => None,
+                    },
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Fills every remaining missing entry of `values` with `fill` — the final
+/// fallback used by imputers that do not predict certain entries.
+pub fn densify(values: &[Vec<Option<f64>>], fill: f64) -> Vec<Vec<f64>> {
+    values
+        .iter()
+        .map(|row| row.iter().map(|v| v.unwrap_or(fill)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_radiomap::{Fingerprint, RadioMapRecord};
+
+    fn map_and_mask() -> (RadioMap, MaskMatrix) {
+        let records = vec![
+            RadioMapRecord::new(
+                Fingerprint::new(vec![Some(-70.0), None]),
+                Some(Point::new(0.0, 0.0)),
+                0.0,
+                0,
+            ),
+            RadioMapRecord::new(Fingerprint::new(vec![None, None]), None, 1.0, 0),
+        ];
+        let map = RadioMap::new(records, 2);
+        let mut mask = MaskMatrix::all_observed(2, 2);
+        mask.set(0, 1, EntryKind::Mar);
+        mask.set(1, 0, EntryKind::Mnar);
+        mask.set(1, 1, EntryKind::Mar);
+        (map, mask)
+    }
+
+    #[test]
+    fn fill_mnars_fills_only_mnars() {
+        let (map, mask) = map_and_mask();
+        let filled = fill_mnars(&map, &mask);
+        assert_eq!(filled[0][0], Some(-70.0));
+        assert_eq!(filled[0][1], None); // MAR stays open
+        assert_eq!(filled[1][0], Some(MNAR_FILL_VALUE));
+        assert_eq!(filled[1][1], None);
+    }
+
+    #[test]
+    fn densify_fills_remaining_nulls() {
+        let (map, mask) = map_and_mask();
+        let dense = densify(&fill_mnars(&map, &mask), -88.0);
+        assert_eq!(dense[0][1], -88.0);
+        assert_eq!(dense[1][0], MNAR_FILL_VALUE);
+    }
+
+    #[test]
+    fn imputed_map_to_dense_drops_locationless_records() {
+        let imputed = ImputedRadioMap {
+            fingerprints: vec![vec![-70.0, -80.0], vec![-60.0, -90.0]],
+            locations: vec![Some(Point::new(1.0, 2.0)), None],
+        };
+        assert_eq!(imputed.len(), 2);
+        assert_eq!(imputed.rssi(1, 0), -60.0);
+        let dense = imputed.to_dense(2);
+        assert_eq!(dense.len(), 1);
+        assert_eq!(dense.locations()[0], Point::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,298 @@
+//! MF — matrix-factorization (matrix completion) imputation.
+//!
+//! The radio map is viewed as a partially observed `N × (D + 2)` matrix
+//! (RSSI columns plus the two scaled RP coordinates) and factorised as
+//! `U · Vᵀ` with a small latent rank. The factors are fitted by alternating
+//! ridge-regularised least squares on the observed entries; the reconstruction
+//! fills the missing entries.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rm_geometry::Point;
+use rm_radiomap::{MaskMatrix, RadioMap, MNAR_FILL_VALUE};
+
+use crate::{fill_mnars, ImputedRadioMap, Imputer};
+
+/// Configuration for [`MatrixFactorization`].
+#[derive(Debug, Clone)]
+pub struct MatrixFactorizationConfig {
+    /// Latent rank of the factorisation.
+    pub rank: usize,
+    /// Number of alternating-least-squares sweeps.
+    pub iterations: usize,
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+    /// RNG seed for factor initialisation.
+    pub seed: u64,
+}
+
+impl Default for MatrixFactorizationConfig {
+    fn default() -> Self {
+        Self {
+            rank: 8,
+            iterations: 15,
+            lambda: 0.5,
+            seed: 23,
+        }
+    }
+}
+
+/// The matrix-factorization imputer.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixFactorization {
+    /// Algorithm configuration.
+    pub config: MatrixFactorizationConfig,
+}
+
+impl MatrixFactorization {
+    /// Creates an MF imputer with the given configuration.
+    pub fn new(config: MatrixFactorizationConfig) -> Self {
+        Self { config }
+    }
+}
+
+/// Scale applied to RP coordinates so they share the numeric range of the
+/// normalised RSSIs.
+const RP_SCALE: f64 = 0.01;
+
+impl Imputer for MatrixFactorization {
+    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
+        let n = map.len();
+        let d = map.num_aps();
+        if n == 0 {
+            return ImputedRadioMap {
+                fingerprints: Vec::new(),
+                locations: Vec::new(),
+            };
+        }
+        let num_cols = d + 2;
+        let rssi = fill_mnars(map, mask);
+
+        // Observed entries, normalised: RSSIs to [0, 1], coordinates scaled.
+        let mut observed: Vec<Vec<Option<f64>>> = vec![vec![None; num_cols]; n];
+        for i in 0..n {
+            for ap in 0..d {
+                if let Some(v) = rssi[i][ap] {
+                    observed[i][ap] = Some((v - MNAR_FILL_VALUE) / 100.0);
+                }
+            }
+            if let Some(p) = map.record(i).rp {
+                observed[i][d] = Some(p.x * RP_SCALE);
+                observed[i][d + 1] = Some(p.y * RP_SCALE);
+            }
+        }
+
+        let rank = self.config.rank.max(1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut u: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..rank).map(|_| rng.gen_range(-0.1..0.1)).collect())
+            .collect();
+        let mut v: Vec<Vec<f64>> = (0..num_cols)
+            .map(|_| (0..rank).map(|_| rng.gen_range(-0.1..0.1)).collect())
+            .collect();
+
+        for _ in 0..self.config.iterations {
+            // Fix V, solve each row of U.
+            for i in 0..n {
+                let cols: Vec<usize> = (0..num_cols).filter(|&c| observed[i][c].is_some()).collect();
+                if cols.is_empty() {
+                    continue;
+                }
+                u[i] = solve_factor(
+                    &cols.iter().map(|&c| v[c].clone()).collect::<Vec<_>>(),
+                    &cols
+                        .iter()
+                        .map(|&c| observed[i][c].expect("observed"))
+                        .collect::<Vec<_>>(),
+                    rank,
+                    self.config.lambda,
+                );
+            }
+            // Fix U, solve each row of V.
+            for c in 0..num_cols {
+                let rows: Vec<usize> = (0..n).filter(|&i| observed[i][c].is_some()).collect();
+                if rows.is_empty() {
+                    continue;
+                }
+                v[c] = solve_factor(
+                    &rows.iter().map(|&i| u[i].clone()).collect::<Vec<_>>(),
+                    &rows
+                        .iter()
+                        .map(|&i| observed[i][c].expect("observed"))
+                        .collect::<Vec<_>>(),
+                    rank,
+                    self.config.lambda,
+                );
+            }
+        }
+
+        // Reconstruct.
+        let reconstruct = |i: usize, c: usize| -> f64 {
+            u[i].iter().zip(v[c].iter()).map(|(a, b)| a * b).sum()
+        };
+        let fingerprints: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|c| match observed[i][c] {
+                        Some(norm) => norm * 100.0 + MNAR_FILL_VALUE,
+                        None => (reconstruct(i, c) * 100.0 + MNAR_FILL_VALUE)
+                            .clamp(MNAR_FILL_VALUE, 0.0),
+                    })
+                    .collect()
+            })
+            .collect();
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|i| match map.record(i).rp {
+                Some(p) => Some(p),
+                None => Some(Point::new(
+                    reconstruct(i, d) / RP_SCALE,
+                    reconstruct(i, d + 1) / RP_SCALE,
+                )),
+            })
+            .collect();
+        ImputedRadioMap {
+            fingerprints,
+            locations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MF"
+    }
+}
+
+/// Solves `min_w Σ (xᵀ_j w - y_j)² + λ‖w‖²` where `x_j` are the given factor
+/// rows — a small ridge system of size `rank`.
+fn solve_factor(rows: &[Vec<f64>], targets: &[f64], rank: usize, lambda: f64) -> Vec<f64> {
+    let mut xtx = vec![vec![0.0f64; rank]; rank];
+    let mut xty = vec![0.0f64; rank];
+    for (x, &y) in rows.iter().zip(targets.iter()) {
+        for i in 0..rank {
+            xty[i] += x[i] * y;
+            for j in 0..rank {
+                xtx[i][j] += x[i] * x[j];
+            }
+        }
+    }
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    // Gaussian elimination (the system is tiny: rank × rank).
+    let n = rank;
+    let mut a = xtx;
+    let mut b = xty;
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(col);
+        if a[pivot][col].abs() < 1e-12 {
+            return vec![0.0; rank];
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for c in col..n {
+                a[row][c] -= factor * a[col][c];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut w = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for c in (row + 1)..n {
+            sum -= a[row][c] * w[c];
+        }
+        w[row] = sum / a[row][row];
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_radiomap::{EntryKind, Fingerprint, RadioMapRecord};
+
+    /// A rank-1-ish radio map: fingerprints scale linearly along the path.
+    fn low_rank_map() -> (RadioMap, MaskMatrix) {
+        let mut records = Vec::new();
+        for i in 0..30 {
+            let base = -40.0 - i as f64;
+            let values = vec![
+                Some(base),
+                if i % 5 == 0 { None } else { Some(base - 5.0) },
+                Some(base - 10.0),
+            ];
+            records.push(RadioMapRecord::new(
+                Fingerprint::new(values),
+                Some(Point::new(i as f64, 2.0)),
+                i as f64,
+                0,
+            ));
+        }
+        let map = RadioMap::new(records, 3);
+        let mut mask = MaskMatrix::all_observed(30, 3);
+        for i in (0..30).step_by(5) {
+            mask.set(i, 1, EntryKind::Mar);
+        }
+        (map, mask)
+    }
+
+    #[test]
+    fn mf_reconstructs_low_rank_structure() {
+        let (map, mask) = low_rank_map();
+        let out = MatrixFactorization::default().impute(&map, &mask);
+        let mut total_error = 0.0;
+        let mut count = 0;
+        for i in (0..30).step_by(5) {
+            let expected = -40.0 - i as f64 - 5.0;
+            total_error += (out.rssi(i, 1) - expected).abs();
+            count += 1;
+        }
+        let mae = total_error / count as f64;
+        assert!(mae < 12.0, "MF MAE {mae} too high");
+    }
+
+    #[test]
+    fn mf_preserves_observed_entries_and_rps() {
+        let (map, mask) = low_rank_map();
+        let out = MatrixFactorization::default().impute(&map, &mask);
+        assert_eq!(out.rssi(1, 0), -41.0);
+        assert_eq!(out.locations[3], Some(Point::new(3.0, 2.0)));
+        assert_eq!(MatrixFactorization::default().name(), "MF");
+    }
+
+    #[test]
+    fn mf_imputes_missing_rps_with_finite_values() {
+        let (mut map, mask) = low_rank_map();
+        map.records_mut()[7].rp = None;
+        let out = MatrixFactorization::default().impute(&map, &mask);
+        let p = out.locations[7].unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn mf_handles_empty_map() {
+        let out = MatrixFactorization::default()
+            .impute(&RadioMap::empty(2), &MaskMatrix::all_observed(0, 2));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn imputed_rssis_stay_in_valid_range() {
+        let (map, mask) = low_rank_map();
+        let out = MatrixFactorization::default().impute(&map, &mask);
+        for row in &out.fingerprints {
+            for &v in row {
+                assert!((MNAR_FILL_VALUE..=0.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Traditional imputers used in fingerprinting-based positioning:
+//! case deletion (CD), linear interpolation (LI) and semi-supervised RP
+//! inference (SL). All three fill every missing RSSI (MAR and MNAR alike)
+//! with −100 dBm; they differ only in how missing reference points are
+//! handled.
+
+use rm_geometry::Point;
+use rm_radiomap::{MaskMatrix, RadioMap, MNAR_FILL_VALUE};
+
+use crate::{ImputedRadioMap, Imputer};
+
+/// Fills every missing RSSI with −100 dBm (ignoring the MAR/MNAR distinction),
+/// shared by the three traditional imputers.
+fn dense_fingerprints_with_floor(map: &RadioMap) -> Vec<Vec<f64>> {
+    map.records()
+        .iter()
+        .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
+        .collect()
+}
+
+/// CD — case deletion: records without an observed RP are dropped from the
+/// usable radio map; missing RSSIs become −100 dBm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseDeletion;
+
+impl Imputer for CaseDeletion {
+    fn impute(&self, map: &RadioMap, _mask: &MaskMatrix) -> ImputedRadioMap {
+        ImputedRadioMap {
+            fingerprints: dense_fingerprints_with_floor(map),
+            locations: map.records().iter().map(|r| r.rp).collect(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CD"
+    }
+}
+
+/// LI — linear interpolation: missing RPs are interpolated linearly between
+/// the previously and subsequently observed RPs on the same survey path;
+/// missing RSSIs become −100 dBm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearInterpolation;
+
+impl Imputer for LinearInterpolation {
+    fn impute(&self, map: &RadioMap, _mask: &MaskMatrix) -> ImputedRadioMap {
+        ImputedRadioMap {
+            fingerprints: dense_fingerprints_with_floor(map),
+            locations: map.interpolate_rps(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "LI"
+    }
+}
+
+/// SL — semi-supervised RP inference: records with observed RPs act as
+/// labelled samples; unlabelled records iteratively receive the
+/// distance-weighted mean location of their `k` nearest labelled neighbours in
+/// fingerprint space, and join the labelled pool for the next round.
+/// Missing RSSIs become −100 dBm.
+#[derive(Debug, Clone, Copy)]
+pub struct SemiSupervised {
+    /// Number of labelled neighbours used per inference.
+    pub k: usize,
+    /// Number of label-propagation rounds.
+    pub rounds: usize,
+}
+
+impl Default for SemiSupervised {
+    fn default() -> Self {
+        Self { k: 3, rounds: 3 }
+    }
+}
+
+impl Imputer for SemiSupervised {
+    fn impute(&self, map: &RadioMap, _mask: &MaskMatrix) -> ImputedRadioMap {
+        let fingerprints = dense_fingerprints_with_floor(map);
+        let mut locations: Vec<Option<Point>> = map.records().iter().map(|r| r.rp).collect();
+
+        for _ in 0..self.rounds {
+            let labelled: Vec<usize> = (0..map.len()).filter(|&i| locations[i].is_some()).collect();
+            if labelled.is_empty() {
+                break;
+            }
+            let mut newly_labelled = Vec::new();
+            for i in 0..map.len() {
+                if locations[i].is_some() {
+                    continue;
+                }
+                // k nearest labelled records in fingerprint space.
+                let mut scored: Vec<(f64, usize)> = labelled
+                    .iter()
+                    .map(|&j| (euclidean(&fingerprints[i], &fingerprints[j]), j))
+                    .collect();
+                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                scored.truncate(self.k.max(1));
+                if scored.is_empty() {
+                    continue;
+                }
+                let mut weight_sum = 0.0;
+                let mut acc = Point::origin();
+                for &(d, j) in &scored {
+                    let w = 1.0 / (d + 1e-6);
+                    weight_sum += w;
+                    acc = acc + locations[j].expect("labelled record has a location") * w;
+                }
+                newly_labelled.push((i, acc / weight_sum));
+            }
+            if newly_labelled.is_empty() {
+                break;
+            }
+            for (i, p) in newly_labelled {
+                locations[i] = Some(p);
+            }
+        }
+
+        ImputedRadioMap {
+            fingerprints,
+            locations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SL"
+    }
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_radiomap::Fingerprint;
+    use rm_radiomap::RadioMapRecord;
+
+    /// Path of 4 records; records 1 and 2 lack RPs.
+    fn map() -> RadioMap {
+        let mk = |values: Vec<Option<f64>>, rp: Option<Point>, t: f64| {
+            RadioMapRecord::new(Fingerprint::new(values), rp, t, 0)
+        };
+        RadioMap::new(
+            vec![
+                mk(vec![Some(-50.0), None], Some(Point::new(0.0, 0.0)), 0.0),
+                mk(vec![Some(-55.0), None], None, 1.0),
+                mk(vec![None, Some(-60.0)], None, 2.0),
+                mk(vec![None, Some(-52.0)], Some(Point::new(3.0, 0.0)), 3.0),
+            ],
+            2,
+        )
+    }
+
+    fn mask(map: &RadioMap) -> MaskMatrix {
+        MaskMatrix::all_observed(map.len(), map.num_aps())
+    }
+
+    #[test]
+    fn cd_keeps_only_observed_rps() {
+        let m = map();
+        let out = CaseDeletion.impute(&m, &mask(&m));
+        assert_eq!(out.len(), 4);
+        assert_eq!(out.locations[1], None);
+        let dense = out.to_dense(2);
+        assert_eq!(dense.len(), 2);
+        // Missing RSSIs become -100.
+        assert_eq!(out.fingerprints[0][1], MNAR_FILL_VALUE);
+        assert_eq!(CaseDeletion.name(), "CD");
+    }
+
+    #[test]
+    fn li_interpolates_missing_rps() {
+        let m = map();
+        let out = LinearInterpolation.impute(&m, &mask(&m));
+        let p1 = out.locations[1].unwrap();
+        let p2 = out.locations[2].unwrap();
+        assert!((p1.x - 1.0).abs() < 1e-9);
+        assert!((p2.x - 2.0).abs() < 1e-9);
+        assert_eq!(LinearInterpolation.name(), "LI");
+    }
+
+    #[test]
+    fn sl_labels_every_record_given_enough_rounds() {
+        let m = map();
+        let out = SemiSupervised::default().impute(&m, &mask(&m));
+        assert!(out.locations.iter().all(Option::is_some));
+        // Record 1's fingerprint is closest to record 0's, so its inferred
+        // location should be nearer to (0,0) than to (3,0).
+        let p1 = out.locations[1].unwrap();
+        assert!(p1.distance(Point::new(0.0, 0.0)) < p1.distance(Point::new(3.0, 0.0)));
+        assert_eq!(SemiSupervised::default().name(), "SL");
+    }
+
+    #[test]
+    fn sl_with_no_labels_leaves_everything_unlabelled() {
+        let records = vec![
+            RadioMapRecord::new(Fingerprint::new(vec![Some(-50.0)]), None, 0.0, 0),
+            RadioMapRecord::new(Fingerprint::new(vec![Some(-60.0)]), None, 1.0, 0),
+        ];
+        let m = RadioMap::new(records, 1);
+        let out = SemiSupervised::default().impute(&m, &mask(&m));
+        assert!(out.locations.iter().all(Option::is_none));
+        assert!(out.to_dense(1).is_empty());
+    }
+
+    #[test]
+    fn all_traditional_imputers_fill_rssis_with_floor() {
+        let m = map();
+        for imputer in [&CaseDeletion as &dyn Imputer, &LinearInterpolation, &SemiSupervised::default()] {
+            let out = imputer.impute(&m, &mask(&m));
+            assert_eq!(out.fingerprints[2][0], MNAR_FILL_VALUE);
+            assert_eq!(out.fingerprints[0][0], -50.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! SSGAN — semi-supervised GAN-style imputation for multivariate time series
+//! (Miao et al.), adapted to radio maps.
+//!
+//! The generator is a recurrent imputer (the same architecture as one BRITS
+//! direction); a discriminator MLP tries to tell observed entries from imputed
+//! ones given the complemented vector. The generator is trained with a
+//! reconstruction loss plus a least-squares adversarial term that pushes the
+//! discriminator towards believing imputed entries are observed. Missing
+//! reference points fall back to linear interpolation, as in BRITS.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_nn::{loss, Activation, Adam, Mlp, Optimizer};
+use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
+use rm_tensor::{Matrix, Var};
+
+use crate::brits::{default_epochs, RecurrentImputer};
+use crate::sequence::{build_sequences, Normalization};
+use crate::{ImputedRadioMap, Imputer};
+
+/// Configuration for [`Ssgan`].
+#[derive(Debug, Clone)]
+pub struct SsganConfig {
+    /// Hidden state size of the generator's recurrent cell.
+    pub hidden_size: usize,
+    /// Hidden layer size of the discriminator MLP.
+    pub discriminator_hidden: usize,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Adam learning rate (shared by generator and discriminator).
+    pub learning_rate: f64,
+    /// Sequence length `T`.
+    pub sequence_length: usize,
+    /// Weight of the adversarial term in the generator loss.
+    pub adversarial_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SsganConfig {
+    fn default() -> Self {
+        Self {
+            hidden_size: 32,
+            discriminator_hidden: 32,
+            epochs: default_epochs(),
+            learning_rate: 0.01,
+            sequence_length: 5,
+            adversarial_weight: 0.3,
+            seed: 41,
+        }
+    }
+}
+
+/// The SSGAN imputer.
+pub struct Ssgan {
+    /// Training configuration.
+    pub config: SsganConfig,
+}
+
+impl Default for Ssgan {
+    fn default() -> Self {
+        Self {
+            config: SsganConfig::default(),
+        }
+    }
+}
+
+impl Ssgan {
+    /// Creates an SSGAN imputer with the given configuration.
+    pub fn new(config: SsganConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Imputer for Ssgan {
+    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
+        let num_aps = map.num_aps();
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+
+        let mut fingerprints: Vec<Vec<f64>> = map
+            .records()
+            .iter()
+            .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
+            .collect();
+        let locations = map.interpolate_rps();
+        if sequences.is_empty() || num_aps == 0 {
+            return ImputedRadioMap {
+                fingerprints,
+                locations,
+            };
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let generator = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
+        let discriminator = Mlp::new(
+            &[num_aps, self.config.discriminator_hidden, num_aps],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let mut gen_opt = Adam::new(generator.parameters(), self.config.learning_rate).with_clip(5.0);
+        let mut disc_opt =
+            Adam::new(discriminator.parameters(), self.config.learning_rate).with_clip(5.0);
+
+        for _ in 0..self.config.epochs {
+            for seq in &sequences {
+                // ---- Discriminator step: predict the observation mask. ----
+                disc_opt.zero_grad();
+                let pass = generator.run(seq);
+                let mut disc_loss = Var::scalar(0.0);
+                for t in 0..seq.len() {
+                    let m = Matrix::column(&seq.fingerprint_masks[t]);
+                    // Detach the generator output by rebuilding it as a constant.
+                    let detached = Var::constant(pass.complements[t].value());
+                    let predicted = discriminator.forward(&detached);
+                    disc_loss = disc_loss.add(&loss::mse(&predicted, &m));
+                }
+                disc_loss.scale(1.0 / seq.len() as f64).backward();
+                disc_opt.step();
+
+                // ---- Generator step: reconstruction + fooling the discriminator. ----
+                gen_opt.zero_grad();
+                let pass = generator.run(seq);
+                let mut gen_loss = Var::scalar(0.0);
+                for t in 0..seq.len() {
+                    let target = Matrix::column(&seq.fingerprints[t]);
+                    let m = Matrix::column(&seq.fingerprint_masks[t]);
+                    gen_loss = gen_loss.add(&loss::masked_mse(&pass.estimates[t], &target, &m));
+                    // Adversarial: imputed entries should look observed (1) to
+                    // the discriminator.
+                    let inverse_mask = m.map(|v| 1.0 - v);
+                    let predicted = discriminator.forward(&pass.complements[t]);
+                    let ones = Matrix::ones(num_aps, 1);
+                    let adv = loss::masked_mse(&predicted, &ones, &inverse_mask)
+                        .scale(self.config.adversarial_weight);
+                    gen_loss = gen_loss.add(&adv);
+                }
+                gen_loss.scale(1.0 / seq.len() as f64).backward();
+                gen_opt.step();
+            }
+        }
+
+        // Final imputation from the trained generator.
+        for seq in &sequences {
+            let pass = generator.run(seq);
+            for (t, &record) in seq.record_indices.iter().enumerate() {
+                let values = pass.complements[t].value();
+                for ap in 0..num_aps {
+                    if mask.get(record, ap) == EntryKind::Mar {
+                        fingerprints[record][ap] = norm.denormalize_rssi(values.get(ap, 0));
+                    }
+                }
+            }
+        }
+
+        ImputedRadioMap {
+            fingerprints,
+            locations,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SSGAN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brits::tests::smooth_map;
+
+    fn quick_config() -> SsganConfig {
+        SsganConfig {
+            hidden_size: 16,
+            discriminator_hidden: 16,
+            epochs: 15,
+            learning_rate: 0.02,
+            sequence_length: 5,
+            adversarial_weight: 0.3,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn ssgan_imputes_a_plausible_mar_value() {
+        let (map, mask) = smooth_map();
+        let out = Ssgan::new(quick_config()).impute(&map, &mask);
+        let imputed = out.rssi(5, 0);
+        assert!(
+            (-90.0..=-40.0).contains(&imputed),
+            "imputed value {imputed} is implausible"
+        );
+        assert_eq!(out.rssi(0, 0), -60.0);
+        assert_eq!(Ssgan::default().name(), "SSGAN");
+    }
+
+    #[test]
+    fn ssgan_interpolates_missing_rps() {
+        let (mut map, mask) = smooth_map();
+        map.records_mut()[6].rp = None;
+        let out = Ssgan::new(quick_config()).impute(&map, &mask);
+        let p = out.locations[6].unwrap();
+        assert!((p.x - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ssgan_handles_empty_map() {
+        let out = Ssgan::new(quick_config())
+            .impute(&rm_radiomap::RadioMap::empty(2), &MaskMatrix::all_observed(0, 2));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Fully-connected (linear) layers.
+
+use rand::Rng;
+use rm_tensor::{Matrix, Var};
+
+/// A linear layer computing `y = W x + b` for column-vector (or
+/// column-batched) inputs.
+#[derive(Clone)]
+pub struct Linear {
+    weight: Var,
+    bias: Var,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-initialised weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            weight: Var::parameter(Matrix::xavier(out_features, in_features, rng)),
+            bias: Var::parameter(Matrix::zeros(out_features, 1)),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Builds a layer from explicit weight and bias matrices (useful in tests).
+    ///
+    /// # Panics
+    /// Panics if `bias` is not a column vector matching `weight`'s row count.
+    pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
+        assert_eq!(bias.cols(), 1, "bias must be a column vector");
+        assert_eq!(weight.rows(), bias.rows(), "weight/bias row mismatch");
+        let (out_features, in_features) = weight.shape();
+        Self {
+            weight: Var::parameter(weight),
+            bias: Var::parameter(bias),
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Applies the layer to a `(in_features, batch)` input.
+    pub fn forward(&self, x: &Var) -> Var {
+        debug_assert_eq!(
+            x.shape().0,
+            self.in_features,
+            "Linear input has {} rows, expected {}",
+            x.shape().0,
+            self.in_features
+        );
+        self.weight.matmul(x).add_broadcast_col(&self.bias)
+    }
+
+    /// The trainable parameters of this layer.
+    pub fn parameters(&self) -> Vec<Var> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+
+    /// The weight matrix variable.
+    pub fn weight(&self) -> &Var {
+        &self.weight
+    }
+
+    /// The bias vector variable.
+    pub fn bias(&self) -> &Var {
+        &self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let w = Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5]);
+        let b = Matrix::column(&[0.5, -0.5]);
+        let layer = Linear::from_parts(w, b);
+        let x = Var::constant(Matrix::column(&[1.0, 2.0, 3.0]));
+        let y = layer.forward(&x).value();
+        // Row 0: 1*1 + 0*2 + -1*3 + 0.5 = -1.5; Row 1: 2 + 2 + 1.5 - 0.5 = 5.0
+        assert!((y.get(0, 0) + 1.5).abs() < 1e-12);
+        assert!((y.get(1, 0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_broadcasts_bias_over_batch() {
+        let w = Matrix::identity(2);
+        let b = Matrix::column(&[1.0, 2.0]);
+        let layer = Linear::from_parts(w, b);
+        let x = Var::constant(Matrix::from_vec(2, 3, vec![0.0; 6]));
+        let y = layer.forward(&x).value();
+        for c in 0..3 {
+            assert_eq!(y.get(0, c), 1.0);
+            assert_eq!(y.get(1, c), 2.0);
+        }
+    }
+
+    #[test]
+    fn parameters_receive_gradients() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(3, 2, &mut rng);
+        let x = Var::constant(Matrix::column(&[1.0, -1.0, 2.0]));
+        let loss = layer.forward(&x).square().sum();
+        loss.backward();
+        let params = layer.parameters();
+        assert_eq!(params.len(), 2);
+        assert!(params.iter().any(|p| p.grad().frobenius_norm() > 0.0));
+    }
+
+    #[test]
+    fn new_has_expected_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(5, 7, &mut rng);
+        assert_eq!(layer.in_features(), 5);
+        assert_eq!(layer.out_features(), 7);
+        assert_eq!(layer.weight().shape(), (7, 5));
+        assert_eq!(layer.bias().shape(), (7, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be a column vector")]
+    fn from_parts_rejects_bad_bias() {
+        let _ = Linear::from_parts(Matrix::zeros(2, 2), Matrix::zeros(2, 2));
+    }
+}

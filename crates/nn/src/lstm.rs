@@ -1,0 +1,235 @@
+//! Recurrent cells: a full LSTM cell and a simple gated recurrent cell.
+
+use rand::Rng;
+use rm_tensor::{Matrix, Var};
+
+use crate::Linear;
+
+/// The hidden state carried between recurrent steps: the hidden vector `h`
+/// and the LSTM cell state `c`.
+#[derive(Clone)]
+pub struct LstmState {
+    /// Hidden vector, shape `(hidden_size, 1)`.
+    pub h: Var,
+    /// Cell state, shape `(hidden_size, 1)`.
+    pub c: Var,
+}
+
+impl LstmState {
+    /// A zero-initialised state.
+    pub fn zeros(hidden_size: usize) -> Self {
+        Self {
+            h: Var::constant(Matrix::zeros(hidden_size, 1)),
+            c: Var::constant(Matrix::zeros(hidden_size, 1)),
+        }
+    }
+
+    /// A state with the given hidden vector and zero cell state.
+    pub fn from_hidden(h: Var) -> Self {
+        let (rows, _) = h.shape();
+        Self {
+            h,
+            c: Var::constant(Matrix::zeros(rows, 1)),
+        }
+    }
+}
+
+/// A standard LSTM cell with input, forget, output and candidate gates.
+///
+/// The BiSIM encoder and decoder units (Section IV-C of the paper) pass their
+/// complemented feature vectors through this cell; the time-decay factor is
+/// applied to the incoming hidden state *before* the cell, so the cell itself
+/// stays a textbook LSTM.
+#[derive(Clone)]
+pub struct LstmCell {
+    input_gate: Linear,
+    forget_gate: Linear,
+    output_gate: Linear,
+    candidate: Linear,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+impl LstmCell {
+    /// Creates an LSTM cell for inputs of size `input_size` and hidden state
+    /// of size `hidden_size`.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut impl Rng) -> Self {
+        let concat = input_size + hidden_size;
+        Self {
+            input_gate: Linear::new(concat, hidden_size, rng),
+            forget_gate: Linear::new(concat, hidden_size, rng),
+            output_gate: Linear::new(concat, hidden_size, rng),
+            candidate: Linear::new(concat, hidden_size, rng),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Input feature size.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Performs one recurrent step.
+    ///
+    /// `input` has shape `(input_size, 1)`; the returned state carries the new
+    /// hidden and cell vectors.
+    pub fn step(&self, input: &Var, state: &LstmState) -> LstmState {
+        debug_assert_eq!(input.shape().0, self.input_size, "LSTM input size mismatch");
+        let concat = Var::concat_rows(&[input.clone(), state.h.clone()]);
+        let i = self.input_gate.forward(&concat).sigmoid();
+        let f = self.forget_gate.forward(&concat).sigmoid();
+        let o = self.output_gate.forward(&concat).sigmoid();
+        let g = self.candidate.forward(&concat).tanh();
+        let c = f.hadamard(&state.c).add(&i.hadamard(&g));
+        let h = o.hadamard(&c.tanh());
+        LstmState { h, c }
+    }
+
+    /// All trainable parameters of the cell.
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut params = self.input_gate.parameters();
+        params.extend(self.forget_gate.parameters());
+        params.extend(self.output_gate.parameters());
+        params.extend(self.candidate.parameters());
+        params
+    }
+}
+
+/// A lightweight sigmoid-gated recurrent cell:
+/// `h' = tanh(W_h h + U_x x + b)` followed by a sigmoid update gate.
+///
+/// BRITS-style baselines use this cheaper cell; BiSIM uses [`LstmCell`].
+#[derive(Clone)]
+pub struct SimpleRecurrentCell {
+    hidden_map: Linear,
+    input_map: Linear,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+impl SimpleRecurrentCell {
+    /// Creates a simple recurrent cell.
+    pub fn new(input_size: usize, hidden_size: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            hidden_map: Linear::new(hidden_size, hidden_size, rng),
+            input_map: Linear::new(input_size, hidden_size, rng),
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Input feature size.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// One recurrent step: `h' = tanh(W_h h + W_x x + b)`.
+    pub fn step(&self, input: &Var, hidden: &Var) -> Var {
+        debug_assert_eq!(input.shape().0, self.input_size);
+        debug_assert_eq!(hidden.shape().0, self.hidden_size);
+        self.hidden_map
+            .forward(hidden)
+            .add(&self.input_map.forward(input))
+            .tanh()
+    }
+
+    /// All trainable parameters of the cell.
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut params = self.hidden_map.parameters();
+        params.extend(self.input_map.parameters());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lstm_step_produces_bounded_hidden_state() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cell = LstmCell::new(4, 8, &mut rng);
+        let mut state = LstmState::zeros(8);
+        for t in 0..10 {
+            let input = Var::constant(Matrix::filled(4, 1, (t as f64).sin()));
+            state = cell.step(&input, &state);
+            let h = state.h.value();
+            assert_eq!(h.shape(), (8, 1));
+            assert!(h.data().iter().all(|v| v.abs() <= 1.0 + 1e-9), "tanh-bounded");
+            assert!(h.is_finite());
+        }
+    }
+
+    #[test]
+    fn lstm_parameters_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cell = LstmCell::new(3, 5, &mut rng);
+        // 4 gates, each with weight + bias.
+        assert_eq!(cell.parameters().len(), 8);
+        assert_eq!(cell.input_size(), 3);
+        assert_eq!(cell.hidden_size(), 5);
+    }
+
+    #[test]
+    fn lstm_gradients_flow_to_all_gates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cell = LstmCell::new(2, 3, &mut rng);
+        let state = LstmState::zeros(3);
+        let input = Var::constant(Matrix::column(&[1.0, -1.0]));
+        let next = cell.step(&input, &state);
+        let loss = next.h.square().sum();
+        loss.backward();
+        let with_grad = cell
+            .parameters()
+            .iter()
+            .filter(|p| p.grad().frobenius_norm() > 0.0)
+            .count();
+        // The forget gate's gradient can be zero because c_0 = 0, but the other
+        // three gates (6 parameter tensors) must receive gradient.
+        assert!(with_grad >= 6, "only {with_grad} parameters received gradient");
+    }
+
+    #[test]
+    fn lstm_state_from_hidden_has_zero_cell() {
+        let h = Var::constant(Matrix::column(&[0.1, 0.2]));
+        let s = LstmState::from_hidden(h);
+        assert_eq!(s.c.value().sum(), 0.0);
+        assert_eq!(s.c.shape(), (2, 1));
+    }
+
+    #[test]
+    fn simple_cell_step_and_params() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cell = SimpleRecurrentCell::new(4, 6, &mut rng);
+        let h0 = Var::constant(Matrix::zeros(6, 1));
+        let x = Var::constant(Matrix::column(&[1.0, 2.0, 3.0, 4.0]));
+        let h1 = cell.step(&x, &h0);
+        assert_eq!(h1.shape(), (6, 1));
+        assert!(h1.value().data().iter().all(|v| v.abs() <= 1.0));
+        assert_eq!(cell.parameters().len(), 4);
+    }
+
+    #[test]
+    fn identical_inputs_give_identical_outputs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cell = LstmCell::new(2, 4, &mut rng);
+        let state = LstmState::zeros(4);
+        let input = Var::constant(Matrix::column(&[0.3, -0.7]));
+        let a = cell.step(&input, &state).h.value();
+        let b = cell.step(&input, &state).h.value();
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Multilayer perceptrons.
+
+use rand::Rng;
+use rm_tensor::Var;
+
+use crate::Linear;
+
+/// Activation function applied between MLP layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Rectified linear unit.
+    Relu,
+    /// No activation (identity).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a variable.
+    pub fn apply(self, x: &Var) -> Var {
+        match self {
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Relu => x.relu(),
+            Activation::Identity => x.clone(),
+        }
+    }
+}
+
+/// A feed-forward network of [`Linear`] layers with a hidden activation and an
+/// optional output activation.
+///
+/// BiSIM's attention alignment function (`e_ji = MLP(s_{j-1}, h''_i)`, Eq. 10)
+/// is an instance with a single hidden layer and a scalar output.
+#[derive(Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `&[8, 16, 1]` for a
+    /// network mapping 8 inputs through one 16-unit hidden layer to 1 output.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given.
+    pub fn new(
+        sizes: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    /// Input feature size.
+    pub fn in_features(&self) -> usize {
+        self.layers.first().map(Linear::in_features).unwrap_or(0)
+    }
+
+    /// Output feature size.
+    pub fn out_features(&self) -> usize {
+        self.layers.last().map(Linear::out_features).unwrap_or(0)
+    }
+
+    /// Applies the network to a `(in_features, batch)` input.
+    pub fn forward(&self, x: &Var) -> Var {
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            h = if i == last {
+                self.output_activation.apply(&h)
+            } else {
+                self.hidden_activation.apply(&h)
+            };
+        }
+        h
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(Linear::parameters).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rm_tensor::Matrix;
+
+    #[test]
+    fn mlp_shapes_and_parameter_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[4, 8, 3], Activation::Tanh, Activation::Identity, &mut rng);
+        assert_eq!(mlp.in_features(), 4);
+        assert_eq!(mlp.out_features(), 3);
+        // 2 layers x (weight + bias)
+        assert_eq!(mlp.parameters().len(), 4);
+        let x = Var::constant(Matrix::column(&[1.0, 2.0, 3.0, 4.0]));
+        assert_eq!(mlp.forward(&x).shape(), (3, 1));
+    }
+
+    #[test]
+    fn sigmoid_output_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let x = Var::constant(Matrix::column(&[100.0, -100.0]));
+        let y = mlp.forward(&x).scalar_value();
+        assert!((0.0..=1.0).contains(&y));
+    }
+
+    #[test]
+    fn gradients_reach_first_layer() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[3, 5, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let x = Var::constant(Matrix::column(&[0.5, -0.5, 1.0]));
+        let loss = mlp.forward(&x).square().sum();
+        loss.backward();
+        let first_layer_grad = mlp.parameters()[0].grad();
+        assert!(first_layer_grad.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn activation_apply_matches_var_ops() {
+        let x = Var::constant(Matrix::column(&[-1.0, 0.0, 2.0]));
+        assert!(Activation::Identity.apply(&x).value().approx_eq(&x.value(), 0.0));
+        assert!(Activation::Relu
+            .apply(&x)
+            .value()
+            .approx_eq(&Matrix::column(&[0.0, 0.0, 2.0]), 0.0));
+        let s = Activation::Sigmoid.apply(&x).value();
+        assert!((s.get(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn mlp_rejects_single_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = Mlp::new(&[4], Activation::Tanh, Activation::Identity, &mut rng);
+    }
+}

@@ -1,0 +1,241 @@
+//! Gradient-descent optimizers.
+
+use rm_tensor::{Matrix, Var};
+
+/// A first-order optimizer over a fixed set of parameters.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// the parameters.
+    fn step(&mut self);
+
+    /// Clears the accumulated gradients of all managed parameters.
+    fn zero_grad(&self);
+
+    /// The parameters managed by this optimizer.
+    fn parameters(&self) -> &[Var];
+}
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+pub struct Sgd {
+    params: Vec<Var>,
+    learning_rate: f64,
+    clip: Option<f64>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(params: Vec<Var>, learning_rate: f64) -> Self {
+        Self {
+            params,
+            learning_rate,
+            clip: None,
+        }
+    }
+
+    /// Enables element-wise gradient clipping to `[-clip, clip]`.
+    pub fn with_clip(mut self, clip: f64) -> Self {
+        self.clip = Some(clip);
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        let lr = self.learning_rate;
+        let clip = self.clip;
+        for p in &self.params {
+            p.update_value(|value, grad| {
+                for (v, g) in value.data_mut().iter_mut().zip(grad.data().iter()) {
+                    let g = match clip {
+                        Some(c) => g.clamp(-c, c),
+                        None => *g,
+                    };
+                    *v -= lr * g;
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Var] {
+        &self.params
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba), as used to train BiSIM and the neural
+/// baselines in the paper (learning rate 0.001).
+pub struct Adam {
+    params: Vec<Var>,
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    clip: Option<f64>,
+    step_count: u64,
+    first_moment: Vec<Matrix>,
+    second_moment: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard hyper-parameters
+    /// (`beta1 = 0.9`, `beta2 = 0.999`, `epsilon = 1e-8`).
+    pub fn new(params: Vec<Var>, learning_rate: f64) -> Self {
+        let first_moment = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        let second_moment = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        Self {
+            params,
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            clip: None,
+            step_count: 0,
+            first_moment,
+            second_moment,
+        }
+    }
+
+    /// Enables element-wise gradient clipping to `[-clip, clip]`.
+    pub fn with_clip(mut self, clip: f64) -> Self {
+        self.clip = Some(clip);
+        self
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step_count
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.step_count += 1;
+        let t = self.step_count as f64;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (i, p) in self.params.iter().enumerate() {
+            let m = &mut self.first_moment[i];
+            let v = &mut self.second_moment[i];
+            let (beta1, beta2, eps, lr, clip) = (
+                self.beta1,
+                self.beta2,
+                self.epsilon,
+                self.learning_rate,
+                self.clip,
+            );
+            p.update_value(|value, grad| {
+                for idx in 0..value.data().len() {
+                    let mut g = grad.data()[idx];
+                    if let Some(c) = clip {
+                        g = g.clamp(-c, c);
+                    }
+                    let m_i = beta1 * m.data()[idx] + (1.0 - beta1) * g;
+                    let v_i = beta2 * v.data()[idx] + (1.0 - beta2) * g * g;
+                    m.data_mut()[idx] = m_i;
+                    v.data_mut()[idx] = v_i;
+                    let m_hat = m_i / bias1;
+                    let v_hat = v_i / bias2;
+                    value.data_mut()[idx] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+        }
+    }
+
+    fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    fn parameters(&self) -> &[Var] {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimises (w - 3)^2 and checks convergence.
+    fn optimise_quadratic(mut opt: impl Optimizer, steps: usize) -> f64 {
+        for _ in 0..steps {
+            let w = opt.parameters()[0].clone();
+            opt.zero_grad();
+            let loss = w.add_const(-3.0).square().sum();
+            loss.backward();
+            opt.step();
+        }
+        opt.parameters()[0].value().get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
+        let final_w = optimise_quadratic(Sgd::new(vec![w], 0.1), 200);
+        assert!((final_w - 3.0).abs() < 1e-3, "w = {final_w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
+        let final_w = optimise_quadratic(Adam::new(vec![w], 0.1), 500);
+        assert!((final_w - 3.0).abs() < 1e-2, "w = {final_w}");
+    }
+
+    #[test]
+    fn adam_tracks_step_count_and_zeroes_grads() {
+        let w = Var::parameter(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut adam = Adam::new(vec![w.clone()], 0.01);
+        let loss = w.square().sum();
+        loss.backward();
+        assert!(w.grad().get(0, 0) != 0.0);
+        adam.step();
+        assert_eq!(adam.steps_taken(), 1);
+        adam.zero_grad();
+        assert_eq!(w.grad().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let w = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut opt = Sgd::new(vec![w.clone()], 1.0).with_clip(0.5);
+        opt.zero_grad();
+        // Gradient of 1000 * w at w=0 is 1000, clipped to 0.5.
+        let big = w.scale(1000.0).sum();
+        big.backward();
+        opt.step();
+        assert!((w.value().get(0, 0) + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_parameter_update_touches_all() {
+        let a = Var::parameter(Matrix::from_vec(1, 1, vec![1.0]));
+        let b = Var::parameter(Matrix::from_vec(1, 1, vec![2.0]));
+        let mut opt = Adam::new(vec![a.clone(), b.clone()], 0.05);
+        for _ in 0..50 {
+            opt.zero_grad();
+            let loss = a.square().add(&b.square()).sum();
+            loss.backward();
+            opt.step();
+        }
+        assert!(a.value().get(0, 0).abs() < 1.0);
+        assert!(b.value().get(0, 0).abs() < 2.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Random-forest regression for location estimation.
+//!
+//! The paper's third online location-estimation algorithm (`RF`) trains a
+//! random-forest regressor on the imputed radio map, with fingerprints as
+//! features and reference points as (2D) regression targets. This module
+//! implements CART regression trees with bagging and random feature subsets.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rm_geometry::Point;
+use rm_radiomap::DenseRadioMap;
+
+use crate::LocationEstimator;
+
+/// Configuration of the random forest.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of candidate features examined per split; `None` uses √D.
+    pub features_per_split: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            num_trees: 20,
+            max_depth: 12,
+            min_samples_split: 4,
+            features_per_split: None,
+            seed: 17,
+        }
+    }
+}
+
+/// A node of a regression tree.
+enum Node {
+    Leaf {
+        prediction: Point,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, fingerprint: &[f64]) -> Point {
+        match self {
+            Node::Leaf { prediction } => *prediction,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if fingerprint[*feature] <= *threshold {
+                    left.predict(fingerprint)
+                } else {
+                    right.predict(fingerprint)
+                }
+            }
+        }
+    }
+
+    /// Number of split levels along the deepest path (a single leaf is depth 0).
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// A random forest of 2D regression trees predicting `(x, y)` locations from
+/// dense fingerprints.
+pub struct RandomForest {
+    trees: Vec<Node>,
+    num_features: usize,
+}
+
+impl RandomForest {
+    /// Trains the forest on an imputed radio map.
+    pub fn train(map: &DenseRadioMap, config: &ForestConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = map.len();
+        let num_features = map.num_aps();
+        let mut trees = Vec::with_capacity(config.num_trees);
+        if n == 0 {
+            return Self {
+                trees,
+                num_features,
+            };
+        }
+        let features_per_split = config
+            .features_per_split
+            .unwrap_or_else(|| ((num_features as f64).sqrt().ceil() as usize).max(1));
+        for _ in 0..config.num_trees {
+            // Bootstrap sample.
+            let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let tree = build_tree(
+                map,
+                &indices,
+                0,
+                config,
+                features_per_split,
+                &mut rng,
+            );
+            trees.push(tree);
+        }
+        Self {
+            trees,
+            num_features,
+        }
+    }
+
+    /// Number of trained trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Maximum depth over all trees (useful for tests).
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+impl LocationEstimator for RandomForest {
+    fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
+        if self.trees.is_empty() || fingerprint.len() != self.num_features {
+            return None;
+        }
+        let sum = self
+            .trees
+            .iter()
+            .fold(Point::origin(), |acc, t| acc + t.predict(fingerprint));
+        Some(sum / self.trees.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+}
+
+/// Mean location of a set of samples.
+fn mean_location(map: &DenseRadioMap, indices: &[usize]) -> Point {
+    if indices.is_empty() {
+        return Point::origin();
+    }
+    let sum = indices
+        .iter()
+        .fold(Point::origin(), |acc, &i| acc + map.locations()[i]);
+    sum / indices.len() as f64
+}
+
+/// Sum of squared distances of the samples' locations to their mean — the
+/// variance criterion minimised by the splits.
+fn location_sse(map: &DenseRadioMap, indices: &[usize]) -> f64 {
+    let mean = mean_location(map, indices);
+    indices
+        .iter()
+        .map(|&i| map.locations()[i].distance_squared(mean))
+        .sum()
+}
+
+fn build_tree(
+    map: &DenseRadioMap,
+    indices: &[usize],
+    depth: usize,
+    config: &ForestConfig,
+    features_per_split: usize,
+    rng: &mut StdRng,
+) -> Node {
+    if depth >= config.max_depth
+        || indices.len() < config.min_samples_split
+        || location_sse(map, indices) < 1e-9
+    {
+        return Node::Leaf {
+            prediction: mean_location(map, indices),
+        };
+    }
+
+    let num_features = map.num_aps();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+    for _ in 0..features_per_split {
+        let feature = rng.gen_range(0..num_features);
+        // Candidate thresholds: a few random midpoints between observed values.
+        let mut values: Vec<f64> = indices.iter().map(|&i| map.fingerprints()[i][feature]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        for _ in 0..3 {
+            let pos = rng.gen_range(0..values.len() - 1);
+            let threshold = (values[pos] + values[pos + 1]) / 2.0;
+            let (left, right): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| map.fingerprints()[i][feature] <= threshold);
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let score = location_sse(map, &left) + location_sse(map, &right);
+            if best.map(|(_, _, s)| score < s).unwrap_or(true) {
+                best = Some((feature, threshold, score));
+            }
+        }
+    }
+
+    let Some((feature, threshold, _)) = best else {
+        return Node::Leaf {
+            prediction: mean_location(map, indices),
+        };
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| map.fingerprints()[i][feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return Node::Leaf {
+            prediction: mean_location(map, indices),
+        };
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build_tree(
+            map,
+            &left_idx,
+            depth + 1,
+            config,
+            features_per_split,
+            rng,
+        )),
+        right: Box::new(build_tree(
+            map,
+            &right_idx,
+            depth + 1,
+            config,
+            features_per_split,
+            rng,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic map where the first feature linearly encodes x and the
+    /// second encodes y — easily learnable by a regression forest.
+    fn learnable_map(n: usize) -> DenseRadioMap {
+        let mut fingerprints = Vec::new();
+        let mut locations = Vec::new();
+        for i in 0..n {
+            let x = (i % 10) as f64;
+            let y = (i / 10) as f64;
+            fingerprints.push(vec![-50.0 - x * 4.0, -50.0 - y * 4.0, -75.0]);
+            locations.push(Point::new(x, y));
+        }
+        DenseRadioMap::new(fingerprints, locations, 3)
+    }
+
+    #[test]
+    fn forest_learns_a_linear_mapping() {
+        let map = learnable_map(100);
+        let forest = RandomForest::train(&map, &ForestConfig::default());
+        assert_eq!(forest.num_trees(), 20);
+        let mut total_error = 0.0;
+        for i in 0..100 {
+            let (f, loc) = map.entry(i);
+            let est = forest.estimate(f).unwrap();
+            total_error += est.distance(loc);
+        }
+        let mean_error = total_error / 100.0;
+        assert!(mean_error < 2.0, "mean training error {mean_error} too high");
+    }
+
+    #[test]
+    fn forest_respects_max_depth() {
+        let map = learnable_map(60);
+        let config = ForestConfig {
+            max_depth: 3,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::train(&map, &config);
+        assert!(forest.max_depth() <= 3);
+    }
+
+    #[test]
+    fn forest_on_empty_map_returns_none() {
+        let empty = DenseRadioMap::new(vec![], vec![], 3);
+        let forest = RandomForest::train(&empty, &ForestConfig::default());
+        assert!(forest.estimate(&[-60.0, -60.0, -60.0]).is_none());
+    }
+
+    #[test]
+    fn forest_rejects_wrong_feature_count() {
+        let map = learnable_map(30);
+        let forest = RandomForest::train(&map, &ForestConfig::default());
+        assert!(forest.estimate(&[-60.0]).is_none());
+        assert_eq!(forest.name(), "RF");
+    }
+
+    #[test]
+    fn forest_is_deterministic_per_seed() {
+        let map = learnable_map(50);
+        let a = RandomForest::train(&map, &ForestConfig::default());
+        let b = RandomForest::train(&map, &ForestConfig::default());
+        let q = vec![-58.0, -62.0, -75.0];
+        assert_eq!(a.estimate(&q), b.estimate(&q));
+    }
+
+    #[test]
+    fn single_sample_map_predicts_that_location() {
+        let map = DenseRadioMap::new(vec![vec![-50.0, -60.0]], vec![Point::new(3.0, 4.0)], 2);
+        let forest = RandomForest::train(&map, &ForestConfig::default());
+        let est = forest.estimate(&[-50.0, -60.0]).unwrap();
+        assert_eq!(est, Point::new(3.0, 4.0));
+    }
+}

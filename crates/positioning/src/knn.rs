@@ -1,0 +1,171 @@
+//! KNN and weighted-KNN location estimation.
+
+use rm_geometry::Point;
+use rm_radiomap::DenseRadioMap;
+
+use crate::LocationEstimator;
+
+/// K-nearest-neighbour location estimation: the estimated location is the mean
+/// of the reference points of the `k` radio-map fingerprints closest (in
+/// Euclidean RSSI space) to the online fingerprint.
+#[derive(Debug, Clone)]
+pub struct Knn {
+    map: DenseRadioMap,
+    k: usize,
+}
+
+impl Knn {
+    /// Builds a KNN estimator over an imputed radio map. The paper uses
+    /// `k = 3` for both KNN and WKNN-style estimators.
+    pub fn new(map: DenseRadioMap, k: usize) -> Self {
+        Self { map, k: k.max(1) }
+    }
+
+    /// The `k` nearest entries as `(distance, location)` pairs, sorted by
+    /// increasing distance.
+    fn nearest(&self, fingerprint: &[f64]) -> Vec<(f64, Point)> {
+        let mut scored: Vec<(f64, Point)> = self
+            .map
+            .fingerprints()
+            .iter()
+            .zip(self.map.locations().iter())
+            .map(|(f, &loc)| (euclidean(fingerprint, f), loc))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(self.k);
+        scored
+    }
+}
+
+impl LocationEstimator for Knn {
+    fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
+        let nearest = self.nearest(fingerprint);
+        if nearest.is_empty() {
+            return None;
+        }
+        let sum = nearest
+            .iter()
+            .fold(Point::origin(), |acc, &(_, p)| acc + p);
+        Some(sum / nearest.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+/// Weighted KNN: like [`Knn`] but the neighbours' reference points are averaged
+/// with weights inversely proportional to their fingerprint distance.
+#[derive(Debug, Clone)]
+pub struct Wknn {
+    knn: Knn,
+}
+
+impl Wknn {
+    /// Builds a WKNN estimator over an imputed radio map.
+    pub fn new(map: DenseRadioMap, k: usize) -> Self {
+        Self {
+            knn: Knn::new(map, k),
+        }
+    }
+}
+
+impl LocationEstimator for Wknn {
+    fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
+        let nearest = self.knn.nearest(fingerprint);
+        if nearest.is_empty() {
+            return None;
+        }
+        let mut weight_sum = 0.0;
+        let mut acc = Point::origin();
+        for &(d, p) in &nearest {
+            let w = 1.0 / (d + 1e-6);
+            weight_sum += w;
+            acc = acc + p * w;
+        }
+        Some(acc / weight_sum)
+    }
+
+    fn name(&self) -> &'static str {
+        "WKNN"
+    }
+}
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three fingerprints at distinct locations; fingerprints are orthogonal so
+    /// the nearest neighbour is unambiguous.
+    fn map() -> DenseRadioMap {
+        DenseRadioMap::new(
+            vec![
+                vec![-50.0, -90.0, -90.0],
+                vec![-90.0, -50.0, -90.0],
+                vec![-90.0, -90.0, -50.0],
+            ],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(0.0, 10.0),
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn knn_with_k1_returns_exact_match_location() {
+        let knn = Knn::new(map(), 1);
+        let est = knn.estimate(&[-50.0, -90.0, -90.0]).unwrap();
+        assert_eq!(est, Point::new(0.0, 0.0));
+        assert_eq!(knn.name(), "KNN");
+    }
+
+    #[test]
+    fn knn_with_k3_returns_mean_of_all() {
+        let knn = Knn::new(map(), 3);
+        let est = knn.estimate(&[-70.0, -70.0, -70.0]).unwrap();
+        assert!((est.x - 10.0 / 3.0).abs() < 1e-9);
+        assert!((est.y - 10.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wknn_weights_towards_the_closest_fingerprint() {
+        let wknn = Wknn::new(map(), 3);
+        // A query close to fingerprint 0 but not identical.
+        let est = wknn.estimate(&[-52.0, -88.0, -90.0]).unwrap();
+        // The estimate must be pulled towards (0,0) compared to the unweighted mean.
+        assert!(est.x < 10.0 / 3.0);
+        assert!(est.y < 10.0 / 3.0);
+        assert_eq!(wknn.name(), "WKNN");
+    }
+
+    #[test]
+    fn wknn_exact_match_dominates() {
+        let wknn = Wknn::new(map(), 3);
+        let est = wknn.estimate(&[-90.0, -50.0, -90.0]).unwrap();
+        assert!(est.distance(Point::new(10.0, 0.0)) < 0.1);
+    }
+
+    #[test]
+    fn k_larger_than_map_uses_all_entries() {
+        let knn = Knn::new(map(), 100);
+        assert!(knn.estimate(&[-60.0, -60.0, -60.0]).is_some());
+    }
+
+    #[test]
+    fn empty_map_returns_none() {
+        let empty = DenseRadioMap::new(vec![], vec![], 3);
+        assert!(Knn::new(empty.clone(), 3).estimate(&[-50.0, -50.0, -50.0]).is_none());
+        assert!(Wknn::new(empty, 3).estimate(&[-50.0, -50.0, -50.0]).is_none());
+    }
+}

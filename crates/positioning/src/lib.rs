@@ -1,0 +1,164 @@
+//! Online location estimation and accuracy metrics (Section II-A and V-A).
+//!
+//! Given an imputed (dense) radio map, the online phase estimates a device's
+//! location from its observed fingerprint. Three estimators from the paper are
+//! provided:
+//!
+//! * [`Knn`] — mean of the `k` nearest fingerprints' reference points,
+//! * [`Wknn`] — inverse-distance-weighted mean (the paper's best performer),
+//! * [`RandomForest`] — a bagged CART regression forest.
+//!
+//! The [`metrics`] module implements APE, MAE and the RP Euclidean-distance
+//! error used by the evaluation figures, and [`evaluate_estimator`] runs the
+//! standard train/test protocol.
+
+pub mod forest;
+pub mod knn;
+pub mod metrics;
+
+pub use forest::{ForestConfig, RandomForest};
+pub use knn::{Knn, Wknn};
+pub use metrics::{
+    average_positioning_error, error_percentile, mean_absolute_error, mean_rp_distance,
+    root_mean_square_error,
+};
+
+use rm_geometry::Point;
+use rm_radiomap::DenseRadioMap;
+
+/// A fingerprint-based location estimator built over an imputed radio map.
+pub trait LocationEstimator {
+    /// Estimates the location of a device reporting `fingerprint` (a dense
+    /// RSSI vector over the same AP set as the radio map). Returns `None` when
+    /// the estimator has no usable training data.
+    fn estimate(&self, fingerprint: &[f64]) -> Option<Point>;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Which location-estimation algorithm to use; mirrors the three columns of
+/// Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Plain K-nearest neighbours.
+    Knn,
+    /// Weighted K-nearest neighbours.
+    Wknn,
+    /// Random-forest regression.
+    RandomForest,
+}
+
+impl EstimatorKind {
+    /// All estimator kinds, in the order of Table VI.
+    pub fn all() -> [EstimatorKind; 3] {
+        [
+            EstimatorKind::Knn,
+            EstimatorKind::Wknn,
+            EstimatorKind::RandomForest,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::Knn => "KNN",
+            EstimatorKind::Wknn => "WKNN",
+            EstimatorKind::RandomForest => "RF",
+        }
+    }
+
+    /// Builds the estimator of this kind over `map`. `k` is the neighbour
+    /// count for the KNN variants (the forest ignores it).
+    pub fn build(self, map: DenseRadioMap, k: usize) -> Box<dyn LocationEstimator> {
+        match self {
+            EstimatorKind::Knn => Box::new(Knn::new(map, k)),
+            EstimatorKind::Wknn => Box::new(Wknn::new(map, k)),
+            EstimatorKind::RandomForest => {
+                Box::new(RandomForest::train(&map, &ForestConfig::default()))
+            }
+        }
+    }
+}
+
+/// One online test query: the device's fingerprint and its ground-truth
+/// location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestQuery {
+    /// Dense fingerprint of the query.
+    pub fingerprint: Vec<f64>,
+    /// Ground-truth location.
+    pub location: Point,
+}
+
+/// Runs an estimator over a set of test queries and returns the average
+/// positioning error in metres. Queries the estimator declines (returns
+/// `None`) are skipped; returns `None` if no query could be answered.
+pub fn evaluate_estimator(
+    estimator: &dyn LocationEstimator,
+    queries: &[TestQuery],
+) -> Option<f64> {
+    let mut estimates = Vec::new();
+    let mut truths = Vec::new();
+    for q in queries {
+        if let Some(est) = estimator.estimate(&q.fingerprint) {
+            estimates.push(est);
+            truths.push(q.location);
+        }
+    }
+    average_positioning_error(&estimates, &truths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> DenseRadioMap {
+        DenseRadioMap::new(
+            vec![
+                vec![-50.0, -90.0],
+                vec![-90.0, -50.0],
+                vec![-70.0, -70.0],
+            ],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(5.0, 5.0),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn estimator_kind_builds_all_three() {
+        for kind in EstimatorKind::all() {
+            let estimator = kind.build(map(), 2);
+            assert_eq!(estimator.name(), kind.name());
+            assert!(estimator.estimate(&[-55.0, -85.0]).is_some());
+        }
+    }
+
+    #[test]
+    fn evaluate_estimator_computes_ape() {
+        let estimator = EstimatorKind::Knn.build(map(), 1);
+        let queries = vec![
+            TestQuery {
+                fingerprint: vec![-50.0, -90.0],
+                location: Point::new(0.0, 0.0),
+            },
+            TestQuery {
+                fingerprint: vec![-90.0, -50.0],
+                location: Point::new(10.0, 2.0),
+            },
+        ];
+        // First query exact (error 0), second off by 2 m vertically.
+        let ape = evaluate_estimator(estimator.as_ref(), &queries).unwrap();
+        assert!((ape - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_estimator_with_no_queries_is_none() {
+        let estimator = EstimatorKind::Wknn.build(map(), 3);
+        assert_eq!(evaluate_estimator(estimator.as_ref(), &[]), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Accuracy metrics used throughout the evaluation.
+
+use rm_geometry::Point;
+
+/// Average positioning error (APE): the mean Euclidean distance between
+/// estimated and ground-truth locations, in metres. Returns `None` for an
+/// empty input.
+pub fn average_positioning_error(estimates: &[Point], ground_truth: &[Point]) -> Option<f64> {
+    if estimates.is_empty() || estimates.len() != ground_truth.len() {
+        return None;
+    }
+    let total: f64 = estimates
+        .iter()
+        .zip(ground_truth.iter())
+        .map(|(e, g)| e.distance(*g))
+        .sum();
+    Some(total / estimates.len() as f64)
+}
+
+/// Mean absolute error between imputed and ground-truth RSSI values, in dBm.
+/// Used for Fig. 14 (removal ratio β vs MAE). Returns `None` for an empty
+/// input.
+pub fn mean_absolute_error(imputed: &[f64], ground_truth: &[f64]) -> Option<f64> {
+    if imputed.is_empty() || imputed.len() != ground_truth.len() {
+        return None;
+    }
+    let total: f64 = imputed
+        .iter()
+        .zip(ground_truth.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    Some(total / imputed.len() as f64)
+}
+
+/// Mean Euclidean distance between imputed and ground-truth reference points,
+/// in metres. Used for Fig. 15 (removal ratio β vs RP error). Returns `None`
+/// for an empty input.
+pub fn mean_rp_distance(imputed: &[Point], ground_truth: &[Point]) -> Option<f64> {
+    average_positioning_error(imputed, ground_truth)
+}
+
+/// Root-mean-square error between imputed and ground-truth RSSI values.
+pub fn root_mean_square_error(imputed: &[f64], ground_truth: &[f64]) -> Option<f64> {
+    if imputed.is_empty() || imputed.len() != ground_truth.len() {
+        return None;
+    }
+    let total: f64 = imputed
+        .iter()
+        .zip(ground_truth.iter())
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    Some((total / imputed.len() as f64).sqrt())
+}
+
+/// The p-th percentile (0–100) of positioning errors; useful to report tail
+/// accuracy alongside APE. Returns `None` for empty input.
+pub fn error_percentile(estimates: &[Point], ground_truth: &[Point], p: f64) -> Option<f64> {
+    if estimates.is_empty() || estimates.len() != ground_truth.len() {
+        return None;
+    }
+    let mut errors: Vec<f64> = estimates
+        .iter()
+        .zip(ground_truth.iter())
+        .map(|(e, g)| e.distance(*g))
+        .collect();
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * (errors.len() - 1) as f64).round() as usize;
+    Some(errors[rank])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ape_of_exact_estimates_is_zero() {
+        let pts = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+        assert_eq!(average_positioning_error(&pts, &pts), Some(0.0));
+    }
+
+    #[test]
+    fn ape_averages_distances() {
+        let est = vec![Point::new(0.0, 0.0), Point::new(0.0, 0.0)];
+        let gt = vec![Point::new(3.0, 4.0), Point::new(0.0, 0.0)];
+        assert_eq!(average_positioning_error(&est, &gt), Some(2.5));
+    }
+
+    #[test]
+    fn ape_rejects_mismatched_or_empty_inputs() {
+        assert_eq!(average_positioning_error(&[], &[]), None);
+        assert_eq!(
+            average_positioning_error(&[Point::origin()], &[]),
+            None
+        );
+    }
+
+    #[test]
+    fn mae_and_rmse() {
+        let imputed = vec![-70.0, -80.0, -60.0];
+        let truth = vec![-72.0, -78.0, -60.0];
+        assert!((mean_absolute_error(&imputed, &truth).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        let rmse = root_mean_square_error(&imputed, &truth).unwrap();
+        assert!((rmse - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_absolute_error(&[], &[]), None);
+        assert_eq!(root_mean_square_error(&[1.0], &[]), None);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let est = vec![
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(10.0, 0.0),
+        ];
+        let gt = vec![Point::origin(); 3];
+        assert_eq!(error_percentile(&est, &gt, 0.0), Some(1.0));
+        assert_eq!(error_percentile(&est, &gt, 100.0), Some(10.0));
+        assert_eq!(error_percentile(&est, &gt, 50.0), Some(2.0));
+        assert_eq!(error_percentile(&[], &[], 50.0), None);
+    }
+
+    #[test]
+    fn mean_rp_distance_matches_ape() {
+        let a = vec![Point::new(0.0, 0.0)];
+        let b = vec![Point::new(0.0, 5.0)];
+        assert_eq!(mean_rp_distance(&a, &b), Some(5.0));
+    }
+}

@@ -1,0 +1,252 @@
+//! Fingerprints: vectors of (possibly missing) RSSI values.
+
+/// The lowest possible observed RSSI value in dBm (Section I of the paper:
+/// observed RSSIs lie in `[-99, 0]` dBm).
+pub const MIN_OBSERVED_RSSI: f64 = -99.0;
+
+/// The highest possible RSSI value in dBm.
+pub const MAX_OBSERVED_RSSI: f64 = 0.0;
+
+/// The value used to fill MNAR entries: `-100` dBm, strictly below every
+/// observable RSSI, reflecting that the access point is unobservable.
+pub const MNAR_FILL_VALUE: f64 = -100.0;
+
+/// A Wi-Fi (or Bluetooth) fingerprint: one optional RSSI per access point.
+///
+/// `None` encodes a `null` in the radio map — a missing RSSI that is later
+/// classified as MAR or MNAR by the differentiator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    rssis: Vec<Option<f64>>,
+}
+
+impl Fingerprint {
+    /// Creates a fingerprint from per-AP optional RSSIs.
+    pub fn new(rssis: Vec<Option<f64>>) -> Self {
+        Self { rssis }
+    }
+
+    /// Creates an all-null fingerprint over `num_aps` access points.
+    pub fn empty(num_aps: usize) -> Self {
+        Self {
+            rssis: vec![None; num_aps],
+        }
+    }
+
+    /// Creates a fully-observed fingerprint from dense values.
+    pub fn dense(values: &[f64]) -> Self {
+        Self {
+            rssis: values.iter().map(|&v| Some(v)).collect(),
+        }
+    }
+
+    /// Number of access points (the fingerprint dimensionality `D`).
+    pub fn num_aps(&self) -> usize {
+        self.rssis.len()
+    }
+
+    /// The optional RSSI of access point `ap`.
+    pub fn get(&self, ap: usize) -> Option<f64> {
+        self.rssis.get(ap).copied().flatten()
+    }
+
+    /// Sets the RSSI of access point `ap`.
+    ///
+    /// # Panics
+    /// Panics if `ap` is out of range.
+    pub fn set(&mut self, ap: usize, value: Option<f64>) {
+        self.rssis[ap] = value;
+    }
+
+    /// Raw per-AP optional values.
+    pub fn values(&self) -> &[Option<f64>] {
+        &self.rssis
+    }
+
+    /// Returns `true` if the RSSI of access point `ap` is observed.
+    pub fn is_observed(&self, ap: usize) -> bool {
+        self.get(ap).is_some()
+    }
+
+    /// Number of observed (non-null) RSSIs.
+    pub fn observed_count(&self) -> usize {
+        self.rssis.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of missing (null) RSSIs.
+    pub fn missing_count(&self) -> usize {
+        self.num_aps() - self.observed_count()
+    }
+
+    /// Fraction of missing RSSIs in `[0, 1]`; 0 for an empty fingerprint.
+    pub fn missing_rate(&self) -> f64 {
+        if self.rssis.is_empty() {
+            0.0
+        } else {
+            self.missing_count() as f64 / self.num_aps() as f64
+        }
+    }
+
+    /// Indices of the observed access points.
+    pub fn observed_aps(&self) -> Vec<usize> {
+        self.rssis
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The BINARIZATION of Algorithm 1: a `{0, 1}` vector with 1 where the AP
+    /// is observed.
+    pub fn binarize(&self) -> Vec<f64> {
+        self.rssis
+            .iter()
+            .map(|r| if r.is_some() { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Converts the fingerprint into a dense vector, replacing nulls with
+    /// `fill`.
+    pub fn to_dense(&self, fill: f64) -> Vec<f64> {
+        self.rssis.iter().map(|r| r.unwrap_or(fill)).collect()
+    }
+
+    /// Element-wise average of two fingerprints over the same AP set, as used
+    /// by Step 1 of radio-map creation: where both observe an AP the mean is
+    /// taken, where only one observes it that value is kept, otherwise the
+    /// entry stays null.
+    ///
+    /// # Panics
+    /// Panics if the dimensionalities differ.
+    pub fn merge_average(&self, other: &Fingerprint) -> Fingerprint {
+        assert_eq!(
+            self.num_aps(),
+            other.num_aps(),
+            "cannot merge fingerprints of different dimensionality"
+        );
+        let rssis = self
+            .rssis
+            .iter()
+            .zip(other.rssis.iter())
+            .map(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => Some((x + y) / 2.0),
+                (Some(x), None) => Some(*x),
+                (None, Some(y)) => Some(*y),
+                (None, None) => None,
+            })
+            .collect();
+        Fingerprint::new(rssis)
+    }
+
+    /// Euclidean distance between the observed-in-both parts of two
+    /// fingerprints; access points missing in either fingerprint are skipped.
+    /// Returns `None` when no AP is observed in both.
+    pub fn observed_distance(&self, other: &Fingerprint) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (a, b) in self.rssis.iter().zip(other.rssis.iter()) {
+            if let (Some(x), Some(y)) = (a, b) {
+                let d = x - y;
+                sum += d * d;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum.sqrt())
+        }
+    }
+}
+
+impl From<Vec<Option<f64>>> for Fingerprint {
+    fn from(rssis: Vec<Option<f64>>) -> Self {
+        Fingerprint::new(rssis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Fingerprint {
+        Fingerprint::new(vec![Some(-70.0), None, Some(-80.0), None, None])
+    }
+
+    #[test]
+    fn counting_and_rates() {
+        let f = sample();
+        assert_eq!(f.num_aps(), 5);
+        assert_eq!(f.observed_count(), 2);
+        assert_eq!(f.missing_count(), 3);
+        assert!((f.missing_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(f.observed_aps(), vec![0, 2]);
+        assert_eq!(Fingerprint::empty(0).missing_rate(), 0.0);
+    }
+
+    #[test]
+    fn get_set_and_observed() {
+        let mut f = sample();
+        assert_eq!(f.get(0), Some(-70.0));
+        assert_eq!(f.get(1), None);
+        assert_eq!(f.get(99), None);
+        assert!(f.is_observed(0));
+        assert!(!f.is_observed(1));
+        f.set(1, Some(-55.0));
+        assert_eq!(f.get(1), Some(-55.0));
+        f.set(0, None);
+        assert!(!f.is_observed(0));
+    }
+
+    #[test]
+    fn binarize_matches_observations() {
+        let f = sample();
+        assert_eq!(f.binarize(), vec![1.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn to_dense_fills_nulls() {
+        let f = sample();
+        assert_eq!(
+            f.to_dense(MNAR_FILL_VALUE),
+            vec![-70.0, -100.0, -80.0, -100.0, -100.0]
+        );
+    }
+
+    #[test]
+    fn merge_average_follows_step1_rules() {
+        let a = Fingerprint::new(vec![Some(-70.0), Some(-83.0), None]);
+        let b = Fingerprint::new(vec![Some(-72.0), None, None]);
+        let merged = a.merge_average(&b);
+        assert_eq!(merged.get(0), Some(-71.0)); // both observed: mean
+        assert_eq!(merged.get(1), Some(-83.0)); // only in a
+        assert_eq!(merged.get(2), None); // in neither
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimensionality")]
+    fn merge_average_rejects_mismatched_dims() {
+        let a = Fingerprint::empty(3);
+        let b = Fingerprint::empty(4);
+        let _ = a.merge_average(&b);
+    }
+
+    #[test]
+    fn observed_distance_skips_missing() {
+        let a = Fingerprint::new(vec![Some(0.0), Some(3.0), None]);
+        let b = Fingerprint::new(vec![Some(4.0), None, Some(1.0)]);
+        // Only AP 0 is observed in both: distance 4.
+        assert_eq!(a.observed_distance(&b), Some(4.0));
+        let c = Fingerprint::new(vec![None, Some(1.0), None]);
+        let d = Fingerprint::new(vec![Some(1.0), None, None]);
+        assert_eq!(c.observed_distance(&d), None);
+    }
+
+    #[test]
+    fn dense_constructor_observes_everything() {
+        let f = Fingerprint::dense(&[-50.0, -60.0]);
+        assert_eq!(f.observed_count(), 2);
+        assert_eq!(f.missing_rate(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Radio-map data model for fingerprinting-based indoor positioning.
+//!
+//! This crate defines the data structures shared by every component of the
+//! imputation framework:
+//!
+//! * [`Fingerprint`] — a vector of optional RSSIs over `D` access points,
+//! * [`RadioMapRecord`] / [`RadioMap`] — the sparse radio map produced by a
+//!   walking survey, grouped into survey paths,
+//! * [`WalkingSurveyTable`] — raw survey records and the two-step radio-map
+//!   creation of Section II-B of the paper,
+//! * [`MaskMatrix`] — the `{-1, 0, 1}` MNAR/MAR/observed mask produced by the
+//!   missing-RSSI differentiator,
+//! * [`DenseRadioMap`] — a fully-imputed map usable by location estimation,
+//! * [`perturb`] — controlled removal of observations (the `α`/`β` removal
+//!   ratios of the evaluation) with ground truth for error measurement,
+//! * [`RadioMapStats`] — Table V-style venue statistics.
+
+pub mod fingerprint;
+pub mod mask;
+pub mod perturb;
+pub mod radiomap;
+pub mod stats;
+pub mod survey;
+
+pub use fingerprint::{
+    Fingerprint, MAX_OBSERVED_RSSI, MIN_OBSERVED_RSSI, MNAR_FILL_VALUE,
+};
+pub use mask::{EntryKind, MaskMatrix};
+pub use perturb::{
+    remove_random_rps, remove_random_rssis, split_test_records, RemovedRp, RemovedRssi,
+};
+pub use radiomap::{DenseRadioMap, RadioMap, RadioMapRecord};
+pub use stats::RadioMapStats;
+pub use survey::{SurveyEntry, SurveyMeasurement, WalkingSurveyTable};

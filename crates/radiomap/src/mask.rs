@@ -1,0 +1,208 @@
+//! The radio-map mask matrix `M ∈ {-1, 0, 1}^{N×D}`.
+
+/// Classification of a single RSSI entry in the radio map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// The RSSI was observed (mask value `1`).
+    Observed,
+    /// Missing At Random — the AP was observable but the reading was lost to a
+    /// random event (mask value `0`).
+    Mar,
+    /// Missing Not At Random — the AP is unobservable at this location
+    /// (mask value `-1`).
+    Mnar,
+}
+
+impl EntryKind {
+    /// The numeric encoding used by the paper: 1, 0, −1.
+    pub fn as_i8(self) -> i8 {
+        match self {
+            EntryKind::Observed => 1,
+            EntryKind::Mar => 0,
+            EntryKind::Mnar => -1,
+        }
+    }
+
+    /// Parses the numeric encoding.
+    ///
+    /// # Panics
+    /// Panics on values outside `{-1, 0, 1}`.
+    pub fn from_i8(v: i8) -> Self {
+        match v {
+            1 => EntryKind::Observed,
+            0 => EntryKind::Mar,
+            -1 => EntryKind::Mnar,
+            other => panic!("invalid mask value {other}"),
+        }
+    }
+}
+
+/// The `N × D` mask matrix returned by the missing-RSSI differentiator
+/// (Algorithm 2): `Observed` for observed entries, `Mar` / `Mnar` for the two
+/// kinds of missing entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<EntryKind>,
+}
+
+impl MaskMatrix {
+    /// Creates a mask with every entry marked `Observed` (matching the
+    /// initialisation `M ← 1^{N×D}` in Algorithm 2).
+    pub fn all_observed(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![EntryKind::Observed; rows * cols],
+        }
+    }
+
+    /// Number of radio-map records (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of access points (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The kind of entry `(record, ap)`.
+    pub fn get(&self, record: usize, ap: usize) -> EntryKind {
+        debug_assert!(record < self.rows && ap < self.cols);
+        self.data[record * self.cols + ap]
+    }
+
+    /// Sets the kind of entry `(record, ap)`.
+    pub fn set(&mut self, record: usize, ap: usize, kind: EntryKind) {
+        debug_assert!(record < self.rows && ap < self.cols);
+        self.data[record * self.cols + ap] = kind;
+    }
+
+    /// Counts entries of each kind: `(observed, mar, mnar)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut observed = 0;
+        let mut mar = 0;
+        let mut mnar = 0;
+        for &k in &self.data {
+            match k {
+                EntryKind::Observed => observed += 1,
+                EntryKind::Mar => mar += 1,
+                EntryKind::Mnar => mnar += 1,
+            }
+        }
+        (observed, mar, mnar)
+    }
+
+    /// Fraction of missing entries (MAR + MNAR) classified as MAR; `None` when
+    /// nothing is missing.
+    pub fn mar_fraction(&self) -> Option<f64> {
+        let (_, mar, mnar) = self.counts();
+        let missing = mar + mnar;
+        if missing == 0 {
+            None
+        } else {
+            Some(mar as f64 / missing as f64)
+        }
+    }
+
+    /// The amended mask `M'` used by the data imputer (Section IV): MNARs are
+    /// filled with −100 dBm and re-marked as observed, so the result contains
+    /// only `Observed` and `Mar`.
+    pub fn amend_mnars_as_observed(&self) -> MaskMatrix {
+        let data = self
+            .data
+            .iter()
+            .map(|&k| match k {
+                EntryKind::Mnar => EntryKind::Observed,
+                other => other,
+            })
+            .collect();
+        MaskMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// A row of the mask as the `{0, 1}` vector `m_i` fed to the imputer:
+    /// 1 for `Observed`, 0 for `Mar` (and 0 for `Mnar`, which the imputer
+    /// never sees because MNARs are amended first).
+    pub fn observation_vector(&self, record: usize) -> Vec<f64> {
+        (0..self.cols)
+            .map(|ap| match self.get(record, ap) {
+                EntryKind::Observed => 1.0,
+                _ => 0.0,
+            })
+            .collect()
+    }
+
+    /// Iterates over `(record, ap, kind)` for all entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, EntryKind)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &k)| (i / cols, i % cols, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_kind_roundtrip() {
+        for kind in [EntryKind::Observed, EntryKind::Mar, EntryKind::Mnar] {
+            assert_eq!(EntryKind::from_i8(kind.as_i8()), kind);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mask value")]
+    fn entry_kind_rejects_invalid() {
+        let _ = EntryKind::from_i8(5);
+    }
+
+    #[test]
+    fn counts_and_fraction() {
+        let mut m = MaskMatrix::all_observed(2, 3);
+        assert_eq!(m.counts(), (6, 0, 0));
+        assert_eq!(m.mar_fraction(), None);
+        m.set(0, 1, EntryKind::Mar);
+        m.set(1, 2, EntryKind::Mnar);
+        m.set(1, 0, EntryKind::Mnar);
+        assert_eq!(m.counts(), (3, 1, 2));
+        assert!((m.mar_fraction().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amend_mnars_flips_only_mnars() {
+        let mut m = MaskMatrix::all_observed(1, 3);
+        m.set(0, 0, EntryKind::Mar);
+        m.set(0, 1, EntryKind::Mnar);
+        let amended = m.amend_mnars_as_observed();
+        assert_eq!(amended.get(0, 0), EntryKind::Mar);
+        assert_eq!(amended.get(0, 1), EntryKind::Observed);
+        assert_eq!(amended.get(0, 2), EntryKind::Observed);
+        // Original is untouched.
+        assert_eq!(m.get(0, 1), EntryKind::Mnar);
+    }
+
+    #[test]
+    fn observation_vector_marks_only_observed() {
+        let mut m = MaskMatrix::all_observed(1, 4);
+        m.set(0, 1, EntryKind::Mar);
+        m.set(0, 3, EntryKind::Mnar);
+        assert_eq!(m.observation_vector(0), vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let m = MaskMatrix::all_observed(2, 2);
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[3], (1, 1, EntryKind::Observed));
+    }
+}

@@ -1,0 +1,214 @@
+//! Controlled perturbation of radio maps for evaluation.
+//!
+//! The paper's experiments remove a fraction of observed values and use the
+//! removed values as ground truth:
+//!
+//! * the removal ratio `α` (Section V-B) nullifies observed RSSIs *before*
+//!   differentiation, stressing the differentiators under higher sparsity;
+//! * the removal ratio `β` (Section V-C) nullifies observed RSSIs or RPs
+//!   *after* MNAR filling, providing ground truth for imputation error
+//!   (MAE on RSSIs, Euclidean distance on RPs).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use rm_geometry::Point;
+
+use crate::radiomap::RadioMap;
+
+/// A removed RSSI observation: record index, AP index and the original value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemovedRssi {
+    /// Record (row) index in the radio map.
+    pub record: usize,
+    /// Access-point (column) index.
+    pub ap: usize,
+    /// The value that was removed, in dBm.
+    pub value: f64,
+}
+
+/// A removed reference point: record index and the original location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemovedRp {
+    /// Record index in the radio map.
+    pub record: usize,
+    /// The location that was removed.
+    pub location: Point,
+}
+
+/// Randomly nullifies a fraction `ratio` of the *observed* RSSI entries.
+///
+/// Returns the modified map and the list of removed observations (the ground
+/// truth for imputation-error evaluation).
+pub fn remove_random_rssis(
+    map: &RadioMap,
+    ratio: f64,
+    rng: &mut impl Rng,
+) -> (RadioMap, Vec<RemovedRssi>) {
+    let mut observed: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, record) in map.records().iter().enumerate() {
+        for ap in 0..map.num_aps() {
+            if let Some(v) = record.fingerprint.get(ap) {
+                observed.push((i, ap, v));
+            }
+        }
+    }
+    observed.shuffle(rng);
+    let to_remove = ((observed.len() as f64) * ratio.clamp(0.0, 1.0)).round() as usize;
+    let removed: Vec<RemovedRssi> = observed
+        .into_iter()
+        .take(to_remove)
+        .map(|(record, ap, value)| RemovedRssi { record, ap, value })
+        .collect();
+
+    let mut new_map = map.clone();
+    for r in &removed {
+        new_map.records_mut()[r.record].fingerprint.set(r.ap, None);
+    }
+    (new_map, removed)
+}
+
+/// Randomly nullifies a fraction `ratio` of the *observed* reference points.
+///
+/// Returns the modified map and the removed `(record, location)` pairs.
+pub fn remove_random_rps(
+    map: &RadioMap,
+    ratio: f64,
+    rng: &mut impl Rng,
+) -> (RadioMap, Vec<RemovedRp>) {
+    let mut observed: Vec<(usize, Point)> = map
+        .records()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.rp.map(|p| (i, p)))
+        .collect();
+    observed.shuffle(rng);
+    let to_remove = ((observed.len() as f64) * ratio.clamp(0.0, 1.0)).round() as usize;
+    let removed: Vec<RemovedRp> = observed
+        .into_iter()
+        .take(to_remove)
+        .map(|(record, location)| RemovedRp { record, location })
+        .collect();
+
+    let mut new_map = map.clone();
+    for r in &removed {
+        new_map.records_mut()[r.record].rp = None;
+    }
+    (new_map, removed)
+}
+
+/// Splits the records that have observed RPs into a test set (a fraction
+/// `test_fraction` of them, with their RPs as ground-truth locations) and
+/// returns `(training map, test record indices)`. This mirrors the evaluation
+/// control of Section V-A: 10 % of records with observed RPs become online
+/// test queries.
+pub fn split_test_records(
+    map: &RadioMap,
+    test_fraction: f64,
+    rng: &mut impl Rng,
+) -> (RadioMap, Vec<usize>) {
+    let mut rp_records: Vec<usize> = map
+        .records()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.has_rp())
+        .map(|(i, _)| i)
+        .collect();
+    rp_records.shuffle(rng);
+    let test_count = ((rp_records.len() as f64) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    let test_indices: Vec<usize> = rp_records.into_iter().take(test_count).collect();
+
+    let training = map.clone();
+    (training, test_indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+    use crate::radiomap::RadioMapRecord;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_map(n: usize, d: usize) -> RadioMap {
+        let records = (0..n)
+            .map(|i| {
+                RadioMapRecord::new(
+                    Fingerprint::dense(&vec![-60.0 - i as f64; d]),
+                    Some(Point::new(i as f64, 0.0)),
+                    i as f64,
+                    0,
+                )
+            })
+            .collect();
+        RadioMap::new(records, d)
+    }
+
+    #[test]
+    fn remove_rssis_respects_ratio_and_returns_ground_truth() {
+        let map = dense_map(10, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (perturbed, removed) = remove_random_rssis(&map, 0.25, &mut rng);
+        assert_eq!(removed.len(), 20); // 25% of 80
+        let missing: usize = perturbed
+            .records()
+            .iter()
+            .map(|r| r.fingerprint.missing_count())
+            .sum();
+        assert_eq!(missing, 20);
+        // Ground-truth values match the original map.
+        for r in &removed {
+            assert_eq!(map.record(r.record).fingerprint.get(r.ap), Some(r.value));
+            assert_eq!(perturbed.record(r.record).fingerprint.get(r.ap), None);
+        }
+    }
+
+    #[test]
+    fn remove_rssis_with_zero_and_full_ratio() {
+        let map = dense_map(4, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (same, removed) = remove_random_rssis(&map, 0.0, &mut rng);
+        assert!(removed.is_empty());
+        assert_eq!(same, map);
+        let (empty, removed_all) = remove_random_rssis(&map, 1.0, &mut rng);
+        assert_eq!(removed_all.len(), 12);
+        assert_eq!(empty.observed_rssi_count(), 0);
+    }
+
+    #[test]
+    fn remove_rps_respects_ratio() {
+        let map = dense_map(10, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (perturbed, removed) = remove_random_rps(&map, 0.5, &mut rng);
+        assert_eq!(removed.len(), 5);
+        assert_eq!(perturbed.observed_rp_count(), 5);
+        for r in &removed {
+            assert_eq!(map.record(r.record).rp, Some(r.location));
+            assert_eq!(perturbed.record(r.record).rp, None);
+        }
+    }
+
+    #[test]
+    fn split_test_records_selects_only_rp_records() {
+        let mut map = dense_map(10, 2);
+        // Drop RPs from half of the records.
+        for i in 0..5 {
+            map.records_mut()[i].rp = None;
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, test_indices) = split_test_records(&map, 0.4, &mut rng);
+        assert_eq!(test_indices.len(), 2); // 40% of 5
+        for &i in &test_indices {
+            assert!(map.record(i).has_rp());
+        }
+    }
+
+    #[test]
+    fn removal_is_deterministic_given_seed() {
+        let map = dense_map(6, 4);
+        let (a, ra) = remove_random_rssis(&map, 0.3, &mut StdRng::seed_from_u64(9));
+        let (b, rb) = remove_random_rssis(&map, 0.3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+}

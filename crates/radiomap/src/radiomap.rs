@@ -1,0 +1,405 @@
+//! Radio maps: sequences of `(fingerprint, reference point)` records.
+
+use rm_geometry::Point;
+
+use crate::fingerprint::Fingerprint;
+
+/// A single radio-map record: a fingerprint, an optional reference point and
+/// the collection timestamp (seconds since the start of the survey).
+///
+/// The paper's radio map (Table III) does not store timestamps explicitly, but
+/// they are produced by radio-map creation and needed by the imputer's
+/// time-lag mechanism, so they are carried along here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioMapRecord {
+    /// The fingerprint of optional RSSIs.
+    pub fingerprint: Fingerprint,
+    /// The reference point, or `None` when the location label is missing.
+    pub rp: Option<Point>,
+    /// Collection time in seconds.
+    pub time: f64,
+    /// Identifier of the survey path this record was collected on.
+    pub path_id: usize,
+}
+
+impl RadioMapRecord {
+    /// Creates a record.
+    pub fn new(fingerprint: Fingerprint, rp: Option<Point>, time: f64, path_id: usize) -> Self {
+        Self {
+            fingerprint,
+            rp,
+            time,
+            path_id,
+        }
+    }
+
+    /// Returns `true` if the reference point is observed.
+    pub fn has_rp(&self) -> bool {
+        self.rp.is_some()
+    }
+}
+
+/// A sparse radio map: `N` records over `D` access points, grouped into survey
+/// paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioMap {
+    records: Vec<RadioMapRecord>,
+    num_aps: usize,
+}
+
+impl RadioMap {
+    /// Creates a radio map from records.
+    ///
+    /// # Panics
+    /// Panics if any record's fingerprint dimensionality differs from
+    /// `num_aps`.
+    pub fn new(records: Vec<RadioMapRecord>, num_aps: usize) -> Self {
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(
+                r.fingerprint.num_aps(),
+                num_aps,
+                "record {i} has {} APs, expected {num_aps}",
+                r.fingerprint.num_aps()
+            );
+        }
+        Self { records, num_aps }
+    }
+
+    /// An empty radio map over `num_aps` access points.
+    pub fn empty(num_aps: usize) -> Self {
+        Self {
+            records: Vec::new(),
+            num_aps,
+        }
+    }
+
+    /// Number of records `N`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the map has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of access points `D` (fingerprint dimensionality).
+    pub fn num_aps(&self) -> usize {
+        self.num_aps
+    }
+
+    /// All records in collection order.
+    pub fn records(&self) -> &[RadioMapRecord] {
+        &self.records
+    }
+
+    /// Mutable access to the records.
+    pub fn records_mut(&mut self) -> &mut [RadioMapRecord] {
+        &mut self.records
+    }
+
+    /// The record at `index`.
+    pub fn record(&self, index: usize) -> &RadioMapRecord {
+        &self.records[index]
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    /// Panics if the fingerprint dimensionality does not match.
+    pub fn push(&mut self, record: RadioMapRecord) {
+        assert_eq!(record.fingerprint.num_aps(), self.num_aps);
+        self.records.push(record);
+    }
+
+    /// Number of distinct survey paths.
+    pub fn num_paths(&self) -> usize {
+        let mut ids: Vec<usize> = self.records.iter().map(|r| r.path_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Groups record indices by survey path, preserving record order within
+    /// each path. Sequence models (BiSIM, BRITS) operate per path.
+    pub fn path_record_indices(&self) -> Vec<Vec<usize>> {
+        let mut paths: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            match paths.iter_mut().find(|(id, _)| *id == r.path_id) {
+                Some((_, v)) => v.push(i),
+                None => paths.push((r.path_id, vec![i])),
+            }
+        }
+        paths.sort_by_key(|(id, _)| *id);
+        paths.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Number of records with an observed reference point.
+    pub fn observed_rp_count(&self) -> usize {
+        self.records.iter().filter(|r| r.has_rp()).count()
+    }
+
+    /// Fraction of records whose reference point is missing.
+    pub fn missing_rp_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            1.0 - self.observed_rp_count() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Fraction of missing RSSI entries over the whole `N × D` matrix.
+    pub fn missing_rssi_rate(&self) -> f64 {
+        let total = self.records.len() * self.num_aps;
+        if total == 0 {
+            return 0.0;
+        }
+        let missing: usize = self
+            .records
+            .iter()
+            .map(|r| r.fingerprint.missing_count())
+            .sum();
+        missing as f64 / total as f64
+    }
+
+    /// Total number of observed RSSI entries.
+    pub fn observed_rssi_count(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.fingerprint.observed_count())
+            .sum()
+    }
+
+    /// Linearly interpolates missing reference points along each survey path,
+    /// based on the previously and subsequently observed RPs (the strategy
+    /// used both by Algorithm 2's sample construction and by the `LI`
+    /// baseline imputer). Records on paths without any observed RP keep a
+    /// `None` RP.
+    ///
+    /// Returns one optional point per record: observed RPs are passed through,
+    /// interpolated positions fill the gaps where possible.
+    pub fn interpolate_rps(&self) -> Vec<Option<Point>> {
+        let mut result: Vec<Option<Point>> = self.records.iter().map(|r| r.rp).collect();
+        for path in self.path_record_indices() {
+            // Collect the observed anchors (position within path, record index).
+            let anchors: Vec<(usize, Point)> = path
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, &idx)| self.records[idx].rp.map(|p| (pos, p)))
+                .collect();
+            if anchors.is_empty() {
+                continue;
+            }
+            for (pos, &idx) in path.iter().enumerate() {
+                if result[idx].is_some() {
+                    continue;
+                }
+                let prev = anchors.iter().rev().find(|(a, _)| *a < pos);
+                let next = anchors.iter().find(|(a, _)| *a > pos);
+                result[idx] = match (prev, next) {
+                    (Some(&(pa, pp)), Some(&(na, np))) => {
+                        // Interpolate on time when available, else on index.
+                        let t0 = self.records[path[pa]].time;
+                        let t1 = self.records[path[na]].time;
+                        let t = self.records[idx].time;
+                        let fraction = if (t1 - t0).abs() > f64::EPSILON {
+                            ((t - t0) / (t1 - t0)).clamp(0.0, 1.0)
+                        } else {
+                            (pos - pa) as f64 / (na - pa) as f64
+                        };
+                        Some(pp.lerp(np, fraction))
+                    }
+                    (Some(&(_, pp)), None) => Some(pp),
+                    (None, Some(&(_, np))) => Some(np),
+                    (None, None) => None,
+                };
+            }
+        }
+        result
+    }
+}
+
+/// A fully-imputed (dense) radio map: every record has a complete fingerprint
+/// and a location. This is the input expected by the online location
+/// estimation algorithms (KNN, WKNN, random forest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseRadioMap {
+    fingerprints: Vec<Vec<f64>>,
+    locations: Vec<Point>,
+    num_aps: usize,
+}
+
+impl DenseRadioMap {
+    /// Creates a dense radio map.
+    ///
+    /// # Panics
+    /// Panics if the number of fingerprints and locations differ, or if any
+    /// fingerprint has the wrong dimensionality.
+    pub fn new(fingerprints: Vec<Vec<f64>>, locations: Vec<Point>, num_aps: usize) -> Self {
+        assert_eq!(
+            fingerprints.len(),
+            locations.len(),
+            "fingerprint/location count mismatch"
+        );
+        for (i, f) in fingerprints.iter().enumerate() {
+            assert_eq!(f.len(), num_aps, "dense fingerprint {i} has wrong length");
+        }
+        Self {
+            fingerprints,
+            locations,
+            num_aps,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// Returns `true` when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    /// Number of access points.
+    pub fn num_aps(&self) -> usize {
+        self.num_aps
+    }
+
+    /// The dense fingerprints.
+    pub fn fingerprints(&self) -> &[Vec<f64>] {
+        &self.fingerprints
+    }
+
+    /// The locations, parallel to [`DenseRadioMap::fingerprints`].
+    pub fn locations(&self) -> &[Point] {
+        &self.locations
+    }
+
+    /// The `(fingerprint, location)` pair at `index`.
+    pub fn entry(&self, index: usize) -> (&[f64], Point) {
+        (&self.fingerprints[index], self.locations[index])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(values: &[Option<f64>]) -> Fingerprint {
+        Fingerprint::new(values.to_vec())
+    }
+
+    fn sample_map() -> RadioMap {
+        // Two paths; path 0 has RPs at its ends only.
+        let records = vec![
+            RadioMapRecord::new(
+                fp(&[Some(-70.0), None, Some(-76.0)]),
+                Some(Point::new(0.0, 0.0)),
+                0.0,
+                0,
+            ),
+            RadioMapRecord::new(fp(&[Some(-71.0), None, None]), None, 2.0, 0),
+            RadioMapRecord::new(fp(&[None, None, Some(-80.0)]), None, 6.0, 0),
+            RadioMapRecord::new(
+                fp(&[None, Some(-77.0), None]),
+                Some(Point::new(8.0, 4.0)),
+                8.0,
+                0,
+            ),
+            RadioMapRecord::new(
+                fp(&[Some(-60.0), None, None]),
+                Some(Point::new(20.0, 20.0)),
+                0.0,
+                1,
+            ),
+            RadioMapRecord::new(fp(&[None, None, None]), None, 5.0, 1),
+        ];
+        RadioMap::new(records, 3)
+    }
+
+    #[test]
+    fn basic_counts() {
+        let map = sample_map();
+        assert_eq!(map.len(), 6);
+        assert_eq!(map.num_aps(), 3);
+        assert_eq!(map.num_paths(), 2);
+        assert_eq!(map.observed_rp_count(), 3);
+        assert!((map.missing_rp_rate() - 0.5).abs() < 1e-12);
+        // 18 cells, observed: 2 + 1 + 1 + 1 + 1 + 0 = 6 -> missing 12/18.
+        assert!((map.missing_rssi_rate() - 12.0 / 18.0).abs() < 1e-12);
+        assert_eq!(map.observed_rssi_count(), 6);
+    }
+
+    #[test]
+    fn path_grouping_preserves_order() {
+        let map = sample_map();
+        let paths = map.path_record_indices();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0], vec![0, 1, 2, 3]);
+        assert_eq!(paths[1], vec![4, 5]);
+    }
+
+    #[test]
+    fn rp_interpolation_is_time_weighted() {
+        let map = sample_map();
+        let rps = map.interpolate_rps();
+        // Record 1 at t=2 between anchors t=0 (0,0) and t=8 (8,4): 25% along.
+        let p1 = rps[1].unwrap();
+        assert!((p1.x - 2.0).abs() < 1e-9 && (p1.y - 1.0).abs() < 1e-9);
+        // Record 2 at t=6: 75% along.
+        let p2 = rps[2].unwrap();
+        assert!((p2.x - 6.0).abs() < 1e-9 && (p2.y - 3.0).abs() < 1e-9);
+        // Observed RPs pass through unchanged.
+        assert_eq!(rps[0], Some(Point::new(0.0, 0.0)));
+        // Path 1: trailing record copies the only anchor.
+        assert_eq!(rps[5], Some(Point::new(20.0, 20.0)));
+    }
+
+    #[test]
+    fn interpolation_with_no_anchor_stays_none() {
+        let records = vec![
+            RadioMapRecord::new(Fingerprint::empty(2), None, 0.0, 0),
+            RadioMapRecord::new(Fingerprint::empty(2), None, 1.0, 0),
+        ];
+        let map = RadioMap::new(records, 2);
+        assert!(map.interpolate_rps().iter().all(Option::is_none));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3")]
+    fn new_rejects_mismatched_dimensions() {
+        let records = vec![RadioMapRecord::new(Fingerprint::empty(2), None, 0.0, 0)];
+        let _ = RadioMap::new(records, 3);
+    }
+
+    #[test]
+    fn push_and_empty() {
+        let mut map = RadioMap::empty(2);
+        assert!(map.is_empty());
+        assert_eq!(map.missing_rssi_rate(), 0.0);
+        map.push(RadioMapRecord::new(Fingerprint::empty(2), None, 0.0, 0));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn dense_radio_map_accessors() {
+        let dense = DenseRadioMap::new(
+            vec![vec![-70.0, -80.0], vec![-60.0, -90.0]],
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)],
+            2,
+        );
+        assert_eq!(dense.len(), 2);
+        assert_eq!(dense.num_aps(), 2);
+        let (f, l) = dense.entry(1);
+        assert_eq!(f, &[-60.0, -90.0]);
+        assert_eq!(l, Point::new(1.0, 1.0));
+        assert!(!dense.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn dense_radio_map_rejects_mismatch() {
+        let _ = DenseRadioMap::new(vec![vec![0.0]], vec![], 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Venue and radio-map statistics (Table V of the paper).
+
+use crate::radiomap::RadioMap;
+
+/// Summary statistics of a venue and its created radio map, mirroring the
+/// columns of Table V: floor area, RP density, number of fingerprints, number
+/// of RPs and number of access points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadioMapStats {
+    /// Venue name.
+    pub venue: String,
+    /// Floor area in square metres.
+    pub floor_area_m2: f64,
+    /// Number of distinct reference points in the venue.
+    pub num_rps: usize,
+    /// Reference points per 100 square metres.
+    pub rp_density_per_100m2: f64,
+    /// Number of fingerprints (radio-map records).
+    pub num_fingerprints: usize,
+    /// Number of access points (fingerprint dimensionality).
+    pub num_aps: usize,
+    /// Fraction of missing RSSI entries.
+    pub missing_rssi_rate: f64,
+    /// Fraction of records with a missing reference point.
+    pub missing_rp_rate: f64,
+}
+
+impl RadioMapStats {
+    /// Computes statistics from a radio map plus venue metadata.
+    pub fn from_radio_map(
+        venue: impl Into<String>,
+        floor_area_m2: f64,
+        num_rps: usize,
+        map: &RadioMap,
+    ) -> Self {
+        let rp_density = if floor_area_m2 > 0.0 {
+            num_rps as f64 / floor_area_m2 * 100.0
+        } else {
+            0.0
+        };
+        Self {
+            venue: venue.into(),
+            floor_area_m2,
+            num_rps,
+            rp_density_per_100m2: rp_density,
+            num_fingerprints: map.len(),
+            num_aps: map.num_aps(),
+            missing_rssi_rate: map.missing_rssi_rate(),
+            missing_rp_rate: map.missing_rp_rate(),
+        }
+    }
+
+    /// Renders one row of a Table V-style report.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<12} {:>10.1} {:>8} {:>10.2} {:>14} {:>8} {:>12.1}% {:>12.1}%",
+            self.venue,
+            self.floor_area_m2,
+            self.num_rps,
+            self.rp_density_per_100m2,
+            self.num_fingerprints,
+            self.num_aps,
+            self.missing_rssi_rate * 100.0,
+            self.missing_rp_rate * 100.0,
+        )
+    }
+
+    /// Header matching [`RadioMapStats::to_table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<12} {:>10} {:>8} {:>10} {:>14} {:>8} {:>13} {:>13}",
+            "Venue", "Area(m2)", "#RPs", "RP/100m2", "#Fingerprints", "#APs", "RSSI-miss", "RP-miss"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::Fingerprint;
+    use crate::radiomap::RadioMapRecord;
+    use rm_geometry::Point;
+
+    fn small_map() -> RadioMap {
+        let records = vec![
+            RadioMapRecord::new(
+                Fingerprint::new(vec![Some(-70.0), None]),
+                Some(Point::new(0.0, 0.0)),
+                0.0,
+                0,
+            ),
+            RadioMapRecord::new(Fingerprint::new(vec![None, None]), None, 1.0, 0),
+        ];
+        RadioMap::new(records, 2)
+    }
+
+    #[test]
+    fn stats_from_radio_map() {
+        let stats = RadioMapStats::from_radio_map("TestVenue", 200.0, 4, &small_map());
+        assert_eq!(stats.num_fingerprints, 2);
+        assert_eq!(stats.num_aps, 2);
+        assert_eq!(stats.num_rps, 4);
+        assert!((stats.rp_density_per_100m2 - 2.0).abs() < 1e-12);
+        assert!((stats.missing_rssi_rate - 0.75).abs() < 1e-12);
+        assert!((stats.missing_rp_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_area_density_is_zero() {
+        let stats = RadioMapStats::from_radio_map("X", 0.0, 10, &small_map());
+        assert_eq!(stats.rp_density_per_100m2, 0.0);
+    }
+
+    #[test]
+    fn table_rendering_contains_values() {
+        let stats = RadioMapStats::from_radio_map("Kaide", 3225.7, 114, &small_map());
+        let row = stats.to_table_row();
+        assert!(row.contains("Kaide"));
+        assert!(row.contains("114"));
+        assert!(RadioMapStats::table_header().contains("Venue"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Walking-survey record tables and radio-map creation (Section II-B).
+
+use rm_geometry::Point;
+
+use crate::fingerprint::Fingerprint;
+use crate::radiomap::{RadioMap, RadioMapRecord};
+
+/// A measurement taken during a walking survey.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurveyMeasurement {
+    /// The surveyor reached a pre-selected reference point.
+    ReferencePoint(Point),
+    /// A scan result: sparse `(access point index, RSSI in dBm)` pairs.
+    RssiScan(Vec<(usize, f64)>),
+}
+
+/// One timestamped row of a walking-survey record table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveyEntry {
+    /// Collection time in seconds since the start of the survey.
+    pub time: f64,
+    /// The measurement recorded at that time.
+    pub measurement: SurveyMeasurement,
+}
+
+impl SurveyEntry {
+    /// Creates an RP entry.
+    pub fn rp(time: f64, location: Point) -> Self {
+        Self {
+            time,
+            measurement: SurveyMeasurement::ReferencePoint(location),
+        }
+    }
+
+    /// Creates an RSSI-scan entry.
+    pub fn rssi(time: f64, readings: Vec<(usize, f64)>) -> Self {
+        Self {
+            time,
+            measurement: SurveyMeasurement::RssiScan(readings),
+        }
+    }
+}
+
+/// The walking-survey record table for one venue: one entry list per survey
+/// path, each sorted by time (Table II of the paper shows a single path).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WalkingSurveyTable {
+    paths: Vec<Vec<SurveyEntry>>,
+    num_aps: usize,
+}
+
+impl WalkingSurveyTable {
+    /// Creates a survey table over `num_aps` access points.
+    pub fn new(num_aps: usize) -> Self {
+        Self {
+            paths: Vec::new(),
+            num_aps,
+        }
+    }
+
+    /// Number of access points.
+    pub fn num_aps(&self) -> usize {
+        self.num_aps
+    }
+
+    /// Number of survey paths.
+    pub fn num_paths(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The entries of all paths.
+    pub fn paths(&self) -> &[Vec<SurveyEntry>] {
+        &self.paths
+    }
+
+    /// Adds a survey path; its entries are sorted by time.
+    pub fn add_path(&mut self, mut entries: Vec<SurveyEntry>) -> usize {
+        entries.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+        self.paths.push(entries);
+        self.paths.len() - 1
+    }
+
+    /// Total number of RP entries across all paths.
+    pub fn rp_entry_count(&self) -> usize {
+        self.paths
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e.measurement, SurveyMeasurement::ReferencePoint(_)))
+            .count()
+    }
+
+    /// Total number of RSSI-scan entries across all paths.
+    pub fn rssi_entry_count(&self) -> usize {
+        self.paths
+            .iter()
+            .flatten()
+            .filter(|e| matches!(e.measurement, SurveyMeasurement::RssiScan(_)))
+            .count()
+    }
+
+    /// Creates a radio map from the survey table using the two-step merging
+    /// pre-processing of Section II-B with threshold `epsilon` (seconds):
+    ///
+    /// 1. consecutive RSSI records whose times differ by at most `epsilon` are
+    ///    merged (earlier time kept, overlapping APs averaged);
+    /// 2. a merged RSSI record and an adjacent RP record whose times differ by
+    ///    at most `epsilon` are merged into one radio-map record;
+    /// 3. every remaining record becomes a radio-map record with `null`s for
+    ///    the missing parts.
+    pub fn create_radio_map(&self, epsilon: f64) -> RadioMap {
+        let mut records = Vec::new();
+        for (path_id, entries) in self.paths.iter().enumerate() {
+            records.extend(self.create_path_records(entries, epsilon, path_id));
+        }
+        RadioMap::new(records, self.num_aps)
+    }
+
+    /// Intermediate record used during merging.
+    fn create_path_records(
+        &self,
+        entries: &[SurveyEntry],
+        epsilon: f64,
+        path_id: usize,
+    ) -> Vec<RadioMapRecord> {
+        #[derive(Clone)]
+        enum Pending {
+            Rssi { time: f64, fingerprint: Fingerprint },
+            Rp { time: f64, location: Point },
+        }
+
+        // Step 1: merge consecutive RSSI scans within epsilon.
+        let mut pending: Vec<Pending> = Vec::new();
+        for entry in entries {
+            match &entry.measurement {
+                SurveyMeasurement::RssiScan(readings) => {
+                    let fingerprint = self.scan_to_fingerprint(readings);
+                    match pending.last_mut() {
+                        Some(Pending::Rssi { time, fingerprint: existing })
+                            if entry.time - *time <= epsilon =>
+                        {
+                            *existing = existing.merge_average(&fingerprint);
+                            // The merged record keeps the earlier time.
+                        }
+                        _ => pending.push(Pending::Rssi {
+                            time: entry.time,
+                            fingerprint,
+                        }),
+                    }
+                }
+                SurveyMeasurement::ReferencePoint(location) => pending.push(Pending::Rp {
+                    time: entry.time,
+                    location: *location,
+                }),
+            }
+        }
+
+        // Step 2: merge adjacent RSSI and RP records within epsilon.
+        let mut records: Vec<RadioMapRecord> = Vec::new();
+        let mut i = 0usize;
+        while i < pending.len() {
+            match &pending[i] {
+                Pending::Rssi { time, fingerprint } => {
+                    // Look one ahead for an RP to absorb.
+                    if let Some(Pending::Rp {
+                        time: rp_time,
+                        location,
+                    }) = pending.get(i + 1)
+                    {
+                        if (rp_time - time).abs() <= epsilon {
+                            records.push(RadioMapRecord::new(
+                                fingerprint.clone(),
+                                Some(*location),
+                                *time,
+                                path_id,
+                            ));
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    records.push(RadioMapRecord::new(fingerprint.clone(), None, *time, path_id));
+                    i += 1;
+                }
+                Pending::Rp { time, location } => {
+                    // Look one ahead for an RSSI record to absorb.
+                    if let Some(Pending::Rssi {
+                        time: rssi_time,
+                        fingerprint,
+                    }) = pending.get(i + 1)
+                    {
+                        if (rssi_time - time).abs() <= epsilon {
+                            records.push(RadioMapRecord::new(
+                                fingerprint.clone(),
+                                Some(*location),
+                                *rssi_time,
+                                path_id,
+                            ));
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    records.push(RadioMapRecord::new(
+                        Fingerprint::empty(self.num_aps),
+                        Some(*location),
+                        *time,
+                        path_id,
+                    ));
+                    i += 1;
+                }
+            }
+        }
+        records
+    }
+
+    fn scan_to_fingerprint(&self, readings: &[(usize, f64)]) -> Fingerprint {
+        let mut fingerprint = Fingerprint::empty(self.num_aps);
+        for &(ap, rssi) in readings {
+            if ap < self.num_aps {
+                fingerprint.set(ap, Some(rssi));
+            }
+        }
+        fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reconstructs the running example of the paper (Tables II and III).
+    fn paper_example() -> WalkingSurveyTable {
+        let mut table = WalkingSurveyTable::new(5);
+        table.add_path(vec![
+            SurveyEntry::rp(0.0, Point::new(1.0, 1.0)), // t1 = 0, (x1, y1)
+            SurveyEntry::rssi(1.0, vec![(0, -70.0), (1, -83.0), (2, -76.0)]), // t2 = 1
+            SurveyEntry::rssi(3.0, vec![(0, -71.0), (2, -78.0)]), // t3 = 3
+            SurveyEntry::rssi(8.0, vec![(2, -80.0), (3, -68.0)]), // t4 = 8
+            SurveyEntry::rp(9.0, Point::new(5.0, 5.0)),  // t5 = 9, (x5, y5)
+            SurveyEntry::rssi(12.0, vec![(0, -74.0), (4, -80.0)]), // t6 = 12
+            SurveyEntry::rssi(13.0, vec![(1, -77.0), (4, -82.0)]), // t7 = 13
+            SurveyEntry::rp(16.0, Point::new(8.0, 8.0)), // t8 = 16, (x8, y8)
+        ]);
+        table
+    }
+
+    #[test]
+    fn entry_counts() {
+        let table = paper_example();
+        assert_eq!(table.num_paths(), 1);
+        assert_eq!(table.rp_entry_count(), 3);
+        assert_eq!(table.rssi_entry_count(), 5);
+    }
+
+    #[test]
+    fn radio_map_creation_matches_paper_table_iii() {
+        let table = paper_example();
+        let map = table.create_radio_map(1.0);
+        assert_eq!(map.len(), 5);
+        let records = map.records();
+
+        // Record 1: ((-70, -83, -76, null, null), (x1, y1)) at t2.
+        assert_eq!(records[0].rp, Some(Point::new(1.0, 1.0)));
+        assert_eq!(records[0].fingerprint.get(0), Some(-70.0));
+        assert_eq!(records[0].fingerprint.get(1), Some(-83.0));
+        assert_eq!(records[0].fingerprint.get(2), Some(-76.0));
+        assert_eq!(records[0].fingerprint.get(3), None);
+        assert_eq!(records[0].time, 1.0);
+
+        // Record 2: ((-71, null, -78, null, null), null) at t3.
+        assert_eq!(records[1].rp, None);
+        assert_eq!(records[1].fingerprint.get(0), Some(-71.0));
+        assert_eq!(records[1].fingerprint.get(2), Some(-78.0));
+
+        // Record 3: ((null, null, -80, -68, null), (x5, y5)) at t4.
+        assert_eq!(records[2].rp, Some(Point::new(5.0, 5.0)));
+        assert_eq!(records[2].fingerprint.get(2), Some(-80.0));
+        assert_eq!(records[2].fingerprint.get(3), Some(-68.0));
+        assert_eq!(records[2].fingerprint.get(0), None);
+
+        // Record 4: ((-74, -77, null, null, -81), null) at t6 — the two scans
+        // at t6 and t7 merge, AP 5 averages to -81.
+        assert_eq!(records[3].rp, None);
+        assert_eq!(records[3].fingerprint.get(0), Some(-74.0));
+        assert_eq!(records[3].fingerprint.get(1), Some(-77.0));
+        assert_eq!(records[3].fingerprint.get(4), Some(-81.0));
+        assert_eq!(records[3].time, 12.0);
+
+        // Record 5: all-null fingerprint with the RP at t8.
+        assert_eq!(records[4].rp, Some(Point::new(8.0, 8.0)));
+        assert_eq!(records[4].fingerprint.observed_count(), 0);
+    }
+
+    #[test]
+    fn sparsity_of_created_map() {
+        let table = paper_example();
+        let map = table.create_radio_map(1.0);
+        // 25 cells, 10 observed.
+        assert!((map.missing_rssi_rate() - 15.0 / 25.0).abs() < 1e-12);
+        assert!((map.missing_rp_rate() - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_epsilon_merges_more() {
+        let table = paper_example();
+        // With a huge epsilon every scan merges into very few records.
+        let coarse = table.create_radio_map(100.0);
+        let fine = table.create_radio_map(0.1);
+        assert!(coarse.len() < fine.len());
+    }
+
+    #[test]
+    fn add_path_sorts_by_time() {
+        let mut table = WalkingSurveyTable::new(2);
+        table.add_path(vec![
+            SurveyEntry::rssi(5.0, vec![(0, -50.0)]),
+            SurveyEntry::rp(0.0, Point::new(0.0, 0.0)),
+        ]);
+        assert_eq!(table.paths()[0][0].time, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_ap_indices_are_ignored() {
+        let mut table = WalkingSurveyTable::new(2);
+        table.add_path(vec![SurveyEntry::rssi(0.0, vec![(0, -40.0), (7, -60.0)])]);
+        let map = table.create_radio_map(1.0);
+        assert_eq!(map.records()[0].fingerprint.observed_count(), 1);
+    }
+
+    #[test]
+    fn multiple_paths_get_distinct_ids() {
+        let mut table = WalkingSurveyTable::new(1);
+        table.add_path(vec![SurveyEntry::rssi(0.0, vec![(0, -40.0)])]);
+        table.add_path(vec![SurveyEntry::rssi(0.0, vec![(0, -45.0)])]);
+        let map = table.create_radio_map(1.0);
+        assert_eq!(map.num_paths(), 2);
+        assert_ne!(map.records()[0].path_id, map.records()[1].path_id);
+    }
+}

@@ -1,0 +1,717 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Var`] wraps a matrix value in a dynamically-built computation graph.
+//! Calling [`Var::backward`] on a scalar output accumulates gradients into
+//! every upstream variable created with `requires_grad = true`.
+//!
+//! The operation set is the minimum needed by the sequence models in this
+//! workspace (BiSIM, BRITS, SSGAN): matrix products, element-wise arithmetic,
+//! sigmoid/tanh/ReLU/exp activations, masking by constant matrices, column
+//! softmax, row concatenation and scalar reductions.
+
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::Matrix;
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_id() -> usize {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The operation that produced a graph node.
+#[derive(Clone)]
+enum Op {
+    /// Leaf node (input or parameter).
+    Leaf,
+    /// Element-wise sum of two same-shape matrices.
+    Add,
+    /// `A + b` where `b` is a column vector broadcast across the columns of `A`.
+    AddBroadcastCol,
+    /// Element-wise difference.
+    Sub,
+    /// Element-wise (Hadamard) product of two variables.
+    Hadamard,
+    /// Matrix product.
+    MatMul,
+    /// Multiplication by a compile-time constant scalar.
+    ScaleConst(f64),
+    /// Addition of a constant scalar to every entry. The offset does not
+    /// influence the gradient, so it is not stored.
+    AddConst,
+    /// Element-wise product with a constant matrix (e.g. a mask).
+    HadamardConst(Matrix),
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Element-wise exponential.
+    Exp,
+    /// Element-wise square.
+    Square,
+    /// Sum of all entries, producing a 1×1 matrix.
+    Sum,
+    /// Mean of all entries, producing a 1×1 matrix.
+    Mean,
+    /// Vertical concatenation of several matrices with the given row counts.
+    ConcatRows(Vec<usize>),
+    /// Softmax over a column vector.
+    SoftmaxCol,
+    /// Element-wise product with a broadcast 1×1 variable (second parent).
+    MulScalarVar,
+}
+
+struct Node {
+    id: usize,
+    value: Matrix,
+    grad: Matrix,
+    parents: Vec<Var>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A node in the autodiff graph holding a matrix value.
+///
+/// `Var` is a cheap reference-counted handle; cloning it shares the underlying
+/// node.
+#[derive(Clone)]
+pub struct Var {
+    node: Rc<RefCell<Node>>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.node.borrow();
+        write!(f, "Var(id={}, shape={:?})", n.id, n.value.shape())
+    }
+}
+
+impl Var {
+    fn from_node(value: Matrix, parents: Vec<Var>, op: Op) -> Var {
+        let requires_grad = parents.iter().any(|p| p.node.borrow().requires_grad);
+        let (r, c) = value.shape();
+        Var {
+            node: Rc::new(RefCell::new(Node {
+                id: fresh_id(),
+                grad: Matrix::zeros(r, c),
+                value,
+                parents,
+                op,
+                requires_grad,
+            })),
+        }
+    }
+
+    /// Creates a constant (non-trainable) leaf.
+    pub fn constant(value: Matrix) -> Var {
+        Var::from_node(value, Vec::new(), Op::Leaf)
+    }
+
+    /// Creates a trainable parameter leaf that accumulates gradients.
+    pub fn parameter(value: Matrix) -> Var {
+        let v = Var::from_node(value, Vec::new(), Op::Leaf);
+        v.node.borrow_mut().requires_grad = true;
+        v
+    }
+
+    /// A 1×1 constant.
+    pub fn scalar(value: f64) -> Var {
+        Var::constant(Matrix::from_vec(1, 1, vec![value]))
+    }
+
+    /// Unique node id (useful in tests and debugging).
+    pub fn id(&self) -> usize {
+        self.node.borrow().id
+    }
+
+    /// Shape of the value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.node.borrow().value.shape()
+    }
+
+    /// Clones the current value out of the graph.
+    pub fn value(&self) -> Matrix {
+        self.node.borrow().value.clone()
+    }
+
+    /// Borrow of the current value without cloning.
+    pub fn value_ref(&self) -> Ref<'_, Matrix> {
+        Ref::map(self.node.borrow(), |n| &n.value)
+    }
+
+    /// The value of a 1×1 variable as an `f64`.
+    ///
+    /// # Panics
+    /// Panics if the variable is not 1×1.
+    pub fn scalar_value(&self) -> f64 {
+        let n = self.node.borrow();
+        assert_eq!(n.value.shape(), (1, 1), "scalar_value on non-scalar Var");
+        n.value.get(0, 0)
+    }
+
+    /// Clones the accumulated gradient.
+    pub fn grad(&self) -> Matrix {
+        self.node.borrow().grad.clone()
+    }
+
+    /// Whether this variable participates in gradient accumulation.
+    pub fn requires_grad(&self) -> bool {
+        self.node.borrow().requires_grad
+    }
+
+    /// Resets the accumulated gradient of this node to zero.
+    pub fn zero_grad(&self) {
+        let mut n = self.node.borrow_mut();
+        let (r, c) = n.value.shape();
+        n.grad = Matrix::zeros(r, c);
+    }
+
+    /// Replaces the value of a leaf (used by optimizers).
+    ///
+    /// # Panics
+    /// Panics if the new value has a different shape.
+    pub fn set_value(&self, value: Matrix) {
+        let mut n = self.node.borrow_mut();
+        assert_eq!(n.value.shape(), value.shape(), "set_value shape mismatch");
+        n.value = value;
+    }
+
+    /// Applies an in-place update `f(value, grad)` to the stored value.
+    pub fn update_value(&self, f: impl FnOnce(&mut Matrix, &Matrix)) {
+        let mut n = self.node.borrow_mut();
+        // Split borrows: grad is only read, value is mutated.
+        let grad = n.grad.clone();
+        f(&mut n.value, &grad);
+    }
+
+    // ------------------------------------------------------------------
+    // Operations
+    // ------------------------------------------------------------------
+
+    /// Element-wise sum.
+    pub fn add(&self, rhs: &Var) -> Var {
+        let v = &*self.value_ref() + &*rhs.value_ref();
+        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Add)
+    }
+
+    /// Adds a column vector `rhs` (shape `(rows, 1)`) to every column of `self`.
+    pub fn add_broadcast_col(&self, rhs: &Var) -> Var {
+        let a = self.value_ref();
+        let b = rhs.value_ref();
+        assert_eq!(a.rows(), b.rows(), "broadcast add row mismatch");
+        assert_eq!(b.cols(), 1, "broadcast operand must be a column vector");
+        let out = Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) + b.get(r, 0));
+        drop(a);
+        drop(b);
+        Var::from_node(out, vec![self.clone(), rhs.clone()], Op::AddBroadcastCol)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Var) -> Var {
+        let v = &*self.value_ref() - &*rhs.value_ref();
+        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Sub)
+    }
+
+    /// Element-wise product of two variables.
+    pub fn hadamard(&self, rhs: &Var) -> Var {
+        let v = self.value_ref().hadamard(&rhs.value_ref());
+        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Hadamard)
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Var) -> Var {
+        let v = self.value_ref().matmul(&rhs.value_ref());
+        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::MatMul)
+    }
+
+    /// Multiplies every entry by the constant `s`.
+    pub fn scale(&self, s: f64) -> Var {
+        let v = self.value_ref().scale(s);
+        Var::from_node(v, vec![self.clone()], Op::ScaleConst(s))
+    }
+
+    /// Adds the constant `s` to every entry.
+    pub fn add_const(&self, s: f64) -> Var {
+        let v = self.value_ref().map(|x| x + s);
+        Var::from_node(v, vec![self.clone()], Op::AddConst)
+    }
+
+    /// Element-wise product with a constant matrix (no gradient flows into the
+    /// mask). This is the primitive behind masked losses and the
+    /// sparsity-friendly attention of BiSIM.
+    pub fn mask(&self, mask: &Matrix) -> Var {
+        let v = self.value_ref().hadamard(mask);
+        Var::from_node(v, vec![self.clone()], Op::HadamardConst(mask.clone()))
+    }
+
+    /// Logistic sigmoid applied element-wise.
+    pub fn sigmoid(&self) -> Var {
+        let v = self.value_ref().map(|x| 1.0 / (1.0 + (-x).exp()));
+        Var::from_node(v, vec![self.clone()], Op::Sigmoid)
+    }
+
+    /// Hyperbolic tangent applied element-wise.
+    pub fn tanh(&self) -> Var {
+        let v = self.value_ref().map(f64::tanh);
+        Var::from_node(v, vec![self.clone()], Op::Tanh)
+    }
+
+    /// ReLU applied element-wise.
+    pub fn relu(&self) -> Var {
+        let v = self.value_ref().map(|x| x.max(0.0));
+        Var::from_node(v, vec![self.clone()], Op::Relu)
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&self) -> Var {
+        let v = self.value_ref().map(f64::exp);
+        Var::from_node(v, vec![self.clone()], Op::Exp)
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Var {
+        let v = self.value_ref().map(|x| x * x);
+        Var::from_node(v, vec![self.clone()], Op::Square)
+    }
+
+    /// Sum of all entries as a 1×1 variable.
+    pub fn sum(&self) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value_ref().sum()]);
+        Var::from_node(v, vec![self.clone()], Op::Sum)
+    }
+
+    /// Mean of all entries as a 1×1 variable.
+    pub fn mean(&self) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value_ref().mean()]);
+        Var::from_node(v, vec![self.clone()], Op::Mean)
+    }
+
+    /// Vertically concatenates several variables (all with the same column
+    /// count) into one.
+    ///
+    /// # Panics
+    /// Panics on an empty input or mismatching column counts.
+    pub fn concat_rows(vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_rows needs at least one variable");
+        let mut value = vars[0].value();
+        let mut counts = vec![value.rows()];
+        for v in &vars[1..] {
+            let m = v.value();
+            counts.push(m.rows());
+            value = value.vstack(&m);
+        }
+        Var::from_node(value, vars.to_vec(), Op::ConcatRows(counts))
+    }
+
+    /// Softmax over a column vector (shape `(n, 1)`), numerically stabilised.
+    ///
+    /// # Panics
+    /// Panics if the variable is not a column vector.
+    pub fn softmax_col(&self) -> Var {
+        let v = self.value_ref();
+        assert_eq!(v.cols(), 1, "softmax_col expects a column vector");
+        let max = v.max().unwrap_or(0.0);
+        let exps: Vec<f64> = v.data().iter().map(|&x| (x - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        let out = Matrix::from_vec(v.rows(), 1, exps.iter().map(|e| e / total).collect());
+        drop(v);
+        Var::from_node(out, vec![self.clone()], Op::SoftmaxCol)
+    }
+
+    /// Multiplies every entry of `self` by the 1×1 variable `s` (broadcast).
+    pub fn mul_scalar_var(&self, s: &Var) -> Var {
+        assert_eq!(s.shape(), (1, 1), "mul_scalar_var expects a 1x1 scalar Var");
+        let sv = s.scalar_value();
+        let v = self.value_ref().scale(sv);
+        Var::from_node(v, vec![self.clone(), s.clone()], Op::MulScalarVar)
+    }
+
+    // ------------------------------------------------------------------
+    // Backward pass
+    // ------------------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from this scalar output.
+    ///
+    /// Gradients are *accumulated* into every reachable node with
+    /// `requires_grad = true`; call [`Var::zero_grad`] (or an optimizer's
+    /// `zero_grad`) between steps.
+    ///
+    /// # Panics
+    /// Panics if this variable is not 1×1.
+    pub fn backward(&self) {
+        assert_eq!(self.shape(), (1, 1), "backward() requires a scalar output");
+        {
+            let mut n = self.node.borrow_mut();
+            n.grad = Matrix::ones(1, 1);
+        }
+        let order = self.topological_order();
+        for var in order.iter().rev() {
+            var.propagate();
+        }
+    }
+
+    /// Returns the nodes reachable from `self` in topological order
+    /// (parents before children).
+    fn topological_order(&self) -> Vec<Var> {
+        let mut visited = std::collections::HashSet::new();
+        let mut order = Vec::new();
+        // Iterative DFS with an explicit stack to avoid recursion limits on
+        // long unrolled sequences.
+        enum Frame {
+            Enter(Var),
+            Exit(Var),
+        }
+        let mut stack = vec![Frame::Enter(self.clone())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    let id = v.id();
+                    if !visited.insert(id) {
+                        continue;
+                    }
+                    stack.push(Frame::Exit(v.clone()));
+                    for p in v.node.borrow().parents.iter() {
+                        stack.push(Frame::Enter(p.clone()));
+                    }
+                }
+                Frame::Exit(v) => order.push(v),
+            }
+        }
+        order
+    }
+
+    /// Propagates this node's gradient to its parents.
+    fn propagate(&self) {
+        let node = self.node.borrow();
+        if node.parents.is_empty() {
+            return;
+        }
+        let grad = node.grad.clone();
+        let value = node.value.clone();
+        let op = node.op.clone();
+        let parents = node.parents.clone();
+        drop(node);
+
+        match op {
+            Op::Leaf => {}
+            Op::Add => {
+                parents[0].accumulate(&grad);
+                parents[1].accumulate(&grad);
+            }
+            Op::AddBroadcastCol => {
+                parents[0].accumulate(&grad);
+                // Gradient of the broadcast column vector: row sums.
+                let summed = Matrix::from_fn(grad.rows(), 1, |r, _| grad.row(r).iter().sum());
+                parents[1].accumulate(&summed);
+            }
+            Op::Sub => {
+                parents[0].accumulate(&grad);
+                parents[1].accumulate(&grad.scale(-1.0));
+            }
+            Op::Hadamard => {
+                let a = parents[0].value();
+                let b = parents[1].value();
+                parents[0].accumulate(&grad.hadamard(&b));
+                parents[1].accumulate(&grad.hadamard(&a));
+            }
+            Op::MatMul => {
+                let a = parents[0].value();
+                let b = parents[1].value();
+                parents[0].accumulate(&grad.matmul(&b.transpose()));
+                parents[1].accumulate(&a.transpose().matmul(&grad));
+            }
+            Op::ScaleConst(s) => parents[0].accumulate(&grad.scale(s)),
+            Op::AddConst => parents[0].accumulate(&grad),
+            Op::HadamardConst(mask) => parents[0].accumulate(&grad.hadamard(&mask)),
+            Op::Sigmoid => {
+                let d = value.map(|y| y * (1.0 - y));
+                parents[0].accumulate(&grad.hadamard(&d));
+            }
+            Op::Tanh => {
+                let d = value.map(|y| 1.0 - y * y);
+                parents[0].accumulate(&grad.hadamard(&d));
+            }
+            Op::Relu => {
+                let x = parents[0].value();
+                let d = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                parents[0].accumulate(&grad.hadamard(&d));
+            }
+            Op::Exp => parents[0].accumulate(&grad.hadamard(&value)),
+            Op::Square => {
+                let x = parents[0].value();
+                parents[0].accumulate(&grad.hadamard(&x.scale(2.0)));
+            }
+            Op::Sum => {
+                let g = grad.get(0, 0);
+                let (r, c) = parents[0].shape();
+                parents[0].accumulate(&Matrix::filled(r, c, g));
+            }
+            Op::Mean => {
+                let (r, c) = parents[0].shape();
+                let g = grad.get(0, 0) / (r * c) as f64;
+                parents[0].accumulate(&Matrix::filled(r, c, g));
+            }
+            Op::ConcatRows(counts) => {
+                let mut start = 0;
+                for (parent, count) in parents.iter().zip(counts.iter()) {
+                    parent.accumulate(&grad.slice_rows(start, *count));
+                    start += count;
+                }
+            }
+            Op::SoftmaxCol => {
+                // dX_i = y_i * (dY_i - sum_j dY_j y_j)
+                let y = value;
+                let dot: f64 = y
+                    .data()
+                    .iter()
+                    .zip(grad.data().iter())
+                    .map(|(yi, gi)| yi * gi)
+                    .sum();
+                let dx = Matrix::from_fn(y.rows(), 1, |r, _| {
+                    y.get(r, 0) * (grad.get(r, 0) - dot)
+                });
+                parents[0].accumulate(&dx);
+            }
+            Op::MulScalarVar => {
+                let a = parents[0].value();
+                let s = parents[1].value().get(0, 0);
+                parents[0].accumulate(&grad.scale(s));
+                let ds: f64 = grad
+                    .data()
+                    .iter()
+                    .zip(a.data().iter())
+                    .map(|(g, av)| g * av)
+                    .sum();
+                parents[1].accumulate(&Matrix::from_vec(1, 1, vec![ds]));
+            }
+        }
+    }
+
+    fn accumulate(&self, delta: &Matrix) {
+        let mut n = self.node.borrow_mut();
+        if !n.requires_grad && n.parents.is_empty() {
+            // Pure constants never need gradients; skip the work.
+            return;
+        }
+        n.grad.axpy(1.0, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerically checks `d loss / d param[idx]` against autodiff.
+    fn numeric_grad(
+        param: &Var,
+        idx: (usize, usize),
+        loss_fn: impl Fn() -> Var,
+        eps: f64,
+    ) -> f64 {
+        let original = param.value();
+        let mut plus = original.clone();
+        plus[(idx.0, idx.1)] += eps;
+        param.set_value(plus);
+        let l_plus = loss_fn().scalar_value();
+
+        let mut minus = original.clone();
+        minus[(idx.0, idx.1)] -= eps;
+        param.set_value(minus);
+        let l_minus = loss_fn().scalar_value();
+
+        param.set_value(original);
+        (l_plus - l_minus) / (2.0 * eps)
+    }
+
+    #[test]
+    fn add_and_sub_gradients() {
+        let a = Var::parameter(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = Var::parameter(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let loss = a.add(&b).sub(&b).hadamard(&a).sum();
+        loss.backward();
+        // loss = sum(a * a) -> d/da = 2a
+        assert!(a
+            .grad()
+            .approx_eq(&Matrix::from_vec(2, 2, vec![2.0, 4.0, 6.0, 8.0]), 1e-9));
+    }
+
+    #[test]
+    fn matmul_gradient_matches_numeric() {
+        let w = Var::parameter(Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]));
+        let x = Var::constant(Matrix::from_vec(3, 1, vec![1.0, 2.0, -1.0]));
+        let loss_fn = || w.matmul(&x).square().sum();
+        let loss = loss_fn();
+        loss.backward();
+        let analytic = w.grad();
+        for r in 0..2 {
+            for c in 0..3 {
+                let numeric = numeric_grad(&w, (r, c), &loss_fn, 1e-6);
+                assert!(
+                    (analytic.get(r, c) - numeric).abs() < 1e-5,
+                    "grad mismatch at ({r},{c}): {} vs {}",
+                    analytic.get(r, c),
+                    numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_tanh_relu_exp_gradients_match_numeric() {
+        let x = Var::parameter(Matrix::from_vec(2, 2, vec![0.5, -1.0, 2.0, -0.3]));
+        let loss_fn = || {
+            let s = x.sigmoid();
+            let t = x.tanh();
+            let r = x.relu();
+            let e = x.scale(0.1).exp();
+            s.add(&t).add(&r).add(&e).sum()
+        };
+        let loss = loss_fn();
+        loss.backward();
+        let analytic = x.grad();
+        for r in 0..2 {
+            for c in 0..2 {
+                let numeric = numeric_grad(&x, (r, c), &loss_fn, 1e-6);
+                assert!(
+                    (analytic.get(r, c) - numeric).abs() < 1e-5,
+                    "grad mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_gradient_matches_numeric() {
+        let x = Var::parameter(Matrix::column(&[0.1, 0.7, -0.4, 0.2]));
+        let weights = Matrix::column(&[1.0, -2.0, 0.5, 3.0]);
+        let loss_fn = || x.softmax_col().mask(&weights).sum();
+        let loss = loss_fn();
+        loss.backward();
+        let analytic = x.grad();
+        for r in 0..4 {
+            let numeric = numeric_grad(&x, (r, 0), &loss_fn, 1e-6);
+            assert!(
+                (analytic.get(r, 0) - numeric).abs() < 1e-6,
+                "softmax grad mismatch at {r}: {} vs {}",
+                analytic.get(r, 0),
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_output_sums_to_one() {
+        let x = Var::constant(Matrix::column(&[10.0, 20.0, 30.0]));
+        let y = x.softmax_col().value();
+        assert!((y.sum() - 1.0).abs() < 1e-12);
+        assert!(y.data().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn broadcast_add_gradient() {
+        let w = Var::parameter(Matrix::from_vec(2, 3, vec![1.0; 6]));
+        let b = Var::parameter(Matrix::column(&[0.5, -0.5]));
+        let loss_fn = || w.add_broadcast_col(&b).square().sum();
+        let loss = loss_fn();
+        loss.backward();
+        let analytic_b = b.grad();
+        for r in 0..2 {
+            let numeric = numeric_grad(&b, (r, 0), &loss_fn, 1e-6);
+            assert!((analytic_b.get(r, 0) - numeric).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_rows_routes_gradients() {
+        let a = Var::parameter(Matrix::column(&[1.0, 2.0]));
+        let b = Var::parameter(Matrix::column(&[3.0]));
+        let mask = Matrix::column(&[1.0, 0.0, 2.0]);
+        let loss = Var::concat_rows(&[a.clone(), b.clone()]).mask(&mask).sum();
+        loss.backward();
+        assert!(a.grad().approx_eq(&Matrix::column(&[1.0, 0.0]), 1e-12));
+        assert!(b.grad().approx_eq(&Matrix::column(&[2.0]), 1e-12));
+    }
+
+    #[test]
+    fn mul_scalar_var_gradients() {
+        let a = Var::parameter(Matrix::column(&[1.0, 2.0, 3.0]));
+        let s = Var::parameter(Matrix::from_vec(1, 1, vec![0.5]));
+        let loss_fn = || a.mul_scalar_var(&s).square().sum();
+        let loss = loss_fn();
+        loss.backward();
+        let numeric_s = numeric_grad(&s, (0, 0), &loss_fn, 1e-6);
+        assert!((s.grad().get(0, 0) - numeric_s).abs() < 1e-5);
+        let numeric_a0 = numeric_grad(&a, (0, 0), &loss_fn, 1e-6);
+        assert!((a.grad().get(0, 0) - numeric_a0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mean_and_sum_gradients() {
+        let x = Var::parameter(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let loss = x.mean();
+        loss.backward();
+        assert!(x.grad().approx_eq(&Matrix::filled(2, 2, 0.25), 1e-12));
+
+        x.zero_grad();
+        let loss = x.sum();
+        loss.backward();
+        assert!(x.grad().approx_eq(&Matrix::ones(2, 2), 1e-12));
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let x = Var::parameter(Matrix::from_vec(1, 1, vec![3.0]));
+        let loss1 = x.square().sum();
+        loss1.backward();
+        let loss2 = x.square().sum();
+        loss2.backward();
+        // Each backward adds 2*x = 6.
+        assert!((x.grad().get(0, 0) - 12.0).abs() < 1e-12);
+        x.zero_grad();
+        assert_eq!(x.grad().get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn constants_do_not_accumulate_grad() {
+        let c = Var::constant(Matrix::from_vec(1, 1, vec![2.0]));
+        let x = Var::parameter(Matrix::from_vec(1, 1, vec![3.0]));
+        let loss = x.hadamard(&c).sum();
+        loss.backward();
+        assert_eq!(c.grad().get(0, 0), 0.0);
+        assert!((x.grad().get(0, 0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_subexpression_gradients_add_up() {
+        // loss = sum(x*x + x*x) = 2 * sum(x^2) -> grad = 4x
+        let x = Var::parameter(Matrix::from_vec(1, 1, vec![1.5]));
+        let sq = x.square();
+        let loss = sq.add(&sq).sum();
+        loss.backward();
+        assert!((x.grad().get(0, 0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward() requires a scalar output")]
+    fn backward_rejects_non_scalar() {
+        let x = Var::parameter(Matrix::ones(2, 2));
+        x.backward();
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // A 2000-deep chain exercises the iterative topological sort.
+        let x = Var::parameter(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut y = x.clone();
+        for _ in 0..2000 {
+            y = y.add_const(0.001);
+        }
+        let loss = y.sum();
+        loss.backward();
+        assert!((x.grad().get(0, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+//! Dense matrices and reverse-mode automatic differentiation.
+//!
+//! This crate is the numerical substrate for the neural imputation models in
+//! the workspace (BiSIM, BRITS, SSGAN). It deliberately implements only what
+//! those models need:
+//!
+//! * [`Matrix`] — a dense row-major `f64` matrix with the usual linear-algebra
+//!   and element-wise operations,
+//! * [`Var`] — a node in a dynamically-built reverse-mode autodiff graph,
+//!   supporting matrix products, element-wise arithmetic, activations,
+//!   masking, concatenation, column softmax and scalar reductions.
+//!
+//! # Example
+//!
+//! ```
+//! use rm_tensor::{Matrix, Var};
+//!
+//! // Fit y = w * x with one gradient step.
+//! let w = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
+//! let x = Var::constant(Matrix::from_vec(1, 1, vec![2.0]));
+//! let y = Var::constant(Matrix::from_vec(1, 1, vec![6.0]));
+//!
+//! let loss = w.matmul(&x).sub(&y).square().sum();
+//! loss.backward();
+//!
+//! // d/dw (w*2 - 6)^2 = 2*(w*2-6)*2 = -24 at w = 0.
+//! assert!((w.grad().get(0, 0) + 24.0).abs() < 1e-9);
+//! ```
+
+pub mod autodiff;
+pub mod matrix;
+
+pub use autodiff::Var;
+pub use matrix::Matrix;

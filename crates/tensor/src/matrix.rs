@@ -1,0 +1,518 @@
+//! Dense row-major `f64` matrices.
+//!
+//! The matrix type is intentionally small and self-contained: the neural
+//! models in this workspace (BiSIM, BRITS, SSGAN) use hidden sizes of at most
+//! a few hundred, so a straightforward row-major `Vec<f64>` representation
+//! with cache-friendly inner loops is sufficient and keeps the autodiff layer
+//! easy to reason about.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix filled with ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 1.0)
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Creates a column vector from a slice.
+    pub fn column(values: &[f64]) -> Self {
+        Self::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Creates a row vector from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// Creates a matrix with entries sampled uniformly from `[-limit, limit]`.
+    pub fn random_uniform(rows: usize, cols: usize, limit: f64, rng: &mut impl Rng) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-limit..=limit))
+    }
+
+    /// Xavier/Glorot uniform initialization for a layer mapping `cols` inputs
+    /// to `rows` outputs.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f64).sqrt();
+        Self::random_uniform(rows, cols, limit, rng)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry accessor with bounds checking in debug builds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator with bounds checking in debug builds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous over both
+        // `rhs.data` and `out.data`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` entry-wise to the pair `(self, rhs)`.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "element-wise op shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// In-place `self += alpha * rhs`.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&self, s: f64) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0 for an empty matrix).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum entry, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.data.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.max(v),
+            })
+        })
+    }
+
+    /// Minimum entry, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.data.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(m) => m.min(v),
+            })
+        })
+    }
+
+    /// Vertically stacks `self` above `other`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    /// Horizontally stacks `self` to the left of `other`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack row mismatch");
+        Matrix::from_fn(self.rows, self.cols + other.cols, |r, c| {
+            if c < self.cols {
+                self.get(r, c)
+            } else {
+                other.get(r, c - self.cols)
+            }
+        })
+    }
+
+    /// Extracts rows `[start, start + count)` into a new matrix.
+    pub fn slice_rows(&self, start: usize, count: usize) -> Matrix {
+        assert!(start + count <= self.rows, "slice_rows out of range");
+        Matrix::from_vec(
+            count,
+            self.cols,
+            self.data[start * self.cols..(start + count) * self.cols].to_vec(),
+        )
+    }
+
+    /// Returns `true` if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Returns `true` if the two matrices have the same shape and all entries
+    /// differ by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.shape() == other.shape()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        assert_eq!(m[(0, 2)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert!(m.matmul(&i).approx_eq(&m, 1e-12));
+        assert!(i.matmul(&m).approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert!(c.approx_eq(
+            &Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]),
+            1e-12
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::random_uniform(3, 5, 1.0, &mut rng);
+        assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn elementwise_operations() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        assert!((&a + &b).approx_eq(&Matrix::from_vec(2, 2, vec![6.0, 8.0, 10.0, 12.0]), 1e-12));
+        assert!((&b - &a).approx_eq(&Matrix::filled(2, 2, 4.0), 1e-12));
+        assert!(a
+            .hadamard(&b)
+            .approx_eq(&Matrix::from_vec(2, 2, vec![5.0, 12.0, 21.0, 32.0]), 1e-12));
+        assert!((&a * 2.0).approx_eq(&Matrix::from_vec(2, 2, vec![2.0, 4.0, 6.0, 8.0]), 1e-12));
+        assert!((-&a).approx_eq(&a.scale(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn reductions() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.max(), Some(4.0));
+        assert_eq!(m.min(), Some(1.0));
+        assert!((m.frobenius_norm() - 30.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
+        assert_eq!(Matrix::zeros(0, 0).max(), None);
+    }
+
+    #[test]
+    fn stacking_and_slicing() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+        let sliced = v.slice_rows(1, 2);
+        assert!(sliced.approx_eq(&b, 1e-12));
+
+        let c = Matrix::column(&[1.0, 2.0]);
+        let d = Matrix::column(&[3.0, 4.0]);
+        let h = c.hstack(&d);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::ones(2, 2);
+        let b = Matrix::filled(2, 2, 3.0);
+        a.axpy(2.0, &b);
+        assert!(a.approx_eq(&Matrix::filled(2, 2, 7.0), 1e-12));
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = Matrix::xavier(16, 16, &mut rng);
+        let limit = (6.0 / 32.0f64).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= limit));
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    fn column_and_row_vectors() {
+        let c = Matrix::column(&[1.0, 2.0, 3.0]);
+        assert_eq!(c.shape(), (3, 1));
+        let r = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.shape(), (1, 3));
+        assert!(c.transpose().approx_eq(&r, 1e-12));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for matrices and autodiff.
+
+use proptest::prelude::*;
+use rm_tensor::{Matrix, Var};
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-8));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in arb_matrix(3, 3), b in arb_matrix(3, 3), c in arb_matrix(3, 3)) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(left.approx_eq(&right, 1e-8));
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    #[test]
+    fn hadamard_is_commutative(a in arb_matrix(4, 4), b in arb_matrix(4, 4)) {
+        prop_assert!(a.hadamard(&b).approx_eq(&b.hadamard(&a), 1e-12));
+    }
+
+    #[test]
+    fn vstack_then_slice_roundtrips(a in arb_matrix(2, 3), b in arb_matrix(4, 3)) {
+        let stacked = a.vstack(&b);
+        prop_assert!(stacked.slice_rows(0, 2).approx_eq(&a, 0.0));
+        prop_assert!(stacked.slice_rows(2, 4).approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn softmax_is_a_probability_vector(data in prop::collection::vec(-20.0f64..20.0, 1..16)) {
+        let x = Var::constant(Matrix::column(&data));
+        let y = x.softmax_col().value();
+        prop_assert!((y.sum() - 1.0).abs() < 1e-9);
+        prop_assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn autodiff_linear_gradient_is_input(w_data in prop::collection::vec(-2.0f64..2.0, 6), x_data in prop::collection::vec(-2.0f64..2.0, 3)) {
+        // loss = sum(W x); dL/dW[i][j] = x[j]
+        let w = Var::parameter(Matrix::from_vec(2, 3, w_data));
+        let x = Var::constant(Matrix::column(&x_data));
+        let loss = w.matmul(&x).sum();
+        loss.backward();
+        let grad = w.grad();
+        for i in 0..2 {
+            for j in 0..3 {
+                prop_assert!((grad.get(i, j) - x_data[j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_zeroes_gradient_where_mask_is_zero(x_data in prop::collection::vec(-3.0f64..3.0, 6), mask_bits in prop::collection::vec(prop::bool::ANY, 6)) {
+        let x = Var::parameter(Matrix::from_vec(2, 3, x_data));
+        let mask = Matrix::from_vec(2, 3, mask_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect());
+        let loss = x.mask(&mask).square().sum();
+        loss.backward();
+        let grad = x.grad();
+        for (i, &bit) in mask_bits.iter().enumerate() {
+            let (r, c) = (i / 3, i % 3);
+            if !bit {
+                prop_assert_eq!(grad.get(r, c), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic indoor venues, radio propagation and walking-survey simulation.
+//!
+//! The paper evaluates on proprietary walking-survey datasets from two
+//! shopping malls (Kaide, Wanda) and one Bluetooth venue (Longhu). This crate
+//! substitutes those datasets with a simulator that produces the same
+//! artifacts the framework consumes:
+//!
+//! * a [`Venue`] with rooms, walls (the topological entities used by
+//!   `TopoAC`), reference points and access points,
+//! * a [`PropagationModel`] (log-distance path loss + wall attenuation +
+//!   shadow fading) that defines ground-truth observability — the source of
+//!   MNAR missingness,
+//! * a walking-survey simulator that yields a
+//!   [`rm_radiomap::WalkingSurveyTable`] with MAR drops and asynchronous
+//!   RP/RSSI records,
+//! * [`VenuePreset`]s approximating the three venues of Table V and a
+//!   [`DatasetSpec`] builder used by tests, examples and the experiment
+//!   harness.
+
+pub mod presets;
+pub mod propagation;
+pub mod survey_sim;
+pub mod venue;
+
+pub use presets::{default_scale, Dataset, DatasetSpec, VenuePreset, RADIO_MAP_EPSILON_S};
+pub use propagation::PropagationModel;
+pub use survey_sim::{plan_paths, simulate_survey, SimulatedSurvey, SurveySimConfig};
+pub use venue::{AccessPoint, RadioTechnology, Venue, VenueConfig};

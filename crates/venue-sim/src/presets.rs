@@ -1,0 +1,321 @@
+//! Venue presets approximating the three evaluation venues of the paper
+//! (Table V), plus a ready-to-use dataset builder.
+//!
+//! The absolute sizes of the real datasets (hundreds of APs, thousands of
+//! fingerprints) are impractical for a CPU-only reproduction, so every preset
+//! accepts a `scale` factor in `(0, 1]` that shrinks the AP count and the
+//! number of survey passes while preserving the venue's qualitative character:
+//! Wanda stays larger and sparser than Kaide, and Longhu stays a
+//! Bluetooth venue with fewer, weaker beacons.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_radiomap::{RadioMap, RadioMapStats, WalkingSurveyTable};
+
+use crate::propagation::PropagationModel;
+use crate::survey_sim::{simulate_survey, SimulatedSurvey, SurveySimConfig};
+use crate::venue::{RadioTechnology, Venue, VenueConfig};
+
+/// The merge threshold ε used for radio-map creation throughout the paper's
+/// evaluation (1 second).
+pub const RADIO_MAP_EPSILON_S: f64 = 1.0;
+
+/// Identifies one of the three evaluation venues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VenuePreset {
+    /// Kaide Mall: smallest area, densest RPs, Wi-Fi.
+    KaideLike,
+    /// Wanda Square: larger, more APs and fingerprints, sparser, Wi-Fi.
+    WandaLike,
+    /// Longhu: largest area, Bluetooth beacons.
+    LonghuLike,
+}
+
+impl VenuePreset {
+    /// All presets, in the order reported by the paper.
+    pub fn all() -> [VenuePreset; 3] {
+        [
+            VenuePreset::KaideLike,
+            VenuePreset::WandaLike,
+            VenuePreset::LonghuLike,
+        ]
+    }
+
+    /// The preset's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            VenuePreset::KaideLike => "kaide-like",
+            VenuePreset::WandaLike => "wanda-like",
+            VenuePreset::LonghuLike => "longhu-like",
+        }
+    }
+
+    /// The venue generator configuration for this preset at the given scale.
+    pub fn venue_config(self, scale: f64) -> VenueConfig {
+        let scale = scale.clamp(0.05, 1.0);
+        match self {
+            // Kaide: 3225.7 m², 114 RPs (3.53 / 100 m²), 671 APs, 894 fingerprints.
+            VenuePreset::KaideLike => VenueConfig {
+                name: self.name().to_string(),
+                width: 64.0,
+                height: 50.0,
+                rooms_per_side: 8,
+                room_depth: 14.0,
+                wall_thickness: 0.3,
+                door_width: 2.5,
+                hallway_rp_spacing: 3.2,
+                rps_per_room: 4,
+                num_aps: ((671.0 * scale) as usize).max(24),
+                ap_tx_power_dbm: -44.0,
+                weak_ap_fraction: 0.62,
+                weak_ap_power_penalty_db: 22.0,
+                radio: RadioTechnology::WiFi,
+            },
+            // Wanda: 4458.5 m², 118 RPs (2.65 / 100 m²), 929 APs, 4104 fingerprints.
+            VenuePreset::WandaLike => VenueConfig {
+                name: self.name().to_string(),
+                width: 78.0,
+                height: 57.0,
+                rooms_per_side: 9,
+                room_depth: 16.0,
+                wall_thickness: 0.3,
+                door_width: 2.5,
+                hallway_rp_spacing: 4.2,
+                rps_per_room: 3,
+                num_aps: ((929.0 * scale) as usize).max(30),
+                ap_tx_power_dbm: -46.0,
+                weak_ap_fraction: 0.72,
+                weak_ap_power_penalty_db: 24.0,
+                radio: RadioTechnology::WiFi,
+            },
+            // Longhu: 6504.1 m², 202 RPs (3.11 / 100 m²), 330 Bluetooth beacons, 4617 fingerprints.
+            VenuePreset::LonghuLike => VenueConfig {
+                name: self.name().to_string(),
+                width: 93.0,
+                height: 70.0,
+                rooms_per_side: 10,
+                room_depth: 20.0,
+                wall_thickness: 0.3,
+                door_width: 2.5,
+                hallway_rp_spacing: 3.6,
+                rps_per_room: 4,
+                num_aps: ((330.0 * scale) as usize).max(20),
+                ap_tx_power_dbm: -52.0,
+                weak_ap_fraction: 0.5,
+                weak_ap_power_penalty_db: 16.0,
+                radio: RadioTechnology::Bluetooth,
+            },
+        }
+    }
+
+    /// The propagation model matching the preset's radio technology.
+    pub fn propagation(self) -> PropagationModel {
+        match self {
+            VenuePreset::LonghuLike => PropagationModel::bluetooth(),
+            _ => PropagationModel::default(),
+        }
+    }
+
+    /// The survey configuration for this preset at the given scale. Wanda and
+    /// Longhu have several times more fingerprints than Kaide, realised here
+    /// as additional survey passes.
+    pub fn survey_config(self, scale: f64) -> SurveySimConfig {
+        let scale = scale.clamp(0.05, 1.0);
+        let passes = |full: usize| ((full as f64 * scale).round() as usize).max(1);
+        match self {
+            VenuePreset::KaideLike => SurveySimConfig {
+                passes: passes(2),
+                ..SurveySimConfig::default()
+            },
+            VenuePreset::WandaLike => SurveySimConfig {
+                passes: passes(6),
+                ..SurveySimConfig::default()
+            },
+            VenuePreset::LonghuLike => SurveySimConfig {
+                passes: passes(5),
+                ..SurveySimConfig::default()
+            },
+        }
+    }
+}
+
+/// A fully-built synthetic dataset for one venue: the venue, the raw survey,
+/// and the created (sparse) radio map.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The venue (topology, RPs, APs).
+    pub venue: Venue,
+    /// The propagation model used to generate signals.
+    pub propagation: PropagationModel,
+    /// The simulated walking survey.
+    pub survey: SimulatedSurvey,
+    /// The sparse radio map created from the survey (ε = 1 s).
+    pub radio_map: RadioMap,
+}
+
+impl Dataset {
+    /// Table V-style statistics of this dataset.
+    pub fn stats(&self) -> RadioMapStats {
+        RadioMapStats::from_radio_map(
+            self.venue.name.clone(),
+            self.venue.floor_area_m2(),
+            self.venue.num_rps(),
+            &self.radio_map,
+        )
+    }
+
+    /// The underlying walking-survey table.
+    pub fn survey_table(&self) -> &WalkingSurveyTable {
+        &self.survey.table
+    }
+}
+
+/// Options controlling dataset generation.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Which venue to emulate.
+    pub preset: VenuePreset,
+    /// Scale factor in `(0, 1]` applied to AP counts and survey passes.
+    pub scale: f64,
+    /// RNG seed; identical specs produce identical datasets.
+    pub seed: u64,
+    /// RP-record probability override (Fig. 16's RP density sweep); `None`
+    /// keeps the default of 1.0.
+    pub rp_record_probability: Option<f64>,
+}
+
+impl DatasetSpec {
+    /// A spec with the default experiment scale.
+    pub fn new(preset: VenuePreset, seed: u64) -> Self {
+        Self {
+            preset,
+            scale: default_scale(),
+            seed,
+            rp_record_probability: None,
+        }
+    }
+
+    /// Overrides the scale factor.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Overrides the RP-record probability.
+    pub fn with_rp_record_probability(mut self, p: f64) -> Self {
+        self.rp_record_probability = Some(p);
+        self
+    }
+
+    /// Builds the dataset.
+    pub fn build(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let venue = self.preset.venue_config(self.scale).build(&mut rng);
+        let propagation = self.preset.propagation();
+        let mut survey_config = self.preset.survey_config(self.scale);
+        if let Some(p) = self.rp_record_probability {
+            survey_config.rp_record_probability = p;
+        }
+        let survey = simulate_survey(&venue, &propagation, &survey_config, &mut rng);
+        let radio_map = survey.table.create_radio_map(RADIO_MAP_EPSILON_S);
+        Dataset {
+            venue,
+            propagation,
+            survey,
+            radio_map,
+        }
+    }
+}
+
+/// The default scale factor used by tests and the experiment harness. It can
+/// be overridden through the `RM_SCALE` environment variable; `RM_QUICK=1`
+/// selects an even smaller scale for smoke runs.
+pub fn default_scale() -> f64 {
+    if let Ok(v) = std::env::var("RM_SCALE") {
+        if let Ok(parsed) = v.parse::<f64>() {
+            return parsed.clamp(0.05, 1.0);
+        }
+    }
+    if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
+        0.08
+    } else {
+        0.15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_characters() {
+        let kaide = VenuePreset::KaideLike.venue_config(0.1);
+        let wanda = VenuePreset::WandaLike.venue_config(0.1);
+        let longhu = VenuePreset::LonghuLike.venue_config(0.1);
+        assert!(wanda.width * wanda.height > kaide.width * kaide.height);
+        assert!(longhu.width * longhu.height > wanda.width * wanda.height);
+        assert!(wanda.num_aps > kaide.num_aps);
+        assert_eq!(longhu.radio, RadioTechnology::Bluetooth);
+        assert_eq!(kaide.radio, RadioTechnology::WiFi);
+    }
+
+    #[test]
+    fn dataset_build_is_deterministic() {
+        let spec = DatasetSpec::new(VenuePreset::KaideLike, 11).with_scale(0.06);
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.radio_map, b.radio_map);
+        assert_eq!(a.venue, b.venue);
+    }
+
+    #[test]
+    fn kaide_dataset_matches_table_v_shape() {
+        let dataset = DatasetSpec::new(VenuePreset::KaideLike, 1)
+            .with_scale(0.08)
+            .build();
+        let stats = dataset.stats();
+        // Qualitative Table V properties: thousands of m², dozens of RPs,
+        // high RSSI sparsity.
+        assert!(stats.floor_area_m2 > 2500.0);
+        assert!(stats.num_rps > 50);
+        assert!(stats.num_fingerprints > 100);
+        assert!(
+            stats.missing_rssi_rate > 0.6,
+            "expected a sparse radio map, got {}",
+            stats.missing_rssi_rate
+        );
+        assert!(stats.missing_rp_rate > 0.3);
+    }
+
+    #[test]
+    fn rp_probability_override_reduces_rp_records() {
+        let full = DatasetSpec::new(VenuePreset::KaideLike, 5)
+            .with_scale(0.06)
+            .build();
+        let sparse = DatasetSpec::new(VenuePreset::KaideLike, 5)
+            .with_scale(0.06)
+            .with_rp_record_probability(0.4)
+            .build();
+        assert!(sparse.radio_map.observed_rp_count() < full.radio_map.observed_rp_count());
+    }
+
+    #[test]
+    fn scale_controls_ap_count() {
+        let small = VenuePreset::WandaLike.venue_config(0.05);
+        let large = VenuePreset::WandaLike.venue_config(0.5);
+        assert!(large.num_aps > small.num_aps);
+    }
+
+    #[test]
+    fn default_scale_is_sane() {
+        let s = default_scale();
+        assert!((0.05..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn preset_names_and_all() {
+        assert_eq!(VenuePreset::all().len(), 3);
+        assert_eq!(VenuePreset::KaideLike.name(), "kaide-like");
+        assert_eq!(VenuePreset::LonghuLike.name(), "longhu-like");
+    }
+}

@@ -1,0 +1,223 @@
+//! Indoor radio propagation: log-distance path loss with wall attenuation and
+//! log-normal shadowing.
+//!
+//! The model produces two things the framework needs:
+//!
+//! * a *deterministic* expected RSSI per (access point, location), which
+//!   defines ground-truth observability — the basis of MNAR missingness, and
+//! * *sampled* RSSIs with shadow fading, clamped to the observable range
+//!   `[-99, 0]` dBm, which populate the simulated walking surveys.
+
+use rand::Rng;
+use rm_geometry::{Point, Segment};
+use rm_radiomap::{MAX_OBSERVED_RSSI, MIN_OBSERVED_RSSI};
+
+use crate::venue::{AccessPoint, Venue};
+
+/// Configuration of the log-distance propagation model.
+#[derive(Debug, Clone)]
+pub struct PropagationModel {
+    /// Path-loss exponent `n`; indoor environments are typically 2.5–3.5.
+    pub path_loss_exponent: f64,
+    /// Attenuation added per wall crossed, in dB.
+    pub wall_attenuation_db: f64,
+    /// Standard deviation of the log-normal shadow fading, in dB.
+    pub shadowing_sigma_db: f64,
+    /// Signals with expected strength below this threshold are unobservable
+    /// (their absence is MNAR).
+    pub detection_threshold_dbm: f64,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        Self {
+            path_loss_exponent: 3.5,
+            wall_attenuation_db: 7.0,
+            shadowing_sigma_db: 3.0,
+            detection_threshold_dbm: -90.0,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// A model suited to Bluetooth beacons: faster decay and a slightly higher
+    /// detection threshold, reflecting the lower transmit power and shorter
+    /// range of BLE.
+    pub fn bluetooth() -> Self {
+        Self {
+            path_loss_exponent: 3.6,
+            wall_attenuation_db: 8.0,
+            shadowing_sigma_db: 4.0,
+            detection_threshold_dbm: -88.0,
+        }
+    }
+
+    /// Expected (noise-free) RSSI of `ap` at `location`, in dBm.
+    pub fn expected_rssi(&self, venue: &Venue, ap: &AccessPoint, location: Point) -> f64 {
+        let distance = ap.location.distance(location).max(1.0);
+        let walls_crossed = venue
+            .walls
+            .count_edge_crossings(&Segment::new(ap.location, location));
+        ap.tx_power_dbm
+            - 10.0 * self.path_loss_exponent * distance.log10()
+            - self.wall_attenuation_db * walls_crossed as f64
+    }
+
+    /// Whether `ap` is observable at `location` (expected RSSI at or above the
+    /// detection threshold). A missing reading for an unobservable AP is, by
+    /// definition, MNAR.
+    pub fn observable(&self, venue: &Venue, ap: &AccessPoint, location: Point) -> bool {
+        self.expected_rssi(venue, ap, location) >= self.detection_threshold_dbm
+    }
+
+    /// Samples a noisy RSSI reading of `ap` at `location`.
+    ///
+    /// Returns `None` if the faded signal falls below the detection threshold;
+    /// otherwise the reading is clamped to the observable range
+    /// `[-99, 0]` dBm.
+    pub fn sample_rssi(
+        &self,
+        venue: &Venue,
+        ap: &AccessPoint,
+        location: Point,
+        rng: &mut impl Rng,
+    ) -> Option<f64> {
+        let expected = self.expected_rssi(venue, ap, location);
+        let faded = expected + gaussian(rng) * self.shadowing_sigma_db;
+        if faded < self.detection_threshold_dbm {
+            None
+        } else {
+            Some(faded.clamp(MIN_OBSERVED_RSSI, MAX_OBSERVED_RSSI))
+        }
+    }
+
+    /// Expected RSSI of every AP at `location`, with `None` for unobservable
+    /// APs — the noise-free ground-truth fingerprint at that location.
+    pub fn ground_truth_fingerprint(&self, venue: &Venue, location: Point) -> Vec<Option<f64>> {
+        venue
+            .access_points
+            .iter()
+            .map(|ap| {
+                let e = self.expected_rssi(venue, ap, location);
+                if e >= self.detection_threshold_dbm {
+                    Some(e.clamp(MIN_OBSERVED_RSSI, MAX_OBSERVED_RSSI))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+/// Standard-normal sample via the Box–Muller transform (avoids pulling the
+/// rand_distr crate into the workspace).
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::venue::VenueConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_venue() -> Venue {
+        VenueConfig::small_test("prop").build(&mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let venue = test_venue();
+        let model = PropagationModel::default();
+        let ap = &venue.access_points[0];
+        let near = model.expected_rssi(&venue, ap, ap.location + Point::new(1.0, 0.0));
+        let far = model.expected_rssi(&venue, ap, ap.location + Point::new(15.0, 0.0));
+        assert!(near > far);
+    }
+
+    #[test]
+    fn walls_attenuate_signal() {
+        let venue = test_venue();
+        let model = PropagationModel::default();
+        // Place a virtual AP in a bottom room; a receiver diagonally offset in
+        // the hallway has the hallway-facing wall in its path (the segment
+        // crosses the wall band away from the door gap).
+        let room = &venue.rooms[1];
+        let c = room.centroid();
+        let ap = AccessPoint {
+            location: c,
+            tx_power_dbm: -30.0,
+        };
+        let receiver = Point::new(c.x + 4.0, c.y + 6.0);
+        let distance = c.distance(receiver);
+        let through_wall = model.expected_rssi(&venue, &ap, receiver);
+        let free_space_same_dist =
+            ap.tx_power_dbm - 10.0 * model.path_loss_exponent * distance.log10();
+        assert!(
+            through_wall < free_space_same_dist - 1.0,
+            "wall must attenuate: {through_wall} vs free-space {free_space_same_dist}"
+        );
+    }
+
+    #[test]
+    fn observability_matches_threshold() {
+        let venue = test_venue();
+        let model = PropagationModel::default();
+        let ap = &venue.access_points[0];
+        assert!(model.observable(&venue, ap, ap.location + Point::new(1.0, 0.0)));
+        // Very far away (outside the venue, but geometry still works): unobservable.
+        let far = Point::new(ap.location.x + 100_000.0, ap.location.y);
+        assert!(!model.observable(&venue, ap, far));
+    }
+
+    #[test]
+    fn sampled_rssi_is_in_valid_range() {
+        let venue = test_venue();
+        let model = PropagationModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut observed = 0;
+        for ap in &venue.access_points {
+            for rp in &venue.reference_points {
+                if let Some(v) = model.sample_rssi(&venue, ap, *rp, &mut rng) {
+                    assert!((MIN_OBSERVED_RSSI..=MAX_OBSERVED_RSSI).contains(&v));
+                    observed += 1;
+                }
+            }
+        }
+        assert!(observed > 0, "some readings must be observable");
+    }
+
+    #[test]
+    fn ground_truth_fingerprint_has_one_entry_per_ap() {
+        let venue = test_venue();
+        let model = PropagationModel::default();
+        let f = model.ground_truth_fingerprint(&venue, venue.reference_points[0]);
+        assert_eq!(f.len(), venue.num_aps());
+        // At least one AP should be visible from an RP in a 40x25 venue.
+        assert!(f.iter().any(Option::is_some));
+    }
+
+    #[test]
+    fn bluetooth_model_decays_faster() {
+        let venue = test_venue();
+        let wifi = PropagationModel::default();
+        let ble = PropagationModel::bluetooth();
+        let ap = &venue.access_points[0];
+        let pos = ap.location + Point::new(10.0, 0.0);
+        assert!(ble.expected_rssi(&venue, ap, pos) < wifi.expected_rssi(&venue, ap, pos));
+    }
+
+    #[test]
+    fn gaussian_sampling_is_roughly_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Walking-survey simulation.
+//!
+//! A simulated surveyor walks survey paths through a [`Venue`], visiting
+//! reference points and collecting RSSI scans along the way, exactly as in the
+//! data-collection procedure of Section II-B of the paper. The output is a
+//! [`WalkingSurveyTable`] whose radio map exhibits the two kinds of
+//! missingness the framework targets:
+//!
+//! * **MNAR** — access points whose signal is below the detection threshold at
+//!   the scan position simply do not appear in the scan;
+//! * **MAR** — observable readings are dropped with a small probability,
+//!   modelling random events such as temporarily blocked transmission paths.
+
+use rand::Rng;
+use rm_geometry::Point;
+use rm_radiomap::{SurveyEntry, WalkingSurveyTable};
+
+use crate::propagation::PropagationModel;
+use crate::venue::Venue;
+
+/// Configuration of the simulated walking survey.
+#[derive(Debug, Clone)]
+pub struct SurveySimConfig {
+    /// Surveyor walking speed in metres per second.
+    pub walking_speed_mps: f64,
+    /// Interval between consecutive RSSI scans, in seconds.
+    pub scan_interval_s: f64,
+    /// Probability that an observable reading is dropped from a scan (MAR).
+    pub mar_drop_probability: f64,
+    /// Probability that an RP visit is actually recorded in the survey table.
+    /// Scaling this down reproduces the RP-density experiment (Fig. 16).
+    pub rp_record_probability: f64,
+    /// Number of reference points per survey path.
+    pub rps_per_path: usize,
+    /// How many times the full set of paths is surveyed. More passes produce
+    /// more fingerprints (Wanda has ~4.5× the fingerprints of Kaide).
+    pub passes: usize,
+}
+
+impl Default for SurveySimConfig {
+    fn default() -> Self {
+        Self {
+            walking_speed_mps: 1.2,
+            scan_interval_s: 2.0,
+            mar_drop_probability: 0.05,
+            rp_record_probability: 1.0,
+            rps_per_path: 10,
+            passes: 1,
+        }
+    }
+}
+
+/// The result of a simulated survey: the record table plus, for testing and
+/// debugging, the surveyor's true position at every scan.
+#[derive(Debug, Clone)]
+pub struct SimulatedSurvey {
+    /// The walking-survey record table (input to radio-map creation).
+    pub table: WalkingSurveyTable,
+    /// Ground-truth `(time, position)` of every RSSI scan, per path.
+    pub scan_positions: Vec<Vec<(f64, Point)>>,
+}
+
+/// Simulates walking surveys over all reference points of `venue`.
+pub fn simulate_survey(
+    venue: &Venue,
+    propagation: &PropagationModel,
+    config: &SurveySimConfig,
+    rng: &mut impl Rng,
+) -> SimulatedSurvey {
+    let mut table = WalkingSurveyTable::new(venue.num_aps());
+    let mut scan_positions = Vec::new();
+
+    for _pass in 0..config.passes {
+        for path_rps in plan_paths(venue, config.rps_per_path) {
+            let (entries, positions) = walk_path(venue, propagation, config, &path_rps, rng);
+            table.add_path(entries);
+            scan_positions.push(positions);
+        }
+    }
+    SimulatedSurvey {
+        table,
+        scan_positions,
+    }
+}
+
+/// Groups the venue's reference points into survey paths of roughly
+/// `rps_per_path` points each, ordered so that consecutive RPs are spatially
+/// close (sorted by vertical band, then horizontally, serpentine within a
+/// band — the way a surveyor would sweep a mall corridor).
+pub fn plan_paths(venue: &Venue, rps_per_path: usize) -> Vec<Vec<Point>> {
+    let mut rps = venue.reference_points.clone();
+    if rps.is_empty() {
+        return Vec::new();
+    }
+    // Sort by coarse y band then x.
+    let band_height = 5.0f64;
+    rps.sort_by(|a, b| {
+        let band_a = (a.y / band_height).floor();
+        let band_b = (b.y / band_height).floor();
+        band_a
+            .partial_cmp(&band_b)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal))
+    });
+
+    let per_path = rps_per_path.max(2);
+    let mut paths: Vec<Vec<Point>> = rps.chunks(per_path).map(|c| c.to_vec()).collect();
+    // Reverse every other path to emulate a serpentine sweep.
+    for (i, path) in paths.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            path.reverse();
+        }
+    }
+    // A trailing path with a single RP cannot be walked; merge it into the
+    // previous one.
+    if paths.len() >= 2 && paths.last().map(|p| p.len() < 2).unwrap_or(false) {
+        let last = paths.pop().expect("non-empty");
+        paths.last_mut().expect("non-empty").extend(last);
+    }
+    paths
+}
+
+/// Walks one path and produces its survey entries plus ground-truth scan
+/// positions.
+fn walk_path(
+    venue: &Venue,
+    propagation: &PropagationModel,
+    config: &SurveySimConfig,
+    path_rps: &[Point],
+    rng: &mut impl Rng,
+) -> (Vec<SurveyEntry>, Vec<(f64, Point)>) {
+    let mut entries = Vec::new();
+    let mut positions = Vec::new();
+    let mut time = 0.0f64;
+    let mut next_scan_time = config.scan_interval_s;
+
+    // Record the first RP at time zero.
+    if rng.gen_bool(config.rp_record_probability.clamp(0.0, 1.0)) {
+        entries.push(SurveyEntry::rp(time, path_rps[0]));
+    }
+
+    for window in path_rps.windows(2) {
+        let (from, to) = (window[0], window[1]);
+        let leg_length = from.distance(to);
+        let leg_duration = (leg_length / config.walking_speed_mps).max(1e-6);
+        let leg_start = time;
+
+        // Scans while walking this leg.
+        while next_scan_time <= leg_start + leg_duration {
+            let progress = ((next_scan_time - leg_start) / leg_duration).clamp(0.0, 1.0);
+            let position = from.lerp(to, progress);
+            let scan = scan_at(venue, propagation, config, position, rng);
+            if !scan.is_empty() {
+                entries.push(SurveyEntry::rssi(next_scan_time, scan));
+            }
+            positions.push((next_scan_time, position));
+            next_scan_time += config.scan_interval_s;
+        }
+
+        time = leg_start + leg_duration;
+        // Arriving at the next RP.
+        if rng.gen_bool(config.rp_record_probability.clamp(0.0, 1.0)) {
+            entries.push(SurveyEntry::rp(time, to));
+        }
+    }
+    (entries, positions)
+}
+
+/// Performs one RSSI scan at `position`: every observable AP contributes a
+/// reading unless dropped by the MAR process.
+fn scan_at(
+    venue: &Venue,
+    propagation: &PropagationModel,
+    config: &SurveySimConfig,
+    position: Point,
+    rng: &mut impl Rng,
+) -> Vec<(usize, f64)> {
+    let mut readings = Vec::new();
+    for (ap_index, ap) in venue.access_points.iter().enumerate() {
+        if let Some(rssi) = propagation.sample_rssi(venue, ap, position, rng) {
+            if rng.gen_bool(config.mar_drop_probability.clamp(0.0, 1.0)) {
+                continue; // MAR: observable but lost to a random event.
+            }
+            readings.push((ap_index, rssi));
+        }
+    }
+    readings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::venue::VenueConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Venue, PropagationModel) {
+        let venue = VenueConfig::small_test("survey").build(&mut StdRng::seed_from_u64(1));
+        (venue, PropagationModel::default())
+    }
+
+    #[test]
+    fn paths_cover_all_reference_points() {
+        let (venue, _) = setup();
+        let paths = plan_paths(&venue, 8);
+        let total: usize = paths.iter().map(Vec::len).sum();
+        assert_eq!(total, venue.num_rps());
+        assert!(paths.iter().all(|p| p.len() >= 2));
+    }
+
+    #[test]
+    fn survey_produces_rp_and_rssi_entries() {
+        let (venue, propagation) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let survey = simulate_survey(&venue, &propagation, &SurveySimConfig::default(), &mut rng);
+        assert!(survey.table.rp_entry_count() > 0);
+        assert!(survey.table.rssi_entry_count() > 0);
+        assert_eq!(survey.table.num_aps(), venue.num_aps());
+        assert_eq!(survey.table.num_paths(), survey.scan_positions.len());
+    }
+
+    #[test]
+    fn created_radio_map_is_sparse() {
+        let (venue, propagation) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let survey = simulate_survey(&venue, &propagation, &SurveySimConfig::default(), &mut rng);
+        let map = survey.table.create_radio_map(1.0);
+        assert!(map.len() > 10);
+        // A 40x25 venue with 30 APs: most APs are out of range of most scans.
+        let missing = map.missing_rssi_rate();
+        assert!(
+            missing > 0.3 && missing < 0.999,
+            "unexpected missing-RSSI rate {missing}"
+        );
+        assert!(map.missing_rp_rate() > 0.0, "walking surveys leave RP gaps");
+    }
+
+    #[test]
+    fn lower_rp_probability_records_fewer_rps() {
+        let (venue, propagation) = setup();
+        let dense_cfg = SurveySimConfig::default();
+        let sparse_cfg = SurveySimConfig {
+            rp_record_probability: 0.3,
+            ..SurveySimConfig::default()
+        };
+        let dense = simulate_survey(&venue, &propagation, &dense_cfg, &mut StdRng::seed_from_u64(4));
+        let sparse =
+            simulate_survey(&venue, &propagation, &sparse_cfg, &mut StdRng::seed_from_u64(4));
+        assert!(sparse.table.rp_entry_count() < dense.table.rp_entry_count());
+    }
+
+    #[test]
+    fn more_passes_produce_more_fingerprints() {
+        let (venue, propagation) = setup();
+        let one = SurveySimConfig::default();
+        let three = SurveySimConfig {
+            passes: 3,
+            ..SurveySimConfig::default()
+        };
+        let a = simulate_survey(&venue, &propagation, &one, &mut StdRng::seed_from_u64(5));
+        let b = simulate_survey(&venue, &propagation, &three, &mut StdRng::seed_from_u64(5));
+        assert!(b.table.rssi_entry_count() > 2 * a.table.rssi_entry_count());
+    }
+
+    #[test]
+    fn higher_mar_probability_increases_sparsity() {
+        let (venue, propagation) = setup();
+        let low = SurveySimConfig {
+            mar_drop_probability: 0.0,
+            ..SurveySimConfig::default()
+        };
+        let high = SurveySimConfig {
+            mar_drop_probability: 0.5,
+            ..SurveySimConfig::default()
+        };
+        let a = simulate_survey(&venue, &propagation, &low, &mut StdRng::seed_from_u64(6))
+            .table
+            .create_radio_map(1.0);
+        let b = simulate_survey(&venue, &propagation, &high, &mut StdRng::seed_from_u64(6))
+            .table
+            .create_radio_map(1.0);
+        assert!(b.missing_rssi_rate() > a.missing_rssi_rate());
+    }
+
+    #[test]
+    fn empty_venue_produces_empty_survey() {
+        let (mut venue, propagation) = setup();
+        venue.reference_points.clear();
+        let survey = simulate_survey(
+            &venue,
+            &propagation,
+            &SurveySimConfig::default(),
+            &mut StdRng::seed_from_u64(7),
+        );
+        assert_eq!(survey.table.num_paths(), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Synthetic indoor venues: floor plans, rooms, walls, reference points and
+//! access points.
+//!
+//! The paper evaluates on two shopping malls (Kaide, Wanda) and one Bluetooth
+//! venue (Longhu) from the Microsoft Research indoor-location datasets. Those
+//! datasets are not redistributable here, so this module generates venues with
+//! the same structural ingredients the algorithms rely on: a hallway loop with
+//! rooms on both sides, walls acting as topological entities (used by the
+//! `TopoAC` differentiator and by the propagation model), pre-selected
+//! reference points, and access points scattered over the floor.
+
+use rand::Rng;
+use rm_geometry::{MultiPolygon, Point, Polygon};
+
+/// The radio technology of a venue's access points (Table V: Longhu uses
+/// Bluetooth beacons instead of Wi-Fi APs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadioTechnology {
+    /// IEEE 802.11 Wi-Fi access points.
+    WiFi,
+    /// Bluetooth Low Energy beacons.
+    Bluetooth,
+}
+
+/// A transmitting access point (or Bluetooth beacon).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPoint {
+    /// Deployment location.
+    pub location: Point,
+    /// Transmit power referenced at one metre, in dBm. Bluetooth beacons are
+    /// weaker than Wi-Fi APs.
+    pub tx_power_dbm: f64,
+}
+
+/// A synthetic indoor venue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Venue {
+    /// Venue name (e.g. `kaide-like`).
+    pub name: String,
+    /// Bounding width in metres.
+    pub width: f64,
+    /// Bounding height in metres.
+    pub height: f64,
+    /// Topological entities (walls) as a multipolygon — the input `T` of the
+    /// `EntityExist` check (Algorithm 4).
+    pub walls: MultiPolygon,
+    /// Room footprints (interior areas enclosed by walls).
+    pub rooms: Vec<Polygon>,
+    /// Pre-selected reference points visited by surveyors.
+    pub reference_points: Vec<Point>,
+    /// Deployed access points.
+    pub access_points: Vec<AccessPoint>,
+    /// Radio technology of the access points.
+    pub radio: RadioTechnology,
+}
+
+impl Venue {
+    /// Floor area in square metres.
+    pub fn floor_area_m2(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Reference points per 100 square metres (Table V's RP density).
+    pub fn rp_density_per_100m2(&self) -> f64 {
+        if self.floor_area_m2() > 0.0 {
+            self.reference_points.len() as f64 / self.floor_area_m2() * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of access points.
+    pub fn num_aps(&self) -> usize {
+        self.access_points.len()
+    }
+
+    /// Number of reference points.
+    pub fn num_rps(&self) -> usize {
+        self.reference_points.len()
+    }
+}
+
+/// Parameters for the synthetic floor-plan generator.
+#[derive(Debug, Clone)]
+pub struct VenueConfig {
+    /// Venue name.
+    pub name: String,
+    /// Venue width in metres.
+    pub width: f64,
+    /// Venue height in metres.
+    pub height: f64,
+    /// Number of rooms along the top edge and along the bottom edge (each).
+    pub rooms_per_side: usize,
+    /// Depth of the rooms (metres); the remaining band is the hallway.
+    pub room_depth: f64,
+    /// Wall thickness in metres.
+    pub wall_thickness: f64,
+    /// Width of the door opening in each room's hallway-facing wall.
+    pub door_width: f64,
+    /// Spacing between hallway reference points (metres).
+    pub hallway_rp_spacing: f64,
+    /// Number of reference points inside each room.
+    pub rps_per_room: usize,
+    /// Number of access points to deploy.
+    pub num_aps: usize,
+    /// Transmit power at one metre (dBm) of a regular ("strong") access point.
+    pub ap_tx_power_dbm: f64,
+    /// Fraction of access points that are weak/remote (e.g. located on another
+    /// floor or in a neighbouring building). These dominate real radio maps
+    /// and are the main source of MNAR sparsity: they are only observable in a
+    /// small neighbourhood.
+    pub weak_ap_fraction: f64,
+    /// Transmit-power penalty applied to weak access points, in dB.
+    pub weak_ap_power_penalty_db: f64,
+    /// Radio technology.
+    pub radio: RadioTechnology,
+}
+
+impl VenueConfig {
+    /// A small venue useful in unit tests: 40 m × 25 m, 3 rooms per side.
+    pub fn small_test(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            width: 40.0,
+            height: 25.0,
+            rooms_per_side: 3,
+            room_depth: 8.0,
+            wall_thickness: 0.3,
+            door_width: 2.0,
+            hallway_rp_spacing: 4.0,
+            rps_per_room: 2,
+            num_aps: 30,
+            ap_tx_power_dbm: -45.0,
+            weak_ap_fraction: 0.6,
+            weak_ap_power_penalty_db: 21.0,
+            radio: RadioTechnology::WiFi,
+        }
+    }
+
+    /// Builds the venue, placing access points with `rng`.
+    pub fn build(&self, rng: &mut impl Rng) -> Venue {
+        let mut walls = MultiPolygon::empty();
+        let mut rooms = Vec::new();
+        let mut reference_points = Vec::new();
+
+        let hallway_bottom = self.room_depth;
+        let hallway_top = self.height - self.room_depth;
+        let room_width = self.width / self.rooms_per_side as f64;
+        let t = self.wall_thickness;
+
+        // Rooms along the bottom (facing up) and top (facing down) edges.
+        for side in 0..2 {
+            for i in 0..self.rooms_per_side {
+                let x0 = i as f64 * room_width;
+                let x1 = x0 + room_width;
+                let (y0, y1, facing_y) = if side == 0 {
+                    (0.0, hallway_bottom, hallway_bottom)
+                } else {
+                    (hallway_top, self.height, hallway_top)
+                };
+                rooms.push(Polygon::rectangle(Point::new(x0, y0), Point::new(x1, y1)));
+
+                // Side walls between adjacent rooms (skip the venue boundary).
+                if i > 0 {
+                    walls.push(Polygon::rectangle(
+                        Point::new(x0 - t / 2.0, y0),
+                        Point::new(x0 + t / 2.0, y1),
+                    ));
+                }
+                // Hallway-facing wall with a centred door gap.
+                let door_center = (x0 + x1) / 2.0;
+                let door_half = self.door_width / 2.0;
+                let wall_y0 = facing_y - t / 2.0;
+                let wall_y1 = facing_y + t / 2.0;
+                if door_center - door_half > x0 {
+                    walls.push(Polygon::rectangle(
+                        Point::new(x0, wall_y0),
+                        Point::new(door_center - door_half, wall_y1),
+                    ));
+                }
+                if door_center + door_half < x1 {
+                    walls.push(Polygon::rectangle(
+                        Point::new(door_center + door_half, wall_y0),
+                        Point::new(x1, wall_y1),
+                    ));
+                }
+
+                // Reference points inside the room, spread along its centre line.
+                let room_cy = (y0 + y1) / 2.0;
+                for k in 0..self.rps_per_room {
+                    let fx = (k as f64 + 1.0) / (self.rps_per_room as f64 + 1.0);
+                    reference_points.push(Point::new(x0 + fx * room_width, room_cy));
+                }
+            }
+        }
+
+        // Hallway reference points: two lines running along the hallway.
+        let hallway_mid_low = hallway_bottom + (hallway_top - hallway_bottom) / 3.0;
+        let hallway_mid_high = hallway_bottom + 2.0 * (hallway_top - hallway_bottom) / 3.0;
+        let mut x = self.hallway_rp_spacing / 2.0;
+        while x < self.width {
+            reference_points.push(Point::new(x, hallway_mid_low));
+            reference_points.push(Point::new(x, hallway_mid_high));
+            x += self.hallway_rp_spacing;
+        }
+
+        // Access points: mostly in the hallway and near room doors, some in rooms.
+        let mut access_points = Vec::with_capacity(self.num_aps);
+        for i in 0..self.num_aps {
+            let location = if i % 3 == 0 && !rooms.is_empty() {
+                // Inside a random room.
+                let room = &rooms[rng.gen_range(0..rooms.len())];
+                let (lo, hi) = room.bounding_box().expect("room has a bounding box");
+                Point::new(
+                    rng.gen_range(lo.x..hi.x.max(lo.x + 1e-6)),
+                    rng.gen_range(lo.y..hi.y.max(lo.y + 1e-6)),
+                )
+            } else {
+                // In the hallway band.
+                Point::new(
+                    rng.gen_range(0.0..self.width),
+                    rng.gen_range(hallway_bottom..hallway_top),
+                )
+            };
+            let weak_penalty = if rng.gen_bool(self.weak_ap_fraction.clamp(0.0, 1.0)) {
+                // Weak/remote AP: observable only in a small neighbourhood.
+                self.weak_ap_power_penalty_db + rng.gen_range(0.0..6.0)
+            } else {
+                0.0
+            };
+            access_points.push(AccessPoint {
+                location,
+                tx_power_dbm: self.ap_tx_power_dbm - weak_penalty + rng.gen_range(-3.0..3.0),
+            });
+        }
+
+        Venue {
+            name: self.name.clone(),
+            width: self.width,
+            height: self.height,
+            walls,
+            rooms,
+            reference_points,
+            access_points,
+            radio: self.radio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_venue_has_expected_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let venue = VenueConfig::small_test("t").build(&mut rng);
+        assert_eq!(venue.rooms.len(), 6);
+        assert_eq!(venue.num_aps(), 30);
+        assert!(venue.num_rps() > 10);
+        assert!((venue.floor_area_m2() - 1000.0).abs() < 1e-9);
+        assert!(venue.rp_density_per_100m2() > 0.0);
+        assert!(!venue.walls.is_empty());
+    }
+
+    #[test]
+    fn all_rps_and_aps_are_inside_the_venue() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let venue = VenueConfig::small_test("t").build(&mut rng);
+        for p in &venue.reference_points {
+            assert!(p.x >= 0.0 && p.x <= venue.width && p.y >= 0.0 && p.y <= venue.height);
+        }
+        for ap in &venue.access_points {
+            let p = ap.location;
+            assert!(p.x >= 0.0 && p.x <= venue.width && p.y >= 0.0 && p.y <= venue.height);
+        }
+    }
+
+    #[test]
+    fn hallway_rps_are_not_inside_walls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let venue = VenueConfig::small_test("t").build(&mut rng);
+        // RPs placed in the hallway band must not fall inside wall polygons.
+        let hallway_rps: Vec<_> = venue
+            .reference_points
+            .iter()
+            .filter(|p| p.y > 8.0 && p.y < venue.height - 8.0)
+            .collect();
+        assert!(!hallway_rps.is_empty());
+        for p in hallway_rps {
+            assert!(!venue.walls.contains(*p), "hallway RP {p:?} inside a wall");
+        }
+    }
+
+    #[test]
+    fn walls_separate_adjacent_rooms() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let venue = VenueConfig::small_test("t").build(&mut rng);
+        // A segment between the centres of two adjacent bottom rooms crosses a wall.
+        let a = venue.rooms[0].centroid();
+        let b = venue.rooms[1].centroid();
+        let seg = rm_geometry::Segment::new(a, b);
+        assert!(venue.walls.intersects_segment(&seg));
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = VenueConfig::small_test("t").build(&mut StdRng::seed_from_u64(7));
+        let b = VenueConfig::small_test("t").build(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tx_power_mixes_strong_and_weak_aps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let venue = VenueConfig::small_test("t").build(&mut rng);
+        let strong = venue
+            .access_points
+            .iter()
+            .filter(|ap| ap.tx_power_dbm > -50.0)
+            .count();
+        let weak = venue.access_points.len() - strong;
+        assert!(strong > 0, "some APs must be strong");
+        assert!(weak > 0, "some APs must be weak/remote");
+        for ap in &venue.access_points {
+            // Strong APs sit near the nominal power, weak ones below it.
+            assert!(ap.tx_power_dbm <= -45.0 + 3.0);
+            assert!(ap.tx_power_dbm >= -45.0 - 21.0 - 6.0 - 3.0);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared helpers for the runnable examples.
+//!
+//! The examples default to very small synthetic datasets so they run in
+//! seconds; set `RM_SCALE` (e.g. `RM_SCALE=0.3`) and `RM_EPOCHS` to run them
+//! at larger scale.
+
+use radiomap_core::prelude::*;
+
+/// Builds a small dataset for the given venue preset, honouring the `RM_SCALE`
+/// environment variable but defaulting to an example-friendly size.
+pub fn example_dataset(preset: VenuePreset, seed: u64) -> Dataset {
+    let scale = std::env::var("RM_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.06);
+    DatasetSpec::new(preset, seed).with_scale(scale).build()
+}
+
+/// Formats an `Option<f64>` metric for display.
+pub fn fmt_metric(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.2}"),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_dataset_builds() {
+        let dataset = example_dataset(VenuePreset::KaideLike, 1);
+        assert!(dataset.radio_map.len() > 0);
+    }
+
+    #[test]
+    fn fmt_metric_handles_both_cases() {
+        assert_eq!(fmt_metric(Some(1.234)), "1.23");
+        assert_eq!(fmt_metric(None), "n/a");
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests: the full survey → radio map →
+//! differentiation → imputation → positioning chain.
+
+use radiomap_core::prelude::*;
+use rm_integration_tests::{straight_path_map, tiny_dataset};
+
+/// The full T-BiSIM pipeline runs end-to-end on a synthetic venue and produces
+/// a finite positioning error well below the venue diagonal.
+#[test]
+fn full_pipeline_end_to_end_on_synthetic_venue() {
+    let dataset = tiny_dataset(VenuePreset::KaideLike, 5);
+    let config = PipelineConfig {
+        differentiator: DifferentiatorKind::TopoAc,
+        imputer: ImputerKind::Bisim,
+        ..PipelineConfig::default()
+    };
+    std::env::set_var("RM_EPOCHS", "5");
+    let result = ImputationPipeline::new(config).evaluate(&dataset.radio_map, &dataset.venue.walls);
+    assert!(result.num_test_queries > 0);
+    assert!(result.ape_m.is_finite());
+    let diagonal = (dataset.venue.width.powi(2) + dataset.venue.height.powi(2)).sqrt();
+    assert!(
+        result.ape_m < diagonal,
+        "APE {} exceeds the venue diagonal {}",
+        result.ape_m,
+        diagonal
+    );
+}
+
+/// Every imputer produces a dense map whose RSSIs are in the physical range
+/// and whose observed entries are preserved exactly.
+#[test]
+fn all_imputers_preserve_observed_values_and_ranges() {
+    std::env::set_var("RM_EPOCHS", "3");
+    let map = straight_path_map(15, 6);
+    let topology = MultiPolygon::empty();
+    for imputer_kind in ImputerKind::all() {
+        let pipeline = ImputationPipeline::new(PipelineConfig {
+            differentiator: DifferentiatorKind::MarOnly,
+            imputer: imputer_kind,
+            ..PipelineConfig::default()
+        });
+        let (imputed, _) = pipeline.impute(&map, &topology);
+        assert_eq!(imputed.len(), map.len(), "{}", imputer_kind.name());
+        for (i, record) in map.records().iter().enumerate() {
+            for ap in 0..map.num_aps() {
+                let value = imputed.rssi(i, ap);
+                assert!(
+                    (-100.0..=0.0).contains(&value),
+                    "{}: rssi {} out of range",
+                    imputer_kind.name(),
+                    value
+                );
+                if let Some(observed) = record.fingerprint.get(ap) {
+                    assert!(
+                        (value - observed).abs() < 1e-9,
+                        "{}: observed value changed",
+                        imputer_kind.name()
+                    );
+                }
+            }
+            if let Some(rp) = record.rp {
+                assert_eq!(imputed.locations[i], Some(rp), "{}", imputer_kind.name());
+            }
+        }
+    }
+}
+
+/// Differentiation must classify every missing entry and only missing entries.
+#[test]
+fn differentiators_classify_exactly_the_missing_entries() {
+    let dataset = tiny_dataset(VenuePreset::WandaLike, 9);
+    let map = &dataset.radio_map;
+    for kind in [
+        DifferentiatorKind::TopoAc,
+        DifferentiatorKind::MarOnly,
+        DifferentiatorKind::MnarOnly,
+    ] {
+        let pipeline = ImputationPipeline::new(PipelineConfig {
+            differentiator: kind,
+            ..PipelineConfig::default()
+        });
+        let mask = pipeline.differentiate(map, &dataset.venue.walls);
+        let (observed, mar, mnar) = mask.counts();
+        let missing: usize = map
+            .records()
+            .iter()
+            .map(|r| r.fingerprint.missing_count())
+            .sum();
+        assert_eq!(mar + mnar, missing, "{}", kind.name());
+        assert_eq!(observed, map.len() * map.num_aps() - missing, "{}", kind.name());
+    }
+}
+
+/// The evaluation protocol holds out test RPs: imputing with different
+/// imputers changes the APE but never the number of test queries.
+#[test]
+fn evaluation_protocol_is_stable_across_imputers() {
+    let dataset = tiny_dataset(VenuePreset::KaideLike, 13);
+    let mut query_counts = Vec::new();
+    for imputer in [ImputerKind::CaseDeletion, ImputerKind::LinearInterpolation] {
+        let result = ImputationPipeline::new(PipelineConfig {
+            differentiator: DifferentiatorKind::MnarOnly,
+            imputer,
+            ..PipelineConfig::default()
+        })
+        .evaluate(&dataset.radio_map, &dataset.venue.walls);
+        query_counts.push(result.num_test_queries);
+    }
+    assert_eq!(query_counts[0], query_counts[1]);
+}
+
+/// Linear interpolation should beat case deletion on positioning accuracy when
+/// many RPs are missing — the qualitative ordering the paper reports.
+#[test]
+fn li_is_no_worse_than_cd_on_sparse_rps() {
+    let dataset = tiny_dataset(VenuePreset::KaideLike, 21);
+    let evaluate = |imputer| {
+        ImputationPipeline::new(PipelineConfig {
+            differentiator: DifferentiatorKind::MnarOnly,
+            imputer,
+            seed: 77,
+            ..PipelineConfig::default()
+        })
+        .evaluate(&dataset.radio_map, &dataset.venue.walls)
+        .ape_m
+    };
+    let cd = evaluate(ImputerKind::CaseDeletion);
+    let li = evaluate(ImputerKind::LinearInterpolation);
+    // Allow a small tolerance: on tiny datasets the two can be close.
+    assert!(
+        li <= cd * 1.25 + 0.5,
+        "LI ({li:.2} m) should not be clearly worse than CD ({cd:.2} m)"
+    );
+}

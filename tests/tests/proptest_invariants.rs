@@ -1,0 +1,128 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use radiomap_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds an arbitrary small radio map from generated observation patterns.
+fn arb_radio_map() -> impl Strategy<Value = RadioMap> {
+    (2usize..12, 2usize..8, any::<u64>()).prop_map(|(n, d, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut records = Vec::new();
+        for i in 0..n {
+            let values: Vec<Option<f64>> = (0..d)
+                .map(|_| {
+                    if rand::Rng::gen_bool(&mut rng, 0.5) {
+                        Some(rand::Rng::gen_range(&mut rng, -99.0..-30.0))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let rp = if rand::Rng::gen_bool(&mut rng, 0.6) {
+                Some(Point::new(
+                    rand::Rng::gen_range(&mut rng, 0.0..50.0),
+                    rand::Rng::gen_range(&mut rng, 0.0..30.0),
+                ))
+            } else {
+                None
+            };
+            records.push(RadioMapRecord::new(
+                Fingerprint::new(values),
+                rp,
+                i as f64,
+                i / 6,
+            ));
+        }
+        RadioMap::new(records, d)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Radio-map creation invariants: sparsity statistics are consistent.
+    #[test]
+    fn missing_rates_are_consistent(map in arb_radio_map()) {
+        let total = map.len() * map.num_aps();
+        let observed = map.observed_rssi_count();
+        prop_assert!(observed <= total);
+        let rate = map.missing_rssi_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        prop_assert!(((total - observed) as f64 / total as f64 - rate).abs() < 1e-12);
+    }
+
+    /// The MAR-only and MNAR-only baselines partition missing entries and the
+    /// amended mask never contains MNARs.
+    #[test]
+    fn mask_partition_invariants(map in arb_radio_map()) {
+        let mar_mask = MarOnly.differentiate(&map);
+        let mnar_mask = MnarOnly.differentiate(&map);
+        let missing: usize = map.records().iter().map(|r| r.fingerprint.missing_count()).sum();
+        prop_assert_eq!(mar_mask.counts().1, missing);
+        prop_assert_eq!(mnar_mask.counts().2, missing);
+        let amended = mnar_mask.amend_mnars_as_observed();
+        prop_assert_eq!(amended.counts().2, 0);
+    }
+
+    /// Linear interpolation of RPs always produces locations inside the
+    /// bounding box of the observed RPs on the same path.
+    #[test]
+    fn interpolated_rps_stay_in_bounding_box(map in arb_radio_map()) {
+        let interpolated = map.interpolate_rps();
+        let observed: Vec<Point> = map.records().iter().filter_map(|r| r.rp).collect();
+        prop_assume!(!observed.is_empty());
+        let min_x = observed.iter().map(|p| p.x).fold(f64::INFINITY, f64::min) - 1e-9;
+        let max_x = observed.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+        let min_y = observed.iter().map(|p| p.y).fold(f64::INFINITY, f64::min) - 1e-9;
+        let max_y = observed.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max) + 1e-9;
+        for p in interpolated.into_iter().flatten() {
+            prop_assert!(p.x >= min_x && p.x <= max_x);
+            prop_assert!(p.y >= min_y && p.y <= max_y);
+        }
+    }
+
+    /// Fast imputers (CD, LI, SL, MICE, MF) keep every RSSI in the physical
+    /// range and never alter observed values.
+    #[test]
+    fn fast_imputers_respect_ranges(map in arb_radio_map()) {
+        let topology = MultiPolygon::empty();
+        for imputer in [
+            ImputerKind::CaseDeletion,
+            ImputerKind::LinearInterpolation,
+            ImputerKind::SemiSupervised,
+            ImputerKind::Mice,
+            ImputerKind::MatrixFactorization,
+        ] {
+            let pipeline = ImputationPipeline::new(PipelineConfig {
+                differentiator: DifferentiatorKind::MnarOnly,
+                imputer,
+                ..PipelineConfig::default()
+            });
+            let (imputed, _) = pipeline.impute(&map, &topology);
+            for (i, record) in map.records().iter().enumerate() {
+                for ap in 0..map.num_aps() {
+                    let v = imputed.rssi(i, ap);
+                    prop_assert!((-100.0..=0.0).contains(&v));
+                    if let Some(obs) = record.fingerprint.get(ap) {
+                        prop_assert!((v - obs).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removing observations never decreases the missing-RSSI rate, and the
+    /// removed values always come from observed entries.
+    #[test]
+    fn removal_increases_sparsity(map in arb_radio_map(), ratio in 0.0f64..0.9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = map.missing_rssi_rate();
+        let (after_map, removed) = remove_random_rssis(&map, ratio, &mut rng);
+        prop_assert!(after_map.missing_rssi_rate() >= before - 1e-12);
+        for r in &removed {
+            prop_assert_eq!(map.record(r.record).fingerprint.get(r.ap), Some(r.value));
+        }
+    }
+}
