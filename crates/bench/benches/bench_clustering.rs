@@ -4,8 +4,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rm_clustering::{kmeans, KMeansConfig};
-use rm_differentiator::{ClusteringStrategy, TopoAc};
 use rm_differentiator::DiffSample;
+use rm_differentiator::{ClusteringStrategy, TopoAc};
 use rm_geometry::{MultiPolygon, Point, Polygon};
 
 fn synthetic_samples(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<DiffSample>) {

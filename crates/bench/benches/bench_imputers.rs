@@ -9,7 +9,9 @@ use rm_imputers::{Imputer, LinearInterpolation, MatrixFactorization, Mice, SemiS
 use rm_venue_sim::{DatasetSpec, VenuePreset};
 
 fn bench_deterministic_imputers(c: &mut Criterion) {
-    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 9).with_scale(0.06).build();
+    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 9)
+        .with_scale(0.06)
+        .build();
     let map = dataset.radio_map.clone();
     let mask = MnarOnly.differentiate(&map);
 
@@ -28,7 +30,9 @@ fn bench_deterministic_imputers(c: &mut Criterion) {
 }
 
 fn bench_bisim_single_epoch(c: &mut Criterion) {
-    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 9).with_scale(0.05).build();
+    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 9)
+        .with_scale(0.05)
+        .build();
     let map = dataset.radio_map.clone();
     let mask = MnarOnly.differentiate(&map);
     let mut group = c.benchmark_group("bisim");
@@ -46,5 +50,9 @@ fn bench_bisim_single_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(imputers, bench_deterministic_imputers, bench_bisim_single_epoch);
+criterion_group!(
+    imputers,
+    bench_deterministic_imputers,
+    bench_bisim_single_epoch
+);
 criterion_main!(imputers);

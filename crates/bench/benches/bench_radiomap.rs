@@ -5,7 +5,9 @@ use rm_differentiator::build_samples;
 use rm_venue_sim::{DatasetSpec, VenuePreset};
 
 fn bench_radio_map_creation(c: &mut Criterion) {
-    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 3).with_scale(0.08).build();
+    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 3)
+        .with_scale(0.08)
+        .build();
     let table = dataset.survey_table().clone();
     c.bench_function("radio_map_creation_kaide_small", |bencher| {
         bencher.iter(|| std::hint::black_box(table.create_radio_map(1.0)))
@@ -13,7 +15,9 @@ fn bench_radio_map_creation(c: &mut Criterion) {
 }
 
 fn bench_binarization(c: &mut Criterion) {
-    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 3).with_scale(0.08).build();
+    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 3)
+        .with_scale(0.08)
+        .build();
     c.bench_function("differentiation_sample_construction", |bencher| {
         bencher.iter(|| std::hint::black_box(build_samples(&dataset.radio_map)))
     });

@@ -17,7 +17,10 @@ fn main() {
     for preset in wifi_presets() {
         let dataset = experiment_dataset(preset);
         let mut table = ReportTable::new(
-            &format!("Fig. 12 — removal ratio α vs APE (m), {} (BiSIM + WKNN)", preset.name()),
+            &format!(
+                "Fig. 12 — removal ratio α vs APE (m), {} (BiSIM + WKNN)",
+                preset.name()
+            ),
             &["Differentiator", "α=0%", "α=5%", "α=10%", "α=15%", "α=20%"],
         );
         for diff in differentiators {

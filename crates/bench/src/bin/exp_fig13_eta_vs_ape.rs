@@ -17,7 +17,10 @@ fn main() {
     for preset in wifi_presets() {
         let dataset = experiment_dataset(preset);
         let mut table = ReportTable::new(
-            &format!("Fig. 13 — threshold η vs APE (m), {} (BiSIM + WKNN)", preset.name()),
+            &format!(
+                "Fig. 13 — threshold η vs APE (m), {} (BiSIM + WKNN)",
+                preset.name()
+            ),
             &["Differentiator", "η=0", "η=0.1", "η=0.2", "η=0.3"],
         );
         for diff in differentiators {

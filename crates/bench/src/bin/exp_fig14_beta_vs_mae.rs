@@ -15,13 +15,20 @@ fn main() {
         ("D-BiSIM", DifferentiatorKind::DasaKm, ImputerKind::Bisim),
         ("SSGAN", DifferentiatorKind::TopoAc, ImputerKind::Ssgan),
         ("BRITS", DifferentiatorKind::TopoAc, ImputerKind::Brits),
-        ("MF", DifferentiatorKind::TopoAc, ImputerKind::MatrixFactorization),
+        (
+            "MF",
+            DifferentiatorKind::TopoAc,
+            ImputerKind::MatrixFactorization,
+        ),
         ("MICE", DifferentiatorKind::TopoAc, ImputerKind::Mice),
     ];
     for preset in wifi_presets() {
         let dataset = experiment_dataset(preset);
         let mut table = ReportTable::new(
-            &format!("Fig. 14 — removal ratio β vs RSSI MAE (dBm), {}", preset.name()),
+            &format!(
+                "Fig. 14 — removal ratio β vs RSSI MAE (dBm), {}",
+                preset.name()
+            ),
             &["Imputer", "β=10%", "β=20%", "β=30%", "β=40%", "β=50%"],
         );
         for (label, diff, imputer) in imputers {

@@ -12,15 +12,30 @@ fn main() {
     let imputers = [
         ("T-BiSIM", DifferentiatorKind::TopoAc, ImputerKind::Bisim),
         ("D-BiSIM", DifferentiatorKind::DasaKm, ImputerKind::Bisim),
-        ("LI", DifferentiatorKind::TopoAc, ImputerKind::LinearInterpolation),
-        ("SL", DifferentiatorKind::TopoAc, ImputerKind::SemiSupervised),
+        (
+            "LI",
+            DifferentiatorKind::TopoAc,
+            ImputerKind::LinearInterpolation,
+        ),
+        (
+            "SL",
+            DifferentiatorKind::TopoAc,
+            ImputerKind::SemiSupervised,
+        ),
         ("MICE", DifferentiatorKind::TopoAc, ImputerKind::Mice),
-        ("MF", DifferentiatorKind::TopoAc, ImputerKind::MatrixFactorization),
+        (
+            "MF",
+            DifferentiatorKind::TopoAc,
+            ImputerKind::MatrixFactorization,
+        ),
     ];
     for preset in wifi_presets() {
         let dataset = experiment_dataset(preset);
         let mut table = ReportTable::new(
-            &format!("Fig. 15 — removal ratio β vs RP error (m), {}", preset.name()),
+            &format!(
+                "Fig. 15 — removal ratio β vs RP error (m), {}",
+                preset.name()
+            ),
             &["Imputer", "β=10%", "β=20%", "β=30%", "β=40%", "β=50%"],
         );
         for (label, diff, imputer) in imputers {

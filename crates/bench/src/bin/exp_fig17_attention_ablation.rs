@@ -15,7 +15,10 @@ fn main() {
         "Fig. 17 — attention ablation, APE (m), T-BiSIM + WKNN",
         &["Variant", "kaide-like", "wanda-like"],
     );
-    let datasets: Vec<_> = wifi_presets().iter().map(|&p| experiment_dataset(p)).collect();
+    let datasets: Vec<_> = wifi_presets()
+        .iter()
+        .map(|&p| experiment_dataset(p))
+        .collect();
     for (label, attention) in variants {
         let mut row = vec![label.to_string()];
         for dataset in &datasets {

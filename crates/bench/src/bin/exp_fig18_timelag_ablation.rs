@@ -16,7 +16,10 @@ fn main() {
         "Fig. 18 — time-lag ablation, APE (m), T-BiSIM + WKNN",
         &["Variant", "kaide-like", "wanda-like"],
     );
-    let datasets: Vec<_> = wifi_presets().iter().map(|&p| experiment_dataset(p)).collect();
+    let datasets: Vec<_> = wifi_presets()
+        .iter()
+        .map(|&p| experiment_dataset(p))
+        .collect();
     for (label, time_lag) in variants {
         let mut row = vec![label.to_string()];
         for dataset in &datasets {

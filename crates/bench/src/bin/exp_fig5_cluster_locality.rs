@@ -25,7 +25,11 @@ fn dispersion(locations: &[Point], clusters: &[Vec<usize>]) -> f64 {
             count += 1;
         }
     }
-    if count == 0 { 0.0 } else { total / count as f64 }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
 }
 
 fn main() {

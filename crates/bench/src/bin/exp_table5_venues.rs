@@ -6,7 +6,16 @@ use rm_bench::{experiment_dataset, ReportTable};
 fn main() {
     let mut table = ReportTable::new(
         "Table V — Statistics of Venues and Created Radio Maps",
-        &["Venue", "Area(m2)", "RP/100m2", "#Fingerprints", "#RPs", "#APs", "RSSI-miss%", "RP-miss%"],
+        &[
+            "Venue",
+            "Area(m2)",
+            "RP/100m2",
+            "#Fingerprints",
+            "#RPs",
+            "#APs",
+            "RSSI-miss%",
+            "RP-miss%",
+        ],
     );
     for preset in VenuePreset::all() {
         let dataset = experiment_dataset(preset);

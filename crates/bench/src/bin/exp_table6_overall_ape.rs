@@ -38,7 +38,10 @@ fn main() {
             cells.push((imputer.name().to_string(), cell));
         }
         // D-BiSIM and T-BiSIM.
-        for (label, diff) in [("D-BiSIM", DifferentiatorKind::DasaKm), ("T-BiSIM", DifferentiatorKind::TopoAc)] {
+        for (label, diff) in [
+            ("D-BiSIM", DifferentiatorKind::DasaKm),
+            ("T-BiSIM", DifferentiatorKind::TopoAc),
+        ] {
             let cell = run_cell(
                 &dataset,
                 diff,

@@ -13,15 +13,47 @@ fn main() {
         &["Imputer", "KNN", "WKNN", "RF"],
     );
     let mut runs: Vec<(String, DifferentiatorKind, ImputerKind)> = vec![
-        ("CD".into(), DifferentiatorKind::TopoAc, ImputerKind::CaseDeletion),
-        ("LI".into(), DifferentiatorKind::TopoAc, ImputerKind::LinearInterpolation),
-        ("SL".into(), DifferentiatorKind::TopoAc, ImputerKind::SemiSupervised),
+        (
+            "CD".into(),
+            DifferentiatorKind::TopoAc,
+            ImputerKind::CaseDeletion,
+        ),
+        (
+            "LI".into(),
+            DifferentiatorKind::TopoAc,
+            ImputerKind::LinearInterpolation,
+        ),
+        (
+            "SL".into(),
+            DifferentiatorKind::TopoAc,
+            ImputerKind::SemiSupervised,
+        ),
         ("MICE".into(), DifferentiatorKind::TopoAc, ImputerKind::Mice),
-        ("MF".into(), DifferentiatorKind::TopoAc, ImputerKind::MatrixFactorization),
-        ("BRITS".into(), DifferentiatorKind::TopoAc, ImputerKind::Brits),
-        ("SSGAN".into(), DifferentiatorKind::TopoAc, ImputerKind::Ssgan),
-        ("D-BiSIM".into(), DifferentiatorKind::DasaKm, ImputerKind::Bisim),
-        ("T-BiSIM".into(), DifferentiatorKind::TopoAc, ImputerKind::Bisim),
+        (
+            "MF".into(),
+            DifferentiatorKind::TopoAc,
+            ImputerKind::MatrixFactorization,
+        ),
+        (
+            "BRITS".into(),
+            DifferentiatorKind::TopoAc,
+            ImputerKind::Brits,
+        ),
+        (
+            "SSGAN".into(),
+            DifferentiatorKind::TopoAc,
+            ImputerKind::Ssgan,
+        ),
+        (
+            "D-BiSIM".into(),
+            DifferentiatorKind::DasaKm,
+            ImputerKind::Bisim,
+        ),
+        (
+            "T-BiSIM".into(),
+            DifferentiatorKind::TopoAc,
+            ImputerKind::Bisim,
+        ),
     ];
     for (label, diff, imputer) in runs.drain(..) {
         let cell = run_cell(

@@ -5,19 +5,49 @@
 
 fn main() {
     let experiments = [
-        ("exp_table5_venues", "Table V — venue and radio-map statistics"),
-        ("exp_fig5_cluster_locality", "Fig. 3/5 — spatial locality of AP profiles"),
-        ("exp_fig7_topology_clusters", "Fig. 6/7 — DasaKM vs TopoAC cluster shapes"),
-        ("exp_fig12_alpha_vs_ape", "Fig. 12 — removal ratio α vs APE per differentiator"),
-        ("exp_fig13_eta_vs_ape", "Fig. 13 — fraction threshold η vs APE"),
-        ("exp_table6_overall_ape", "Table VI — overall APE of all imputers × estimators"),
+        (
+            "exp_table5_venues",
+            "Table V — venue and radio-map statistics",
+        ),
+        (
+            "exp_fig5_cluster_locality",
+            "Fig. 3/5 — spatial locality of AP profiles",
+        ),
+        (
+            "exp_fig7_topology_clusters",
+            "Fig. 6/7 — DasaKM vs TopoAC cluster shapes",
+        ),
+        (
+            "exp_fig12_alpha_vs_ape",
+            "Fig. 12 — removal ratio α vs APE per differentiator",
+        ),
+        (
+            "exp_fig13_eta_vs_ape",
+            "Fig. 13 — fraction threshold η vs APE",
+        ),
+        (
+            "exp_table6_overall_ape",
+            "Table VI — overall APE of all imputers × estimators",
+        ),
         ("exp_table7_time_cost", "Table VII — imputation time cost"),
-        ("exp_fig14_beta_vs_mae", "Fig. 14 — removal ratio β vs RSSI MAE"),
-        ("exp_fig15_beta_vs_rp_error", "Fig. 15 — removal ratio β vs RP Euclidean error"),
+        (
+            "exp_fig14_beta_vs_mae",
+            "Fig. 14 — removal ratio β vs RSSI MAE",
+        ),
+        (
+            "exp_fig15_beta_vs_rp_error",
+            "Fig. 15 — removal ratio β vs RP Euclidean error",
+        ),
         ("exp_fig16_rp_density", "Fig. 16 — RP density vs APE"),
-        ("exp_fig17_attention_ablation", "Fig. 17 — attention ablation"),
+        (
+            "exp_fig17_attention_ablation",
+            "Fig. 17 — attention ablation",
+        ),
         ("exp_fig18_timelag_ablation", "Fig. 18 — time-lag ablation"),
-        ("exp_table8_bluetooth", "Table VIII — Bluetooth venue (longhu-like)"),
+        (
+            "exp_table8_bluetooth",
+            "Table VIII — Bluetooth venue (longhu-like)",
+        ),
     ];
     println!("Experiment harness — one binary per table/figure of the paper:\n");
     for (bin, description) in experiments {

@@ -124,7 +124,7 @@ pub fn run_cell(
     let differentiation_seconds = diff_start.elapsed().as_secs_f64();
     let mar_fraction = mask.mar_fraction();
 
-    let imputer_impl = imputer.build(seed, attention, time_lag);
+    let imputer_impl = imputer.build(seed, attention, time_lag, pipeline.config.epochs);
     let imp_start = Instant::now();
     let imputed = imputer_impl.impute(&working, &mask);
     let imputation_seconds = imp_start.elapsed().as_secs_f64();
@@ -263,7 +263,42 @@ pub fn fmt(v: f64) -> String {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
     use super::*;
+
+    /// Serialises the tests that mutate process-wide environment variables
+    /// (`RM_SCALE`, `RM_QUICK`) so they cannot race each other under the
+    /// parallel test runner.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Holds the lock and restores the captured variables on drop, so a
+    /// failing assertion cannot leak quick-mode settings into later tests.
+    struct EnvGuard {
+        _lock: MutexGuard<'static, ()>,
+        saved: Vec<(&'static str, Option<String>)>,
+    }
+
+    fn env_guard(vars: &[&'static str]) -> EnvGuard {
+        EnvGuard {
+            _lock: ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner),
+            saved: vars
+                .iter()
+                .map(|&name| (name, std::env::var(name).ok()))
+                .collect(),
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            for (name, value) in &self.saved {
+                match value {
+                    Some(v) => std::env::set_var(name, v),
+                    None => std::env::remove_var(name),
+                }
+            }
+        }
+    }
 
     #[test]
     fn report_table_renders_all_rows() {
@@ -284,6 +319,7 @@ mod tests {
 
     #[test]
     fn run_cell_with_fast_imputer() {
+        let _guard = env_guard(&["RM_SCALE"]);
         std::env::set_var("RM_SCALE", "0.05");
         let dataset = experiment_dataset(VenuePreset::KaideLike);
         let cell = run_cell(
@@ -299,5 +335,37 @@ mod tests {
         assert_eq!(cell.ape_by_estimator.len(), 2);
         assert!(cell.ape(EstimatorKind::Wknn).is_finite());
         assert!(cell.ape(EstimatorKind::RandomForest).is_nan());
+    }
+
+    /// Smoke test for the harness itself: under `RM_QUICK=1`, dataset
+    /// construction and one full evaluate round (including a neural imputer at
+    /// its quick epoch count) complete without panicking.
+    #[test]
+    fn quick_mode_dataset_and_evaluate_round_complete() {
+        let _guard = env_guard(&["RM_QUICK", "RM_SCALE"]);
+        std::env::set_var("RM_QUICK", "1");
+        std::env::set_var("RM_SCALE", "0.05");
+
+        let dataset = experiment_dataset(VenuePreset::KaideLike);
+        assert!(
+            !dataset.radio_map.is_empty(),
+            "quick dataset must be non-empty"
+        );
+        assert!(dataset.radio_map.num_aps() > 0);
+
+        let cell = run_cell(
+            &dataset,
+            DifferentiatorKind::MnarOnly,
+            ImputerKind::Brits,
+            &[EstimatorKind::Wknn],
+            AttentionMode::SparsityFriendly,
+            TimeLagMode::Encoder,
+            0.0,
+            0.1,
+        );
+        assert_eq!(cell.ape_by_estimator.len(), 1);
+        assert!(cell.ape(EstimatorKind::Wknn).is_finite());
+        assert!(cell.differentiation_seconds >= 0.0);
+        assert!(cell.imputation_seconds >= 0.0);
     }
 }

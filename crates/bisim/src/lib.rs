@@ -61,17 +61,10 @@ impl Default for BisimConfig {
 }
 
 /// The BiSIM imputer.
+#[derive(Default)]
 pub struct Bisim {
     /// Training configuration.
     pub config: BisimConfig,
-}
-
-impl Default for Bisim {
-    fn default() -> Self {
-        Self {
-            config: BisimConfig::default(),
-        }
-    }
 }
 
 impl Bisim {
@@ -302,8 +295,8 @@ mod tests {
 
     #[test]
     fn bisim_handles_empty_map() {
-        let out = Bisim::new(quick_config())
-            .impute(&RadioMap::empty(2), &MaskMatrix::all_observed(0, 2));
+        let out =
+            Bisim::new(quick_config()).impute(&RadioMap::empty(2), &MaskMatrix::all_observed(0, 2));
         assert!(out.is_empty());
     }
 
@@ -323,7 +316,10 @@ mod tests {
             };
             let out = Bisim::new(config).impute(&map, &mask);
             assert!(out.fingerprints.iter().flatten().all(|v| v.is_finite()));
-            assert!(out.locations.iter().all(|l| l.map(|p| p.is_finite()).unwrap_or(false)));
+            assert!(out
+                .locations
+                .iter()
+                .all(|l| l.map(|p| p.is_finite()).unwrap_or(false)));
         }
     }
 }

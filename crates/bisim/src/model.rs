@@ -272,9 +272,9 @@ fn one_hot(len: usize, index: usize) -> Matrix {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use rm_geometry::Point;
     use rm_imputers::{build_sequences, Normalization};
     use rm_radiomap::{EntryKind, Fingerprint, MaskMatrix, RadioMap, RadioMapRecord};
-    use rm_geometry::Point;
 
     fn sequence() -> PathSequence {
         let mk = |values: Vec<Option<f64>>, rp: Option<Point>, t: f64| {
@@ -282,9 +282,17 @@ mod tests {
         };
         let map = RadioMap::new(
             vec![
-                mk(vec![Some(-70.0), Some(-80.0), None], Some(Point::new(0.0, 0.0)), 0.0),
+                mk(
+                    vec![Some(-70.0), Some(-80.0), None],
+                    Some(Point::new(0.0, 0.0)),
+                    0.0,
+                ),
                 mk(vec![Some(-71.0), None, None], None, 2.0),
-                mk(vec![None, Some(-75.0), Some(-90.0)], Some(Point::new(4.0, 1.0)), 4.0),
+                mk(
+                    vec![None, Some(-75.0), Some(-90.0)],
+                    Some(Point::new(4.0, 1.0)),
+                    4.0,
+                ),
                 mk(vec![None, None, None], None, 6.0),
             ],
             3,
@@ -354,7 +362,10 @@ mod tests {
                     .iter()
                     .chain(pass.rp_complements.iter())
                 {
-                    assert!(v.value().is_finite(), "{attention:?}/{time_lag:?} produced NaN");
+                    assert!(
+                        v.value().is_finite(),
+                        "{attention:?}/{time_lag:?} produced NaN"
+                    );
                 }
             }
         }
@@ -366,7 +377,11 @@ mod tests {
         let model = direction(AttentionMode::SparsityFriendly, TimeLagMode::Encoder);
         let pass = model.run(&seq);
         let mut total = Var::scalar(0.0);
-        for est in pass.fingerprint_estimates.iter().chain(pass.rp_estimates.iter()) {
+        for est in pass
+            .fingerprint_estimates
+            .iter()
+            .chain(pass.rp_estimates.iter())
+        {
             total = total.add(&est.square().sum());
         }
         total.backward();

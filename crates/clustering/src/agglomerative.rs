@@ -76,9 +76,13 @@ pub fn agglomerative(
         // Find the closest admissible pair.
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..clusters.len() {
-            let Some((_, ci)) = &clusters[i] else { continue };
+            let Some((_, ci)) = &clusters[i] else {
+                continue;
+            };
             for j in (i + 1)..clusters.len() {
-                let Some((_, cj)) = &clusters[j] else { continue };
+                let Some((_, cj)) = &clusters[j] else {
+                    continue;
+                };
                 let d = euclidean_distance_sq(ci, cj);
                 if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
                     // Check the constraint lazily only for candidate improvements.

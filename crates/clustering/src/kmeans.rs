@@ -198,7 +198,10 @@ mod tests {
         let mut labels = Vec::new();
         for (label, &(cx, cy)) in centers.iter().enumerate() {
             for _ in 0..30 {
-                samples.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+                samples.push(vec![
+                    cx + rng.gen_range(-1.0..1.0),
+                    cy + rng.gen_range(-1.0..1.0),
+                ]);
                 labels.push(label);
             }
         }

@@ -22,14 +22,17 @@
 //! println!("{}", dataset.stats().to_table_row());
 //!
 //! // Impute it with the topology-aware differentiator and linear interpolation
-//! // (swap in `ImputerKind::Bisim` for the full model).
+//! // (swap in `ImputerKind::Bisim` for the full model; `epochs` then bounds
+//! // its training time — `None` honours the `RM_EPOCHS`/`RM_QUICK` env vars).
 //! let config = PipelineConfig {
 //!     imputer: ImputerKind::LinearInterpolation,
+//!     epochs: Some(5),
 //!     ..PipelineConfig::default()
 //! };
 //! let pipeline = ImputationPipeline::new(config);
 //! let result = pipeline.evaluate(&dataset.radio_map, &dataset.venue.walls);
 //! assert!(result.ape_m.is_finite());
+//! assert!(result.num_test_queries > 0);
 //! ```
 
 pub mod pipeline;

@@ -115,28 +115,54 @@ impl ImputerKind {
     }
 
     /// Builds the imputer with the given BiSIM ablation settings (ignored by
-    /// the other imputers).
-    pub fn build(self, seed: u64, attention: AttentionMode, time_lag: TimeLagMode) -> Box<dyn Imputer> {
+    /// the other imputers). `epochs` overrides the training epoch count of the
+    /// neural imputers; `None` keeps their default (which honours the
+    /// `RM_EPOCHS`/`RM_QUICK` environment variables).
+    pub fn build(
+        self,
+        seed: u64,
+        attention: AttentionMode,
+        time_lag: TimeLagMode,
+        epochs: Option<usize>,
+    ) -> Box<dyn Imputer> {
         match self {
-            ImputerKind::Bisim => Box::new(Bisim::new(BisimConfig {
-                seed,
-                attention,
-                time_lag,
-                ..BisimConfig::default()
-            })),
+            ImputerKind::Bisim => {
+                let mut config = BisimConfig {
+                    seed,
+                    attention,
+                    time_lag,
+                    ..BisimConfig::default()
+                };
+                if let Some(epochs) = epochs {
+                    config.epochs = epochs;
+                }
+                Box::new(Bisim::new(config))
+            }
             ImputerKind::CaseDeletion => Box::new(CaseDeletion),
             ImputerKind::LinearInterpolation => Box::new(LinearInterpolation),
             ImputerKind::SemiSupervised => Box::new(SemiSupervised::default()),
             ImputerKind::Mice => Box::new(Mice::default()),
             ImputerKind::MatrixFactorization => Box::new(MatrixFactorization::default()),
-            ImputerKind::Brits => Box::new(Brits::new(BritsConfig {
-                seed,
-                ..BritsConfig::default()
-            })),
-            ImputerKind::Ssgan => Box::new(Ssgan::new(SsganConfig {
-                seed,
-                ..SsganConfig::default()
-            })),
+            ImputerKind::Brits => {
+                let mut config = BritsConfig {
+                    seed,
+                    ..BritsConfig::default()
+                };
+                if let Some(epochs) = epochs {
+                    config.epochs = epochs;
+                }
+                Box::new(Brits::new(config))
+            }
+            ImputerKind::Ssgan => {
+                let mut config = SsganConfig {
+                    seed,
+                    ..SsganConfig::default()
+                };
+                if let Some(epochs) = epochs {
+                    config.epochs = epochs;
+                }
+                Box::new(Ssgan::new(config))
+            }
         }
     }
 }
@@ -161,6 +187,11 @@ pub struct PipelineConfig {
     pub attention: AttentionMode,
     /// BiSIM time-lag variant (ablations).
     pub time_lag: TimeLagMode,
+    /// Training epochs of the neural imputers (BiSIM, BRITS, SSGAN). `None`
+    /// uses their built-in default, which honours the `RM_EPOCHS` and
+    /// `RM_QUICK` environment variables; tests should set an explicit value so
+    /// they stay deterministic under the parallel test runner.
+    pub epochs: Option<usize>,
     /// RNG seed controlling the test split and model initialisation.
     pub seed: u64,
 }
@@ -176,6 +207,7 @@ impl Default for PipelineConfig {
             test_fraction: 0.1,
             attention: AttentionMode::SparsityFriendly,
             time_lag: TimeLagMode::Encoder,
+            epochs: None,
             seed: 2023,
         }
     }
@@ -225,6 +257,7 @@ impl ImputationPipeline {
             self.config.seed,
             self.config.attention,
             self.config.time_lag,
+            self.config.epochs,
         );
         (imputer.impute(map, &mask), mask)
     }
@@ -261,6 +294,7 @@ impl ImputationPipeline {
             self.config.seed,
             self.config.attention,
             self.config.time_lag,
+            self.config.epochs,
         );
         let imp_start = Instant::now();
         let imputed = imputer.impute(&working, &mask);
@@ -371,7 +405,8 @@ mod tests {
             differentiator: DifferentiatorKind::MnarOnly,
             ..PipelineConfig::default()
         };
-        let result = ImputationPipeline::new(config).evaluate(&dataset.radio_map, &dataset.venue.walls);
+        let result =
+            ImputationPipeline::new(config).evaluate(&dataset.radio_map, &dataset.venue.walls);
         assert!(result.num_test_queries > 0);
         assert!(result.ape_m.is_finite());
         // The venue is ~64 x 50 m; any sane pipeline stays well below the diagonal.

@@ -65,12 +65,22 @@ pub fn sample_ground_truth(
             let seed_loc = samples[seed].location.unwrap_or_default();
             let mut by_distance: Vec<usize> = (0..n).filter(|&i| i != seed).collect();
             by_distance.sort_by(|&a, &b| {
-                let da = samples[a].location.unwrap_or_default().distance_squared(seed_loc);
-                let db = samples[b].location.unwrap_or_default().distance_squared(seed_loc);
+                let da = samples[a]
+                    .location
+                    .unwrap_or_default()
+                    .distance_squared(seed_loc);
+                let db = samples[b]
+                    .location
+                    .unwrap_or_default()
+                    .distance_squared(seed_loc);
                 da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
             });
             let group: Vec<usize> = std::iter::once(seed)
-                .chain(by_distance.into_iter().take(adjacency_group_size.saturating_sub(1)))
+                .chain(
+                    by_distance
+                        .into_iter()
+                        .take(adjacency_group_size.saturating_sub(1)),
+                )
                 .collect();
             for ap in 0..num_aps {
                 let all_missing = group.iter().all(|&i| samples[i].profile[ap] < 0.5);
@@ -338,10 +348,7 @@ mod tests {
         let mut samples = Vec::new();
         for i in 0..12 {
             let (profile, location) = if i < 6 {
-                (
-                    vec![1.0, 1.0, 0.0, 0.0],
-                    Point::new(i as f64 * 0.5, 0.0),
-                )
+                (vec![1.0, 1.0, 0.0, 0.0], Point::new(i as f64 * 0.5, 0.0))
             } else {
                 (
                     vec![0.0, 0.0, 1.0, 0.0],
@@ -404,7 +411,10 @@ mod tests {
         };
         let clustering = Clustering::new(vec![0], vec![vec![1.0]]);
         assert_eq!(differentiation_accuracy(&gt, &clustering, 0.1), 0.5);
-        assert_eq!(differentiation_accuracy(&gt, &Clustering::empty(), 0.1), 0.5);
+        assert_eq!(
+            differentiation_accuracy(&gt, &Clustering::empty(), 0.1),
+            0.5
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ mod integration_tests {
         // The paper reports MARs at ~7-10% of all missing RSSIs; on the
         // synthetic data we only require the right order: far fewer MARs
         // than MNARs.
-        assert!(mnar > mar, "expected MNARs ({mnar}) to dominate MARs ({mar})");
+        assert!(
+            mnar > mar,
+            "expected MNARs ({mnar}) to dominate MARs ({mar})"
+        );
         assert!(mar > 0, "some MARs should be detected");
     }
 

@@ -95,7 +95,12 @@ mod tests {
                 0.0,
                 0,
             ),
-            RadioMapRecord::new(Fingerprint::new(vec![None, Some(-60.0), None]), None, 5.0, 0),
+            RadioMapRecord::new(
+                Fingerprint::new(vec![None, Some(-60.0), None]),
+                None,
+                5.0,
+                0,
+            ),
             RadioMapRecord::new(
                 Fingerprint::new(vec![Some(-72.0), None, None]),
                 Some(Point::new(10.0, 0.0)),

@@ -129,9 +129,7 @@ pub fn centroid(points: &[Point]) -> Option<Point> {
     if points.is_empty() {
         return None;
     }
-    let sum = points
-        .iter()
-        .fold(Point::origin(), |acc, &p| acc + p);
+    let sum = points.iter().fold(Point::origin(), |acc, &p| acc + p);
     Some(sum / points.len() as f64)
 }
 

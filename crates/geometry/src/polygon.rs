@@ -212,7 +212,10 @@ impl MultiPolygon {
     /// ones (fewer than three vertices).
     pub fn new(polygons: Vec<Polygon>) -> Self {
         Self {
-            polygons: polygons.into_iter().filter(|p| !p.is_degenerate()).collect(),
+            polygons: polygons
+                .into_iter()
+                .filter(|p| !p.is_degenerate())
+                .collect(),
         }
     }
 
@@ -250,12 +253,16 @@ impl MultiPolygon {
 
     /// Returns `true` if any member polygon contains `p` (boundary included).
     pub fn contains(&self, p: Point) -> bool {
-        self.polygons.iter().any(|poly| poly.contains_or_boundary(p))
+        self.polygons
+            .iter()
+            .any(|poly| poly.contains_or_boundary(p))
     }
 
     /// Returns `true` if any member polygon overlaps `other`.
     pub fn intersects_polygon(&self, other: &Polygon) -> bool {
-        self.polygons.iter().any(|poly| poly.intersects_polygon(other))
+        self.polygons
+            .iter()
+            .any(|poly| poly.intersects_polygon(other))
     }
 
     /// Returns `true` if any member polygon crosses or touches the segment.
@@ -265,7 +272,10 @@ impl MultiPolygon {
 
     /// Total number of member-polygon edges crossed by segment `s`.
     pub fn count_edge_crossings(&self, s: &Segment) -> usize {
-        self.polygons.iter().map(|poly| poly.count_edge_crossings(s)).sum()
+        self.polygons
+            .iter()
+            .map(|poly| poly.count_edge_crossings(s))
+            .sum()
     }
 }
 
@@ -367,7 +377,10 @@ mod tests {
         let mut mp = MultiPolygon::empty();
         assert!(mp.is_empty());
         mp.push(unit_square());
-        mp.push(Polygon::rectangle(Point::new(3.0, 3.0), Point::new(4.0, 4.0)));
+        mp.push(Polygon::rectangle(
+            Point::new(3.0, 3.0),
+            Point::new(4.0, 4.0),
+        ));
         // Degenerate polygons are dropped.
         mp.push(Polygon::new(vec![Point::new(0.0, 0.0)]));
         assert_eq!(mp.len(), 2);

@@ -125,17 +125,10 @@ impl RecurrentImputer {
 }
 
 /// The BRITS imputer.
+#[derive(Default)]
 pub struct Brits {
     /// Training configuration.
     pub config: BritsConfig,
-}
-
-impl Default for Brits {
-    fn default() -> Self {
-        Self {
-            config: BritsConfig::default(),
-        }
-    }
 }
 
 impl Brits {
@@ -291,7 +284,8 @@ pub(crate) mod tests {
 
     #[test]
     fn brits_handles_empty_map() {
-        let out = Brits::new(quick_config()).impute(&RadioMap::empty(3), &MaskMatrix::all_observed(0, 3));
+        let out =
+            Brits::new(quick_config()).impute(&RadioMap::empty(3), &MaskMatrix::all_observed(0, 3));
         assert!(out.is_empty());
     }
 

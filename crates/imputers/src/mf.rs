@@ -95,7 +95,9 @@ impl Imputer for MatrixFactorization {
         for _ in 0..self.config.iterations {
             // Fix V, solve each row of U.
             for i in 0..n {
-                let cols: Vec<usize> = (0..num_cols).filter(|&c| observed[i][c].is_some()).collect();
+                let cols: Vec<usize> = (0..num_cols)
+                    .filter(|&c| observed[i][c].is_some())
+                    .collect();
                 if cols.is_empty() {
                     continue;
                 }
@@ -128,9 +130,8 @@ impl Imputer for MatrixFactorization {
         }
 
         // Reconstruct.
-        let reconstruct = |i: usize, c: usize| -> f64 {
-            u[i].iter().zip(v[c].iter()).map(|(a, b)| a * b).sum()
-        };
+        let reconstruct =
+            |i: usize, c: usize| -> f64 { u[i].iter().zip(v[c].iter()).map(|(a, b)| a * b).sum() };
         let fingerprints: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 (0..d)

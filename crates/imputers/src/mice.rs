@@ -179,7 +179,11 @@ fn select_predictors(
         .filter(|(r, _)| r.is_finite() && *r > 1e-6)
         .collect();
     correlations.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-    correlations.into_iter().take(limit).map(|(_, c)| c).collect()
+    correlations
+        .into_iter()
+        .take(limit)
+        .map(|(_, c)| c)
+        .collect()
 }
 
 fn correlation(data: &[Vec<f64>], rows: &[usize], a: usize, b: usize) -> f64 {

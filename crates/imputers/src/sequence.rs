@@ -127,7 +127,9 @@ impl PathSequence {
         let mut out = PathSequence {
             record_indices: (0..len).map(|i| self.record_indices[rev(i)]).collect(),
             times: (0..len).map(|i| self.times[rev(i)]).collect(),
-            fingerprints: (0..len).map(|i| self.fingerprints[rev(i)].clone()).collect(),
+            fingerprints: (0..len)
+                .map(|i| self.fingerprints[rev(i)].clone())
+                .collect(),
             fingerprint_masks: (0..len)
                 .map(|i| self.fingerprint_masks[rev(i)].clone())
                 .collect(),
@@ -245,7 +247,11 @@ mod tests {
         };
         let map = RadioMap::new(
             vec![
-                mk(vec![Some(-70.0), Some(-83.0)], Some(Point::new(0.0, 0.0)), 1.0),
+                mk(
+                    vec![Some(-70.0), Some(-83.0)],
+                    Some(Point::new(0.0, 0.0)),
+                    1.0,
+                ),
                 mk(vec![Some(-71.0), None], None, 3.0),
                 mk(vec![None, None], Some(Point::new(4.0, 2.0)), 8.0),
                 mk(vec![Some(-74.0), Some(-77.0)], None, 12.0),
@@ -342,7 +348,10 @@ mod tests {
         assert_eq!(sequences[0].len(), 2);
         assert_eq!(sequences[2].len(), 1);
         // Record indices cover every record exactly once.
-        let mut all: Vec<usize> = sequences.iter().flat_map(|s| s.record_indices.clone()).collect();
+        let mut all: Vec<usize> = sequences
+            .iter()
+            .flat_map(|s| s.record_indices.clone())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3, 4]);
     }

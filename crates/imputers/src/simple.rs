@@ -212,7 +212,11 @@ mod tests {
     #[test]
     fn all_traditional_imputers_fill_rssis_with_floor() {
         let m = map();
-        for imputer in [&CaseDeletion as &dyn Imputer, &LinearInterpolation, &SemiSupervised::default()] {
+        for imputer in [
+            &CaseDeletion as &dyn Imputer,
+            &LinearInterpolation,
+            &SemiSupervised::default(),
+        ] {
             let out = imputer.impute(&m, &mask(&m));
             assert_eq!(out.fingerprints[2][0], MNAR_FILL_VALUE);
             assert_eq!(out.fingerprints[0][0], -50.0);

@@ -52,17 +52,10 @@ impl Default for SsganConfig {
 }
 
 /// The SSGAN imputer.
+#[derive(Default)]
 pub struct Ssgan {
     /// Training configuration.
     pub config: SsganConfig,
-}
-
-impl Default for Ssgan {
-    fn default() -> Self {
-        Self {
-            config: SsganConfig::default(),
-        }
-    }
 }
 
 impl Ssgan {
@@ -99,7 +92,8 @@ impl Imputer for Ssgan {
             Activation::Sigmoid,
             &mut rng,
         );
-        let mut gen_opt = Adam::new(generator.parameters(), self.config.learning_rate).with_clip(5.0);
+        let mut gen_opt =
+            Adam::new(generator.parameters(), self.config.learning_rate).with_clip(5.0);
         let mut disc_opt =
             Adam::new(discriminator.parameters(), self.config.learning_rate).with_clip(5.0);
 
@@ -206,8 +200,10 @@ mod tests {
 
     #[test]
     fn ssgan_handles_empty_map() {
-        let out = Ssgan::new(quick_config())
-            .impute(&rm_radiomap::RadioMap::empty(2), &MaskMatrix::all_observed(0, 2));
+        let out = Ssgan::new(quick_config()).impute(
+            &rm_radiomap::RadioMap::empty(2),
+            &MaskMatrix::all_observed(0, 2),
+        );
         assert!(out.is_empty());
     }
 }

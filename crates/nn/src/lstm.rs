@@ -168,7 +168,10 @@ mod tests {
             state = cell.step(&input, &state);
             let h = state.h.value();
             assert_eq!(h.shape(), (8, 1));
-            assert!(h.data().iter().all(|v| v.abs() <= 1.0 + 1e-9), "tanh-bounded");
+            assert!(
+                h.data().iter().all(|v| v.abs() <= 1.0 + 1e-9),
+                "tanh-bounded"
+            );
             assert!(h.is_finite());
         }
     }
@@ -199,7 +202,10 @@ mod tests {
             .count();
         // The forget gate's gradient can be zero because c_0 = 0, but the other
         // three gates (6 parameter tensors) must receive gradient.
-        assert!(with_grad >= 6, "only {with_grad} parameters received gradient");
+        assert!(
+            with_grad >= 6,
+            "only {with_grad} parameters received gradient"
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl Mlp {
         output_activation: Activation,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
@@ -139,7 +142,10 @@ mod tests {
     #[test]
     fn activation_apply_matches_var_ops() {
         let x = Var::constant(Matrix::column(&[-1.0, 0.0, 2.0]));
-        assert!(Activation::Identity.apply(&x).value().approx_eq(&x.value(), 0.0));
+        assert!(Activation::Identity
+            .apply(&x)
+            .value()
+            .approx_eq(&x.value(), 0.0));
         assert!(Activation::Relu
             .apply(&x)
             .value()

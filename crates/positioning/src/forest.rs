@@ -107,14 +107,7 @@ impl RandomForest {
         for _ in 0..config.num_trees {
             // Bootstrap sample.
             let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            let tree = build_tree(
-                map,
-                &indices,
-                0,
-                config,
-                features_per_split,
-                &mut rng,
-            );
+            let tree = build_tree(map, &indices, 0, config, features_per_split, &mut rng);
             trees.push(tree);
         }
         Self {
@@ -194,7 +187,10 @@ fn build_tree(
     for _ in 0..features_per_split {
         let feature = rng.gen_range(0..num_features);
         // Candidate thresholds: a few random midpoints between observed values.
-        let mut values: Vec<f64> = indices.iter().map(|&i| map.fingerprints()[i][feature]).collect();
+        let mut values: Vec<f64> = indices
+            .iter()
+            .map(|&i| map.fingerprints()[i][feature])
+            .collect();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         values.dedup();
         if values.len() < 2 {
@@ -281,7 +277,10 @@ mod tests {
             total_error += est.distance(loc);
         }
         let mean_error = total_error / 100.0;
-        assert!(mean_error < 2.0, "mean training error {mean_error} too high");
+        assert!(
+            mean_error < 2.0,
+            "mean training error {mean_error} too high"
+        );
     }
 
     #[test]

@@ -43,9 +43,7 @@ impl LocationEstimator for Knn {
         if nearest.is_empty() {
             return None;
         }
-        let sum = nearest
-            .iter()
-            .fold(Point::origin(), |acc, &(_, p)| acc + p);
+        let sum = nearest.iter().fold(Point::origin(), |acc, &(_, p)| acc + p);
         Some(sum / nearest.len() as f64)
     }
 
@@ -165,7 +163,11 @@ mod tests {
     #[test]
     fn empty_map_returns_none() {
         let empty = DenseRadioMap::new(vec![], vec![], 3);
-        assert!(Knn::new(empty.clone(), 3).estimate(&[-50.0, -50.0, -50.0]).is_none());
-        assert!(Wknn::new(empty, 3).estimate(&[-50.0, -50.0, -50.0]).is_none());
+        assert!(Knn::new(empty.clone(), 3)
+            .estimate(&[-50.0, -50.0, -50.0])
+            .is_none());
+        assert!(Wknn::new(empty, 3)
+            .estimate(&[-50.0, -50.0, -50.0])
+            .is_none());
     }
 }

@@ -94,10 +94,7 @@ pub struct TestQuery {
 /// Runs an estimator over a set of test queries and returns the average
 /// positioning error in metres. Queries the estimator declines (returns
 /// `None`) are skipped; returns `None` if no query could be answered.
-pub fn evaluate_estimator(
-    estimator: &dyn LocationEstimator,
-    queries: &[TestQuery],
-) -> Option<f64> {
+pub fn evaluate_estimator(estimator: &dyn LocationEstimator, queries: &[TestQuery]) -> Option<f64> {
     let mut estimates = Vec::new();
     let mut truths = Vec::new();
     for q in queries {
@@ -115,11 +112,7 @@ mod tests {
 
     fn map() -> DenseRadioMap {
         DenseRadioMap::new(
-            vec![
-                vec![-50.0, -90.0],
-                vec![-90.0, -50.0],
-                vec![-70.0, -70.0],
-            ],
+            vec![vec![-50.0, -90.0], vec![-90.0, -50.0], vec![-70.0, -70.0]],
             vec![
                 Point::new(0.0, 0.0),
                 Point::new(10.0, 0.0),

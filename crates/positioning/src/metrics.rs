@@ -88,10 +88,7 @@ mod tests {
     #[test]
     fn ape_rejects_mismatched_or_empty_inputs() {
         assert_eq!(average_positioning_error(&[], &[]), None);
-        assert_eq!(
-            average_positioning_error(&[Point::origin()], &[]),
-            None
-        );
+        assert_eq!(average_positioning_error(&[Point::origin()], &[]), None);
     }
 
     #[test]

@@ -22,9 +22,7 @@ pub mod radiomap;
 pub mod stats;
 pub mod survey;
 
-pub use fingerprint::{
-    Fingerprint, MAX_OBSERVED_RSSI, MIN_OBSERVED_RSSI, MNAR_FILL_VALUE,
-};
+pub use fingerprint::{Fingerprint, MAX_OBSERVED_RSSI, MIN_OBSERVED_RSSI, MNAR_FILL_VALUE};
 pub use mask::{EntryKind, MaskMatrix};
 pub use perturb::{
     remove_random_rps, remove_random_rssis, split_test_records, RemovedRp, RemovedRssi,

@@ -69,7 +69,14 @@ impl RadioMapStats {
     pub fn table_header() -> String {
         format!(
             "{:<12} {:>10} {:>8} {:>10} {:>14} {:>8} {:>13} {:>13}",
-            "Venue", "Area(m2)", "#RPs", "RP/100m2", "#Fingerprints", "#APs", "RSSI-miss", "RP-miss"
+            "Venue",
+            "Area(m2)",
+            "#RPs",
+            "RP/100m2",
+            "#Fingerprints",
+            "#APs",
+            "RSSI-miss",
+            "RP-miss"
         )
     }
 }

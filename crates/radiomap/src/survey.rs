@@ -75,7 +75,11 @@ impl WalkingSurveyTable {
 
     /// Adds a survey path; its entries are sorted by time.
     pub fn add_path(&mut self, mut entries: Vec<SurveyEntry>) -> usize {
-        entries.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal));
+        entries.sort_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         self.paths.push(entries);
         self.paths.len() - 1
     }
@@ -135,9 +139,10 @@ impl WalkingSurveyTable {
                 SurveyMeasurement::RssiScan(readings) => {
                     let fingerprint = self.scan_to_fingerprint(readings);
                     match pending.last_mut() {
-                        Some(Pending::Rssi { time, fingerprint: existing })
-                            if entry.time - *time <= epsilon =>
-                        {
+                        Some(Pending::Rssi {
+                            time,
+                            fingerprint: existing,
+                        }) if entry.time - *time <= epsilon => {
                             *existing = existing.merge_average(&fingerprint);
                             // The merged record keeps the earlier time.
                         }
@@ -177,7 +182,12 @@ impl WalkingSurveyTable {
                             continue;
                         }
                     }
-                    records.push(RadioMapRecord::new(fingerprint.clone(), None, *time, path_id));
+                    records.push(RadioMapRecord::new(
+                        fingerprint.clone(),
+                        None,
+                        *time,
+                        path_id,
+                    ));
                     i += 1;
                 }
                 Pending::Rp { time, location } => {
@@ -234,7 +244,7 @@ mod tests {
             SurveyEntry::rssi(1.0, vec![(0, -70.0), (1, -83.0), (2, -76.0)]), // t2 = 1
             SurveyEntry::rssi(3.0, vec![(0, -71.0), (2, -78.0)]), // t3 = 3
             SurveyEntry::rssi(8.0, vec![(2, -80.0), (3, -68.0)]), // t4 = 8
-            SurveyEntry::rp(9.0, Point::new(5.0, 5.0)),  // t5 = 9, (x5, y5)
+            SurveyEntry::rp(9.0, Point::new(5.0, 5.0)), // t5 = 9, (x5, y5)
             SurveyEntry::rssi(12.0, vec![(0, -74.0), (4, -80.0)]), // t6 = 12
             SurveyEntry::rssi(13.0, vec![(1, -77.0), (4, -82.0)]), // t7 = 13
             SurveyEntry::rp(16.0, Point::new(8.0, 8.0)), // t8 = 16, (x8, y8)

@@ -471,9 +471,7 @@ impl Var {
                     .zip(grad.data().iter())
                     .map(|(yi, gi)| yi * gi)
                     .sum();
-                let dx = Matrix::from_fn(y.rows(), 1, |r, _| {
-                    y.get(r, 0) * (grad.get(r, 0) - dot)
-                });
+                let dx = Matrix::from_fn(y.rows(), 1, |r, _| y.get(r, 0) * (grad.get(r, 0) - dot));
                 parents[0].accumulate(&dx);
             }
             Op::MulScalarVar => {
@@ -506,12 +504,7 @@ mod tests {
     use super::*;
 
     /// Numerically checks `d loss / d param[idx]` against autodiff.
-    fn numeric_grad(
-        param: &Var,
-        idx: (usize, usize),
-        loss_fn: impl Fn() -> Var,
-        eps: f64,
-    ) -> f64 {
+    fn numeric_grad(param: &Var, idx: (usize, usize), loss_fn: impl Fn() -> Var, eps: f64) -> f64 {
         let original = param.value();
         let mut plus = original.clone();
         plus[(idx.0, idx.1)] += eps;
@@ -549,7 +542,7 @@ mod tests {
         let analytic = w.grad();
         for r in 0..2 {
             for c in 0..3 {
-                let numeric = numeric_grad(&w, (r, c), &loss_fn, 1e-6);
+                let numeric = numeric_grad(&w, (r, c), loss_fn, 1e-6);
                 assert!(
                     (analytic.get(r, c) - numeric).abs() < 1e-5,
                     "grad mismatch at ({r},{c}): {} vs {}",
@@ -575,7 +568,7 @@ mod tests {
         let analytic = x.grad();
         for r in 0..2 {
             for c in 0..2 {
-                let numeric = numeric_grad(&x, (r, c), &loss_fn, 1e-6);
+                let numeric = numeric_grad(&x, (r, c), loss_fn, 1e-6);
                 assert!(
                     (analytic.get(r, c) - numeric).abs() < 1e-5,
                     "grad mismatch at ({r},{c})"
@@ -593,7 +586,7 @@ mod tests {
         loss.backward();
         let analytic = x.grad();
         for r in 0..4 {
-            let numeric = numeric_grad(&x, (r, 0), &loss_fn, 1e-6);
+            let numeric = numeric_grad(&x, (r, 0), loss_fn, 1e-6);
             assert!(
                 (analytic.get(r, 0) - numeric).abs() < 1e-6,
                 "softmax grad mismatch at {r}: {} vs {}",
@@ -620,7 +613,7 @@ mod tests {
         loss.backward();
         let analytic_b = b.grad();
         for r in 0..2 {
-            let numeric = numeric_grad(&b, (r, 0), &loss_fn, 1e-6);
+            let numeric = numeric_grad(&b, (r, 0), loss_fn, 1e-6);
             assert!((analytic_b.get(r, 0) - numeric).abs() < 1e-5);
         }
     }
@@ -643,9 +636,9 @@ mod tests {
         let loss_fn = || a.mul_scalar_var(&s).square().sum();
         let loss = loss_fn();
         loss.backward();
-        let numeric_s = numeric_grad(&s, (0, 0), &loss_fn, 1e-6);
+        let numeric_s = numeric_grad(&s, (0, 0), loss_fn, 1e-6);
         assert!((s.grad().get(0, 0) - numeric_s).abs() < 1e-5);
-        let numeric_a0 = numeric_grad(&a, (0, 0), &loss_fn, 1e-6);
+        let numeric_a0 = numeric_grad(&a, (0, 0), loss_fn, 1e-6);
         assert!((a.grad().get(0, 0) - numeric_a0).abs() < 1e-5);
     }
 

@@ -243,9 +243,18 @@ mod tests {
             rp_record_probability: 0.3,
             ..SurveySimConfig::default()
         };
-        let dense = simulate_survey(&venue, &propagation, &dense_cfg, &mut StdRng::seed_from_u64(4));
-        let sparse =
-            simulate_survey(&venue, &propagation, &sparse_cfg, &mut StdRng::seed_from_u64(4));
+        let dense = simulate_survey(
+            &venue,
+            &propagation,
+            &dense_cfg,
+            &mut StdRng::seed_from_u64(4),
+        );
+        let sparse = simulate_survey(
+            &venue,
+            &propagation,
+            &sparse_cfg,
+            &mut StdRng::seed_from_u64(4),
+        );
         assert!(sparse.table.rp_entry_count() < dense.table.rp_entry_count());
     }
 

@@ -14,19 +14,21 @@ fn main() {
     println!("  floor area    : {:.0} m²", stats.floor_area_m2);
     println!("  beacons       : {}", stats.num_aps);
     println!("  fingerprints  : {}", stats.num_fingerprints);
-    println!("  missing RSSIs : {:.1}%\n", stats.missing_rssi_rate * 100.0);
+    println!(
+        "  missing RSSIs : {:.1}%\n",
+        stats.missing_rssi_rate * 100.0
+    );
 
     // Compare a traditional imputer against the neural imputers on RSSI
     // imputation error, using synthetically removed ground truth (β = 20 %).
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(99);
     let (perturbed, removed) = remove_random_rssis(&dataset.radio_map, 0.2, &mut rng);
-    println!("Removed {} observed RSSIs as ground truth (β = 20%).", removed.len());
+    println!(
+        "Removed {} observed RSSIs as ground truth (β = 20%).",
+        removed.len()
+    );
 
-    for imputer_kind in [
-        ImputerKind::Mice,
-        ImputerKind::Brits,
-        ImputerKind::Bisim,
-    ] {
+    for imputer_kind in [ImputerKind::Mice, ImputerKind::Brits, ImputerKind::Bisim] {
         let pipeline = ImputationPipeline::new(PipelineConfig {
             differentiator: DifferentiatorKind::TopoAc,
             imputer: imputer_kind,
@@ -34,7 +36,11 @@ fn main() {
         });
         let (imputed, _) = pipeline.impute(&perturbed, &dataset.venue.walls);
         let mae = rssi_imputation_mae(&imputed, &removed);
-        println!("  {:<6} RSSI MAE: {} dBm", imputer_kind.name(), fmt_metric(mae));
+        println!(
+            "  {:<6} RSSI MAE: {} dBm",
+            imputer_kind.name(),
+            fmt_metric(mae)
+        );
     }
 
     // End-to-end positioning with the full T-BiSIM pipeline.

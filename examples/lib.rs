@@ -31,7 +31,7 @@ mod tests {
     #[test]
     fn example_dataset_builds() {
         let dataset = example_dataset(VenuePreset::KaideLike, 1);
-        assert!(dataset.radio_map.len() > 0);
+        assert!(!dataset.radio_map.is_empty());
     }
 
     #[test]

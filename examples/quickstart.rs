@@ -52,8 +52,5 @@ fn main() {
         ..PipelineConfig::default()
     })
     .evaluate(&dataset.radio_map, &dataset.venue.walls);
-    println!(
-        "Baseline (MNAR-only + CD)  APE   : {:.2} m",
-        baseline.ape_m
-    );
+    println!("Baseline (MNAR-only + CD)  APE   : {:.2} m", baseline.ape_m);
 }

@@ -12,9 +12,12 @@ fn full_pipeline_end_to_end_on_synthetic_venue() {
     let config = PipelineConfig {
         differentiator: DifferentiatorKind::TopoAc,
         imputer: ImputerKind::Bisim,
+        // An explicit epoch count keeps the test fast and — unlike the old
+        // `std::env::set_var("RM_EPOCHS", ...)` pattern — is safe under the
+        // parallel test runner.
+        epochs: Some(5),
         ..PipelineConfig::default()
     };
-    std::env::set_var("RM_EPOCHS", "5");
     let result = ImputationPipeline::new(config).evaluate(&dataset.radio_map, &dataset.venue.walls);
     assert!(result.num_test_queries > 0);
     assert!(result.ape_m.is_finite());
@@ -31,13 +34,13 @@ fn full_pipeline_end_to_end_on_synthetic_venue() {
 /// and whose observed entries are preserved exactly.
 #[test]
 fn all_imputers_preserve_observed_values_and_ranges() {
-    std::env::set_var("RM_EPOCHS", "3");
     let map = straight_path_map(15, 6);
     let topology = MultiPolygon::empty();
     for imputer_kind in ImputerKind::all() {
         let pipeline = ImputationPipeline::new(PipelineConfig {
             differentiator: DifferentiatorKind::MarOnly,
             imputer: imputer_kind,
+            epochs: Some(3),
             ..PipelineConfig::default()
         });
         let (imputed, _) = pipeline.impute(&map, &topology);
@@ -88,7 +91,12 @@ fn differentiators_classify_exactly_the_missing_entries() {
             .map(|r| r.fingerprint.missing_count())
             .sum();
         assert_eq!(mar + mnar, missing, "{}", kind.name());
-        assert_eq!(observed, map.len() * map.num_aps() - missing, "{}", kind.name());
+        assert_eq!(
+            observed,
+            map.len() * map.num_aps() - missing,
+            "{}",
+            kind.name()
+        );
     }
 }
 

@@ -1,0 +1,135 @@
+//! A minimal, offline reimplementation of the `criterion` API surface this
+//! workspace uses: [`Criterion::bench_function`], benchmark groups, the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`].
+//!
+//! It is a smoke-test harness, not a statistics engine: each benchmark is
+//! calibrated with one run, then timed over enough iterations to fill a small
+//! time budget, and the mean per-iteration time is printed. That keeps
+//! `cargo bench` useful for comparing orders of magnitude while compiling
+//! (`cargo bench --no-run`) against the same API as upstream criterion.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Times one closure invocation over a fixed iteration count.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured number of iterations and records the
+    /// total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Per-iteration time budget used to choose the iteration count.
+const TIME_BUDGET: Duration = Duration::from_millis(200);
+
+fn run_bench(id: &str, bench: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration pass: one iteration to estimate the per-iteration cost.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    bench(&mut bencher);
+    let per_iter_nanos = bencher.elapsed.as_nanos().max(1);
+    let iterations = (TIME_BUDGET.as_nanos() / per_iter_nanos).clamp(1, 10_000) as u64;
+
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    bench(&mut bencher);
+    let mean_nanos = bencher.elapsed.as_nanos() as f64 / iterations as f64;
+    println!(
+        "{id:<48} time: {:>14} ({iterations} iterations)",
+        format_nanos(mean_nanos)
+    );
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver handed to every registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, &mut f);
+        self
+    }
+
+    /// Opens a named group; benchmark ids are prefixed with the group name.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (`group/bench` ids).
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes runs by time budget.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the `main` function of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,21 @@
+//! Boolean strategies.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy type of [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Generates `true` and `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}

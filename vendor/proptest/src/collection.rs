@@ -1,0 +1,62 @@
+//! Strategies for collections.
+
+use core::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The accepted size specifications for [`vec`]: an exact length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    low: usize,
+    high: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        Self {
+            low: exact,
+            high: exact + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        Self {
+            low: range.start,
+            high: range.end,
+        }
+    }
+}
+
+/// A strategy generating `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.low + 1 == self.size.high {
+            self.size.low
+        } else {
+            rng.gen_range(self.size.low..self.size.high)
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

@@ -1,0 +1,132 @@
+//! A minimal, offline reimplementation of the `proptest` API surface this
+//! workspace uses.
+//!
+//! Supported: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(...)]` header), [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, [`arbitrary::any`],
+//! `prop::collection::vec`, `prop::bool::ANY`, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (override with `PROPTEST_SEED`) and failing inputs are *not*
+//! shrunk — the panic message reports the failed assertion only.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::deterministic_rng(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            let strategy = ($($strategy,)+);
+            let mut executed = 0u32;
+            let mut attempts = 0u32;
+            // A generous attempt budget so heavy `prop_assume!` rejection
+            // cannot loop forever.
+            while executed < config.cases && attempts < config.cases * 64 {
+                attempts += 1;
+                let ($($arg,)+) = $crate::strategy::Strategy::new_value(&strategy, &mut rng);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => executed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => continue,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        message,
+                    )) => panic!("proptest case {} failed: {}", executed + 1, message),
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case if both expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Discards the current case (without counting it) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,14 @@
+//! The glob-importable prelude, mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// Module-style access to the strategy namespaces (`prop::collection::vec`,
+/// `prop::bool::ANY`, ...), as upstream proptest provides.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::strategy;
+}

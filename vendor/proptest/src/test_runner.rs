@@ -1,0 +1,56 @@
+//! The per-test execution machinery behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG that drives value generation.
+pub type TestRng = StdRng;
+
+/// How a single generated case ended, when it did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` and is not counted.
+    Reject(&'static str),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+/// Configuration accepted through `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one named test. The seed mixes an FNV-1a
+/// hash of the test path with the optional `PROPTEST_SEED` environment
+/// variable, so reruns generate identical cases.
+pub fn deterministic_rng(test_name: &str) -> TestRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    TestRng::seed_from_u64(hash ^ seed)
+}

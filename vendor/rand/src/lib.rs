@@ -1,0 +1,205 @@
+//! A minimal, dependency-free subset of the `rand` 0.8 API.
+//!
+//! The workspace builds fully offline, so instead of the crates.io `rand`
+//! this vendored shim provides exactly the surface the code base uses:
+//!
+//! * [`Rng::gen_range`] over (inclusive) ranges of floats and integers,
+//! * [`Rng::gen_bool`],
+//! * [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`],
+//! * [`seq::SliceRandom::choose`] / [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` is a xoshiro256++ generator seeded through SplitMix64. It is
+//! deliberately *not* the upstream ChaCha-based `StdRng` — sequences differ
+//! from crates.io `rand` — but it is deterministic for a given seed, which is
+//! the property the tests and experiment binaries rely on. There is no
+//! entropy-based constructor at all (`from_entropy`/`thread_rng` do not
+//! exist), so every RNG in the workspace is seed-deterministic by
+//! construction.
+
+pub mod rngs;
+pub mod seq;
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (taken from the high half).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing random-value methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from the given range.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a `u64` seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)` (or `[low, high]` when
+    /// `inclusive` is set).
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample from an empty range");
+        T::sample_range(rng, low, high, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                let u = unit_f64(rng.next_u64()) as $t;
+                low + (high - low) * u
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) + if inclusive { 1 } else { 0 };
+                debug_assert!(span > 0);
+                // Lemire-style widening multiply keeps the draw branch-free.
+                let offset = ((rng.next_u64() as u128 * span as u128) >> 64) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-5.0..3.0);
+            assert!((-5.0..3.0).contains(&f));
+            let i = rng.gen_range(2usize..9);
+            assert!((2..9).contains(&i));
+            let j = rng.gen_range(-4i64..=4);
+            assert!((-4..=4).contains(&j));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_calibrated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn slice_random_choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let items = [1, 2, 3, 4];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should not be the identity");
+    }
+}
