@@ -13,6 +13,27 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("matrix_matmul_64x128x64", |bencher| {
         bencher.iter(|| std::hint::black_box(a.matmul(&b)))
     });
+    let mut out = Matrix::zeros(64, 64);
+    c.bench_function("matrix_matmul_into_64x128x64", |bencher| {
+        bencher.iter(|| {
+            a.matmul_into(&b, &mut out);
+            std::hint::black_box(out.get(0, 0))
+        })
+    });
+    c.bench_function("matrix_matmul_naive_64x128x64", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.matmul_naive(&b)))
+    });
+    // The gradient kernels of the autodiff backward pass: dA = dC · Bᵀ via
+    // explicit transpose + blocked matmul (the transpose is timed — it is
+    // part of the path), dB = Aᵀ · dC via the transposed kernel.
+    let grad = Matrix::random_uniform(64, 64, 1.0, &mut rng);
+    let b_factor = a.transpose(); // plays B (128×64) in C = A·B
+    c.bench_function("matrix_matmul_grad_a_64x64x128", |bencher| {
+        bencher.iter(|| std::hint::black_box(grad.matmul(&b_factor.transpose())))
+    });
+    c.bench_function("matrix_matmul_at_b_64x128_64", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.matmul_at_b(&grad)))
+    });
 }
 
 fn bench_lstm_step(c: &mut Criterion) {

@@ -1,9 +1,23 @@
-//! Convenience driver that lists every experiment binary and how it maps to
-//! the paper's tables and figures. Run the individual binaries to regenerate a
-//! specific artifact; this driver only prints the index so that
-//! `cargo run -p rm-bench --bin run_all_experiments` documents the mapping.
+//! Driver for the experiment harness.
+//!
+//! Prints the index mapping every experiment binary to the paper's tables and
+//! figures, then actually *runs* the core of the evaluation — the
+//! differentiator × imputer grid behind Table VI (deterministic imputers) on
+//! both Wi-Fi venues — fanning the independent cells out over the
+//! deterministic `rm-runtime` thread pool.
+//!
+//! The grid is bit-identical at any thread count; parallelism only changes
+//! wall-clock. Set `RM_THREADS=1` to time the serial fallback path, or
+//! `RM_INDEX_ONLY=1` to print the index without running the grid (the
+//! original behaviour of this driver).
 
-fn main() {
+use std::time::Instant;
+
+use radiomap_core::{DifferentiatorKind, ImputerKind};
+use rm_bench::{fmt, run_grid, wifi_presets, ReportTable};
+use rm_positioning::EstimatorKind;
+
+fn print_index() {
     let experiments = [
         (
             "exp_table5_venues",
@@ -54,5 +68,76 @@ fn main() {
         println!("  cargo run -p rm-bench --release --bin {bin:<28} # {description}");
     }
     println!("\nScaling knobs: RM_SCALE (venue scale), RM_EPOCHS (neural training epochs),");
-    println!("RM_QUICK=1 (small smoke-test configuration), RM_SEED (base seed).");
+    println!("RM_QUICK=1 (small smoke-test configuration), RM_SEED (base seed),");
+    println!("RM_THREADS (worker threads; results are bit-identical at any value).\n");
+}
+
+fn main() {
+    print_index();
+    if std::env::var("RM_INDEX_ONLY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        return;
+    }
+
+    let differentiators = [
+        DifferentiatorKind::TopoAc,
+        DifferentiatorKind::DasaKm,
+        DifferentiatorKind::ElbowKm,
+        DifferentiatorKind::MarOnly,
+        DifferentiatorKind::MnarOnly,
+    ];
+    // The deterministic imputers; the neural ones (BRITS/SSGAN/BiSIM) have
+    // their own dedicated binaries (exp_table6/7) because their training time
+    // dominates any grid they appear in.
+    let imputers = [
+        ImputerKind::CaseDeletion,
+        ImputerKind::LinearInterpolation,
+        ImputerKind::SemiSupervised,
+        ImputerKind::Mice,
+        ImputerKind::MatrixFactorization,
+    ];
+    let estimators = EstimatorKind::all();
+    let cells: Vec<(DifferentiatorKind, ImputerKind)> = differentiators
+        .iter()
+        .flat_map(|&d| imputers.iter().map(move |&i| (d, i)))
+        .collect();
+
+    let threads = rm_runtime::default_threads();
+    println!(
+        "Running the differentiator × imputer grid ({} cells per venue) on {} thread(s)...\n",
+        cells.len(),
+        threads
+    );
+
+    let start = Instant::now();
+    for preset in wifi_presets() {
+        let dataset = rm_bench::experiment_dataset(preset);
+        let venue_start = Instant::now();
+        let results = run_grid(&dataset, &cells, &estimators, 0);
+        let venue_seconds = venue_start.elapsed().as_secs_f64();
+
+        let mut table = ReportTable::new(
+            &format!("Overall APE (m) — {preset:?}"),
+            &["Differentiator", "Imputer", "KNN", "WKNN", "RF", "imp. s"],
+        );
+        for (&(differentiator, imputer), cell) in cells.iter().zip(results.iter()) {
+            table.add_row(vec![
+                differentiator.name().to_string(),
+                imputer.name().to_string(),
+                fmt(cell.ape(EstimatorKind::Knn)),
+                fmt(cell.ape(EstimatorKind::Wknn)),
+                fmt(cell.ape(EstimatorKind::RandomForest)),
+                format!("{:.3}", cell.imputation_seconds),
+            ]);
+        }
+        table.print();
+        println!("venue wall-clock: {venue_seconds:.2} s\n");
+    }
+    println!(
+        "total grid wall-clock: {:.2} s on {} thread(s)",
+        start.elapsed().as_secs_f64(),
+        threads
+    );
 }

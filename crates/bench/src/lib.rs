@@ -76,7 +76,9 @@ impl CellResult {
 /// Runs the Section V-A protocol for one (differentiator, imputer) pair and
 /// evaluates *all* requested estimators on the same imputed map (Table VI
 /// evaluates three estimators per imputer, so imputing once per estimator
-/// would triple the cost for no benefit).
+/// would triple the cost for no benefit). Internal fan-outs (imputer column
+/// loops, positioning queries) run at the default width (`RM_THREADS`, else
+/// available parallelism); use [`run_cell_with_threads`] to bound them.
 pub fn run_cell(
     dataset: &Dataset,
     differentiator: DifferentiatorKind,
@@ -86,6 +88,34 @@ pub fn run_cell(
     time_lag: TimeLagMode,
     removal_ratio_alpha: f64,
     eta: f64,
+) -> CellResult {
+    run_cell_with_threads(
+        dataset,
+        differentiator,
+        imputer,
+        estimators,
+        attention,
+        time_lag,
+        removal_ratio_alpha,
+        eta,
+        0,
+    )
+}
+
+/// [`run_cell`] with an explicit thread count for the cell's internal
+/// fan-outs (`0` = auto, `1` = fully serial). Results are bit-identical at
+/// any value.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_with_threads(
+    dataset: &Dataset,
+    differentiator: DifferentiatorKind,
+    imputer: ImputerKind,
+    estimators: &[EstimatorKind],
+    attention: AttentionMode,
+    time_lag: TimeLagMode,
+    removal_ratio_alpha: f64,
+    eta: f64,
+    threads: usize,
 ) -> CellResult {
     let seed = experiment_seed();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
@@ -115,6 +145,7 @@ pub fn run_cell(
         attention,
         time_lag,
         seed,
+        threads,
         ..PipelineConfig::default()
     };
     let pipeline = radiomap_core::ImputationPipeline::new(config);
@@ -124,7 +155,13 @@ pub fn run_cell(
     let differentiation_seconds = diff_start.elapsed().as_secs_f64();
     let mar_fraction = mask.mar_fraction();
 
-    let imputer_impl = imputer.build(seed, attention, time_lag, pipeline.config.epochs);
+    let imputer_impl = imputer.build(
+        seed,
+        attention,
+        time_lag,
+        pipeline.config.epochs,
+        pipeline.config.threads,
+    );
     let imp_start = Instant::now();
     let imputed = imputer_impl.impute(&working, &mask);
     let imputation_seconds = imp_start.elapsed().as_secs_f64();
@@ -155,8 +192,9 @@ pub fn run_cell(
         .iter()
         .map(|&kind| {
             let estimator = kind.build(dense.clone(), 3);
-            let ape = rm_positioning::evaluate_estimator(estimator.as_ref(), &queries)
-                .unwrap_or(f64::NAN);
+            let ape =
+                rm_positioning::evaluate_estimator_threads(estimator.as_ref(), &queries, threads)
+                    .unwrap_or(f64::NAN);
             (kind, ape)
         })
         .collect();
@@ -167,6 +205,36 @@ pub fn run_cell(
         imputation_seconds,
         mar_fraction,
     }
+}
+
+/// Runs a whole grid of `(differentiator, imputer)` cells through
+/// [`run_cell_with_threads`], fanning the cells out over the deterministic
+/// `rm-runtime` pool (`threads = 0` means auto — `RM_THREADS`, else
+/// available parallelism). The same `threads` value bounds the per-cell
+/// internal fan-outs, so `threads = 1` really is the fully serial path
+/// (inside pool workers the inner fan-outs degrade to serial on their own).
+/// Cells are independent experiments sharing one read-only dataset, so the
+/// results are returned in cell order and are bit-identical to calling
+/// [`run_cell`] serially for each cell.
+pub fn run_grid(
+    dataset: &Dataset,
+    cells: &[(DifferentiatorKind, ImputerKind)],
+    estimators: &[EstimatorKind],
+    threads: usize,
+) -> Vec<CellResult> {
+    rm_runtime::par_map(threads, cells, |_, &(differentiator, imputer)| {
+        run_cell_with_threads(
+            dataset,
+            differentiator,
+            imputer,
+            estimators,
+            AttentionMode::SparsityFriendly,
+            TimeLagMode::Encoder,
+            0.0,
+            0.1,
+            threads,
+        )
+    })
 }
 
 /// Runs only differentiation + imputation on a perturbed map and returns the
@@ -335,6 +403,31 @@ mod tests {
         assert_eq!(cell.ape_by_estimator.len(), 2);
         assert!(cell.ape(EstimatorKind::Wknn).is_finite());
         assert!(cell.ape(EstimatorKind::RandomForest).is_nan());
+    }
+
+    #[test]
+    fn run_grid_is_bit_identical_to_serial_cells() {
+        let _guard = env_guard(&["RM_SCALE"]);
+        std::env::set_var("RM_SCALE", "0.05");
+        let dataset = experiment_dataset(VenuePreset::KaideLike);
+        let cells = [
+            (
+                DifferentiatorKind::MnarOnly,
+                ImputerKind::LinearInterpolation,
+            ),
+            (DifferentiatorKind::MarOnly, ImputerKind::CaseDeletion),
+            (DifferentiatorKind::MnarOnly, ImputerKind::SemiSupervised),
+        ];
+        let estimators = [EstimatorKind::Wknn];
+        let parallel = run_grid(&dataset, &cells, &estimators, 3);
+        let serial = run_grid(&dataset, &cells, &estimators, 1);
+        assert_eq!(parallel.len(), cells.len());
+        for (p, s) in parallel.iter().zip(serial.iter()) {
+            assert_eq!(
+                p.ape(EstimatorKind::Wknn).to_bits(),
+                s.ape(EstimatorKind::Wknn).to_bits()
+            );
+        }
     }
 
     /// Smoke test for the harness itself: under `RM_QUICK=1`, dataset

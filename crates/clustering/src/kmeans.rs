@@ -187,6 +187,8 @@ pub fn elbow_method(samples: &[Vec<f64>], max_k: usize, rng: &mut impl Rng) -> u
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -216,7 +218,7 @@ mod tests {
         assert_eq!(clustering.num_clusters(), 3);
         // Every ground-truth blob must map to a single cluster.
         for blob in 0..3 {
-            let assigned: std::collections::HashSet<usize> = labels
+            let assigned: HashSet<usize> = labels
                 .iter()
                 .zip(clustering.assignments().iter())
                 .filter(|(l, _)| **l == blob)

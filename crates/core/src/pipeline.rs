@@ -1,6 +1,18 @@
 //! The end-to-end imputation pipeline and the evaluation protocol of
 //! Section V-A.
+//!
+//! # Parallelism and determinism
+//!
+//! The pipeline fans independent work out over the deterministic
+//! [`rm_runtime`] pool: grid evaluations run cell by cell through an ordered
+//! `par_map` ([`ImputationPipeline::evaluate_grid`]), positioning queries are
+//! evaluated in parallel, and the imputers parallelise their column/sequence
+//! loops internally. [`PipelineConfig::threads`] controls the fan-out width
+//! (`0` = auto: the `RM_THREADS` environment variable, else available
+//! parallelism). Results are **bit-identical at any thread count** — see the
+//! determinism contract in `rm_runtime`.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -15,7 +27,7 @@ use rm_imputers::{
     Brits, BritsConfig, CaseDeletion, ImputedRadioMap, Imputer, LinearInterpolation,
     MatrixFactorization, Mice, SemiSupervised, Ssgan, SsganConfig,
 };
-use rm_positioning::{evaluate_estimator, EstimatorKind, TestQuery};
+use rm_positioning::{evaluate_estimator_threads, EstimatorKind, TestQuery};
 use rm_radiomap::{MaskMatrix, RadioMap, RemovedRp, RemovedRssi};
 
 /// Which missing-RSSI differentiator the pipeline uses (Section V-B).
@@ -117,13 +129,16 @@ impl ImputerKind {
     /// Builds the imputer with the given BiSIM ablation settings (ignored by
     /// the other imputers). `epochs` overrides the training epoch count of the
     /// neural imputers; `None` keeps their default (which honours the
-    /// `RM_EPOCHS`/`RM_QUICK` environment variables).
+    /// `RM_EPOCHS`/`RM_QUICK` environment variables). `threads` is forwarded
+    /// to the imputers with internal fan-outs (`0` = auto); results are
+    /// bit-identical at any thread count.
     pub fn build(
         self,
         seed: u64,
         attention: AttentionMode,
         time_lag: TimeLagMode,
         epochs: Option<usize>,
+        threads: usize,
     ) -> Box<dyn Imputer> {
         match self {
             ImputerKind::Bisim => {
@@ -141,11 +156,20 @@ impl ImputerKind {
             ImputerKind::CaseDeletion => Box::new(CaseDeletion),
             ImputerKind::LinearInterpolation => Box::new(LinearInterpolation),
             ImputerKind::SemiSupervised => Box::new(SemiSupervised::default()),
-            ImputerKind::Mice => Box::new(Mice::default()),
-            ImputerKind::MatrixFactorization => Box::new(MatrixFactorization::default()),
+            ImputerKind::Mice => Box::new(Mice::new(rm_imputers::MiceConfig {
+                threads,
+                ..Default::default()
+            })),
+            ImputerKind::MatrixFactorization => Box::new(MatrixFactorization::new(
+                rm_imputers::MatrixFactorizationConfig {
+                    threads,
+                    ..Default::default()
+                },
+            )),
             ImputerKind::Brits => {
                 let mut config = BritsConfig {
                     seed,
+                    threads,
                     ..BritsConfig::default()
                 };
                 if let Some(epochs) = epochs {
@@ -156,6 +180,7 @@ impl ImputerKind {
             ImputerKind::Ssgan => {
                 let mut config = SsganConfig {
                     seed,
+                    threads,
                     ..SsganConfig::default()
                 };
                 if let Some(epochs) = epochs {
@@ -192,6 +217,13 @@ pub struct PipelineConfig {
     /// `RM_QUICK` environment variables; tests should set an explicit value so
     /// they stay deterministic under the parallel test runner.
     pub epochs: Option<usize>,
+    /// Worker threads for every fan-out along the pipeline (grid cells,
+    /// imputer column/sequence loops, positioning queries). `0` means auto:
+    /// the `RM_THREADS` environment variable if set, else the machine's
+    /// available parallelism; `1` forces the serial fallback path. The
+    /// pipeline output is bit-identical at any value — parallelism is purely
+    /// a wall-clock knob.
+    pub threads: usize,
     /// RNG seed controlling the test split and model initialisation.
     pub seed: u64,
 }
@@ -208,6 +240,7 @@ impl Default for PipelineConfig {
             attention: AttentionMode::SparsityFriendly,
             time_lag: TimeLagMode::Encoder,
             epochs: None,
+            threads: 0,
             seed: 2023,
         }
     }
@@ -258,6 +291,7 @@ impl ImputationPipeline {
             self.config.attention,
             self.config.time_lag,
             self.config.epochs,
+            self.config.threads,
         );
         (imputer.impute(map, &mask), mask)
     }
@@ -295,13 +329,14 @@ impl ImputationPipeline {
             self.config.attention,
             self.config.time_lag,
             self.config.epochs,
+            self.config.threads,
         );
         let imp_start = Instant::now();
         let imputed = imputer.impute(&working, &mask);
         let imputation_seconds = imp_start.elapsed().as_secs_f64();
 
         // Radio map for estimation: all imputed records except the test ones.
-        let test_set: std::collections::HashSet<usize> = test_indices.iter().copied().collect();
+        let test_set: HashSet<usize> = test_indices.iter().copied().collect();
         let mut fingerprints = Vec::new();
         let mut locations = Vec::new();
         for i in 0..imputed.len() {
@@ -325,7 +360,8 @@ impl ImputationPipeline {
                 location,
             })
             .collect();
-        let ape_m = evaluate_estimator(estimator.as_ref(), &queries).unwrap_or(f64::NAN);
+        let ape_m = evaluate_estimator_threads(estimator.as_ref(), &queries, self.config.threads)
+            .unwrap_or(f64::NAN);
 
         EvaluationResult {
             ape_m,
@@ -334,6 +370,37 @@ impl ImputationPipeline {
             num_test_queries: queries.len(),
             mar_fraction,
         }
+    }
+
+    /// Runs the full evaluation protocol for every `(differentiator,
+    /// imputer)` cell of a grid, fanning the cells out over the deterministic
+    /// thread pool ([`PipelineConfig::threads`] wide; the per-cell inner
+    /// fan-outs degrade to serial inside workers, so the machine is not
+    /// oversubscribed).
+    ///
+    /// Every cell reuses this pipeline's configuration (seed, η, estimator,
+    /// epochs, ablations) with only the differentiator and imputer replaced —
+    /// exactly the protocol of Table VI, where all cells share one test
+    /// split. Results are returned in cell order and are bit-identical to
+    /// evaluating each cell serially.
+    pub fn evaluate_grid(
+        &self,
+        map: &RadioMap,
+        topology: &MultiPolygon,
+        cells: &[(DifferentiatorKind, ImputerKind)],
+    ) -> Vec<EvaluationResult> {
+        rm_runtime::par_map(
+            self.config.threads,
+            cells,
+            |_, &(differentiator, imputer)| {
+                let config = PipelineConfig {
+                    differentiator,
+                    imputer,
+                    ..self.config.clone()
+                };
+                ImputationPipeline::new(config).evaluate(map, topology)
+            },
+        )
     }
 }
 
@@ -412,6 +479,36 @@ mod tests {
         // The venue is ~64 x 50 m; any sane pipeline stays well below the diagonal.
         assert!(result.ape_m < 60.0, "APE {} too large", result.ape_m);
         assert!(result.imputation_seconds >= 0.0);
+    }
+
+    #[test]
+    fn evaluate_grid_matches_per_cell_evaluation() {
+        let dataset = small_dataset();
+        let config = PipelineConfig {
+            epochs: Some(2),
+            ..PipelineConfig::default()
+        };
+        let pipeline = ImputationPipeline::new(config.clone());
+        let cells = [
+            (
+                DifferentiatorKind::MnarOnly,
+                ImputerKind::LinearInterpolation,
+            ),
+            (DifferentiatorKind::MarOnly, ImputerKind::CaseDeletion),
+            (DifferentiatorKind::TopoAc, ImputerKind::Mice),
+        ];
+        let grid = pipeline.evaluate_grid(&dataset.radio_map, &dataset.venue.walls, &cells);
+        assert_eq!(grid.len(), cells.len());
+        for (&(differentiator, imputer), result) in cells.iter().zip(grid.iter()) {
+            let single = ImputationPipeline::new(PipelineConfig {
+                differentiator,
+                imputer,
+                ..config.clone()
+            })
+            .evaluate(&dataset.radio_map, &dataset.venue.walls);
+            assert_eq!(result.ape_m.to_bits(), single.ape_m.to_bits());
+            assert_eq!(result.num_test_queries, single.num_test_queries);
+        }
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! (Algorithm 3), together with the ground-truth sampling procedure and the
 //! differentiation accuracy (DA) metric of Section III-B.
 
+use std::cmp::Ordering;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -73,7 +75,7 @@ pub fn sample_ground_truth(
                     .location
                     .unwrap_or_default()
                     .distance_squared(seed_loc);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                da.partial_cmp(&db).unwrap_or(Ordering::Equal)
             });
             let group: Vec<usize> = std::iter::once(seed)
                 .chain(
@@ -332,7 +334,7 @@ pub fn nearest_cluster(feature: &[f64], clustering: &Clustering) -> Option<usize
         .min_by(|(_, a), (_, b)| {
             euclidean_distance_sq(feature, a)
                 .partial_cmp(&euclidean_distance_sq(feature, b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
         })
         .map(|(i, _)| i)
 }

@@ -1,5 +1,7 @@
 //! Convex hull computation (Andrew's monotone chain).
 
+use std::cmp::Ordering;
+
 use crate::Point;
 
 /// Computes the convex hull of a point set using Andrew's monotone chain
@@ -15,8 +17,8 @@ pub fn convex_hull(points: &[Point]) -> Vec<Point> {
     let mut pts: Vec<Point> = points.to_vec();
     pts.sort_by(|a, b| {
         a.x.partial_cmp(&b.x)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.y.partial_cmp(&b.y).unwrap_or(std::cmp::Ordering::Equal))
+            .unwrap_or(Ordering::Equal)
+            .then(a.y.partial_cmp(&b.y).unwrap_or(Ordering::Equal))
     });
     pts.dedup_by(|a, b| (a.x - b.x).abs() < crate::EPS && (a.y - b.y).abs() < crate::EPS);
 

@@ -5,7 +5,10 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rm_nn::{loss, Adam, Linear, LstmCell, LstmState, Optimizer};
+use rm_nn::{
+    loss, Adam, Linear, LinearWeights, LstmCell, LstmCellWeights, LstmState, LstmStateMatrix,
+    Optimizer,
+};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
 use rm_tensor::{Matrix, Var};
 
@@ -25,6 +28,11 @@ pub struct BritsConfig {
     pub sequence_length: usize,
     /// RNG seed for parameter initialisation.
     pub seed: u64,
+    /// Worker threads for the per-sequence fan-outs (`0` = auto). Training
+    /// stays sequential — per-sequence SGD steps form a dependency chain —
+    /// but sequence preparation and the final inference pass over all
+    /// sequences are pure and parallelise deterministically.
+    pub threads: usize,
 }
 
 impl Default for BritsConfig {
@@ -35,6 +43,7 @@ impl Default for BritsConfig {
             learning_rate: 0.01,
             sequence_length: 5,
             seed: 31,
+            threads: 0,
         }
     }
 }
@@ -122,6 +131,63 @@ impl RecurrentImputer {
             complements,
         }
     }
+
+    /// Copies the trained parameters into a graph-free, `Send + Sync`
+    /// snapshot for the parallel inference pass.
+    pub(crate) fn snapshot(&self) -> RecurrentImputerWeights {
+        RecurrentImputerWeights {
+            estimate: self.estimate.snapshot(),
+            decay: self.decay.snapshot(),
+            cell: self.cell.snapshot(),
+            hidden_size: self.hidden_size,
+        }
+    }
+}
+
+/// A graph-free snapshot of a trained [`RecurrentImputer`]. Unlike the
+/// `Var`-based model (whose nodes are `Rc`-shared and thus thread-bound),
+/// the snapshot holds plain matrices and can be shared by every worker of
+/// the inference fan-out. [`RecurrentImputerWeights::run`] mirrors
+/// [`RecurrentImputer::run`] operation for operation, so the imputations are
+/// bit-identical to running the autodiff graph forward.
+pub(crate) struct RecurrentImputerWeights {
+    estimate: LinearWeights,
+    decay: LinearWeights,
+    cell: LstmCellWeights,
+    hidden_size: usize,
+}
+
+impl RecurrentImputerWeights {
+    /// Runs the imputer over one sequence, returning the complemented vector
+    /// `x_c` of every step (the imputations; the reconstruction estimates are
+    /// only needed for training).
+    pub(crate) fn run(&self, seq: &PathSequence) -> Vec<Matrix> {
+        let mut state = LstmStateMatrix::zeros(self.hidden_size);
+        let mut complements = Vec::with_capacity(seq.len());
+        // Scratch buffers reused across all steps of the sequence.
+        let mut x_hat = Matrix::zeros(0, 0);
+        let mut decay_pre = Matrix::zeros(0, 0);
+        for t in 0..seq.len() {
+            let x = Matrix::column(&seq.fingerprints[t]);
+            let mask = Matrix::column(&seq.fingerprint_masks[t]);
+            let lag = Matrix::column(&seq.time_lags[t]);
+
+            self.estimate.forward_into(&state.h, &mut x_hat);
+            let inverse_mask = mask.map(|m| 1.0 - m);
+            let x_c = &x.hadamard(&mask) + &x_hat.hadamard(&inverse_mask);
+            // γ = exp(-relu(W_γ δ + b_γ)), matching relu → scale(-1) → exp.
+            self.decay.forward_into(&lag, &mut decay_pre);
+            let gamma = decay_pre.map(|v| v.max(0.0)).scale(-1.0).map(f64::exp);
+            let decayed = LstmStateMatrix {
+                h: state.h.hadamard(&gamma),
+                c: state.c.clone(),
+            };
+            let input = x_c.vstack(&mask);
+            state = self.cell.step(&input, &decayed);
+            complements.push(x_c);
+        }
+        complements
+    }
 }
 
 /// The BRITS imputer.
@@ -165,8 +231,20 @@ impl Imputer for Brits {
         params.extend(backward.parameters());
         let mut optimizer = Adam::new(params, self.config.learning_rate).with_clip(5.0);
 
-        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
+        // Reversing a sequence is pure, so the backward-direction inputs are
+        // prepared in parallel (serially below a sequence count that would
+        // amortise the spawn cost — one reversal is only a few µs).
+        let reversal_threads = if sequences.len() < 64 {
+            1
+        } else {
+            self.config.threads
+        };
+        let reversed: Vec<PathSequence> =
+            rm_runtime::par_map(reversal_threads, &sequences, |_, s| s.reversed(&norm));
 
+        // Training is deliberately serial: each per-sequence Adam step reads
+        // the parameters the previous step wrote, so the epoch loop is a
+        // dependency chain (and the autodiff graph is `Rc`-based anyway).
         for _ in 0..self.config.epochs {
             for (seq, rev) in sequences.iter().zip(reversed.iter()) {
                 optimizer.zero_grad();
@@ -193,20 +271,32 @@ impl Imputer for Brits {
         }
 
         // Produce imputations: average of forward and backward complements at
-        // MAR positions.
-        for (seq, rev) in sequences.iter().zip(reversed.iter()) {
-            let fwd = forward.run(seq);
-            let bwd = backward.run(rev);
+        // MAR positions. The trained weights are snapshotted into plain
+        // matrices and every sequence's inference fans out over the pool;
+        // each task only reads the shared snapshot and writes values for its
+        // own (disjoint) records, so the merge is order-independent.
+        let forward_weights = forward.snapshot();
+        let backward_weights = backward.snapshot();
+        let pairs: Vec<(&PathSequence, &PathSequence)> =
+            sequences.iter().zip(reversed.iter()).collect();
+        let imputations = rm_runtime::par_map(self.config.threads, &pairs, |_, &(seq, rev)| {
+            let fwd = forward_weights.run(seq);
+            let bwd = backward_weights.run(rev);
+            let mut values: Vec<(usize, usize, f64)> = Vec::new();
             for (t, &record) in seq.record_indices.iter().enumerate() {
                 let rt = rev.len() - 1 - t;
-                let f = fwd.complements[t].value();
-                let b = bwd.complements[rt].value();
                 for ap in 0..num_aps {
                     if mask.get(record, ap) == EntryKind::Mar {
-                        let avg = (f.get(ap, 0) + b.get(ap, 0)) / 2.0;
-                        fingerprints[record][ap] = norm.denormalize_rssi(avg);
+                        let avg = (fwd[t].get(ap, 0) + bwd[rt].get(ap, 0)) / 2.0;
+                        values.push((record, ap, norm.denormalize_rssi(avg)));
                     }
                 }
+            }
+            values
+        });
+        for values in imputations {
+            for (record, ap, value) in values {
+                fingerprints[record][ap] = value;
             }
         }
 
@@ -253,6 +343,7 @@ pub(crate) mod tests {
             learning_rate: 0.02,
             sequence_length: 5,
             seed: 3,
+            threads: 0,
         }
     }
 

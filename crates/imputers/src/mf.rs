@@ -6,6 +6,8 @@
 //! ridge-regularised least squares on the observed entries; the reconstruction
 //! fills the missing entries.
 
+use std::cmp::Ordering;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -25,6 +27,11 @@ pub struct MatrixFactorizationConfig {
     pub lambda: f64,
     /// RNG seed for factor initialisation.
     pub seed: u64,
+    /// Worker threads for the ALS sweeps (`0` = auto). Within one half-sweep
+    /// every factor row is solved against the *other*, frozen factor, so the
+    /// rows fan out independently and the result is bit-identical at any
+    /// thread count.
+    pub threads: usize,
 }
 
 impl Default for MatrixFactorizationConfig {
@@ -34,6 +41,7 @@ impl Default for MatrixFactorizationConfig {
             iterations: 15,
             lambda: 0.5,
             seed: 23,
+            threads: 0,
         }
     }
 }
@@ -92,16 +100,23 @@ impl Imputer for MatrixFactorization {
             .map(|_| (0..rank).map(|_| rng.gen_range(-0.1..0.1)).collect())
             .collect();
 
+        // Alternating least squares. Each half-sweep solves every row of one
+        // factor against the other factor frozen, so the per-row solves are
+        // independent: they fan out over the pool in input order and the
+        // sweep result does not depend on the thread count (a row either
+        // keeps its previous value or is replaced by a pure function of the
+        // frozen factor).
+        let threads = self.config.threads;
         for _ in 0..self.config.iterations {
             // Fix V, solve each row of U.
-            for i in 0..n {
+            u = rm_runtime::par_indices(threads, n, |i| {
                 let cols: Vec<usize> = (0..num_cols)
                     .filter(|&c| observed[i][c].is_some())
                     .collect();
                 if cols.is_empty() {
-                    continue;
+                    return u[i].clone();
                 }
-                u[i] = solve_factor(
+                solve_factor(
                     &cols.iter().map(|&c| v[c].clone()).collect::<Vec<_>>(),
                     &cols
                         .iter()
@@ -109,15 +124,15 @@ impl Imputer for MatrixFactorization {
                         .collect::<Vec<_>>(),
                     rank,
                     self.config.lambda,
-                );
-            }
+                )
+            });
             // Fix U, solve each row of V.
-            for c in 0..num_cols {
+            v = rm_runtime::par_indices(threads, num_cols, |c| {
                 let rows: Vec<usize> = (0..n).filter(|&i| observed[i][c].is_some()).collect();
                 if rows.is_empty() {
-                    continue;
+                    return v[c].clone();
                 }
-                v[c] = solve_factor(
+                solve_factor(
                     &rows.iter().map(|&i| u[i].clone()).collect::<Vec<_>>(),
                     &rows
                         .iter()
@@ -125,8 +140,8 @@ impl Imputer for MatrixFactorization {
                         .collect::<Vec<_>>(),
                     rank,
                     self.config.lambda,
-                );
-            }
+                )
+            });
         }
 
         // Reconstruct.
@@ -189,7 +204,7 @@ fn solve_factor(rows: &[Vec<f64>], targets: &[f64], rank: usize, lambda: f64) ->
                 a[i][col]
                     .abs()
                     .partial_cmp(&a[j][col].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .unwrap_or(Ordering::Equal)
             })
             .unwrap_or(col);
         if a[pivot][col].abs() < 1e-12 {

@@ -7,6 +7,8 @@
 //! rows where it is observed, and its missing entries are replaced by the
 //! regression predictions.
 
+use std::cmp::Ordering;
+
 use rm_geometry::Point;
 use rm_radiomap::{MaskMatrix, RadioMap, MNAR_FILL_VALUE};
 
@@ -23,6 +25,13 @@ pub struct MiceConfig {
     pub predictors_per_column: usize,
     /// Ridge regularisation strength.
     pub ridge_lambda: f64,
+    /// Worker threads for the per-column fan-outs (`0` = auto, see
+    /// [`rm_runtime::resolve_threads`]). The chained-equation *column order*
+    /// stays strictly sequential — that is the algorithm — but the
+    /// per-column work (correlation scan over all candidate predictors,
+    /// predictions for the missing rows) is embarrassingly parallel and
+    /// produces identical results at any thread count.
+    pub threads: usize,
 }
 
 impl Default for MiceConfig {
@@ -31,6 +40,7 @@ impl Default for MiceConfig {
             cycles: 3,
             predictors_per_column: 8,
             ridge_lambda: 1.0,
+            threads: 0,
         }
     }
 }
@@ -120,6 +130,7 @@ impl Imputer for Mice {
                     target,
                     num_cols,
                     self.config.predictors_per_column,
+                    self.config.threads,
                 );
                 if predictors.is_empty() {
                     continue;
@@ -131,11 +142,24 @@ impl Imputer for Mice {
                     target,
                     self.config.ridge_lambda,
                 ) {
-                    for &row in &missing_rows {
+                    // Each missing row's prediction reads only frozen data, so
+                    // the fan-out is order-preserving and deterministic; the
+                    // writes happen serially afterwards. A prediction is only
+                    // a handful of multiply-adds, so the fan-out is gated on a
+                    // row count that amortises the thread-spawn cost.
+                    let threads = if missing_rows.len() < 512 {
+                        1
+                    } else {
+                        self.config.threads
+                    };
+                    let predictions = rm_runtime::par_map(threads, &missing_rows, |_, &row| {
                         let mut prediction = weights[0];
                         for (k, &p) in predictors.iter().enumerate() {
                             prediction += weights[k + 1] * data[row][p];
                         }
+                        prediction
+                    });
+                    for (&row, &prediction) in missing_rows.iter().zip(predictions.iter()) {
                         data[row][target] = prediction;
                     }
                 }
@@ -165,20 +189,34 @@ impl Imputer for Mice {
 }
 
 /// Picks the `limit` columns most correlated (in absolute value) with `target`
-/// over the observed rows.
+/// over the observed rows. The correlation scan — the hot loop of a MICE
+/// cycle, `O(num_cols · rows)` per target column — fans out over the
+/// candidate columns; the ranking itself stays serial and stable.
 fn select_predictors(
     data: &[Vec<f64>],
     rows: &[usize],
     target: usize,
     num_cols: usize,
     limit: usize,
+    threads: usize,
 ) -> Vec<usize> {
-    let mut correlations: Vec<(f64, usize)> = (0..num_cols)
-        .filter(|&c| c != target)
-        .map(|c| (correlation(data, rows, c, target).abs(), c))
-        .filter(|(r, _)| r.is_finite() && *r > 1e-6)
-        .collect();
-    correlations.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let candidates: Vec<usize> = (0..num_cols).filter(|&c| c != target).collect();
+    // Each correlation is an O(rows) scan; fan out only when the total work
+    // amortises the thread-spawn cost (par_map spawns scoped threads per
+    // call, so the gate is deliberately conservative — ~hundreds of µs of
+    // arithmetic — until a persistent pool lands).
+    let threads = if candidates.len() * rows.len() < 65_536 {
+        1
+    } else {
+        threads
+    };
+    let mut correlations: Vec<(f64, usize)> = rm_runtime::par_map(threads, &candidates, |_, &c| {
+        (correlation(data, rows, c, target).abs(), c)
+    })
+    .into_iter()
+    .filter(|(r, _)| r.is_finite() && *r > 1e-6)
+    .collect();
+    correlations.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal));
     correlations
         .into_iter()
         .take(limit)
@@ -252,7 +290,7 @@ fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>
             a[i][col]
                 .abs()
                 .partial_cmp(&a[j][col].abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
         })?;
         if a[pivot_row][col].abs() < 1e-12 {
             return None;

@@ -4,6 +4,8 @@
 //! with −100 dBm; they differ only in how missing reference points are
 //! handled.
 
+use std::cmp::Ordering;
+
 use rm_geometry::Point;
 use rm_radiomap::{MaskMatrix, RadioMap, MNAR_FILL_VALUE};
 
@@ -94,7 +96,7 @@ impl Imputer for SemiSupervised {
                     .iter()
                     .map(|&j| (euclidean(&fingerprints[i], &fingerprints[j]), j))
                     .collect();
-                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
                 scored.truncate(self.k.max(1));
                 if scored.is_empty() {
                     continue;

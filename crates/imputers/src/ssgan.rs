@@ -35,6 +35,11 @@ pub struct SsganConfig {
     pub adversarial_weight: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the per-sequence fan-outs (`0` = auto). As in
+    /// BRITS, adversarial training is a sequential dependency chain, but the
+    /// final inference pass over all sequences parallelises
+    /// deterministically.
+    pub threads: usize,
 }
 
 impl Default for SsganConfig {
@@ -47,6 +52,7 @@ impl Default for SsganConfig {
             sequence_length: 5,
             adversarial_weight: 0.3,
             seed: 41,
+            threads: 0,
         }
     }
 }
@@ -135,16 +141,25 @@ impl Imputer for Ssgan {
             }
         }
 
-        // Final imputation from the trained generator.
-        for seq in &sequences {
-            let pass = generator.run(seq);
+        // Final imputation from the trained generator: snapshot the weights
+        // into plain matrices and fan the per-sequence inference out over the
+        // pool (each task writes values for its own disjoint records).
+        let generator_weights = generator.snapshot();
+        let imputations = rm_runtime::par_map(self.config.threads, &sequences, |_, seq| {
+            let complements = generator_weights.run(seq);
+            let mut values: Vec<(usize, usize, f64)> = Vec::new();
             for (t, &record) in seq.record_indices.iter().enumerate() {
-                let values = pass.complements[t].value();
                 for ap in 0..num_aps {
                     if mask.get(record, ap) == EntryKind::Mar {
-                        fingerprints[record][ap] = norm.denormalize_rssi(values.get(ap, 0));
+                        values.push((record, ap, norm.denormalize_rssi(complements[t].get(ap, 0))));
                     }
                 }
+            }
+            values
+        });
+        for values in imputations {
+            for (record, ap, value) in values {
+                fingerprints[record][ap] = value;
             }
         }
 
@@ -173,6 +188,7 @@ mod tests {
             sequence_length: 5,
             adversarial_weight: 0.3,
             seed: 5,
+            threads: 0,
         }
     }
 

@@ -40,7 +40,7 @@ pub mod lstm;
 pub mod mlp;
 pub mod optim;
 
-pub use linear::Linear;
-pub use lstm::{LstmCell, LstmState, SimpleRecurrentCell};
+pub use linear::{Linear, LinearWeights};
+pub use lstm::{LstmCell, LstmCellWeights, LstmState, LstmStateMatrix, SimpleRecurrentCell};
 pub use mlp::{Activation, Mlp};
 pub use optim::{Adam, Optimizer, Sgd};

@@ -76,6 +76,53 @@ impl Linear {
     pub fn bias(&self) -> &Var {
         &self.bias
     }
+
+    /// Copies the current parameter values into a graph-free
+    /// [`LinearWeights`] for inference on worker threads.
+    pub fn snapshot(&self) -> LinearWeights {
+        LinearWeights {
+            weight: self.weight.value(),
+            bias: self.bias.value(),
+        }
+    }
+}
+
+/// A graph-free snapshot of a [`Linear`] layer: plain matrices, so it is
+/// `Send + Sync` and can be shared across the deterministic thread pool
+/// (unlike [`Var`], whose nodes are `Rc`-shared).
+///
+/// The forward pass performs the same operations in the same order as
+/// [`Linear::forward`], so inference through a snapshot is bit-identical to
+/// inference through the autodiff graph.
+#[derive(Debug, Clone)]
+pub struct LinearWeights {
+    weight: Matrix,
+    bias: Matrix,
+}
+
+impl LinearWeights {
+    /// Applies `W x + b` to a `(in_features, batch)` input, writing the
+    /// result into `out` (resized on shape mismatch) without allocating when
+    /// the shape already matches: the matmul lands in `out` and the bias is
+    /// added in place.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        if out.shape() != (self.weight.rows(), x.cols()) {
+            *out = Matrix::zeros(self.weight.rows(), x.cols());
+        }
+        self.weight.matmul_into(x, out);
+        let cols = out.cols();
+        for (r, row_chunk) in out.data_mut().chunks_mut(cols).enumerate() {
+            let b = self.bias.get(r, 0);
+            for v in row_chunk {
+                *v += b;
+            }
+        }
+    }
+
+    /// Applies `W x + b` to a `(in_features, batch)` input.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.weight.matmul(x).add_broadcast_col(&self.bias)
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +182,27 @@ mod tests {
     #[should_panic(expected = "bias must be a column vector")]
     fn from_parts_rejects_bad_bias() {
         let _ = Linear::from_parts(Matrix::zeros(2, 2), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn snapshot_forward_matches_graph_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = Linear::new(4, 3, &mut rng);
+        let weights = layer.snapshot();
+        let x = Matrix::random_uniform(4, 2, 1.0, &mut rng);
+        let graph = layer.forward(&Var::constant(x.clone())).value();
+        let snap = weights.forward(&x);
+        // Pre-filled buffer of the right shape: must be overwritten in place.
+        let mut out = Matrix::filled(3, 2, 777.0);
+        weights.forward_into(&x, &mut out);
+        for ((a, b), c) in graph
+            .data()
+            .iter()
+            .zip(snap.data().iter())
+            .zip(out.data().iter())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(b.to_bits(), c.to_bits());
+        }
     }
 }

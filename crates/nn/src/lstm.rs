@@ -99,6 +99,81 @@ impl LstmCell {
         params.extend(self.candidate.parameters());
         params
     }
+
+    /// Copies the current gate parameters into a graph-free
+    /// [`LstmCellWeights`] for inference on worker threads.
+    pub fn snapshot(&self) -> LstmCellWeights {
+        LstmCellWeights {
+            input_gate: self.input_gate.snapshot(),
+            forget_gate: self.forget_gate.snapshot(),
+            output_gate: self.output_gate.snapshot(),
+            candidate: self.candidate.snapshot(),
+            input_size: self.input_size,
+            hidden_size: self.hidden_size,
+        }
+    }
+}
+
+/// The matrix-valued hidden state used by [`LstmCellWeights`] inference.
+#[derive(Debug, Clone)]
+pub struct LstmStateMatrix {
+    /// Hidden vector, shape `(hidden_size, 1)`.
+    pub h: Matrix,
+    /// Cell state, shape `(hidden_size, 1)`.
+    pub c: Matrix,
+}
+
+impl LstmStateMatrix {
+    /// A zero-initialised state.
+    pub fn zeros(hidden_size: usize) -> Self {
+        Self {
+            h: Matrix::zeros(hidden_size, 1),
+            c: Matrix::zeros(hidden_size, 1),
+        }
+    }
+}
+
+/// A graph-free snapshot of an [`LstmCell`]: plain matrices, so it is
+/// `Send + Sync` and shareable across the deterministic thread pool.
+///
+/// [`LstmCellWeights::step`] mirrors [`LstmCell::step`] operation for
+/// operation (same concatenation, same gate order, same activation
+/// formulas), so inference through a snapshot is bit-identical to running
+/// the autodiff graph forward.
+#[derive(Debug, Clone)]
+pub struct LstmCellWeights {
+    input_gate: crate::linear::LinearWeights,
+    forget_gate: crate::linear::LinearWeights,
+    output_gate: crate::linear::LinearWeights,
+    candidate: crate::linear::LinearWeights,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+impl LstmCellWeights {
+    /// Input feature size.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden state size.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Performs one recurrent step on plain matrices.
+    pub fn step(&self, input: &Matrix, state: &LstmStateMatrix) -> LstmStateMatrix {
+        debug_assert_eq!(input.rows(), self.input_size, "LSTM input size mismatch");
+        let concat = input.vstack(&state.h);
+        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
+        let i = self.input_gate.forward(&concat).map(sigmoid);
+        let f = self.forget_gate.forward(&concat).map(sigmoid);
+        let o = self.output_gate.forward(&concat).map(sigmoid);
+        let g = self.candidate.forward(&concat).map(f64::tanh);
+        let c = &f.hadamard(&state.c) + &i.hadamard(&g);
+        let h = o.hadamard(&c.map(f64::tanh));
+        LstmStateMatrix { h, c }
+    }
 }
 
 /// A lightweight sigmoid-gated recurrent cell:
@@ -226,6 +301,28 @@ mod tests {
         assert_eq!(h1.shape(), (6, 1));
         assert!(h1.value().data().iter().all(|v| v.abs() <= 1.0));
         assert_eq!(cell.parameters().len(), 4);
+    }
+
+    #[test]
+    fn snapshot_inference_is_bit_identical_to_graph_inference() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cell = LstmCell::new(3, 5, &mut rng);
+        let weights = cell.snapshot();
+        let mut graph_state = LstmState::zeros(5);
+        let mut matrix_state = LstmStateMatrix::zeros(5);
+        for t in 0..6 {
+            let x = Matrix::filled(3, 1, (t as f64 * 0.7).cos());
+            graph_state = cell.step(&Var::constant(x.clone()), &graph_state);
+            matrix_state = weights.step(&x, &matrix_state);
+            let gh = graph_state.h.value();
+            assert!(gh
+                .data()
+                .iter()
+                .zip(matrix_state.h.data().iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+        assert_eq!(weights.input_size(), 3);
+        assert_eq!(weights.hidden_size(), 5);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! features and reference points as (2D) regression targets. This module
 //! implements CART regression trees with bagging and random feature subsets.
 
+use std::cmp::Ordering;
+
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -191,7 +193,7 @@ fn build_tree(
             .iter()
             .map(|&i| map.fingerprints()[i][feature])
             .collect();
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
         values.dedup();
         if values.len() < 2 {
             continue;

@@ -1,5 +1,7 @@
 //! KNN and weighted-KNN location estimation.
 
+use std::cmp::Ordering;
+
 use rm_geometry::Point;
 use rm_radiomap::DenseRadioMap;
 
@@ -31,7 +33,7 @@ impl Knn {
             .zip(self.map.locations().iter())
             .map(|(f, &loc)| (euclidean(fingerprint, f), loc))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
         scored.truncate(self.k);
         scored
     }

@@ -27,7 +27,11 @@ use rm_geometry::Point;
 use rm_radiomap::DenseRadioMap;
 
 /// A fingerprint-based location estimator built over an imputed radio map.
-pub trait LocationEstimator {
+///
+/// Estimation is read-only (`&self`) and estimators hold plain data, so the
+/// trait requires `Sync`: a single estimator is shared by all workers of the
+/// parallel query fan-out in [`evaluate_estimator_threads`].
+pub trait LocationEstimator: Sync {
     /// Estimates the location of a device reporting `fingerprint` (a dense
     /// RSSI vector over the same AP set as the radio map). Returns `None` when
     /// the estimator has no usable training data.
@@ -91,19 +95,44 @@ pub struct TestQuery {
     pub location: Point,
 }
 
+/// Minimum number of queries before [`evaluate_estimator_threads`] fans out;
+/// below this the spawn overhead outweighs the per-query work.
+const PARALLEL_QUERY_THRESHOLD: usize = 32;
+
 /// Runs an estimator over a set of test queries and returns the average
-/// positioning error in metres. Queries the estimator declines (returns
-/// `None`) are skipped; returns `None` if no query could be answered.
+/// positioning error in metres, evaluating the queries in parallel with the
+/// default thread count (`RM_THREADS` override, else available parallelism).
+/// Queries the estimator declines (returns `None`) are skipped; returns
+/// `None` if no query could be answered.
 pub fn evaluate_estimator(estimator: &dyn LocationEstimator, queries: &[TestQuery]) -> Option<f64> {
-    let mut estimates = Vec::new();
+    evaluate_estimator_threads(estimator, queries, 0)
+}
+
+/// [`evaluate_estimator`] with an explicit thread count (`0` = auto, `1` =
+/// serial). Each query is estimated independently and the per-query results
+/// are collected in input order before the APE reduction, so the returned
+/// error is bit-identical at any thread count.
+pub fn evaluate_estimator_threads(
+    estimator: &dyn LocationEstimator,
+    queries: &[TestQuery],
+    threads: usize,
+) -> Option<f64> {
+    let threads = if queries.len() < PARALLEL_QUERY_THRESHOLD {
+        1
+    } else {
+        threads
+    };
+    let estimates =
+        rm_runtime::par_map(threads, queries, |_, q| estimator.estimate(&q.fingerprint));
+    let mut answered = Vec::new();
     let mut truths = Vec::new();
-    for q in queries {
-        if let Some(est) = estimator.estimate(&q.fingerprint) {
-            estimates.push(est);
+    for (estimate, q) in estimates.into_iter().zip(queries.iter()) {
+        if let Some(est) = estimate {
+            answered.push(est);
             truths.push(q.location);
         }
     }
-    average_positioning_error(&estimates, &truths)
+    average_positioning_error(&answered, &truths)
 }
 
 #[cfg(test)]
@@ -153,5 +182,23 @@ mod tests {
     fn evaluate_estimator_with_no_queries_is_none() {
         let estimator = EstimatorKind::Wknn.build(map(), 3);
         assert_eq!(evaluate_estimator(estimator.as_ref(), &[]), None);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        let estimator = EstimatorKind::Wknn.build(map(), 2);
+        // Enough queries to clear PARALLEL_QUERY_THRESHOLD.
+        let queries: Vec<TestQuery> = (0..100)
+            .map(|i| TestQuery {
+                fingerprint: vec![-50.0 - (i % 37) as f64, -90.0 + (i % 23) as f64],
+                location: Point::new(i as f64 * 0.1, (i % 7) as f64),
+            })
+            .collect();
+        let serial = evaluate_estimator_threads(estimator.as_ref(), &queries, 1).unwrap();
+        for threads in [2, 4, 0] {
+            let parallel =
+                evaluate_estimator_threads(estimator.as_ref(), &queries, threads).unwrap();
+            assert_eq!(serial.to_bits(), parallel.to_bits());
+        }
     }
 }

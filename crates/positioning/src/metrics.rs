@@ -1,5 +1,7 @@
 //! Accuracy metrics used throughout the evaluation.
 
+use std::cmp::Ordering;
+
 use rm_geometry::Point;
 
 /// Average positioning error (APE): the mean Euclidean distance between
@@ -63,7 +65,7 @@ pub fn error_percentile(estimates: &[Point], ground_truth: &[Point], p: f64) -> 
         .zip(ground_truth.iter())
         .map(|(e, g)| e.distance(*g))
         .collect();
-    errors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
     let rank = (p.clamp(0.0, 100.0) / 100.0 * (errors.len() - 1) as f64).round() as usize;
     Some(errors[rank])
 }

@@ -1,5 +1,7 @@
 //! Walking-survey record tables and radio-map creation (Section II-B).
 
+use std::cmp::Ordering;
+
 use rm_geometry::Point;
 
 use crate::fingerprint::Fingerprint;
@@ -75,11 +77,7 @@ impl WalkingSurveyTable {
 
     /// Adds a survey path; its entries are sorted by time.
     pub fn add_path(&mut self, mut entries: Vec<SurveyEntry>) -> usize {
-        entries.sort_by(|a, b| {
-            a.time
-                .partial_cmp(&b.time)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        entries.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(Ordering::Equal));
         self.paths.push(entries);
         self.paths.len() - 1
     }

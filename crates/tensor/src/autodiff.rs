@@ -10,6 +10,7 @@
 //! softmax, row concatenation and scalar reductions.
 
 use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -200,13 +201,7 @@ impl Var {
 
     /// Adds a column vector `rhs` (shape `(rows, 1)`) to every column of `self`.
     pub fn add_broadcast_col(&self, rhs: &Var) -> Var {
-        let a = self.value_ref();
-        let b = rhs.value_ref();
-        assert_eq!(a.rows(), b.rows(), "broadcast add row mismatch");
-        assert_eq!(b.cols(), 1, "broadcast operand must be a column vector");
-        let out = Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) + b.get(r, 0));
-        drop(a);
-        drop(b);
+        let out = self.value_ref().add_broadcast_col(&rhs.value_ref());
         Var::from_node(out, vec![self.clone(), rhs.clone()], Op::AddBroadcastCol)
     }
 
@@ -357,7 +352,7 @@ impl Var {
     /// Returns the nodes reachable from `self` in topological order
     /// (parents before children).
     fn topological_order(&self) -> Vec<Var> {
-        let mut visited = std::collections::HashSet::new();
+        let mut visited = HashSet::new();
         let mut order = Vec::new();
         // Iterative DFS with an explicit stack to avoid recursion limits on
         // long unrolled sequences.
@@ -419,10 +414,14 @@ impl Var {
                 parents[1].accumulate(&grad.hadamard(&a));
             }
             Op::MatMul => {
+                // dA = dC · Bᵀ goes through the blocked kernel (a one-off
+                // transpose is cheaper than losing the vectorised inner
+                // loop); dB = Aᵀ · dC uses the transposed kernel, which is
+                // axpy-shaped like the blocked one and skips the transpose.
                 let a = parents[0].value();
                 let b = parents[1].value();
                 parents[0].accumulate(&grad.matmul(&b.transpose()));
-                parents[1].accumulate(&a.transpose().matmul(&grad));
+                parents[1].accumulate(&a.matmul_at_b(&grad));
             }
             Op::ScaleConst(s) => parents[0].accumulate(&grad.scale(s)),
             Op::AddConst => parents[0].accumulate(&grad),

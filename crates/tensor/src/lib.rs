@@ -31,4 +31,4 @@ pub mod autodiff;
 pub mod matrix;
 
 pub use autodiff::Var;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MATMUL_BLOCK};

@@ -10,6 +10,37 @@ fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 
 proptest! {
     #[test]
+    fn blocked_matmul_matches_naive_reference_on_random_shapes(
+        m in 1usize..12,
+        k in 1usize..140,
+        n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        // `k` crosses the MATMUL_BLOCK panel boundary, exercising both full
+        // and ragged panels of the blocked kernel. The two kernels accumulate
+        // in the same order, so equality is bitwise, not approximate.
+        let mut data = seed;
+        let mut next = || {
+            // SplitMix64-ish stream, mapped into [-4, 4).
+            data = data.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((data >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        prop_assert_eq!(blocked.shape(), naive.shape());
+        for (x, y) in blocked.data().iter().zip(naive.data().iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn transposed_kernel_matches_explicit_transpose(a in arb_matrix(4, 6), c in arb_matrix(4, 5)) {
+        prop_assert!(a.matmul_at_b(&c).approx_eq(&a.transpose().matmul(&c), 1e-9));
+    }
+
+    #[test]
     fn matmul_is_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));

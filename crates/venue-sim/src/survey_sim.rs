@@ -11,6 +11,8 @@
 //! * **MAR** — observable readings are dropped with a small probability,
 //!   modelling random events such as temporarily blocked transmission paths.
 
+use std::cmp::Ordering;
+
 use rand::Rng;
 use rm_geometry::Point;
 use rm_radiomap::{SurveyEntry, WalkingSurveyTable};
@@ -99,8 +101,8 @@ pub fn plan_paths(venue: &Venue, rps_per_path: usize) -> Vec<Vec<Point>> {
         let band_b = (b.y / band_height).floor();
         band_a
             .partial_cmp(&band_b)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.x.partial_cmp(&b.x).unwrap_or(std::cmp::Ordering::Equal))
+            .unwrap_or(Ordering::Equal)
+            .then(a.x.partial_cmp(&b.x).unwrap_or(Ordering::Equal))
     });
 
     let per_path = rps_per_path.max(2);

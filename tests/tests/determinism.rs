@@ -1,0 +1,159 @@
+//! The determinism suite: the whole pipeline must produce **bit-identical**
+//! results at any thread count.
+//!
+//! This is the contract that makes parallelism a pure wall-clock knob: the
+//! `rm-runtime` primitives are order-preserving, chunk boundaries never
+//! depend on the thread count, and RNG streams are derived from item indices
+//! — so `threads = 1`, `2` and `available_parallelism` must agree down to
+//! the last bit of every imputed RSSI, imputed RP and APE metric.
+
+use radiomap_core::prelude::*;
+use rm_integration_tests::{straight_path_map, tiny_dataset};
+
+/// Imputers with internal fan-outs plus a fast baseline; BiSIM is covered by
+/// the integration tests and trains serially anyway.
+fn imputers_under_test() -> [ImputerKind; 4] {
+    [
+        ImputerKind::Mice,
+        ImputerKind::MatrixFactorization,
+        ImputerKind::Brits,
+        ImputerKind::LinearInterpolation,
+    ]
+}
+
+fn bitwise_eq_maps(a: &ImputedRadioMap, b: &ImputedRadioMap) -> bool {
+    a.fingerprints.len() == b.fingerprints.len()
+        && a.fingerprints
+            .iter()
+            .zip(b.fingerprints.iter())
+            .all(|(ra, rb)| {
+                ra.len() == rb.len()
+                    && ra
+                        .iter()
+                        .zip(rb.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            })
+        && a.locations.len() == b.locations.len()
+        && a.locations
+            .iter()
+            .zip(b.locations.iter())
+            .all(|(la, lb)| match (la, lb) {
+                (Some(pa), Some(pb)) => {
+                    pa.x.to_bits() == pb.x.to_bits() && pa.y.to_bits() == pb.y.to_bits()
+                }
+                (None, None) => true,
+                _ => false,
+            })
+}
+
+/// Imputed maps (RSSIs and RPs) are bit-identical across thread counts for
+/// every parallelised imputer.
+#[test]
+fn imputed_maps_are_bit_identical_across_thread_counts() {
+    let map = straight_path_map(24, 8);
+    let topology = MultiPolygon::empty();
+    let thread_counts = [1, 2, rm_runtime::default_threads()];
+    for imputer in imputers_under_test() {
+        let runs: Vec<ImputedRadioMap> = thread_counts
+            .iter()
+            .map(|&threads| {
+                ImputationPipeline::new(PipelineConfig {
+                    differentiator: DifferentiatorKind::MarOnly,
+                    imputer,
+                    epochs: Some(3),
+                    threads,
+                    ..PipelineConfig::default()
+                })
+                .impute(&map, &topology)
+                .0
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert!(
+                bitwise_eq_maps(&runs[0], run),
+                "{} imputation differs across thread counts",
+                imputer.name()
+            );
+        }
+    }
+}
+
+/// The full evaluation protocol (split → differentiate → impute → position)
+/// yields bit-identical APE metrics across thread counts.
+#[test]
+fn full_evaluation_is_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(VenuePreset::KaideLike, 11);
+    let thread_counts = [1, 2, rm_runtime::default_threads()];
+    for imputer in [ImputerKind::Mice, ImputerKind::Brits] {
+        let results: Vec<EvaluationResult> = thread_counts
+            .iter()
+            .map(|&threads| {
+                ImputationPipeline::new(PipelineConfig {
+                    differentiator: DifferentiatorKind::TopoAc,
+                    imputer,
+                    epochs: Some(2),
+                    threads,
+                    ..PipelineConfig::default()
+                })
+                .evaluate(&dataset.radio_map, &dataset.venue.walls)
+            })
+            .collect();
+        for result in &results[1..] {
+            assert_eq!(
+                results[0].ape_m.to_bits(),
+                result.ape_m.to_bits(),
+                "{} APE differs across thread counts",
+                imputer.name()
+            );
+            assert_eq!(results[0].num_test_queries, result.num_test_queries);
+            assert_eq!(results[0].mar_fraction, result.mar_fraction);
+        }
+    }
+}
+
+/// The grid fan-out is bit-identical to serial per-cell evaluation and across
+/// thread counts.
+#[test]
+fn evaluate_grid_is_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(VenuePreset::WandaLike, 5);
+    let cells = [
+        (
+            DifferentiatorKind::MnarOnly,
+            ImputerKind::LinearInterpolation,
+        ),
+        (DifferentiatorKind::TopoAc, ImputerKind::Mice),
+        (
+            DifferentiatorKind::MarOnly,
+            ImputerKind::MatrixFactorization,
+        ),
+        (DifferentiatorKind::ElbowKm, ImputerKind::CaseDeletion),
+    ];
+    let run = |threads: usize| {
+        ImputationPipeline::new(PipelineConfig {
+            epochs: Some(2),
+            threads,
+            ..PipelineConfig::default()
+        })
+        .evaluate_grid(&dataset.radio_map, &dataset.venue.walls, &cells)
+    };
+    let serial = run(1);
+    for threads in [2, rm_runtime::default_threads()] {
+        let parallel = run(threads);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(s.ape_m.to_bits(), p.ape_m.to_bits());
+            assert_eq!(s.num_test_queries, p.num_test_queries);
+        }
+    }
+}
+
+/// Seed derivation is a pure function of `(base, index)` — the property that
+/// keeps RNG-consuming tasks reproducible regardless of scheduling.
+#[test]
+fn derived_seeds_are_scheduling_independent() {
+    let base = 2023;
+    let serial: Vec<u64> = (0..64).map(|i| rm_runtime::derive_seed(base, i)).collect();
+    let indices: Vec<u64> = (0..64).collect();
+    let parallel = rm_runtime::par_map(4, &indices, |_, &i| rm_runtime::derive_seed(base, i));
+    assert_eq!(serial, parallel);
+}
