@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rm_bisim::{Bisim, BisimConfig};
 use rm_differentiator::{Differentiator, MnarOnly};
-use rm_imputers::{Imputer, LinearInterpolation, MatrixFactorization, Mice, SemiSupervised};
+use rm_imputers::{
+    Brits, BritsConfig, Imputer, LinearInterpolation, MatrixFactorization, Mice, SemiSupervised,
+};
+use rm_tensor::Precision;
 use rm_venue_sim::{DatasetSpec, VenuePreset};
 
 fn bench_deterministic_imputers(c: &mut Criterion) {
@@ -27,6 +30,34 @@ fn bench_deterministic_imputers(c: &mut Criterion) {
     c.bench_function("imputer_mf", |b| {
         b.iter(|| std::hint::black_box(MatrixFactorization::default().impute(&map, &mask)))
     });
+}
+
+/// BRITS end to end (1 training epoch + inference) at both inference
+/// precisions. Training dominates and is identical f64 work in both, so the
+/// delta between the two benches is the inference-pass saving of the f32
+/// kernels; the pair mainly guards against the f32 path regressing the
+/// imputer wholesale.
+fn bench_brits_precisions(c: &mut Criterion) {
+    let dataset = DatasetSpec::new(VenuePreset::KaideLike, 9)
+        .with_scale(0.05)
+        .build();
+    let map = dataset.radio_map.clone();
+    let mask = MnarOnly.differentiate(&map);
+    let config = |precision| BritsConfig {
+        epochs: 1,
+        hidden_size: 16,
+        precision,
+        ..BritsConfig::default()
+    };
+    let mut group = c.benchmark_group("brits");
+    group.sample_size(10);
+    group.bench_function("brits_impute_1_epoch_f64", |b| {
+        b.iter(|| std::hint::black_box(Brits::new(config(Precision::F64)).impute(&map, &mask)))
+    });
+    group.bench_function("brits_impute_1_epoch_f32", |b| {
+        b.iter(|| std::hint::black_box(Brits::new(config(Precision::F32)).impute(&map, &mask)))
+    });
+    group.finish();
 }
 
 fn bench_bisim_single_epoch(c: &mut Criterion) {
@@ -53,6 +84,7 @@ fn bench_bisim_single_epoch(c: &mut Criterion) {
 criterion_group!(
     imputers,
     bench_deterministic_imputers,
+    bench_brits_precisions,
     bench_bisim_single_epoch
 );
 criterion_main!(imputers);

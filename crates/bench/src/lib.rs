@@ -12,7 +12,10 @@
 //!   drops it to 0.08),
 //! * `RM_EPOCHS` — training epochs of the neural imputers (default 30,
 //!   `RM_QUICK=1` drops it to 8),
-//! * `RM_SEED`   — base RNG seed (default 2023).
+//! * `RM_SEED`   — base RNG seed (default 2023),
+//! * `RM_PRECISION` — inference precision of the neural imputers: `f64`
+//!   (default) or `f32` (single-precision SIMD kernels; see
+//!   [`radiomap_core::Precision`]).
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -30,6 +33,17 @@ pub fn experiment_seed() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2023)
+}
+
+/// The inference precision used by the experiment harness: `RM_PRECISION`
+/// (`f32`/`f64`, case-insensitive) if set and valid, else the `f64` default.
+/// This is how CI runs the whole grid in single-precision mode without a
+/// second binary.
+pub fn experiment_precision() -> Precision {
+    std::env::var("RM_PRECISION")
+        .ok()
+        .and_then(|v| Precision::parse(&v))
+        .unwrap_or(Precision::F64)
 }
 
 /// Builds the dataset for a venue preset at the harness scale.
@@ -146,6 +160,7 @@ pub fn run_cell_with_threads(
         time_lag,
         seed,
         threads,
+        precision: experiment_precision(),
         ..PipelineConfig::default()
     };
     let pipeline = radiomap_core::ImputationPipeline::new(config);
@@ -161,6 +176,7 @@ pub fn run_cell_with_threads(
         time_lag,
         pipeline.config.epochs,
         pipeline.config.threads,
+        pipeline.config.precision,
     );
     let imp_start = Instant::now();
     let imputed = imputer_impl.impute(&working, &mask);

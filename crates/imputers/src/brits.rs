@@ -10,10 +10,10 @@ use rm_nn::{
     Optimizer,
 };
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Precision, Scalar, Var};
 
 use crate::sequence::{build_sequences, Normalization, PathSequence};
-use crate::{ImputedRadioMap, Imputer};
+use crate::{gates, ImputedRadioMap, Imputer};
 
 /// Configuration shared by the recurrent imputers.
 #[derive(Debug, Clone)]
@@ -33,6 +33,13 @@ pub struct BritsConfig {
     /// but sequence preparation and the final inference pass over all
     /// sequences are pure and parallelise deterministically.
     pub threads: usize,
+    /// Precision of the inference pass. Training always runs at `f64`;
+    /// [`Precision::F32`] rounds the trained weights to f32 once and runs
+    /// every sequence through the f32 kernels (twice the SIMD lanes, half
+    /// the memory traffic). [`Precision::F64`] — the default — is
+    /// bit-identical to the pre-precision-axis pipeline. Either setting is
+    /// bit-identical across thread counts.
+    pub precision: Precision,
 }
 
 impl Default for BritsConfig {
@@ -44,6 +51,7 @@ impl Default for BritsConfig {
             sequence_length: 5,
             seed: 31,
             threads: 0,
+            precision: Precision::F64,
         }
     }
 }
@@ -133,7 +141,9 @@ impl RecurrentImputer {
     }
 
     /// Copies the trained parameters into a graph-free, `Send + Sync`
-    /// snapshot for the parallel inference pass.
+    /// snapshot for the parallel inference pass. The snapshot is taken at
+    /// the training precision (`f64`); round it with
+    /// [`RecurrentImputerWeights::cast`] for the f32 inference path.
     pub(crate) fn snapshot(&self) -> RecurrentImputerWeights {
         RecurrentImputerWeights {
             estimate: self.estimate.snapshot(),
@@ -148,36 +158,49 @@ impl RecurrentImputer {
 /// `Var`-based model (whose nodes are `Rc`-shared and thus thread-bound),
 /// the snapshot holds plain matrices and can be shared by every worker of
 /// the inference fan-out. [`RecurrentImputerWeights::run`] mirrors
-/// [`RecurrentImputer::run`] operation for operation, so the imputations are
-/// bit-identical to running the autodiff graph forward.
-pub(crate) struct RecurrentImputerWeights {
-    estimate: LinearWeights,
-    decay: LinearWeights,
-    cell: LstmCellWeights,
+/// [`RecurrentImputer::run`] operation for operation, so at `T = f64` the
+/// imputations are bit-identical to running the autodiff graph forward; at
+/// `T = f32` the same code runs through the single-precision kernels.
+pub(crate) struct RecurrentImputerWeights<T: Scalar = f64> {
+    estimate: LinearWeights<T>,
+    decay: LinearWeights<T>,
+    cell: LstmCellWeights<T>,
     hidden_size: usize,
 }
 
-impl RecurrentImputerWeights {
+impl<T: Scalar> RecurrentImputerWeights<T> {
+    /// Rounds the snapshot to another precision (the one-time `f64 → f32`
+    /// weight rounding of the f32 inference path).
+    pub(crate) fn cast<U: Scalar>(&self) -> RecurrentImputerWeights<U> {
+        RecurrentImputerWeights {
+            estimate: self.estimate.cast(),
+            decay: self.decay.cast(),
+            cell: self.cell.cast(),
+            hidden_size: self.hidden_size,
+        }
+    }
+
     /// Runs the imputer over one sequence, returning the complemented vector
     /// `x_c` of every step (the imputations; the reconstruction estimates are
-    /// only needed for training).
-    pub(crate) fn run(&self, seq: &PathSequence) -> Vec<Matrix> {
+    /// only needed for training). Sequence data is stored in `f64` and
+    /// rounded per step, so the kernels — the hot path — run entirely in `T`.
+    pub(crate) fn run(&self, seq: &PathSequence) -> Vec<Matrix<T>> {
         let mut state = LstmStateMatrix::zeros(self.hidden_size);
         let mut complements = Vec::with_capacity(seq.len());
         // Scratch buffers reused across all steps of the sequence.
         let mut x_hat = Matrix::zeros(0, 0);
         let mut decay_pre = Matrix::zeros(0, 0);
         for t in 0..seq.len() {
-            let x = Matrix::column(&seq.fingerprints[t]);
-            let mask = Matrix::column(&seq.fingerprint_masks[t]);
-            let lag = Matrix::column(&seq.time_lags[t]);
+            let x = Matrix::column_from_f64(&seq.fingerprints[t]);
+            let mask = Matrix::<T>::column_from_f64(&seq.fingerprint_masks[t]);
+            let lag = Matrix::column_from_f64(&seq.time_lags[t]);
 
             self.estimate.forward_into(&state.h, &mut x_hat);
-            let inverse_mask = mask.map(|m| 1.0 - m);
+            let inverse_mask = mask.map(|m| T::ONE - m);
             let x_c = &x.hadamard(&mask) + &x_hat.hadamard(&inverse_mask);
             // γ = exp(-relu(W_γ δ + b_γ)), matching relu → scale(-1) → exp.
             self.decay.forward_into(&lag, &mut decay_pre);
-            let gamma = decay_pre.map(|v| v.max(0.0)).scale(-1.0).map(f64::exp);
+            let gamma = decay_pre.map(Scalar::relu).scale(-T::ONE).map(Scalar::exp);
             let decayed = LstmStateMatrix {
                 h: state.h.hadamard(&gamma),
                 c: state.c.clone(),
@@ -188,6 +211,39 @@ impl RecurrentImputerWeights {
         }
         complements
     }
+}
+
+/// The bidirectional inference fan-out, generic over the kernel precision:
+/// every `(sequence, reversed)` pair runs through the shared weight
+/// snapshots on the pool, and the forward/backward complements are averaged
+/// at MAR positions. Denormalisation happens after widening back to `f64`,
+/// so the returned `(record, ap, rssi)` triples are precision-independent in
+/// type (not in value). Each task only reads the shared snapshots, so the
+/// fan-out is order-preserving and bit-identical at any thread count.
+fn infer_mar_values<T: Scalar>(
+    forward: &RecurrentImputerWeights<T>,
+    backward: &RecurrentImputerWeights<T>,
+    pairs: &[(&PathSequence, &PathSequence)],
+    mask: &MaskMatrix,
+    norm: &Normalization,
+    num_aps: usize,
+    threads: usize,
+) -> Vec<Vec<(usize, usize, f64)>> {
+    rm_runtime::par_map(threads, pairs, |_, &(seq, rev)| {
+        let fwd = forward.run(seq);
+        let bwd = backward.run(rev);
+        let mut values: Vec<(usize, usize, f64)> = Vec::new();
+        for (t, &record) in seq.record_indices.iter().enumerate() {
+            let rt = rev.len() - 1 - t;
+            for ap in 0..num_aps {
+                if mask.get(record, ap) == EntryKind::Mar {
+                    let avg = (fwd[t].get(ap, 0) + bwd[rt].get(ap, 0)) / T::from_f64(2.0);
+                    values.push((record, ap, norm.denormalize_rssi(avg.to_f64())));
+                }
+            }
+        }
+        values
+    })
 }
 
 /// The BRITS imputer.
@@ -232,9 +288,9 @@ impl Imputer for Brits {
         let mut optimizer = Adam::new(params, self.config.learning_rate).with_clip(5.0);
 
         // Reversing a sequence is pure, so the backward-direction inputs are
-        // prepared in parallel (serially below a sequence count that would
-        // amortise the spawn cost — one reversal is only a few µs).
-        let reversal_threads = if sequences.len() < 64 {
+        // prepared in parallel (serially below the sequence count that
+        // amortises the spawn cost — see [`crate::gates`]).
+        let reversal_threads = if sequences.len() < gates::BRITS_REVERSAL_MIN_SEQUENCES {
             1
         } else {
             self.config.threads
@@ -272,28 +328,36 @@ impl Imputer for Brits {
 
         // Produce imputations: average of forward and backward complements at
         // MAR positions. The trained weights are snapshotted into plain
-        // matrices and every sequence's inference fans out over the pool;
-        // each task only reads the shared snapshot and writes values for its
-        // own (disjoint) records, so the merge is order-independent.
+        // matrices — rounded once to f32 when the config asks for
+        // single-precision inference — and every sequence's inference fans
+        // out over the pool; each task only reads the shared snapshot and
+        // writes values for its own (disjoint) records, so the merge is
+        // order-independent.
         let forward_weights = forward.snapshot();
         let backward_weights = backward.snapshot();
         let pairs: Vec<(&PathSequence, &PathSequence)> =
             sequences.iter().zip(reversed.iter()).collect();
-        let imputations = rm_runtime::par_map(self.config.threads, &pairs, |_, &(seq, rev)| {
-            let fwd = forward_weights.run(seq);
-            let bwd = backward_weights.run(rev);
-            let mut values: Vec<(usize, usize, f64)> = Vec::new();
-            for (t, &record) in seq.record_indices.iter().enumerate() {
-                let rt = rev.len() - 1 - t;
-                for ap in 0..num_aps {
-                    if mask.get(record, ap) == EntryKind::Mar {
-                        let avg = (fwd[t].get(ap, 0) + bwd[rt].get(ap, 0)) / 2.0;
-                        values.push((record, ap, norm.denormalize_rssi(avg)));
-                    }
-                }
-            }
-            values
-        });
+        let threads = self.config.threads;
+        let imputations = match self.config.precision {
+            Precision::F64 => infer_mar_values(
+                &forward_weights,
+                &backward_weights,
+                &pairs,
+                mask,
+                &norm,
+                num_aps,
+                threads,
+            ),
+            Precision::F32 => infer_mar_values(
+                &forward_weights.cast::<f32>(),
+                &backward_weights.cast::<f32>(),
+                &pairs,
+                mask,
+                &norm,
+                num_aps,
+                threads,
+            ),
+        };
         for values in imputations {
             for (record, ap, value) in values {
                 fingerprints[record][ap] = value;
@@ -344,6 +408,7 @@ pub(crate) mod tests {
             sequence_length: 5,
             seed: 3,
             threads: 0,
+            precision: Precision::F64,
         }
     }
 
@@ -362,6 +427,28 @@ pub(crate) mod tests {
         assert_eq!(out.rssi(0, 0), -60.0);
         assert_eq!(out.rssi(3, 1), -80.0);
         assert_eq!(Brits::default().name(), "BRITS");
+    }
+
+    /// The f32 inference path must stay close to the f64 path: same trained
+    /// weights, only the inference kernels rounded. On the smooth test map
+    /// the two imputations agree to well under a tenth of a dBm.
+    #[test]
+    fn brits_f32_inference_tracks_the_f64_path() {
+        let (map, mask) = smooth_map();
+        let f64_out = Brits::new(quick_config()).impute(&map, &mask);
+        let f32_out = Brits::new(BritsConfig {
+            precision: Precision::F32,
+            ..quick_config()
+        })
+        .impute(&map, &mask);
+        let a = f64_out.rssi(5, 0);
+        let b = f32_out.rssi(5, 0);
+        assert!(
+            (a - b).abs() < 0.1,
+            "f32 imputation {b} drifted from f64 imputation {a}"
+        );
+        // Observed entries pass through identically at either precision.
+        assert_eq!(f32_out.rssi(0, 0).to_bits(), f64_out.rssi(0, 0).to_bits());
     }
 
     #[test]

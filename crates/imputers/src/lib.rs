@@ -22,6 +22,36 @@ pub mod sequence;
 pub mod simple;
 pub mod ssgan;
 
+/// Minimum-work gates below which the imputers' internal fan-outs stay
+/// serial.
+///
+/// `rm_runtime::par_map` spawns scoped threads per call, so a fan-out only
+/// pays off once the work per call amortises the spawn cost (~tens of µs per
+/// worker). These gates are deliberately conservative and are collected here
+/// — rather than inlined at each call site — so the planned persistent
+/// worker-pool PR (see ROADMAP, "Persistent worker pool in `rm-runtime`")
+/// can recalibrate them in one place, on ≥2-core hardware, once the spawn
+/// cost disappears. Changing a gate never changes results, only which side
+/// of the serial/parallel fork runs: both sides are bit-identical by the
+/// `rm-runtime` determinism contract.
+pub mod gates {
+    /// [`Mice`](crate::Mice) predictor selection fans the per-candidate
+    /// correlation scans out only when `candidate_columns × observed_rows`
+    /// reaches this many cells (each cell is a handful of flops; the product
+    /// approximates the total scan work).
+    pub const MICE_PREDICTOR_SCAN_MIN_CELLS: usize = 65_536;
+
+    /// [`Mice`](crate::Mice) fans the per-row ridge predictions out only for
+    /// at least this many missing rows (a prediction is only a handful of
+    /// multiply-adds).
+    pub const MICE_PREDICTION_MIN_ROWS: usize = 512;
+
+    /// The bidirectional sequence imputers ([`Brits`](crate::Brits)) reverse
+    /// their training sequences in parallel only from this many sequences up
+    /// (one reversal is only a few µs).
+    pub const BRITS_REVERSAL_MIN_SEQUENCES: usize = 64;
+}
+
 pub use brits::{Brits, BritsConfig};
 pub use mf::{MatrixFactorization, MatrixFactorizationConfig};
 pub use mice::{Mice, MiceConfig};

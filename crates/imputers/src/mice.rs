@@ -12,7 +12,7 @@ use std::cmp::Ordering;
 use rm_geometry::Point;
 use rm_radiomap::{MaskMatrix, RadioMap, MNAR_FILL_VALUE};
 
-use crate::{fill_mnars, ImputedRadioMap, Imputer};
+use crate::{fill_mnars, gates, ImputedRadioMap, Imputer};
 
 /// Configuration for [`Mice`].
 #[derive(Debug, Clone)]
@@ -144,10 +144,10 @@ impl Imputer for Mice {
                 ) {
                     // Each missing row's prediction reads only frozen data, so
                     // the fan-out is order-preserving and deterministic; the
-                    // writes happen serially afterwards. A prediction is only
-                    // a handful of multiply-adds, so the fan-out is gated on a
-                    // row count that amortises the thread-spawn cost.
-                    let threads = if missing_rows.len() < 512 {
+                    // writes happen serially afterwards. The fan-out is gated
+                    // on a row count that amortises the thread-spawn cost
+                    // (see [`crate::gates`]).
+                    let threads = if missing_rows.len() < gates::MICE_PREDICTION_MIN_ROWS {
                         1
                     } else {
                         self.config.threads
@@ -202,10 +202,9 @@ fn select_predictors(
 ) -> Vec<usize> {
     let candidates: Vec<usize> = (0..num_cols).filter(|&c| c != target).collect();
     // Each correlation is an O(rows) scan; fan out only when the total work
-    // amortises the thread-spawn cost (par_map spawns scoped threads per
-    // call, so the gate is deliberately conservative — ~hundreds of µs of
-    // arithmetic — until a persistent pool lands).
-    let threads = if candidates.len() * rows.len() < 65_536 {
+    // amortises the thread-spawn cost (see [`crate::gates`] — the gate is
+    // deliberately conservative until a persistent pool lands).
+    let threads = if candidates.len() * rows.len() < gates::MICE_PREDICTOR_SCAN_MIN_CELLS {
         1
     } else {
         threads

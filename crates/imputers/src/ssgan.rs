@@ -12,10 +12,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rm_nn::{loss, Activation, Adam, Mlp, Optimizer};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Precision, Scalar, Var};
 
-use crate::brits::{default_epochs, RecurrentImputer};
-use crate::sequence::{build_sequences, Normalization};
+use crate::brits::{default_epochs, RecurrentImputer, RecurrentImputerWeights};
+use crate::sequence::{build_sequences, Normalization, PathSequence};
 use crate::{ImputedRadioMap, Imputer};
 
 /// Configuration for [`Ssgan`].
@@ -40,6 +40,9 @@ pub struct SsganConfig {
     /// final inference pass over all sequences parallelises
     /// deterministically.
     pub threads: usize,
+    /// Precision of the inference pass (training always runs at `f64`; see
+    /// [`crate::BritsConfig::precision`] for the contract).
+    pub precision: Precision,
 }
 
 impl Default for SsganConfig {
@@ -53,6 +56,7 @@ impl Default for SsganConfig {
             adversarial_weight: 0.3,
             seed: 41,
             threads: 0,
+            precision: Precision::F64,
         }
     }
 }
@@ -142,21 +146,29 @@ impl Imputer for Ssgan {
         }
 
         // Final imputation from the trained generator: snapshot the weights
-        // into plain matrices and fan the per-sequence inference out over the
-        // pool (each task writes values for its own disjoint records).
+        // into plain matrices — rounded once to f32 when the config asks for
+        // single-precision inference — and fan the per-sequence inference out
+        // over the pool (each task writes values for its own disjoint
+        // records).
         let generator_weights = generator.snapshot();
-        let imputations = rm_runtime::par_map(self.config.threads, &sequences, |_, seq| {
-            let complements = generator_weights.run(seq);
-            let mut values: Vec<(usize, usize, f64)> = Vec::new();
-            for (t, &record) in seq.record_indices.iter().enumerate() {
-                for ap in 0..num_aps {
-                    if mask.get(record, ap) == EntryKind::Mar {
-                        values.push((record, ap, norm.denormalize_rssi(complements[t].get(ap, 0))));
-                    }
-                }
-            }
-            values
-        });
+        let imputations = match self.config.precision {
+            Precision::F64 => infer_mar_values(
+                &generator_weights,
+                &sequences,
+                mask,
+                &norm,
+                num_aps,
+                self.config.threads,
+            ),
+            Precision::F32 => infer_mar_values(
+                &generator_weights.cast::<f32>(),
+                &sequences,
+                mask,
+                &norm,
+                num_aps,
+                self.config.threads,
+            ),
+        };
         for values in imputations {
             for (record, ap, value) in values {
                 fingerprints[record][ap] = value;
@@ -174,6 +186,33 @@ impl Imputer for Ssgan {
     }
 }
 
+/// The single-direction inference fan-out, generic over the kernel
+/// precision: every sequence runs through the shared generator snapshot on
+/// the pool and its MAR complements are denormalised after widening back to
+/// `f64`. Order-preserving and bit-identical at any thread count.
+fn infer_mar_values<T: Scalar>(
+    generator: &RecurrentImputerWeights<T>,
+    sequences: &[PathSequence],
+    mask: &MaskMatrix,
+    norm: &Normalization,
+    num_aps: usize,
+    threads: usize,
+) -> Vec<Vec<(usize, usize, f64)>> {
+    rm_runtime::par_map(threads, sequences, |_, seq| {
+        let complements = generator.run(seq);
+        let mut values: Vec<(usize, usize, f64)> = Vec::new();
+        for (t, &record) in seq.record_indices.iter().enumerate() {
+            for ap in 0..num_aps {
+                if mask.get(record, ap) == EntryKind::Mar {
+                    let v = complements[t].get(ap, 0).to_f64();
+                    values.push((record, ap, norm.denormalize_rssi(v)));
+                }
+            }
+        }
+        values
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +228,7 @@ mod tests {
             adversarial_weight: 0.3,
             seed: 5,
             threads: 0,
+            precision: Precision::F64,
         }
     }
 
@@ -203,6 +243,24 @@ mod tests {
         );
         assert_eq!(out.rssi(0, 0), -60.0);
         assert_eq!(Ssgan::default().name(), "SSGAN");
+    }
+
+    #[test]
+    fn ssgan_f32_inference_tracks_the_f64_path() {
+        let (map, mask) = smooth_map();
+        let f64_out = Ssgan::new(quick_config()).impute(&map, &mask);
+        let f32_out = Ssgan::new(SsganConfig {
+            precision: Precision::F32,
+            ..quick_config()
+        })
+        .impute(&map, &mask);
+        let a = f64_out.rssi(5, 0);
+        let b = f32_out.rssi(5, 0);
+        assert!(
+            (a - b).abs() < 0.1,
+            "f32 imputation {b} drifted from f64 imputation {a}"
+        );
+        assert_eq!(f32_out.rssi(0, 0).to_bits(), f64_out.rssi(0, 0).to_bits());
     }
 
     #[test]

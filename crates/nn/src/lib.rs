@@ -18,9 +18,10 @@
 //! use rm_nn::{loss, Adam, Linear, Optimizer};
 //! use rm_tensor::{Matrix, Var};
 //!
-//! // Learn y = 2x with a single linear unit.
+//! // Learn y = 2x with a single linear unit. `Linear` defaults to
+//! // `Linear<f64>`; every layer is generic over `rm_tensor::Scalar`.
 //! let mut rng = StdRng::seed_from_u64(42);
-//! let layer = Linear::new(1, 1, &mut rng);
+//! let layer: Linear = Linear::new(1, 1, &mut rng);
 //! let mut opt = Adam::new(layer.parameters(), 0.05);
 //! for _ in 0..300 {
 //!     opt.zero_grad();

@@ -1,20 +1,24 @@
-//! Fully-connected (linear) layers.
+//! Fully-connected (linear) layers, generic over the [`Scalar`] precision.
 
 use rand::Rng;
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Scalar, Var};
 
 /// A linear layer computing `y = W x + b` for column-vector (or
-/// column-batched) inputs.
+/// column-batched) inputs. `T` defaults to `f64`, the training precision.
 #[derive(Clone)]
-pub struct Linear {
-    weight: Var,
-    bias: Var,
+pub struct Linear<T: Scalar = f64> {
+    weight: Var<T>,
+    bias: Var<T>,
     in_features: usize,
     out_features: usize,
 }
 
-impl Linear {
+impl<T: Scalar> Linear<T> {
     /// Creates a linear layer with Xavier-initialised weights and zero bias.
+    ///
+    /// The RNG stream is consumed in `f64` regardless of `T` (see
+    /// [`Matrix::random_uniform`]), so an `f32` layer is the rounding of the
+    /// `f64` layer initialised from the same seed.
     pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
         Self {
             weight: Var::parameter(Matrix::xavier(out_features, in_features, rng)),
@@ -28,7 +32,7 @@ impl Linear {
     ///
     /// # Panics
     /// Panics if `bias` is not a column vector matching `weight`'s row count.
-    pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
+    pub fn from_parts(weight: Matrix<T>, bias: Matrix<T>) -> Self {
         assert_eq!(bias.cols(), 1, "bias must be a column vector");
         assert_eq!(weight.rows(), bias.rows(), "weight/bias row mismatch");
         let (out_features, in_features) = weight.shape();
@@ -51,7 +55,7 @@ impl Linear {
     }
 
     /// Applies the layer to a `(in_features, batch)` input.
-    pub fn forward(&self, x: &Var) -> Var {
+    pub fn forward(&self, x: &Var<T>) -> Var<T> {
         debug_assert_eq!(
             x.shape().0,
             self.in_features,
@@ -63,23 +67,23 @@ impl Linear {
     }
 
     /// The trainable parameters of this layer.
-    pub fn parameters(&self) -> Vec<Var> {
+    pub fn parameters(&self) -> Vec<Var<T>> {
         vec![self.weight.clone(), self.bias.clone()]
     }
 
     /// The weight matrix variable.
-    pub fn weight(&self) -> &Var {
+    pub fn weight(&self) -> &Var<T> {
         &self.weight
     }
 
     /// The bias vector variable.
-    pub fn bias(&self) -> &Var {
+    pub fn bias(&self) -> &Var<T> {
         &self.bias
     }
 
     /// Copies the current parameter values into a graph-free
     /// [`LinearWeights`] for inference on worker threads.
-    pub fn snapshot(&self) -> LinearWeights {
+    pub fn snapshot(&self) -> LinearWeights<T> {
         LinearWeights {
             weight: self.weight.value(),
             bias: self.bias.value(),
@@ -93,19 +97,28 @@ impl Linear {
 ///
 /// The forward pass performs the same operations in the same order as
 /// [`Linear::forward`], so inference through a snapshot is bit-identical to
-/// inference through the autodiff graph.
+/// inference through the autodiff graph at the same precision.
 #[derive(Debug, Clone)]
-pub struct LinearWeights {
-    weight: Matrix,
-    bias: Matrix,
+pub struct LinearWeights<T: Scalar = f64> {
+    weight: Matrix<T>,
+    bias: Matrix<T>,
 }
 
-impl LinearWeights {
+impl<T: Scalar> LinearWeights<T> {
+    /// Rounds the snapshot to another precision — the one-time weight
+    /// rounding of the f32 inference path.
+    pub fn cast<U: Scalar>(&self) -> LinearWeights<U> {
+        LinearWeights {
+            weight: self.weight.cast(),
+            bias: self.bias.cast(),
+        }
+    }
+
     /// Applies `W x + b` to a `(in_features, batch)` input, writing the
     /// result into `out` (resized on shape mismatch) without allocating when
     /// the shape already matches: the matmul lands in `out` and the bias is
     /// added in place.
-    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+    pub fn forward_into(&self, x: &Matrix<T>, out: &mut Matrix<T>) {
         if out.shape() != (self.weight.rows(), x.cols()) {
             *out = Matrix::zeros(self.weight.rows(), x.cols());
         }
@@ -120,7 +133,7 @@ impl LinearWeights {
     }
 
     /// Applies `W x + b` to a `(in_features, batch)` input.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
+    pub fn forward(&self, x: &Matrix<T>) -> Matrix<T> {
         self.weight.matmul(x).add_broadcast_col(&self.bias)
     }
 }
@@ -159,7 +172,7 @@ mod tests {
     #[test]
     fn parameters_receive_gradients() {
         let mut rng = StdRng::seed_from_u64(1);
-        let layer = Linear::new(3, 2, &mut rng);
+        let layer: Linear = Linear::new(3, 2, &mut rng);
         let x = Var::constant(Matrix::column(&[1.0, -1.0, 2.0]));
         let loss = layer.forward(&x).square().sum();
         loss.backward();
@@ -171,7 +184,7 @@ mod tests {
     #[test]
     fn new_has_expected_shapes() {
         let mut rng = StdRng::seed_from_u64(2);
-        let layer = Linear::new(5, 7, &mut rng);
+        let layer: Linear = Linear::new(5, 7, &mut rng);
         assert_eq!(layer.in_features(), 5);
         assert_eq!(layer.out_features(), 7);
         assert_eq!(layer.weight().shape(), (7, 5));
@@ -181,13 +194,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "bias must be a column vector")]
     fn from_parts_rejects_bad_bias() {
-        let _ = Linear::from_parts(Matrix::zeros(2, 2), Matrix::zeros(2, 2));
+        let _ = Linear::from_parts(Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(2, 2));
     }
 
     #[test]
     fn snapshot_forward_matches_graph_forward_bitwise() {
         let mut rng = StdRng::seed_from_u64(9);
-        let layer = Linear::new(4, 3, &mut rng);
+        let layer: Linear = Linear::new(4, 3, &mut rng);
         let weights = layer.snapshot();
         let x = Matrix::random_uniform(4, 2, 1.0, &mut rng);
         let graph = layer.forward(&Var::constant(x.clone())).value();
@@ -204,5 +217,34 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
             assert_eq!(b.to_bits(), c.to_bits());
         }
+    }
+
+    #[test]
+    fn f32_snapshot_forward_matches_f32_graph_forward_bitwise() {
+        // Graph-vs-snapshot parity at the second precision: the rounded f32
+        // weights must produce the same bits whether evaluated through a
+        // `Var<f32>` graph or through the graph-free snapshot.
+        let mut rng = StdRng::seed_from_u64(10);
+        let layer64: Linear = Linear::new(5, 4, &mut rng);
+        let weights32 = layer64.snapshot().cast::<f32>();
+        let layer32 = Linear::from_parts(
+            layer64.weight().value().cast::<f32>(),
+            layer64.bias().value().cast::<f32>(),
+        );
+        let x64 = Matrix::<f64>::random_uniform(5, 1, 1.0, &mut rng);
+        let x32: Matrix<f32> = x64.cast();
+        let graph = layer32.forward(&Var::constant(x32.clone())).value();
+        assert!(graph.bits_eq(&weights32.forward(&x32)));
+    }
+
+    #[test]
+    fn cast_roundtrip_through_f32_loses_only_rounding() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let layer: Linear = Linear::new(3, 3, &mut rng);
+        let w64 = layer.snapshot();
+        let back = w64.cast::<f32>().cast::<f64>();
+        let x = Matrix::<f64>::random_uniform(3, 1, 1.0, &mut rng);
+        // f64 -> f32 -> f64 weights agree with the originals to f32 epsilon.
+        assert!(back.forward(&x).approx_eq(&w64.forward(&x), 1e-5));
     }
 }

@@ -1,4 +1,4 @@
-//! Loss functions.
+//! Loss functions, generic over the [`Scalar`] precision.
 //!
 //! The radio-map imputation models never observe ground truth for the values
 //! they impute; instead they are trained on *reconstruction* error over the
@@ -6,7 +6,7 @@
 //! therefore masked: entries whose mask is 0 contribute nothing to the loss
 //! and receive no gradient.
 
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Scalar, Var};
 
 /// Masked mean-squared error:
 /// `MSE(mask ⊙ prediction, mask ⊙ target)`.
@@ -14,7 +14,7 @@ use rm_tensor::{Matrix, Var};
 /// This is the `L(a, a′, mask)` function of the paper's loss definition. The
 /// average is taken over *all* entries (matching an MSE over the masked
 /// matrices), so fully-masked inputs simply produce a zero loss.
-pub fn masked_mse(prediction: &Var, target: &Matrix, mask: &Matrix) -> Var {
+pub fn masked_mse<T: Scalar>(prediction: &Var<T>, target: &Matrix<T>, mask: &Matrix<T>) -> Var<T> {
     let target_var = Var::constant(target.hadamard(mask));
     prediction.mask(mask).sub(&target_var).square().mean()
 }
@@ -22,12 +22,12 @@ pub fn masked_mse(prediction: &Var, target: &Matrix, mask: &Matrix) -> Var {
 /// Masked mean-squared error between two variables (both receive gradients).
 /// Used for the cross-consistency term between forward and backward
 /// imputations in BiSIM.
-pub fn masked_mse_between(a: &Var, b: &Var, mask: &Matrix) -> Var {
+pub fn masked_mse_between<T: Scalar>(a: &Var<T>, b: &Var<T>, mask: &Matrix<T>) -> Var<T> {
     a.mask(mask).sub(&b.mask(mask)).square().mean()
 }
 
 /// Plain (unmasked) mean-squared error against a constant target.
-pub fn mse(prediction: &Var, target: &Matrix) -> Var {
+pub fn mse<T: Scalar>(prediction: &Var<T>, target: &Matrix<T>) -> Var<T> {
     let ones = Matrix::ones(target.rows(), target.cols());
     masked_mse(prediction, target, &ones)
 }
@@ -35,39 +35,32 @@ pub fn mse(prediction: &Var, target: &Matrix) -> Var {
 /// Numerically-stable binary cross-entropy between a predicted probability (a
 /// 1×1 variable squashed through a sigmoid upstream) and a 0/1 label. Used by
 /// the SSGAN baseline's discriminator.
-pub fn binary_cross_entropy(probability: &Var, label: f64) -> Var {
+pub fn binary_cross_entropy<T: Scalar>(probability: &Var<T>, label: f64) -> Var<T> {
     // Clamp through `p*(1-2e)+e` to keep log arguments strictly positive
     // without breaking differentiation.
     let eps = 1e-7;
-    let p = probability.scale(1.0 - 2.0 * eps).add_const(eps);
-    // BCE = -(y*ln(p) + (1-y)*ln(1-p)). We build ln through exp's inverse is
-    // not available as an op, so use the algebraic identity with square/exp
-    // free formulation: approximate via -ln(x) = ... Simpler: use the fact
-    // that for labels in {0,1} only one term survives.
+    let p = probability
+        .scale(T::from_f64(1.0 - 2.0 * eps))
+        .add_const(T::from_f64(eps));
+    // BCE = -(y*ln(p) + (1-y)*ln(1-p)); for labels in {0,1} only one term
+    // survives.
     if label >= 0.5 {
-        // -ln(p): implemented via the derivative-friendly surrogate
-        // (1 - p)^2 / p is monotone in the same direction; instead we expose a
-        // true log through a dedicated op-free construction:
         neg_log(&p)
     } else {
-        neg_log(&p.scale(-1.0).add_const(1.0))
+        neg_log(&p.scale(-T::ONE).add_const(T::ONE))
     }
 }
 
 /// `-ln(x)` for a 1×1 variable, built from existing ops via the identity
-/// `d(-ln x)/dx = -1/x`. Implemented as a custom composition: we exploit
-/// `-ln(x) = -ln(x)` numerically while routing the gradient through
-/// `1/x = exp(-ln(x))`, using a first-order surrogate around the current
-/// value. For optimisation purposes the surrogate's value and gradient match
-/// the true function at the evaluation point.
-fn neg_log(x: &Var) -> Var {
-    let current = x.scalar_value().max(1e-12);
-    // Surrogate: f(x) ≈ -ln(c) - (x - c)/c  — equal value and first derivative
-    // at x = c. Because a fresh graph is built every training step, the
-    // surrogate is re-centred continuously and gradient descent follows the
-    // true BCE landscape.
-    let value_term = -current.ln() + 1.0;
-    x.scale(-1.0 / current).add_const(value_term)
+/// `d(-ln x)/dx = -1/x`. Implemented as a first-order surrogate around the
+/// current value: f(x) ≈ -ln(c) - (x - c)/c has the value and first
+/// derivative of the true function at x = c, and because a fresh graph is
+/// built every training step the surrogate is re-centred continuously, so
+/// gradient descent follows the true BCE landscape.
+fn neg_log<T: Scalar>(x: &Var<T>) -> Var<T> {
+    let current = x.scalar_value().max(T::from_f64(1e-12));
+    let value_term = -current.ln() + T::ONE;
+    x.scale(-T::ONE / current).add_const(value_term)
 }
 
 #[cfg(test)]
@@ -117,6 +110,17 @@ mod tests {
         let ba = masked_mse_between(&c, &a, &mask).scalar_value();
         assert!((ab - ba).abs() < 1e-12);
         assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn masked_mse_works_at_f32() {
+        let pred: Var<f32> = Var::parameter(Matrix::column(&[2.0f32, 5.0]));
+        let target = Matrix::column(&[0.0f32, 5.0]);
+        let mask = Matrix::ones(2, 1);
+        let loss = masked_mse(&pred, &target, &mask);
+        assert!((loss.scalar_value() - 2.0).abs() < 1e-6);
+        loss.backward();
+        assert!(pred.grad().is_finite());
     }
 
     #[test]

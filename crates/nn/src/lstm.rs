@@ -1,21 +1,29 @@
-//! Recurrent cells: a full LSTM cell and a simple gated recurrent cell.
+//! Recurrent cells: a full LSTM cell and a simple gated recurrent cell,
+//! generic over the [`Scalar`] precision.
+//!
+//! The gate activations — both in the autodiff graph ([`LstmCell::step`])
+//! and in the graph-free snapshot ([`LstmCellWeights::step`]) — are the
+//! *same* [`Scalar::sigmoid`] / [`Scalar::tanh`] definitions, so the two
+//! forward passes are bit-identical at the same precision by construction
+//! (there used to be a second, hand-inlined sigmoid here; see the parity
+//! tests below).
 
 use rand::Rng;
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Scalar, Var};
 
 use crate::Linear;
 
 /// The hidden state carried between recurrent steps: the hidden vector `h`
 /// and the LSTM cell state `c`.
 #[derive(Clone)]
-pub struct LstmState {
+pub struct LstmState<T: Scalar = f64> {
     /// Hidden vector, shape `(hidden_size, 1)`.
-    pub h: Var,
+    pub h: Var<T>,
     /// Cell state, shape `(hidden_size, 1)`.
-    pub c: Var,
+    pub c: Var<T>,
 }
 
-impl LstmState {
+impl<T: Scalar> LstmState<T> {
     /// A zero-initialised state.
     pub fn zeros(hidden_size: usize) -> Self {
         Self {
@@ -25,7 +33,7 @@ impl LstmState {
     }
 
     /// A state with the given hidden vector and zero cell state.
-    pub fn from_hidden(h: Var) -> Self {
+    pub fn from_hidden(h: Var<T>) -> Self {
         let (rows, _) = h.shape();
         Self {
             h,
@@ -41,16 +49,16 @@ impl LstmState {
 /// applied to the incoming hidden state *before* the cell, so the cell itself
 /// stays a textbook LSTM.
 #[derive(Clone)]
-pub struct LstmCell {
-    input_gate: Linear,
-    forget_gate: Linear,
-    output_gate: Linear,
-    candidate: Linear,
+pub struct LstmCell<T: Scalar = f64> {
+    input_gate: Linear<T>,
+    forget_gate: Linear<T>,
+    output_gate: Linear<T>,
+    candidate: Linear<T>,
     input_size: usize,
     hidden_size: usize,
 }
 
-impl LstmCell {
+impl<T: Scalar> LstmCell<T> {
     /// Creates an LSTM cell for inputs of size `input_size` and hidden state
     /// of size `hidden_size`.
     pub fn new(input_size: usize, hidden_size: usize, rng: &mut impl Rng) -> Self {
@@ -79,7 +87,7 @@ impl LstmCell {
     ///
     /// `input` has shape `(input_size, 1)`; the returned state carries the new
     /// hidden and cell vectors.
-    pub fn step(&self, input: &Var, state: &LstmState) -> LstmState {
+    pub fn step(&self, input: &Var<T>, state: &LstmState<T>) -> LstmState<T> {
         debug_assert_eq!(input.shape().0, self.input_size, "LSTM input size mismatch");
         let concat = Var::concat_rows(&[input.clone(), state.h.clone()]);
         let i = self.input_gate.forward(&concat).sigmoid();
@@ -92,7 +100,7 @@ impl LstmCell {
     }
 
     /// All trainable parameters of the cell.
-    pub fn parameters(&self) -> Vec<Var> {
+    pub fn parameters(&self) -> Vec<Var<T>> {
         let mut params = self.input_gate.parameters();
         params.extend(self.forget_gate.parameters());
         params.extend(self.output_gate.parameters());
@@ -102,7 +110,7 @@ impl LstmCell {
 
     /// Copies the current gate parameters into a graph-free
     /// [`LstmCellWeights`] for inference on worker threads.
-    pub fn snapshot(&self) -> LstmCellWeights {
+    pub fn snapshot(&self) -> LstmCellWeights<T> {
         LstmCellWeights {
             input_gate: self.input_gate.snapshot(),
             forget_gate: self.forget_gate.snapshot(),
@@ -116,14 +124,14 @@ impl LstmCell {
 
 /// The matrix-valued hidden state used by [`LstmCellWeights`] inference.
 #[derive(Debug, Clone)]
-pub struct LstmStateMatrix {
+pub struct LstmStateMatrix<T: Scalar = f64> {
     /// Hidden vector, shape `(hidden_size, 1)`.
-    pub h: Matrix,
+    pub h: Matrix<T>,
     /// Cell state, shape `(hidden_size, 1)`.
-    pub c: Matrix,
+    pub c: Matrix<T>,
 }
 
-impl LstmStateMatrix {
+impl<T: Scalar> LstmStateMatrix<T> {
     /// A zero-initialised state.
     pub fn zeros(hidden_size: usize) -> Self {
         Self {
@@ -137,20 +145,21 @@ impl LstmStateMatrix {
 /// `Send + Sync` and shareable across the deterministic thread pool.
 ///
 /// [`LstmCellWeights::step`] mirrors [`LstmCell::step`] operation for
-/// operation (same concatenation, same gate order, same activation
-/// formulas), so inference through a snapshot is bit-identical to running
-/// the autodiff graph forward.
+/// operation (same concatenation, same gate order, same shared
+/// [`Scalar::sigmoid`]/[`Scalar::tanh`] activations), so inference through a
+/// snapshot is bit-identical to running the autodiff graph forward at the
+/// same precision.
 #[derive(Debug, Clone)]
-pub struct LstmCellWeights {
-    input_gate: crate::linear::LinearWeights,
-    forget_gate: crate::linear::LinearWeights,
-    output_gate: crate::linear::LinearWeights,
-    candidate: crate::linear::LinearWeights,
+pub struct LstmCellWeights<T: Scalar = f64> {
+    input_gate: crate::linear::LinearWeights<T>,
+    forget_gate: crate::linear::LinearWeights<T>,
+    output_gate: crate::linear::LinearWeights<T>,
+    candidate: crate::linear::LinearWeights<T>,
     input_size: usize,
     hidden_size: usize,
 }
 
-impl LstmCellWeights {
+impl<T: Scalar> LstmCellWeights<T> {
     /// Input feature size.
     pub fn input_size(&self) -> usize {
         self.input_size
@@ -161,17 +170,28 @@ impl LstmCellWeights {
         self.hidden_size
     }
 
+    /// Rounds the snapshot to another precision.
+    pub fn cast<U: Scalar>(&self) -> LstmCellWeights<U> {
+        LstmCellWeights {
+            input_gate: self.input_gate.cast(),
+            forget_gate: self.forget_gate.cast(),
+            output_gate: self.output_gate.cast(),
+            candidate: self.candidate.cast(),
+            input_size: self.input_size,
+            hidden_size: self.hidden_size,
+        }
+    }
+
     /// Performs one recurrent step on plain matrices.
-    pub fn step(&self, input: &Matrix, state: &LstmStateMatrix) -> LstmStateMatrix {
+    pub fn step(&self, input: &Matrix<T>, state: &LstmStateMatrix<T>) -> LstmStateMatrix<T> {
         debug_assert_eq!(input.rows(), self.input_size, "LSTM input size mismatch");
         let concat = input.vstack(&state.h);
-        let sigmoid = |x: f64| 1.0 / (1.0 + (-x).exp());
-        let i = self.input_gate.forward(&concat).map(sigmoid);
-        let f = self.forget_gate.forward(&concat).map(sigmoid);
-        let o = self.output_gate.forward(&concat).map(sigmoid);
-        let g = self.candidate.forward(&concat).map(f64::tanh);
+        let i = self.input_gate.forward(&concat).map(Scalar::sigmoid);
+        let f = self.forget_gate.forward(&concat).map(Scalar::sigmoid);
+        let o = self.output_gate.forward(&concat).map(Scalar::sigmoid);
+        let g = self.candidate.forward(&concat).map(Scalar::tanh);
         let c = &f.hadamard(&state.c) + &i.hadamard(&g);
-        let h = o.hadamard(&c.map(f64::tanh));
+        let h = o.hadamard(&c.map(Scalar::tanh));
         LstmStateMatrix { h, c }
     }
 }
@@ -181,14 +201,14 @@ impl LstmCellWeights {
 ///
 /// BRITS-style baselines use this cheaper cell; BiSIM uses [`LstmCell`].
 #[derive(Clone)]
-pub struct SimpleRecurrentCell {
-    hidden_map: Linear,
-    input_map: Linear,
+pub struct SimpleRecurrentCell<T: Scalar = f64> {
+    hidden_map: Linear<T>,
+    input_map: Linear<T>,
     input_size: usize,
     hidden_size: usize,
 }
 
-impl SimpleRecurrentCell {
+impl<T: Scalar> SimpleRecurrentCell<T> {
     /// Creates a simple recurrent cell.
     pub fn new(input_size: usize, hidden_size: usize, rng: &mut impl Rng) -> Self {
         Self {
@@ -210,7 +230,7 @@ impl SimpleRecurrentCell {
     }
 
     /// One recurrent step: `h' = tanh(W_h h + W_x x + b)`.
-    pub fn step(&self, input: &Var, hidden: &Var) -> Var {
+    pub fn step(&self, input: &Var<T>, hidden: &Var<T>) -> Var<T> {
         debug_assert_eq!(input.shape().0, self.input_size);
         debug_assert_eq!(hidden.shape().0, self.hidden_size);
         self.hidden_map
@@ -220,7 +240,7 @@ impl SimpleRecurrentCell {
     }
 
     /// All trainable parameters of the cell.
-    pub fn parameters(&self) -> Vec<Var> {
+    pub fn parameters(&self) -> Vec<Var<T>> {
         let mut params = self.hidden_map.parameters();
         params.extend(self.input_map.parameters());
         params
@@ -236,7 +256,7 @@ mod tests {
     #[test]
     fn lstm_step_produces_bounded_hidden_state() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cell = LstmCell::new(4, 8, &mut rng);
+        let cell: LstmCell = LstmCell::new(4, 8, &mut rng);
         let mut state = LstmState::zeros(8);
         for t in 0..10 {
             let input = Var::constant(Matrix::filled(4, 1, (t as f64).sin()));
@@ -254,7 +274,7 @@ mod tests {
     #[test]
     fn lstm_parameters_count() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cell = LstmCell::new(3, 5, &mut rng);
+        let cell: LstmCell = LstmCell::new(3, 5, &mut rng);
         // 4 gates, each with weight + bias.
         assert_eq!(cell.parameters().len(), 8);
         assert_eq!(cell.input_size(), 3);
@@ -264,7 +284,7 @@ mod tests {
     #[test]
     fn lstm_gradients_flow_to_all_gates() {
         let mut rng = StdRng::seed_from_u64(5);
-        let cell = LstmCell::new(2, 3, &mut rng);
+        let cell: LstmCell = LstmCell::new(2, 3, &mut rng);
         let state = LstmState::zeros(3);
         let input = Var::constant(Matrix::column(&[1.0, -1.0]));
         let next = cell.step(&input, &state);
@@ -294,7 +314,7 @@ mod tests {
     #[test]
     fn simple_cell_step_and_params() {
         let mut rng = StdRng::seed_from_u64(6);
-        let cell = SimpleRecurrentCell::new(4, 6, &mut rng);
+        let cell: SimpleRecurrentCell = SimpleRecurrentCell::new(4, 6, &mut rng);
         let h0 = Var::constant(Matrix::zeros(6, 1));
         let x = Var::constant(Matrix::column(&[1.0, 2.0, 3.0, 4.0]));
         let h1 = cell.step(&x, &h0);
@@ -306,7 +326,7 @@ mod tests {
     #[test]
     fn snapshot_inference_is_bit_identical_to_graph_inference() {
         let mut rng = StdRng::seed_from_u64(8);
-        let cell = LstmCell::new(3, 5, &mut rng);
+        let cell: LstmCell = LstmCell::new(3, 5, &mut rng);
         let weights = cell.snapshot();
         let mut graph_state = LstmState::zeros(5);
         let mut matrix_state = LstmStateMatrix::zeros(5);
@@ -314,21 +334,39 @@ mod tests {
             let x = Matrix::filled(3, 1, (t as f64 * 0.7).cos());
             graph_state = cell.step(&Var::constant(x.clone()), &graph_state);
             matrix_state = weights.step(&x, &matrix_state);
-            let gh = graph_state.h.value();
-            assert!(gh
-                .data()
-                .iter()
-                .zip(matrix_state.h.data().iter())
-                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert!(graph_state.h.value().bits_eq(&matrix_state.h));
         }
         assert_eq!(weights.input_size(), 3);
         assert_eq!(weights.hidden_size(), 5);
     }
 
+    /// Graph-vs-snapshot parity after the activation dedup, at f32: an
+    /// `LstmCell<f32>` built from the rounded weights and the
+    /// `LstmCellWeights<f32>` cast of the f64 snapshot walk through the same
+    /// [`Scalar::sigmoid`]/[`Scalar::tanh`] and must agree bitwise.
+    #[test]
+    fn f32_snapshot_inference_is_bit_identical_to_f32_graph_inference() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cell64: LstmCell = LstmCell::new(3, 5, &mut rng);
+        let weights32 = cell64.snapshot().cast::<f32>();
+        // An f32 cell seeded identically: Linear::new consumes the RNG in f64
+        // and rounds, so re-running the constructor reproduces the cast.
+        let mut rng2 = StdRng::seed_from_u64(12);
+        let cell32: LstmCell<f32> = LstmCell::new(3, 5, &mut rng2);
+        let mut graph_state: LstmState<f32> = LstmState::zeros(5);
+        let mut matrix_state: LstmStateMatrix<f32> = LstmStateMatrix::zeros(5);
+        for t in 0..6 {
+            let x: Matrix<f32> = Matrix::filled(3, 1, ((t as f64 * 0.7).cos()) as f32);
+            graph_state = cell32.step(&Var::constant(x.clone()), &graph_state);
+            matrix_state = weights32.step(&x, &matrix_state);
+            assert!(graph_state.h.value().bits_eq(&matrix_state.h));
+        }
+    }
+
     #[test]
     fn identical_inputs_give_identical_outputs() {
         let mut rng = StdRng::seed_from_u64(7);
-        let cell = LstmCell::new(2, 4, &mut rng);
+        let cell: LstmCell = LstmCell::new(2, 4, &mut rng);
         let state = LstmState::zeros(4);
         let input = Var::constant(Matrix::column(&[0.3, -0.7]));
         let a = cell.step(&input, &state).h.value();

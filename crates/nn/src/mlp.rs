@@ -1,7 +1,7 @@
 //! Multilayer perceptrons.
 
 use rand::Rng;
-use rm_tensor::Var;
+use rm_tensor::{Scalar, Var};
 
 use crate::Linear;
 
@@ -19,8 +19,8 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Applies the activation to a variable.
-    pub fn apply(self, x: &Var) -> Var {
+    /// Applies the activation to a variable at any precision.
+    pub fn apply<T: Scalar>(self, x: &Var<T>) -> Var<T> {
         match self {
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => x.sigmoid(),
@@ -36,13 +36,13 @@ impl Activation {
 /// BiSIM's attention alignment function (`e_ji = MLP(s_{j-1}, h''_i)`, Eq. 10)
 /// is an instance with a single hidden layer and a scalar output.
 #[derive(Clone)]
-pub struct Mlp {
-    layers: Vec<Linear>,
+pub struct Mlp<T: Scalar = f64> {
+    layers: Vec<Linear<T>>,
     hidden_activation: Activation,
     output_activation: Activation,
 }
 
-impl Mlp {
+impl<T: Scalar> Mlp<T> {
     /// Creates an MLP with the given layer sizes, e.g. `&[8, 16, 1]` for a
     /// network mapping 8 inputs through one 16-unit hidden layer to 1 output.
     ///
@@ -80,7 +80,7 @@ impl Mlp {
     }
 
     /// Applies the network to a `(in_features, batch)` input.
-    pub fn forward(&self, x: &Var) -> Var {
+    pub fn forward(&self, x: &Var<T>) -> Var<T> {
         let last = self.layers.len() - 1;
         let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
@@ -95,7 +95,7 @@ impl Mlp {
     }
 
     /// All trainable parameters.
-    pub fn parameters(&self) -> Vec<Var> {
+    pub fn parameters(&self) -> Vec<Var<T>> {
         self.layers.iter().flat_map(Linear::parameters).collect()
     }
 }
@@ -158,6 +158,6 @@ mod tests {
     #[should_panic(expected = "at least input and output")]
     fn mlp_rejects_single_size() {
         let mut rng = StdRng::seed_from_u64(4);
-        let _ = Mlp::new(&[4], Activation::Tanh, Activation::Identity, &mut rng);
+        let _: Mlp = Mlp::new(&[4], Activation::Tanh, Activation::Identity, &mut rng);
     }
 }

@@ -1,9 +1,13 @@
-//! Gradient-descent optimizers.
+//! Gradient-descent optimizers, generic over the [`Scalar`] precision.
+//!
+//! Training in this workspace runs at the default `f64` (the
+//! determinism-contract precision); the generic instantiation exists so the
+//! optimizer math monomorphises alongside `Var<f32>` graphs.
 
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Scalar, Var};
 
 /// A first-order optimizer over a fixed set of parameters.
-pub trait Optimizer {
+pub trait Optimizer<T: Scalar = f64> {
     /// Applies one update step using the gradients currently accumulated in
     /// the parameters.
     fn step(&mut self);
@@ -12,19 +16,19 @@ pub trait Optimizer {
     fn zero_grad(&self);
 
     /// The parameters managed by this optimizer.
-    fn parameters(&self) -> &[Var];
+    fn parameters(&self) -> &[Var<T>];
 }
 
 /// Plain stochastic gradient descent with optional gradient clipping.
-pub struct Sgd {
-    params: Vec<Var>,
-    learning_rate: f64,
-    clip: Option<f64>,
+pub struct Sgd<T: Scalar = f64> {
+    params: Vec<Var<T>>,
+    learning_rate: T,
+    clip: Option<T>,
 }
 
-impl Sgd {
+impl<T: Scalar> Sgd<T> {
     /// Creates an SGD optimizer.
-    pub fn new(params: Vec<Var>, learning_rate: f64) -> Self {
+    pub fn new(params: Vec<Var<T>>, learning_rate: T) -> Self {
         Self {
             params,
             learning_rate,
@@ -33,13 +37,13 @@ impl Sgd {
     }
 
     /// Enables element-wise gradient clipping to `[-clip, clip]`.
-    pub fn with_clip(mut self, clip: f64) -> Self {
+    pub fn with_clip(mut self, clip: T) -> Self {
         self.clip = Some(clip);
         self
     }
 }
 
-impl Optimizer for Sgd {
+impl<T: Scalar> Optimizer<T> for Sgd<T> {
     fn step(&mut self) {
         let lr = self.learning_rate;
         let clip = self.clip;
@@ -62,29 +66,29 @@ impl Optimizer for Sgd {
         }
     }
 
-    fn parameters(&self) -> &[Var] {
+    fn parameters(&self) -> &[Var<T>] {
         &self.params
     }
 }
 
 /// The Adam optimizer (Kingma & Ba), as used to train BiSIM and the neural
 /// baselines in the paper (learning rate 0.001).
-pub struct Adam {
-    params: Vec<Var>,
-    learning_rate: f64,
-    beta1: f64,
-    beta2: f64,
-    epsilon: f64,
-    clip: Option<f64>,
+pub struct Adam<T: Scalar = f64> {
+    params: Vec<Var<T>>,
+    learning_rate: T,
+    beta1: T,
+    beta2: T,
+    epsilon: T,
+    clip: Option<T>,
     step_count: u64,
-    first_moment: Vec<Matrix>,
-    second_moment: Vec<Matrix>,
+    first_moment: Vec<Matrix<T>>,
+    second_moment: Vec<Matrix<T>>,
 }
 
-impl Adam {
+impl<T: Scalar> Adam<T> {
     /// Creates an Adam optimizer with the standard hyper-parameters
     /// (`beta1 = 0.9`, `beta2 = 0.999`, `epsilon = 1e-8`).
-    pub fn new(params: Vec<Var>, learning_rate: f64) -> Self {
+    pub fn new(params: Vec<Var<T>>, learning_rate: T) -> Self {
         let first_moment = params
             .iter()
             .map(|p| {
@@ -102,9 +106,9 @@ impl Adam {
         Self {
             params,
             learning_rate,
-            beta1: 0.9,
-            beta2: 0.999,
-            epsilon: 1e-8,
+            beta1: T::from_f64(0.9),
+            beta2: T::from_f64(0.999),
+            epsilon: T::from_f64(1e-8),
             clip: None,
             step_count: 0,
             first_moment,
@@ -113,7 +117,7 @@ impl Adam {
     }
 
     /// Enables element-wise gradient clipping to `[-clip, clip]`.
-    pub fn with_clip(mut self, clip: f64) -> Self {
+    pub fn with_clip(mut self, clip: T) -> Self {
         self.clip = Some(clip);
         self
     }
@@ -124,12 +128,12 @@ impl Adam {
     }
 }
 
-impl Optimizer for Adam {
+impl<T: Scalar> Optimizer<T> for Adam<T> {
     fn step(&mut self) {
         self.step_count += 1;
-        let t = self.step_count as f64;
-        let bias1 = 1.0 - self.beta1.powf(t);
-        let bias2 = 1.0 - self.beta2.powf(t);
+        let t = T::from_f64(self.step_count as f64);
+        let bias1 = T::ONE - self.beta1.powf(t);
+        let bias2 = T::ONE - self.beta2.powf(t);
         for (i, p) in self.params.iter().enumerate() {
             let m = &mut self.first_moment[i];
             let v = &mut self.second_moment[i];
@@ -146,8 +150,8 @@ impl Optimizer for Adam {
                     if let Some(c) = clip {
                         g = g.clamp(-c, c);
                     }
-                    let m_i = beta1 * m.data()[idx] + (1.0 - beta1) * g;
-                    let v_i = beta2 * v.data()[idx] + (1.0 - beta2) * g * g;
+                    let m_i = beta1 * m.data()[idx] + (T::ONE - beta1) * g;
+                    let v_i = beta2 * v.data()[idx] + (T::ONE - beta2) * g * g;
                     m.data_mut()[idx] = m_i;
                     v.data_mut()[idx] = v_i;
                     let m_hat = m_i / bias1;
@@ -164,7 +168,7 @@ impl Optimizer for Adam {
         }
     }
 
-    fn parameters(&self) -> &[Var] {
+    fn parameters(&self) -> &[Var<T>] {
         &self.params
     }
 }
@@ -196,6 +200,20 @@ mod tests {
     fn adam_converges_on_quadratic() {
         let w = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
         let final_w = optimise_quadratic(Adam::new(vec![w], 0.1), 500);
+        assert!((final_w - 3.0).abs() < 1e-2, "w = {final_w}");
+    }
+
+    #[test]
+    fn adam_converges_at_f32_too() {
+        let w: Var<f32> = Var::parameter(Matrix::from_vec(1, 1, vec![0.0f32]));
+        let mut opt = Adam::new(vec![w.clone()], 0.1f32);
+        for _ in 0..500 {
+            opt.zero_grad();
+            let loss = w.add_const(-3.0f32).square().sum();
+            loss.backward();
+            opt.step();
+        }
+        let final_w = w.value().get(0, 0);
         assert!((final_w - 3.0).abs() < 1e-2, "w = {final_w}");
     }
 

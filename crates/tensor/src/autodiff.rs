@@ -4,6 +4,11 @@
 //! Calling [`Var::backward`] on a scalar output accumulates gradients into
 //! every upstream variable created with `requires_grad = true`.
 //!
+//! The graph is generic over the [`Scalar`] precision with the same `f64`
+//! default as [`Matrix`]; training in this workspace runs at `f64` (the
+//! determinism-contract precision) while `Var<f32>` exists so the whole
+//! operation set monomorphises for single precision too.
+//!
 //! The operation set is the minimum needed by the sequence models in this
 //! workspace (BiSIM, BRITS, SSGAN): matrix products, element-wise arithmetic,
 //! sigmoid/tanh/ReLU/exp activations, masking by constant matrices, column
@@ -14,7 +19,7 @@ use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use crate::Matrix;
+use crate::{Matrix, Scalar};
 
 static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
 
@@ -24,7 +29,7 @@ fn fresh_id() -> usize {
 
 /// The operation that produced a graph node.
 #[derive(Clone)]
-enum Op {
+enum Op<T: Scalar> {
     /// Leaf node (input or parameter).
     Leaf,
     /// Element-wise sum of two same-shape matrices.
@@ -38,12 +43,12 @@ enum Op {
     /// Matrix product.
     MatMul,
     /// Multiplication by a compile-time constant scalar.
-    ScaleConst(f64),
+    ScaleConst(T),
     /// Addition of a constant scalar to every entry. The offset does not
     /// influence the gradient, so it is not stored.
     AddConst,
     /// Element-wise product with a constant matrix (e.g. a mask).
-    HadamardConst(Matrix),
+    HadamardConst(Matrix<T>),
     /// Logistic sigmoid.
     Sigmoid,
     /// Hyperbolic tangent.
@@ -66,12 +71,12 @@ enum Op {
     MulScalarVar,
 }
 
-struct Node {
+struct Node<T: Scalar> {
     id: usize,
-    value: Matrix,
-    grad: Matrix,
-    parents: Vec<Var>,
-    op: Op,
+    value: Matrix<T>,
+    grad: Matrix<T>,
+    parents: Vec<Var<T>>,
+    op: Op<T>,
     requires_grad: bool,
 }
 
@@ -80,19 +85,19 @@ struct Node {
 /// `Var` is a cheap reference-counted handle; cloning it shares the underlying
 /// node.
 #[derive(Clone)]
-pub struct Var {
-    node: Rc<RefCell<Node>>,
+pub struct Var<T: Scalar = f64> {
+    node: Rc<RefCell<Node<T>>>,
 }
 
-impl std::fmt::Debug for Var {
+impl<T: Scalar> std::fmt::Debug for Var<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let n = self.node.borrow();
         write!(f, "Var(id={}, shape={:?})", n.id, n.value.shape())
     }
 }
 
-impl Var {
-    fn from_node(value: Matrix, parents: Vec<Var>, op: Op) -> Var {
+impl<T: Scalar> Var<T> {
+    fn from_node(value: Matrix<T>, parents: Vec<Var<T>>, op: Op<T>) -> Var<T> {
         let requires_grad = parents.iter().any(|p| p.node.borrow().requires_grad);
         let (r, c) = value.shape();
         Var {
@@ -108,19 +113,19 @@ impl Var {
     }
 
     /// Creates a constant (non-trainable) leaf.
-    pub fn constant(value: Matrix) -> Var {
+    pub fn constant(value: Matrix<T>) -> Var<T> {
         Var::from_node(value, Vec::new(), Op::Leaf)
     }
 
     /// Creates a trainable parameter leaf that accumulates gradients.
-    pub fn parameter(value: Matrix) -> Var {
+    pub fn parameter(value: Matrix<T>) -> Var<T> {
         let v = Var::from_node(value, Vec::new(), Op::Leaf);
         v.node.borrow_mut().requires_grad = true;
         v
     }
 
     /// A 1×1 constant.
-    pub fn scalar(value: f64) -> Var {
+    pub fn scalar(value: T) -> Var<T> {
         Var::constant(Matrix::from_vec(1, 1, vec![value]))
     }
 
@@ -135,27 +140,27 @@ impl Var {
     }
 
     /// Clones the current value out of the graph.
-    pub fn value(&self) -> Matrix {
+    pub fn value(&self) -> Matrix<T> {
         self.node.borrow().value.clone()
     }
 
     /// Borrow of the current value without cloning.
-    pub fn value_ref(&self) -> Ref<'_, Matrix> {
+    pub fn value_ref(&self) -> Ref<'_, Matrix<T>> {
         Ref::map(self.node.borrow(), |n| &n.value)
     }
 
-    /// The value of a 1×1 variable as an `f64`.
+    /// The value of a 1×1 variable as a scalar.
     ///
     /// # Panics
     /// Panics if the variable is not 1×1.
-    pub fn scalar_value(&self) -> f64 {
+    pub fn scalar_value(&self) -> T {
         let n = self.node.borrow();
         assert_eq!(n.value.shape(), (1, 1), "scalar_value on non-scalar Var");
         n.value.get(0, 0)
     }
 
     /// Clones the accumulated gradient.
-    pub fn grad(&self) -> Matrix {
+    pub fn grad(&self) -> Matrix<T> {
         self.node.borrow().grad.clone()
     }
 
@@ -175,14 +180,14 @@ impl Var {
     ///
     /// # Panics
     /// Panics if the new value has a different shape.
-    pub fn set_value(&self, value: Matrix) {
+    pub fn set_value(&self, value: Matrix<T>) {
         let mut n = self.node.borrow_mut();
         assert_eq!(n.value.shape(), value.shape(), "set_value shape mismatch");
         n.value = value;
     }
 
     /// Applies an in-place update `f(value, grad)` to the stored value.
-    pub fn update_value(&self, f: impl FnOnce(&mut Matrix, &Matrix)) {
+    pub fn update_value(&self, f: impl FnOnce(&mut Matrix<T>, &Matrix<T>)) {
         let mut n = self.node.borrow_mut();
         // Split borrows: grad is only read, value is mutated.
         let grad = n.grad.clone();
@@ -194,43 +199,43 @@ impl Var {
     // ------------------------------------------------------------------
 
     /// Element-wise sum.
-    pub fn add(&self, rhs: &Var) -> Var {
+    pub fn add(&self, rhs: &Var<T>) -> Var<T> {
         let v = &*self.value_ref() + &*rhs.value_ref();
         Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Add)
     }
 
     /// Adds a column vector `rhs` (shape `(rows, 1)`) to every column of `self`.
-    pub fn add_broadcast_col(&self, rhs: &Var) -> Var {
+    pub fn add_broadcast_col(&self, rhs: &Var<T>) -> Var<T> {
         let out = self.value_ref().add_broadcast_col(&rhs.value_ref());
         Var::from_node(out, vec![self.clone(), rhs.clone()], Op::AddBroadcastCol)
     }
 
     /// Element-wise difference `self - rhs`.
-    pub fn sub(&self, rhs: &Var) -> Var {
+    pub fn sub(&self, rhs: &Var<T>) -> Var<T> {
         let v = &*self.value_ref() - &*rhs.value_ref();
         Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Sub)
     }
 
     /// Element-wise product of two variables.
-    pub fn hadamard(&self, rhs: &Var) -> Var {
+    pub fn hadamard(&self, rhs: &Var<T>) -> Var<T> {
         let v = self.value_ref().hadamard(&rhs.value_ref());
         Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Hadamard)
     }
 
     /// Matrix product `self · rhs`.
-    pub fn matmul(&self, rhs: &Var) -> Var {
+    pub fn matmul(&self, rhs: &Var<T>) -> Var<T> {
         let v = self.value_ref().matmul(&rhs.value_ref());
         Var::from_node(v, vec![self.clone(), rhs.clone()], Op::MatMul)
     }
 
     /// Multiplies every entry by the constant `s`.
-    pub fn scale(&self, s: f64) -> Var {
+    pub fn scale(&self, s: T) -> Var<T> {
         let v = self.value_ref().scale(s);
         Var::from_node(v, vec![self.clone()], Op::ScaleConst(s))
     }
 
     /// Adds the constant `s` to every entry.
-    pub fn add_const(&self, s: f64) -> Var {
+    pub fn add_const(&self, s: T) -> Var<T> {
         let v = self.value_ref().map(|x| x + s);
         Var::from_node(v, vec![self.clone()], Op::AddConst)
     }
@@ -238,49 +243,50 @@ impl Var {
     /// Element-wise product with a constant matrix (no gradient flows into the
     /// mask). This is the primitive behind masked losses and the
     /// sparsity-friendly attention of BiSIM.
-    pub fn mask(&self, mask: &Matrix) -> Var {
+    pub fn mask(&self, mask: &Matrix<T>) -> Var<T> {
         let v = self.value_ref().hadamard(mask);
         Var::from_node(v, vec![self.clone()], Op::HadamardConst(mask.clone()))
     }
 
-    /// Logistic sigmoid applied element-wise.
-    pub fn sigmoid(&self) -> Var {
-        let v = self.value_ref().map(|x| 1.0 / (1.0 + (-x).exp()));
+    /// Logistic sigmoid applied element-wise (the shared
+    /// [`Scalar::sigmoid`] definition).
+    pub fn sigmoid(&self) -> Var<T> {
+        let v = self.value_ref().map(Scalar::sigmoid);
         Var::from_node(v, vec![self.clone()], Op::Sigmoid)
     }
 
     /// Hyperbolic tangent applied element-wise.
-    pub fn tanh(&self) -> Var {
-        let v = self.value_ref().map(f64::tanh);
+    pub fn tanh(&self) -> Var<T> {
+        let v = self.value_ref().map(Scalar::tanh);
         Var::from_node(v, vec![self.clone()], Op::Tanh)
     }
 
-    /// ReLU applied element-wise.
-    pub fn relu(&self) -> Var {
-        let v = self.value_ref().map(|x| x.max(0.0));
+    /// ReLU applied element-wise (the shared [`Scalar::relu`] definition).
+    pub fn relu(&self) -> Var<T> {
+        let v = self.value_ref().map(Scalar::relu);
         Var::from_node(v, vec![self.clone()], Op::Relu)
     }
 
     /// Element-wise exponential.
-    pub fn exp(&self) -> Var {
-        let v = self.value_ref().map(f64::exp);
+    pub fn exp(&self) -> Var<T> {
+        let v = self.value_ref().map(Scalar::exp);
         Var::from_node(v, vec![self.clone()], Op::Exp)
     }
 
     /// Element-wise square.
-    pub fn square(&self) -> Var {
+    pub fn square(&self) -> Var<T> {
         let v = self.value_ref().map(|x| x * x);
         Var::from_node(v, vec![self.clone()], Op::Square)
     }
 
     /// Sum of all entries as a 1×1 variable.
-    pub fn sum(&self) -> Var {
+    pub fn sum(&self) -> Var<T> {
         let v = Matrix::from_vec(1, 1, vec![self.value_ref().sum()]);
         Var::from_node(v, vec![self.clone()], Op::Sum)
     }
 
     /// Mean of all entries as a 1×1 variable.
-    pub fn mean(&self) -> Var {
+    pub fn mean(&self) -> Var<T> {
         let v = Matrix::from_vec(1, 1, vec![self.value_ref().mean()]);
         Var::from_node(v, vec![self.clone()], Op::Mean)
     }
@@ -290,7 +296,7 @@ impl Var {
     ///
     /// # Panics
     /// Panics on an empty input or mismatching column counts.
-    pub fn concat_rows(vars: &[Var]) -> Var {
+    pub fn concat_rows(vars: &[Var<T>]) -> Var<T> {
         assert!(!vars.is_empty(), "concat_rows needs at least one variable");
         let mut value = vars[0].value();
         let mut counts = vec![value.rows()];
@@ -306,19 +312,19 @@ impl Var {
     ///
     /// # Panics
     /// Panics if the variable is not a column vector.
-    pub fn softmax_col(&self) -> Var {
+    pub fn softmax_col(&self) -> Var<T> {
         let v = self.value_ref();
         assert_eq!(v.cols(), 1, "softmax_col expects a column vector");
-        let max = v.max().unwrap_or(0.0);
-        let exps: Vec<f64> = v.data().iter().map(|&x| (x - max).exp()).collect();
-        let total: f64 = exps.iter().sum();
-        let out = Matrix::from_vec(v.rows(), 1, exps.iter().map(|e| e / total).collect());
+        let max = v.max().unwrap_or(T::ZERO);
+        let exps: Vec<T> = v.data().iter().map(|&x| (x - max).exp()).collect();
+        let total = exps.iter().fold(T::ZERO, |acc, &e| acc + e);
+        let out = Matrix::from_vec(v.rows(), 1, exps.iter().map(|&e| e / total).collect());
         drop(v);
         Var::from_node(out, vec![self.clone()], Op::SoftmaxCol)
     }
 
     /// Multiplies every entry of `self` by the 1×1 variable `s` (broadcast).
-    pub fn mul_scalar_var(&self, s: &Var) -> Var {
+    pub fn mul_scalar_var(&self, s: &Var<T>) -> Var<T> {
         assert_eq!(s.shape(), (1, 1), "mul_scalar_var expects a 1x1 scalar Var");
         let sv = s.scalar_value();
         let v = self.value_ref().scale(sv);
@@ -351,14 +357,14 @@ impl Var {
 
     /// Returns the nodes reachable from `self` in topological order
     /// (parents before children).
-    fn topological_order(&self) -> Vec<Var> {
+    fn topological_order(&self) -> Vec<Var<T>> {
         let mut visited = HashSet::new();
         let mut order = Vec::new();
         // Iterative DFS with an explicit stack to avoid recursion limits on
         // long unrolled sequences.
-        enum Frame {
-            Enter(Var),
-            Exit(Var),
+        enum Frame<T: Scalar> {
+            Enter(Var<T>),
+            Exit(Var<T>),
         }
         let mut stack = vec![Frame::Enter(self.clone())];
         while let Some(frame) = stack.pop() {
@@ -400,12 +406,14 @@ impl Var {
             Op::AddBroadcastCol => {
                 parents[0].accumulate(&grad);
                 // Gradient of the broadcast column vector: row sums.
-                let summed = Matrix::from_fn(grad.rows(), 1, |r, _| grad.row(r).iter().sum());
+                let summed = Matrix::from_fn(grad.rows(), 1, |r, _| {
+                    grad.row(r).iter().fold(T::ZERO, |acc, &v| acc + v)
+                });
                 parents[1].accumulate(&summed);
             }
             Op::Sub => {
                 parents[0].accumulate(&grad);
-                parents[1].accumulate(&grad.scale(-1.0));
+                parents[1].accumulate(&grad.scale(-T::ONE));
             }
             Op::Hadamard => {
                 let a = parents[0].value();
@@ -427,22 +435,22 @@ impl Var {
             Op::AddConst => parents[0].accumulate(&grad),
             Op::HadamardConst(mask) => parents[0].accumulate(&grad.hadamard(&mask)),
             Op::Sigmoid => {
-                let d = value.map(|y| y * (1.0 - y));
+                let d = value.map(|y| y * (T::ONE - y));
                 parents[0].accumulate(&grad.hadamard(&d));
             }
             Op::Tanh => {
-                let d = value.map(|y| 1.0 - y * y);
+                let d = value.map(|y| T::ONE - y * y);
                 parents[0].accumulate(&grad.hadamard(&d));
             }
             Op::Relu => {
                 let x = parents[0].value();
-                let d = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                let d = x.map(|v| if v > T::ZERO { T::ONE } else { T::ZERO });
                 parents[0].accumulate(&grad.hadamard(&d));
             }
             Op::Exp => parents[0].accumulate(&grad.hadamard(&value)),
             Op::Square => {
                 let x = parents[0].value();
-                parents[0].accumulate(&grad.hadamard(&x.scale(2.0)));
+                parents[0].accumulate(&grad.hadamard(&x.scale(T::from_f64(2.0))));
             }
             Op::Sum => {
                 let g = grad.get(0, 0);
@@ -451,7 +459,7 @@ impl Var {
             }
             Op::Mean => {
                 let (r, c) = parents[0].shape();
-                let g = grad.get(0, 0) / (r * c) as f64;
+                let g = grad.get(0, 0) / T::from_f64((r * c) as f64);
                 parents[0].accumulate(&Matrix::filled(r, c, g));
             }
             Op::ConcatRows(counts) => {
@@ -464,12 +472,11 @@ impl Var {
             Op::SoftmaxCol => {
                 // dX_i = y_i * (dY_i - sum_j dY_j y_j)
                 let y = value;
-                let dot: f64 = y
+                let dot = y
                     .data()
                     .iter()
                     .zip(grad.data().iter())
-                    .map(|(yi, gi)| yi * gi)
-                    .sum();
+                    .fold(T::ZERO, |acc, (&yi, &gi)| acc + yi * gi);
                 let dx = Matrix::from_fn(y.rows(), 1, |r, _| y.get(r, 0) * (grad.get(r, 0) - dot));
                 parents[0].accumulate(&dx);
             }
@@ -477,24 +484,23 @@ impl Var {
                 let a = parents[0].value();
                 let s = parents[1].value().get(0, 0);
                 parents[0].accumulate(&grad.scale(s));
-                let ds: f64 = grad
+                let ds = grad
                     .data()
                     .iter()
                     .zip(a.data().iter())
-                    .map(|(g, av)| g * av)
-                    .sum();
+                    .fold(T::ZERO, |acc, (&g, &av)| acc + g * av);
                 parents[1].accumulate(&Matrix::from_vec(1, 1, vec![ds]));
             }
         }
     }
 
-    fn accumulate(&self, delta: &Matrix) {
+    fn accumulate(&self, delta: &Matrix<T>) {
         let mut n = self.node.borrow_mut();
         if !n.requires_grad && n.parents.is_empty() {
             // Pure constants never need gradients; skip the work.
             return;
         }
-        n.grad.axpy(1.0, delta);
+        n.grad.axpy(T::ONE, delta);
     }
 }
 
@@ -690,7 +696,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "backward() requires a scalar output")]
     fn backward_rejects_non_scalar() {
-        let x = Var::parameter(Matrix::ones(2, 2));
+        let x = Var::parameter(Matrix::<f64>::ones(2, 2));
         x.backward();
     }
 
@@ -705,5 +711,18 @@ mod tests {
         let loss = y.sum();
         loss.backward();
         assert!((x.grad().get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_graph_runs_end_to_end() {
+        // The whole op set monomorphises for f32; a small forward/backward
+        // sanity check keeps that instantiation exercised.
+        let w: Var<f32> = Var::parameter(Matrix::from_vec(1, 2, vec![0.5f32, -0.25]));
+        let x: Var<f32> = Var::constant(Matrix::column(&[1.0f32, 2.0]));
+        let loss = w.matmul(&x).sigmoid().square().sum();
+        loss.backward();
+        assert!(loss.scalar_value().is_finite());
+        assert!(w.grad().is_finite());
+        assert!(w.grad().frobenius_norm() > 0.0);
     }
 }

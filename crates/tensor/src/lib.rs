@@ -4,19 +4,26 @@
 //! the workspace (BiSIM, BRITS, SSGAN). It deliberately implements only what
 //! those models need:
 //!
-//! * [`Matrix`] — a dense row-major `f64` matrix with the usual linear-algebra
-//!   and element-wise operations,
-//! * [`Var`] — a node in a dynamically-built reverse-mode autodiff graph,
-//!   supporting matrix products, element-wise arithmetic, activations,
-//!   masking, concatenation, column softmax and scalar reductions.
+//! * [`Scalar`] — the sealed precision trait (`f64`, `f32`) every kernel is
+//!   generic over, and [`Precision`], the runtime knob that selects between
+//!   them,
+//! * [`Matrix`] — a dense row-major matrix (default `Matrix<f64>`) with the
+//!   usual linear-algebra and element-wise operations; the blocked kernels
+//!   have 4-wide unrolled inner loops that auto-vectorise at either
+//!   precision,
+//! * [`Var`] — a node in a dynamically-built reverse-mode autodiff graph
+//!   (default `Var<f64>`), supporting matrix products, element-wise
+//!   arithmetic, activations, masking, concatenation, column softmax and
+//!   scalar reductions.
 //!
 //! # Example
 //!
 //! ```
 //! use rm_tensor::{Matrix, Var};
 //!
-//! // Fit y = w * x with one gradient step.
-//! let w = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
+//! // Fit y = w * x with one gradient step. `Var` defaults to `Var<f64>`;
+//! // swap in `Var<f32>` for the single-precision instantiation.
+//! let w: Var = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
 //! let x = Var::constant(Matrix::from_vec(1, 1, vec![2.0]));
 //! let y = Var::constant(Matrix::from_vec(1, 1, vec![6.0]));
 //!
@@ -29,6 +36,8 @@
 
 pub mod autodiff;
 pub mod matrix;
+pub mod scalar;
 
 pub use autodiff::Var;
 pub use matrix::{Matrix, MATMUL_BLOCK};
+pub use scalar::{Precision, Scalar};

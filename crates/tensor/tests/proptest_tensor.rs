@@ -41,6 +41,60 @@ proptest! {
     }
 
     #[test]
+    fn f32_and_f64_kernels_agree_within_epsilon(
+        m in 1usize..10,
+        k in 1usize..140,
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        // The f32 kernel is the same monomorphised code as the f64 kernel, so
+        // on finite inputs its result must be the f64 result up to f32
+        // rounding. Inputs are bounded by 4, so each of the k products is
+        // bounded by 16 and the standard accumulated-rounding bound is
+        // ~k² · 16 · ε_f32 (input rounding + k ordered additions), padded 2×.
+        let mut data = seed;
+        let mut next = || {
+            data = data.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((data >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        let a32: Matrix<f32> = a.cast();
+        let b32: Matrix<f32> = b.cast();
+        let tol = 32.0 * (k as f64) * (k as f64).max(8.0) * f32::EPSILON as f64;
+
+        let c64 = a.matmul(&b);
+        let c32 = a32.matmul(&b32);
+        prop_assert_eq!(c64.shape(), c32.shape());
+        for (x64, x32) in c64.data().iter().zip(c32.data().iter()) {
+            prop_assert!(
+                (x64 - *x32 as f64).abs() <= tol,
+                "matmul f32 {} vs f64 {} (tol {})", x32, x64, tol
+            );
+        }
+
+        // The transposed gradient kernel obeys the same bound (reduction
+        // length is m here, which is ≤ 10 ≪ k, so the matmul tol covers it).
+        let g = Matrix::from_fn(m, n, |_, _| next());
+        let at64 = a.matmul_at_b(&g);
+        let at32 = a32.matmul_at_b(&g.cast::<f32>());
+        for (x64, x32) in at64.data().iter().zip(at32.data().iter()) {
+            prop_assert!((x64 - *x32 as f64).abs() <= tol);
+        }
+
+        // axpy: one multiply-add per entry, so plain f32 epsilon scaled by
+        // the value bound is enough.
+        let mut y64 = Matrix::from_fn(1, k, |_, _| next());
+        let mut y32: Matrix<f32> = y64.cast();
+        let x_row = Matrix::from_fn(1, k, |_, _| next());
+        y64.axpy(0.5, &x_row);
+        y32.axpy(0.5f32, &x_row.cast::<f32>());
+        for (v64, v32) in y64.data().iter().zip(y32.data().iter()) {
+            prop_assert!((v64 - *v32 as f64).abs() <= 64.0 * f32::EPSILON as f64);
+        }
+    }
+
+    #[test]
     fn matmul_is_associative(a in arb_matrix(3, 4), b in arb_matrix(4, 2), c in arb_matrix(2, 5)) {
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));

@@ -78,6 +78,43 @@ fn imputed_maps_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// The f32 inference mode obeys the same contract as the default pipeline:
+/// **bit-identical at any thread count**. Precision changes which kernels
+/// run (and therefore the values — f32 rounds differently from f64); it must
+/// never re-introduce scheduling sensitivity. The f64 suite in this file is
+/// unchanged, which is itself the second half of the contract: the default
+/// precision still produces the PR 2 bits.
+#[test]
+fn f32_pipeline_is_bit_identical_across_thread_counts() {
+    let map = straight_path_map(24, 8);
+    let topology = MultiPolygon::empty();
+    let thread_counts = [1, 2, rm_runtime::default_threads()];
+    for imputer in [ImputerKind::Brits, ImputerKind::Ssgan] {
+        let runs: Vec<ImputedRadioMap> = thread_counts
+            .iter()
+            .map(|&threads| {
+                ImputationPipeline::new(PipelineConfig {
+                    differentiator: DifferentiatorKind::MarOnly,
+                    imputer,
+                    epochs: Some(3),
+                    threads,
+                    precision: Precision::F32,
+                    ..PipelineConfig::default()
+                })
+                .impute(&map, &topology)
+                .0
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert!(
+                bitwise_eq_maps(&runs[0], run),
+                "{} f32 imputation differs across thread counts",
+                imputer.name()
+            );
+        }
+    }
+}
+
 /// The full evaluation protocol (split → differentiate → impute → position)
 /// yields bit-identical APE metrics across thread counts.
 #[test]
