@@ -1,0 +1,109 @@
+//! Dispatch-overhead benchmarks of the `rm-runtime` fan-out primitives.
+//!
+//! The numbers that matter here are the *small* fan-outs: a ≤64-item
+//! `par_map` whose per-item work is trivial measures almost pure dispatch
+//! cost, which is exactly what the minimum-work gates in `rm_imputers::gates`
+//! are calibrated against. `par_map` routes through the persistent pool;
+//! `par_map_scoped` is the pre-pool scoped-spawn baseline kept for this
+//! comparison (the PR 4 acceptance bar is pool ≥5× cheaper on the small
+//! shapes). All parallel cases pin `threads = 2` explicitly so the fan-out
+//! actually dispatches even on a single-CPU container (where auto resolves
+//! to 1 and would fall back to serial).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rm_geometry::Point;
+use rm_positioning::{ForestConfig, RandomForest};
+use rm_radiomap::DenseRadioMap;
+
+/// A handful of flops per item: comparable to one MICE correlation cell or
+/// one ridge prediction, the work units the imputer gates count.
+fn tiny_work(i: usize, v: u64) -> u64 {
+    rm_runtime::derive_seed(v, i as u64)
+}
+
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    let items64: Vec<u64> = (0..64).collect();
+    let items8: Vec<u64> = (0..8).collect();
+
+    c.bench_function("par_map_64_tiny_serial", |b| {
+        b.iter(|| std::hint::black_box(rm_runtime::par_map(1, &items64, |i, &v| tiny_work(i, v))))
+    });
+    c.bench_function("par_map_64_tiny_pool_t2", |b| {
+        b.iter(|| std::hint::black_box(rm_runtime::par_map(2, &items64, |i, &v| tiny_work(i, v))))
+    });
+    c.bench_function("par_map_64_tiny_scoped_t2", |b| {
+        b.iter(|| {
+            std::hint::black_box(rm_runtime::par_map_scoped(2, &items64, |i, &v| {
+                tiny_work(i, v)
+            }))
+        })
+    });
+    c.bench_function("par_map_8_tiny_pool_t2", |b| {
+        b.iter(|| std::hint::black_box(rm_runtime::par_map(2, &items8, |i, &v| tiny_work(i, v))))
+    });
+    c.bench_function("par_map_8_tiny_scoped_t2", |b| {
+        b.iter(|| {
+            std::hint::black_box(rm_runtime::par_map_scoped(2, &items8, |i, &v| {
+                tiny_work(i, v)
+            }))
+        })
+    });
+
+    let chunked: Vec<u64> = (0..256).collect();
+    c.bench_function("par_chunks_256c16_pool_t2", |b| {
+        b.iter(|| {
+            std::hint::black_box(rm_runtime::par_chunks(2, &chunked, 16, |ci, chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| tiny_work(ci * 16 + i, v))
+                    .sum::<u64>()
+            }))
+        })
+    });
+}
+
+fn synthetic_dense_map(n: usize, d: usize) -> DenseRadioMap {
+    let mut rng = StdRng::seed_from_u64(11);
+    let fingerprints = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-100.0..-40.0)).collect())
+        .collect();
+    let locations = (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..60.0), rng.gen_range(0.0..40.0)))
+        .collect();
+    DenseRadioMap::new(fingerprints, locations, d)
+}
+
+/// Forest training with the per-tree `derive_seed` streams: serial vs a
+/// 2-wide pool fan-out. On a single-CPU container the t2 number bounds the
+/// pool's overhead; on multicore it shows the per-tree speedup.
+fn bench_forest_training(c: &mut Criterion) {
+    let map = synthetic_dense_map(300, 40);
+    c.bench_function("forest_train_300x40_t1", |b| {
+        b.iter(|| {
+            std::hint::black_box(RandomForest::train(
+                &map,
+                &ForestConfig {
+                    threads: 1,
+                    ..ForestConfig::default()
+                },
+            ))
+        })
+    });
+    c.bench_function("forest_train_300x40_t2_pool", |b| {
+        b.iter(|| {
+            std::hint::black_box(RandomForest::train(
+                &map,
+                &ForestConfig {
+                    threads: 2,
+                    ..ForestConfig::default()
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(runtime, bench_dispatch_overhead, bench_forest_training);
+criterion_main!(runtime);

@@ -207,7 +207,7 @@ pub fn run_cell_with_threads(
     let ape_by_estimator = estimators
         .iter()
         .map(|&kind| {
-            let estimator = kind.build(dense.clone(), 3);
+            let estimator = kind.build_threads(dense.clone(), 3, threads);
             let ape =
                 rm_positioning::evaluate_estimator_threads(estimator.as_ref(), &queries, threads)
                     .unwrap_or(f64::NAN);

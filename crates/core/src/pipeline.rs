@@ -370,7 +370,10 @@ impl ImputationPipeline {
             }
         }
         let dense = rm_radiomap::DenseRadioMap::new(fingerprints, locations, map.num_aps());
-        let estimator = self.config.estimator.build(dense, self.config.knn_k);
+        let estimator =
+            self.config
+                .estimator
+                .build_threads(dense, self.config.knn_k, self.config.threads);
 
         // Test queries use the imputed fingerprints (online fingerprints are
         // also imputed, cf. the footnote in Section V-A).

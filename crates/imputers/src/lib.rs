@@ -25,31 +25,37 @@ pub mod ssgan;
 /// Minimum-work gates below which the imputers' internal fan-outs stay
 /// serial.
 ///
-/// `rm_runtime::par_map` spawns scoped threads per call, so a fan-out only
-/// pays off once the work per call amortises the spawn cost (~tens of µs per
-/// worker). These gates are deliberately conservative and are collected here
-/// — rather than inlined at each call site — so the planned persistent
-/// worker-pool PR (see ROADMAP, "Persistent worker pool in `rm-runtime`")
-/// can recalibrate them in one place, on ≥2-core hardware, once the spawn
-/// cost disappears. Changing a gate never changes results, only which side
-/// of the serial/parallel fork runs: both sides are bit-identical by the
-/// `rm-runtime` determinism contract.
+/// A fan-out only pays off once the work per call amortises the dispatch
+/// cost. The PR 2 gates were sized against *scoped thread spawning* (~24–48
+/// µs round-trip for a small 2-wide `par_map`, `par_map_*_scoped_t2` in
+/// `bench_runtime`); the persistent pool in `rm-runtime` cut that to ≤~3 µs
+/// (`par_map_*_pool_t2`: 64-item map 38.91 → 3.06 µs, 8-item 33.31 → 0.96
+/// µs on the shipped implementation — a ~13–35× reduction; all recorded
+/// runs live in `BENCH_baseline.json` `pr4`), so each gate below is lowered
+/// by roughly an order of magnitude, keeping the same safety margin of
+/// ~5–10× dispatch cost worth of work behind every fork. Changing a gate never changes results, only
+/// which side of the serial/parallel fork runs: both sides are bit-identical
+/// by the `rm-runtime` determinism contract.
 pub mod gates {
     /// [`Mice`](crate::Mice) predictor selection fans the per-candidate
     /// correlation scans out only when `candidate_columns × observed_rows`
-    /// reaches this many cells (each cell is a handful of flops; the product
-    /// approximates the total scan work).
-    pub const MICE_PREDICTOR_SCAN_MIN_CELLS: usize = 65_536;
+    /// reaches this many cells (each cell is a handful of flops, ~2–5 ns;
+    /// the product approximates the total scan work). 8_192 cells ≈ 20–40 µs
+    /// of work ≈ 6–10× the ~3.7 µs pool dispatch; the scoped-spawn era value
+    /// was 65_536.
+    pub const MICE_PREDICTOR_SCAN_MIN_CELLS: usize = 8_192;
 
     /// [`Mice`](crate::Mice) fans the per-row ridge predictions out only for
-    /// at least this many missing rows (a prediction is only a handful of
-    /// multiply-adds).
-    pub const MICE_PREDICTION_MIN_ROWS: usize = 512;
+    /// at least this many missing rows (a prediction is ~0.1 µs of
+    /// multiply-adds). 128 rows ≈ 13 µs ≈ 3.5× the pool dispatch — the
+    /// 2-wide break-even is ~2× — where the scoped-spawn era needed 512.
+    pub const MICE_PREDICTION_MIN_ROWS: usize = 128;
 
     /// The bidirectional sequence imputers ([`Brits`](crate::Brits)) reverse
     /// their training sequences in parallel only from this many sequences up
-    /// (one reversal is only a few µs).
-    pub const BRITS_REVERSAL_MIN_SEQUENCES: usize = 64;
+    /// (one reversal is a few µs of cloning). 16 reversals ≈ 50 µs ≈ 13× the
+    /// pool dispatch; the scoped-spawn era value was 64.
+    pub const BRITS_REVERSAL_MIN_SEQUENCES: usize = 16;
 }
 
 pub use brits::{Brits, BritsConfig};

@@ -26,8 +26,16 @@ pub struct ForestConfig {
     pub min_samples_split: usize,
     /// Number of candidate features examined per split; `None` uses √D.
     pub features_per_split: Option<usize>,
-    /// RNG seed.
+    /// RNG seed. Each tree trains on its own RNG stream derived as
+    /// `rm_runtime::derive_seed(seed, tree_index)`, so the forest is a pure
+    /// function of `(map, config)` — independent of `threads`.
     pub seed: u64,
+    /// Worker threads for tree training (`0` = auto via `RM_THREADS`/
+    /// available parallelism, `1` = serial). Trees are collected in index
+    /// order and each consumes only its own derived RNG stream, so the
+    /// trained forest is **bit-identical at any value** — parallelism is
+    /// purely a wall-clock knob.
+    pub threads: usize,
 }
 
 impl Default for ForestConfig {
@@ -38,6 +46,7 @@ impl Default for ForestConfig {
             min_samples_split: 4,
             features_per_split: None,
             seed: 17,
+            threads: 0,
         }
     }
 }
@@ -91,27 +100,33 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Trains the forest on an imputed radio map.
+    /// Trains the forest on an imputed radio map, fanning the trees out
+    /// [`ForestConfig::threads`]-wide over the persistent `rm_runtime` pool.
+    ///
+    /// Tree `t` seeds its own `StdRng` from
+    /// `rm_runtime::derive_seed(config.seed, t)` and draws its bootstrap
+    /// sample and split candidates from that stream alone; the trained trees
+    /// are collected in index order. Training is therefore bit-identical at
+    /// any thread count (and to serial execution) — asserted by the
+    /// workspace determinism suite.
     pub fn train(map: &DenseRadioMap, config: &ForestConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let n = map.len();
         let num_features = map.num_aps();
-        let mut trees = Vec::with_capacity(config.num_trees);
         if n == 0 {
             return Self {
-                trees,
+                trees: Vec::new(),
                 num_features,
             };
         }
         let features_per_split = config
             .features_per_split
             .unwrap_or_else(|| ((num_features as f64).sqrt().ceil() as usize).max(1));
-        for _ in 0..config.num_trees {
+        let trees = rm_runtime::par_indices(config.threads, config.num_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(rm_runtime::derive_seed(config.seed, t as u64));
             // Bootstrap sample.
             let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            let tree = build_tree(map, &indices, 0, config, features_per_split, &mut rng);
-            trees.push(tree);
-        }
+            build_tree(map, &indices, 0, config, features_per_split, &mut rng)
+        });
         Self {
             trees,
             num_features,
@@ -318,6 +333,34 @@ mod tests {
         let b = RandomForest::train(&map, &ForestConfig::default());
         let q = vec![-58.0, -62.0, -75.0];
         assert_eq!(a.estimate(&q), b.estimate(&q));
+    }
+
+    #[test]
+    fn forest_training_is_bit_identical_across_thread_counts() {
+        let map = learnable_map(60);
+        let train = |threads| {
+            RandomForest::train(
+                &map,
+                &ForestConfig {
+                    threads,
+                    ..ForestConfig::default()
+                },
+            )
+        };
+        let serial = train(1);
+        let queries: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![-50.0 - i as f64, -60.0 - i as f64 * 0.5, -75.0])
+            .collect();
+        for threads in [2, 4, 0] {
+            let parallel = train(threads);
+            assert_eq!(parallel.num_trees(), serial.num_trees());
+            for q in &queries {
+                let a = serial.estimate(q).unwrap();
+                let b = parallel.estimate(q).unwrap();
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+            }
+        }
     }
 
     #[test]

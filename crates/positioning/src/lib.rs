@@ -73,14 +73,32 @@ impl EstimatorKind {
     }
 
     /// Builds the estimator of this kind over `map`. `k` is the neighbour
-    /// count for the KNN variants (the forest ignores it).
+    /// count for the KNN variants (the forest ignores it). Forest training
+    /// fans out at the default thread width; use [`EstimatorKind::build_threads`]
+    /// to bound it.
     pub fn build(self, map: DenseRadioMap, k: usize) -> Box<dyn LocationEstimator> {
+        self.build_threads(map, k, 0)
+    }
+
+    /// [`EstimatorKind::build`] with an explicit thread count for the
+    /// training-time fan-out (`0` = auto, `1` = serial; only the forest
+    /// trains). The built estimator is bit-identical at any value.
+    pub fn build_threads(
+        self,
+        map: DenseRadioMap,
+        k: usize,
+        threads: usize,
+    ) -> Box<dyn LocationEstimator> {
         match self {
             EstimatorKind::Knn => Box::new(Knn::new(map, k)),
             EstimatorKind::Wknn => Box::new(Wknn::new(map, k)),
-            EstimatorKind::RandomForest => {
-                Box::new(RandomForest::train(&map, &ForestConfig::default()))
-            }
+            EstimatorKind::RandomForest => Box::new(RandomForest::train(
+                &map,
+                &ForestConfig {
+                    threads,
+                    ..ForestConfig::default()
+                },
+            )),
         }
     }
 }

@@ -3,8 +3,14 @@
 //!
 //! Every layer of the pipeline (differentiation grids, imputer column loops,
 //! positioning queries, experiment cells) fans independent work items out over
-//! a scoped thread pool built from [`std::thread::scope`]. The primitives are
-//! designed so that **results are bit-identical at any thread count**:
+//! a **persistent worker pool** (see [`pool`]): workers are spawned lazily on
+//! the first parallel fan-out, park between calls, and are handed borrowed
+//! jobs through type-erased tickets, so a dispatch costs a queue push and a
+//! wakeup instead of a thread spawn. The pre-pool scoped-spawn implementation
+//! is kept as [`par_map_scoped`] — the reference baseline that the pool must
+//! match bitwise (cross-checked by property tests) and the unit of comparison
+//! for the dispatch-overhead benches. The primitives are designed so that
+//! **results are bit-identical at any thread count**:
 //!
 //! * [`par_map`] is *order-preserving*: item `i`'s result always lands in
 //!   output slot `i`, no matter which worker computed it or in which order
@@ -29,12 +35,21 @@
 //! All primitives take a `threads` argument where `0` means *auto*: the
 //! `RM_THREADS` environment variable if set to a positive integer, otherwise
 //! [`std::thread::available_parallelism`]. Passing `1` forces the serial
-//! fallback path (no threads are spawned at all).
+//! fallback path (no threads are spawned at all). The *auto* value is
+//! resolved once per process and cached, but an explicit positive request
+//! always wins over the cache — callers that set
+//! `PipelineConfig.threads` get exactly that width no matter what
+//! `RM_THREADS` said when the cache was filled.
 
 use std::cell::Cell;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+pub mod pool;
+
+pub use pool::{pool_enabled, pool_stats, PoolStats, MAX_WORKERS};
 
 thread_local! {
     /// Set inside pool workers so nested fan-outs run serially instead of
@@ -100,31 +115,148 @@ pub fn derive_seed(base: u64, stream: u64) -> u64 {
 /// Order-preserving parallel map over a slice.
 ///
 /// Applies `f(index, &items[index])` to every item using up to `threads`
-/// scoped workers (see [`resolve_threads`]; `0` = auto) and returns the
-/// results **in input order**. Work is distributed dynamically (an atomic
+/// participants (see [`resolve_threads`]; `0` = auto) — the calling thread
+/// plus `threads - 1` persistent pool workers (see [`pool`]) — and returns
+/// the results **in input order**. Work is distributed dynamically (an atomic
 /// cursor), but the output is scheduling-independent: slot `i` always holds
 /// `f(i, &items[i])`.
 ///
 /// Falls back to a plain serial loop when one thread is requested, when there
 /// is at most one item, or when called from inside another `par_map` worker
-/// (nested parallelism would oversubscribe the machine).
+/// (nested parallelism would oversubscribe the machine). Set `RM_POOL=0` to
+/// route parallel calls through [`par_map_scoped`] instead of the pool.
 ///
 /// # Panics
-/// Propagates panics from `f` (the first panicking worker aborts the map).
+/// Propagates panics from `f` (the first panicking participant aborts the
+/// map; its original payload is re-raised on the caller). A panic never kills
+/// a pool worker — the pool stays usable afterwards.
 pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    if items.len() <= 1 || in_worker() {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    match parallel_width(threads, items.len()) {
+        None => items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+        Some(threads) if pool::enabled() => pool_par_map(threads, items, f),
+        Some(threads) => scoped_par_map(threads, items, f),
     }
-    let threads = resolve_threads(threads).min(items.len());
-    if threads <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
+}
 
+/// Resolves the effective width of a fan-out over `len` items, or `None`
+/// when the call must take the serial fallback (at most one item, nested
+/// inside a worker, or a resolved thread count of 1). Shared by [`par_map`]
+/// and [`par_map_scoped`] so the pool path and the reference baseline can
+/// never disagree about *whether* a call parallelises — only *how*.
+fn parallel_width(threads: usize, len: usize) -> Option<usize> {
+    if len <= 1 || in_worker() {
+        return None;
+    }
+    let threads = resolve_threads(threads).min(len);
+    if threads <= 1 {
+        None
+    } else {
+        Some(threads)
+    }
+}
+
+/// [`par_map`] dispatched through the persistent pool: the caller and
+/// `threads - 1` pool workers drain a shared atomic cursor; each participant
+/// buffers its `(index, result)` pairs locally and merges them into the
+/// caller-owned slot vector under a mutex once it runs out of work, so slot
+/// `i` always ends up holding `f(i, &items[i])`.
+fn pool_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let extra = threads - 1;
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let mut initial: Vec<Option<R>> = Vec::with_capacity(items.len());
+    initial.resize_with(items.len(), || None);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new(initial);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let body = || {
+        // Catch panics *inside* the job so the executing pool worker (or the
+        // caller mid-dispatch) never unwinds through pool machinery; the
+        // first payload is re-raised on the caller below.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut local: Vec<(usize, R)> = Vec::new();
+            loop {
+                if abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                local.push((i, f(i, &items[i])));
+            }
+            local
+        }));
+        match outcome {
+            Ok(local) => {
+                let mut slots = slots.lock().unwrap();
+                for (i, r) in local {
+                    slots[i] = Some(r);
+                }
+            }
+            Err(payload) => {
+                abort.store(true, Ordering::Relaxed);
+                let mut slot = panic_payload.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+    };
+    pool::get().run(&body, extra);
+
+    if let Some(payload) = panic_payload.into_inner().unwrap() {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("par_map filled every slot"))
+        .collect()
+}
+
+/// The pre-pool implementation of [`par_map`]: spawns `threads` scoped
+/// workers per call via [`std::thread::scope`] and joins them before
+/// returning.
+///
+/// Kept public on purpose: it is the *reference baseline* of the determinism
+/// contract — the pool path must produce bitwise-identical output (property
+/// tests cross-check the two) — and the unit of comparison for the
+/// dispatch-overhead benches that justify the minimum-work gate values in
+/// `rm_imputers::gates`. Pipeline code should call [`par_map`].
+///
+/// # Panics
+/// Propagates panics from `f` with their original payload.
+pub fn par_map_scoped<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    match parallel_width(threads, items.len()) {
+        None => items.iter().enumerate().map(|(i, t)| f(i, t)).collect(),
+        Some(threads) => scoped_par_map(threads, items, f),
+    }
+}
+
+/// Scoped-spawn fan-out over an already-resolved thread count (`threads ≥ 2`).
+fn scoped_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);

@@ -1,0 +1,102 @@
+//! Property tests of the runtime's determinism contract.
+//!
+//! Three invariants carry the whole pipeline's bit-identical guarantee:
+//!
+//! 1. `par_chunks` boundaries are a function of `chunk_size` alone — never of
+//!    the thread count — so ordered per-chunk reductions are
+//!    schedule-independent.
+//! 2. `derive_seed` streams are stable (pure in `(base, index)`) and
+//!    collision-free over the index ranges a fan-out actually uses.
+//! 3. The persistent pool and the scoped reference implementation agree
+//!    *bitwise* — the pool changes where closures run, never what they
+//!    compute.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rm_runtime::{derive_seed, par_chunks, par_map, par_map_scoped};
+
+proptest! {
+    #[test]
+    fn par_chunks_boundaries_depend_only_on_chunk_size(
+        len in 0usize..300,
+        chunk_size in 1usize..40,
+        threads in 0usize..6,
+    ) {
+        let items: Vec<u32> = (0..len as u32).collect();
+        // Observe the actual boundaries: every chunk's (first, len).
+        let observed = par_chunks(threads, &items, chunk_size, |_, c| {
+            (c.first().copied(), c.len())
+        });
+        let expected_chunks = if len == 0 { 0 } else { len.div_ceil(chunk_size) };
+        prop_assert_eq!(observed.len(), expected_chunks);
+        for (ci, &(first, clen)) in observed.iter().enumerate() {
+            prop_assert_eq!(first, Some((ci * chunk_size) as u32));
+            let expected_len = if ci == expected_chunks - 1 {
+                len - ci * chunk_size
+            } else {
+                chunk_size
+            };
+            prop_assert_eq!(clen, expected_len);
+        }
+    }
+
+    #[test]
+    fn derived_seed_streams_are_stable_and_collision_free(
+        base in proptest::arbitrary::any::<u64>(),
+        n in 1u64..2_000,
+    ) {
+        let mut seen = HashSet::with_capacity(n as usize);
+        for i in 0..n {
+            let seed = derive_seed(base, i);
+            // Stable: recomputation yields the same seed.
+            prop_assert_eq!(seed, derive_seed(base, i));
+            // Collision-free over the range a fan-out indexes.
+            prop_assert!(seen.insert(seed), "seed collision at index {}", i);
+        }
+    }
+
+    #[test]
+    fn pool_and_scoped_par_map_agree_bitwise(
+        values in prop::collection::vec(-1e6f64..1e6, 2..120),
+        threads in 2usize..5,
+    ) {
+        // A float-heavy closure: any scheduling sensitivity would show up in
+        // the low bits of the results.
+        let f = |i: usize, v: &f64| (v * 1.000_000_1 + i as f64).sin() * v.abs().sqrt();
+        let pooled = par_map(threads, &values, f);
+        let scoped = par_map_scoped(threads, &values, f);
+        let serial = par_map(1, &values, f);
+        prop_assert_eq!(pooled.len(), scoped.len());
+        for ((p, s), r) in pooled.iter().zip(scoped.iter()).zip(serial.iter()) {
+            prop_assert_eq!(p.to_bits(), s.to_bits());
+            prop_assert_eq!(p.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn pool_and_scoped_par_chunks_agree_bitwise(
+        values in prop::collection::vec(-1e3f64..1e3, 1..200),
+        chunk_size in 1usize..17,
+        threads in 2usize..5,
+    ) {
+        let sum = |_: usize, c: &[f64]| c.iter().sum::<f64>();
+        let pooled = par_chunks(threads, &values, chunk_size, sum);
+        let serial = par_chunks(1, &values, chunk_size, sum);
+        prop_assert_eq!(pooled.len(), serial.len());
+        for (p, s) in pooled.iter().zip(serial.iter()) {
+            prop_assert_eq!(p.to_bits(), s.to_bits());
+        }
+    }
+}
+
+/// Pinned `derive_seed` outputs: the SplitMix64-style finalizer is part of
+/// the persistence contract — forests, bootstraps and per-item RNG streams
+/// all reproduce across releases only if these exact values never change.
+#[test]
+fn derive_seed_golden_values_are_stable() {
+    assert_eq!(derive_seed(0, 0), 0);
+    assert_eq!(derive_seed(2023, 0), 14_552_697_717_352_991_844);
+    assert_eq!(derive_seed(2023, 1), 4_042_333_156_385_447_415);
+    assert_eq!(derive_seed(17, 19), 12_834_174_620_753_702_837);
+}

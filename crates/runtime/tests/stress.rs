@@ -1,0 +1,183 @@
+//! Stress tests of the persistent worker pool: thousands of tiny fan-outs,
+//! mixed sizes, nested calls and panicking closures, all asserting the
+//! determinism contract (order preservation), panic propagation with the
+//! original payload, and that the pool neither deadlocks nor leaks workers
+//! across repeated use.
+//!
+//! Every parallel call pins an explicit thread count (2–8): the suite must
+//! exercise the pool even on a single-CPU container (where auto resolves to
+//! 1 and `par_map` would fall back to serial) and under the `RM_THREADS=1`
+//! CI leg (explicit requests override the cached auto value — see
+//! `explicit_threads_override_cached_auto_value` below).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rm_runtime::{par_chunks, par_indices, par_map, par_map_scoped, pool_stats};
+
+/// Thousands of tiny fan-outs of mixed sizes reuse the pool without
+/// deadlocking, and every single one preserves input order.
+#[test]
+fn hammer_tiny_fan_outs_preserve_order() {
+    for round in 0..2_000u64 {
+        let len = (round % 13) as usize + 2; // 2..=14 items
+        let threads = (round % 3) as usize + 2; // 2..=4 participants
+        let items: Vec<u64> = (0..len as u64).map(|i| i * 31 + round).collect();
+        let out = par_map(threads, &items, |i, &v| {
+            assert_eq!(v, i as u64 * 31 + round);
+            rm_runtime::derive_seed(v, i as u64)
+        });
+        for (i, (&v, r)) in items.iter().zip(out.iter()).enumerate() {
+            assert_eq!(*r, rm_runtime::derive_seed(v, i as u64));
+        }
+    }
+}
+
+/// Interleaved `par_map`/`par_chunks`/`par_indices` calls of irregular sizes
+/// agree bitwise with their serial runs across thousands of reuses.
+#[test]
+fn hammer_mixed_primitives_match_serial() {
+    for round in 0..500usize {
+        let n = 1 + (round * 7) % 97;
+        let items: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - round as f64).collect();
+
+        let chunked = par_chunks(3, &items, 5, |_, c| c.iter().sum::<f64>());
+        let chunked_serial = par_chunks(1, &items, 5, |_, c| c.iter().sum::<f64>());
+        assert_eq!(chunked.len(), n.div_ceil(5));
+        assert!(chunked
+            .iter()
+            .zip(chunked_serial.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        let indexed = par_indices(4, n, |i| i * i + round);
+        assert_eq!(indexed, (0..n).map(|i| i * i + round).collect::<Vec<_>>());
+    }
+}
+
+/// Nested fan-outs inside pool workers degrade to serial (no deadlock, no
+/// worker explosion) and still produce the right answer, repeatedly.
+#[test]
+fn hammer_nested_fan_outs() {
+    for _ in 0..300 {
+        let outer: Vec<usize> = (0..6).collect();
+        let out = par_map(3, &outer, |_, &i| {
+            assert!(rm_runtime::in_worker());
+            let inner: Vec<usize> = (0..10).collect();
+            par_map(4, &inner, |_, &j| i * 100 + j)
+                .iter()
+                .sum::<usize>()
+        });
+        for (i, &s) in out.iter().enumerate() {
+            assert_eq!(s, (0..10).map(|j| i * 100 + j).sum::<usize>());
+        }
+        assert!(!rm_runtime::in_worker());
+    }
+}
+
+/// Panicking closures propagate their original payload to the caller, never
+/// kill a pool worker, and leave the pool fully usable — even after hundreds
+/// of panics.
+#[test]
+fn hammer_panicking_closures() {
+    let items: Vec<usize> = (0..32).collect();
+    for round in 0..200usize {
+        let bomb = round % items.len();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map(3, &items, |_, &v| {
+                if v == bomb {
+                    panic!("bomb {bomb}");
+                }
+                v * 2
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("payload is the formatted panic message");
+        assert_eq!(message, format!("bomb {bomb}"));
+
+        // The pool must still work right after the panic.
+        let ok = par_map(3, &items, |i, &v| v + i);
+        assert_eq!(ok, items.iter().map(|&v| v * 2).collect::<Vec<_>>());
+    }
+}
+
+/// Repeated use must not leak workers: the pool grows to the widest explicit
+/// request seen in this test binary and then stays constant, no matter how
+/// many fan-outs run.
+#[test]
+fn pool_does_not_leak_workers_across_reuse() {
+    if !rm_runtime::pool_enabled() {
+        // RM_POOL=0 routes fan-outs through scoped spawning; there is no pool
+        // to leak from (and the counters below never move).
+        return;
+    }
+    let items: Vec<u64> = (0..48).collect();
+    // Warm the pool up to the widest fan-out this suite uses.
+    let _ = par_map(8, &items, |i, &v| v + i as u64);
+    let after_warmup = pool_stats().workers;
+    assert!(
+        after_warmup <= 16,
+        "pool grew past this binary's widest request: {after_warmup} workers"
+    );
+
+    for _ in 0..1_000 {
+        let _ = par_map(8, &items, |i, &v| v ^ i as u64);
+    }
+    let after_hammer = pool_stats();
+    assert_eq!(
+        after_hammer.workers, after_warmup,
+        "pool grew while re-running fan-outs of the same width"
+    );
+    assert!(after_hammer.dispatches >= 1_000);
+    // Reclaimed tickets (caller finished before a worker popped them) are a
+    // subset of dispatched tickets, never phantom count-downs.
+    assert!(after_hammer.tickets_reclaimed <= after_hammer.tickets);
+}
+
+/// Regression test for the `AUTO_THREADS` cache interaction: the auto value
+/// (`RM_THREADS`, else available parallelism) is resolved once per process,
+/// but an explicit positive `threads` request — what tests set through
+/// `PipelineConfig.threads` — must always override it. The two-item
+/// rendezvous below only completes when both items really run concurrently,
+/// i.e. when `par_map(2, ..)` actually dispatches 2-wide even though the
+/// cached auto value may be 1 (single-CPU container, or the `RM_THREADS=1`
+/// CI leg).
+#[test]
+fn explicit_threads_override_cached_auto_value() {
+    // Fill the auto cache first, as a pipeline using `threads: 0` would.
+    let auto = rm_runtime::default_threads();
+    assert!(auto >= 1);
+    assert_eq!(rm_runtime::resolve_threads(5), 5);
+
+    let arrived = AtomicUsize::new(0);
+    let items = [0usize, 1];
+    let out = par_map(2, &items, |_, &v| {
+        arrived.fetch_add(1, Ordering::SeqCst);
+        let deadline = Instant::now() + Duration::from_secs(20);
+        // Each item waits until it has seen the *other* item start, which is
+        // impossible under a serial schedule.
+        while arrived.load(Ordering::SeqCst) < 2 {
+            if Instant::now() > deadline {
+                panic!("par_map(2, ..) ran serially despite the explicit request");
+            }
+            std::thread::yield_now();
+        }
+        v + 10
+    });
+    assert_eq!(out, vec![10, 11]);
+}
+
+/// The scoped reference implementation obeys the same ordering contract under
+/// stress (it backs the `RM_POOL=0` escape hatch and the overhead benches).
+#[test]
+fn scoped_fallback_still_preserves_order_under_stress() {
+    for round in 0..100u64 {
+        let items: Vec<u64> = (0..40).map(|i| i + round).collect();
+        let pooled = par_map(3, &items, |i, &v| rm_runtime::derive_seed(v, i as u64));
+        let scoped = par_map_scoped(3, &items, |i, &v| rm_runtime::derive_seed(v, i as u64));
+        assert_eq!(pooled, scoped);
+    }
+}

@@ -184,6 +184,107 @@ fn evaluate_grid_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// A deterministic synthetic dense map (no RNG involved) for the forest
+/// cases: features 0/1 encode the location linearly, feature 2 is a
+/// correlated distractor.
+fn forest_training_map() -> DenseRadioMap {
+    let mut fingerprints = Vec::new();
+    let mut locations = Vec::new();
+    for i in 0..90 {
+        let x = (i % 9) as f64;
+        let y = (i / 9) as f64;
+        fingerprints.push(vec![
+            -45.0 - x * 3.5,
+            -45.0 - y * 3.5,
+            -60.0 - ((i % 7) as f64) * 1.5,
+        ]);
+        locations.push(Point::new(x, y));
+    }
+    DenseRadioMap::new(fingerprints, locations, 3)
+}
+
+/// Random-forest training is bit-identical across thread counts: every tree
+/// consumes only its own `derive_seed(seed, tree)` stream and trees are
+/// collected in index order, so the forest is a pure function of
+/// `(map, config)`. The serial (`threads = 1`) output is additionally pinned
+/// to golden bits captured when per-tree seed streams were introduced (PR 4),
+/// so the canonical forest for a fixed seed can never silently drift.
+#[test]
+fn random_forest_training_is_bit_identical_across_thread_counts() {
+    use radiomap_core::positioning::{ForestConfig, RandomForest};
+
+    let map = forest_training_map();
+    let queries = [
+        vec![-45.0, -45.0, -60.0],
+        vec![-59.0, -52.0, -63.0],
+        vec![-73.0, -76.0, -69.0],
+    ];
+    let estimate_bits = |threads: usize| -> Vec<(u64, u64)> {
+        let forest = RandomForest::train(
+            &map,
+            &ForestConfig {
+                threads,
+                ..ForestConfig::default()
+            },
+        );
+        queries
+            .iter()
+            .map(|q| {
+                let p = forest.estimate(q).expect("forest answers every query");
+                (p.x.to_bits(), p.y.to_bits())
+            })
+            .collect()
+    };
+
+    let serial = estimate_bits(1);
+    for threads in [2, rm_runtime::default_threads(), 0] {
+        assert_eq!(
+            estimate_bits(threads),
+            serial,
+            "forest differs between threads=1 and threads={threads}"
+        );
+    }
+
+    // The serial reference itself, pinned bit by bit (seed 17, 20 trees).
+    let golden: Vec<(u64, u64)> = vec![
+        (4609449230612460558, 4598775699495592482),
+        (4616199000553982088, 4611836138414966920),
+        (4619933235245010125, 4620392977706970862),
+    ];
+    assert_eq!(serial, golden, "the canonical seed-17 forest drifted");
+}
+
+/// The full evaluation protocol with the forest estimator is bit-identical
+/// across thread counts — forest training now fans out per tree inside the
+/// pipeline, which must stay a pure wall-clock knob.
+#[test]
+fn random_forest_evaluation_is_bit_identical_across_thread_counts() {
+    let dataset = tiny_dataset(VenuePreset::KaideLike, 13);
+    let thread_counts = [1, 2, rm_runtime::default_threads()];
+    let results: Vec<EvaluationResult> = thread_counts
+        .iter()
+        .map(|&threads| {
+            ImputationPipeline::new(PipelineConfig {
+                differentiator: DifferentiatorKind::MarOnly,
+                imputer: ImputerKind::LinearInterpolation,
+                estimator: EstimatorKind::RandomForest,
+                epochs: Some(2),
+                threads,
+                ..PipelineConfig::default()
+            })
+            .evaluate(&dataset.radio_map, &dataset.venue.walls)
+        })
+        .collect();
+    for result in &results[1..] {
+        assert_eq!(
+            results[0].ape_m.to_bits(),
+            result.ape_m.to_bits(),
+            "RF APE differs across thread counts"
+        );
+        assert_eq!(results[0].num_test_queries, result.num_test_queries);
+    }
+}
+
 /// Seed derivation is a pure function of `(base, index)` — the property that
 /// keeps RNG-consuming tasks reproducible regardless of scheduling.
 #[test]
