@@ -11,7 +11,12 @@
 //! * `RM_SCALE`  — venue scale factor in `(0, 1]` (default 0.15, `RM_QUICK=1`
 //!   drops it to 0.08),
 //! * `RM_EPOCHS` — training epochs of the neural imputers (default 30,
-//!   `RM_QUICK=1` drops it to 8),
+//!   `RM_QUICK=1` drops it to 8; floor of 1 — `RM_EPOCHS=0` is promoted
+//!   with a warning),
+//! * `RM_BATCH` — training mini-batch size of the recurrent imputers
+//!   (default 1 — the classic per-sequence SGD trajectory; larger values
+//!   let training fan out over the worker pool, bit-identically at any
+//!   thread count, but change which model a fixed seed yields),
 //! * `RM_SEED`   — base RNG seed (default 2023),
 //! * `RM_PRECISION` — inference precision of the neural imputers: `f64`
 //!   (default) or `f32` (single-precision SIMD kernels; see
@@ -44,6 +49,13 @@ pub fn experiment_precision() -> Precision {
         .ok()
         .and_then(|v| Precision::parse(&v))
         .unwrap_or(Precision::F64)
+}
+
+/// The training mini-batch size used by the experiment harness: the
+/// process-cached `RM_BATCH` resolution of the recurrent imputers
+/// (default 1).
+pub fn experiment_batch_size() -> usize {
+    rm_imputers::brits::default_batch_size()
 }
 
 /// Builds the dataset for a venue preset at the harness scale.
@@ -176,6 +188,7 @@ pub fn run_cell_with_threads(
         time_lag,
         pipeline.config.epochs,
         pipeline.config.threads,
+        pipeline.config.batch_size,
         pipeline.config.precision,
     );
     let imp_start = Instant::now();
@@ -401,11 +414,18 @@ mod tests {
         assert_eq!(fmt(1.005), "1.00");
     }
 
+    /// A small explicit scale keeps the test fast without mutating the
+    /// process environment: `RM_SCALE` is resolved once per process and
+    /// cached, so tests pass explicit values instead of `set_var`.
+    fn test_dataset(preset: VenuePreset) -> Dataset {
+        DatasetSpec::new(preset, experiment_seed())
+            .with_scale(0.05)
+            .build()
+    }
+
     #[test]
     fn run_cell_with_fast_imputer() {
-        let _guard = env_guard(&["RM_SCALE"]);
-        std::env::set_var("RM_SCALE", "0.05");
-        let dataset = experiment_dataset(VenuePreset::KaideLike);
+        let dataset = test_dataset(VenuePreset::KaideLike);
         let cell = run_cell(
             &dataset,
             DifferentiatorKind::MnarOnly,
@@ -423,9 +443,7 @@ mod tests {
 
     #[test]
     fn run_grid_is_bit_identical_to_serial_cells() {
-        let _guard = env_guard(&["RM_SCALE"]);
-        std::env::set_var("RM_SCALE", "0.05");
-        let dataset = experiment_dataset(VenuePreset::KaideLike);
+        let dataset = test_dataset(VenuePreset::KaideLike);
         let cells = [
             (
                 DifferentiatorKind::MnarOnly,
@@ -449,13 +467,18 @@ mod tests {
     /// Smoke test for the harness itself: under `RM_QUICK=1`, dataset
     /// construction and one full evaluate round (including a neural imputer at
     /// its quick epoch count) complete without panicking.
+    ///
+    /// `RM_QUICK` must be set *before* the first `default_epochs` resolution
+    /// in this process — the knob is cached once, by design. This test is the
+    /// only caller in the rm-bench test binary, so priming it under the guard
+    /// here is sound; the dataset scale is passed explicitly (the scale cache
+    /// may already be resolved by the other tests).
     #[test]
     fn quick_mode_dataset_and_evaluate_round_complete() {
-        let _guard = env_guard(&["RM_QUICK", "RM_SCALE"]);
+        let _guard = env_guard(&["RM_QUICK"]);
         std::env::set_var("RM_QUICK", "1");
-        std::env::set_var("RM_SCALE", "0.05");
 
-        let dataset = experiment_dataset(VenuePreset::KaideLike);
+        let dataset = test_dataset(VenuePreset::KaideLike);
         assert!(
             !dataset.radio_map.is_empty(),
             "quick dataset must be non-empty"

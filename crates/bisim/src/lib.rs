@@ -15,13 +15,13 @@
 
 pub mod model;
 
-pub use model::{AttentionMode, BisimDirection, BisimPass, TimeLagMode};
+pub use model::{AttentionMode, BisimDirection, BisimDirectionWeights, BisimPass, TimeLagMode};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rm_imputers::brits::default_epochs;
+use rm_imputers::brits::{default_batch_size, default_epochs};
 use rm_imputers::{build_sequences, ImputedRadioMap, Imputer, Normalization, PathSequence};
-use rm_nn::{loss, Adam, Optimizer};
+use rm_nn::{loss, Adam};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
 use rm_tensor::{Matrix, Var};
 
@@ -44,6 +44,14 @@ pub struct BisimConfig {
     pub time_lag: TimeLagMode,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the training-batch fan-outs (`0` = auto). Results
+    /// are bit-identical at any thread count.
+    pub threads: usize,
+    /// Mini-batch size of the training loop (see
+    /// [`rm_imputers::BritsConfig::batch_size`] for the determinism
+    /// contract). The default of 1 reproduces the classic per-sequence-pair
+    /// trajectory bitwise.
+    pub batch_size: usize,
 }
 
 impl Default for BisimConfig {
@@ -56,6 +64,8 @@ impl Default for BisimConfig {
             attention: AttentionMode::SparsityFriendly,
             time_lag: TimeLagMode::Encoder,
             seed: 71,
+            threads: 0,
+            batch_size: default_batch_size(),
         }
     }
 }
@@ -133,6 +143,26 @@ impl Bisim {
     }
 }
 
+/// Differentiates the Section IV-D loss of one `(sequence, reversed)` pair
+/// and returns the per-parameter gradients in optimizer order
+/// (forward-direction parameters, then backward-direction). The models'
+/// gradient buffers must be zero on entry: freshly rebuilt replicas
+/// ([`BisimDirectionWeights::to_model`]) start zeroed, and the live-graph
+/// fast path zeroes explicitly.
+fn pair_gradients(
+    forward: &BisimDirection,
+    backward: &BisimDirection,
+    seq: &PathSequence,
+    rev: &PathSequence,
+) -> Vec<Matrix<f64>> {
+    let fwd = forward.run(seq);
+    let bwd = backward.run(rev);
+    Bisim::sequence_loss(seq, rev, &fwd, &bwd).backward();
+    let mut params = forward.parameters();
+    params.extend(backward.parameters());
+    params.iter().map(|p| p.grad()).collect()
+}
+
 impl Imputer for Bisim {
     fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
         let num_aps = map.num_aps();
@@ -175,17 +205,43 @@ impl Imputer for Bisim {
 
         let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
 
-        // ---- Training (Section IV-D). ----
-        for _ in 0..self.config.epochs {
-            for (seq, rev) in sequences.iter().zip(reversed.iter()) {
-                optimizer.zero_grad();
-                let fwd = forward_model.run(seq);
-                let bwd = backward_model.run(rev);
-                let total = Self::sequence_loss(seq, rev, &fwd, &bwd);
-                total.backward();
-                optimizer.step();
-            }
-        }
+        // ---- Training (Section IV-D), in deterministic mini-batches. ----
+        // Fixed-boundary chunks of sequence pairs; within a chunk each pair
+        // differentiates its own graph replica (rebuilt from a `Send + Sync`
+        // snapshot) on the worker pool, and the gradients reduce in
+        // sequence-index order — bitwise thread-count independent. Single-
+        // pair chunks (the `batch_size = 1` default) differentiate the live
+        // graphs directly, reproducing the classic serial trajectory bitwise.
+        let threads = self.config.threads;
+        rm_imputers::brits::train_in_batches(
+            &mut optimizer,
+            self.config.epochs,
+            sequences.len(),
+            self.config.batch_size,
+            |chunk| {
+                if let [i] = *chunk {
+                    for p in forward_model
+                        .parameters()
+                        .iter()
+                        .chain(&backward_model.parameters())
+                    {
+                        p.zero_grad();
+                    }
+                    vec![pair_gradients(
+                        &forward_model,
+                        &backward_model,
+                        &sequences[i],
+                        &reversed[i],
+                    )]
+                } else {
+                    let fw = forward_model.snapshot();
+                    let bw = backward_model.snapshot();
+                    rm_runtime::par_map(threads, chunk, |_, &i| {
+                        pair_gradients(&fw.to_model(), &bw.to_model(), &sequences[i], &reversed[i])
+                    })
+                }
+            },
+        );
 
         // ---- Imputation (Eq. 13): average the two directions. ----
         for (seq, rev) in sequences.iter().zip(reversed.iter()) {
@@ -226,6 +282,7 @@ impl Imputer for Bisim {
 mod tests {
     use super::*;
     use rm_geometry::Point;
+    use rm_nn::Optimizer;
     use rm_radiomap::{Fingerprint, RadioMapRecord};
 
     /// A survey path with smooth RSSIs and RPs; one MAR RSSI and one missing RP.
@@ -291,6 +348,114 @@ mod tests {
             p.distance(Point::new(8.0, 3.0)) < 12.0,
             "imputed RP {p:?} too far from ground truth"
         );
+    }
+
+    /// `batch_size = 1` (the default) reproduces the pre-batching serial
+    /// trajectory bitwise: the reference below is the literal classic loop
+    /// (`zero_grad → backward → step` per sequence pair on the live graph),
+    /// followed by the same averaging inference pass.
+    #[test]
+    fn batch_size_one_reproduces_the_serial_trajectory() {
+        let (map, mask) = smooth_map();
+        let config = BisimConfig {
+            epochs: 6,
+            batch_size: 1,
+            ..quick_config()
+        };
+        let batched = Bisim::new(config.clone()).impute(&map, &mask);
+
+        let num_aps = 2;
+        let norm = Normalization::from_map(&map);
+        let sequences = build_sequences(&map, &mask, config.sequence_length, &norm);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let forward_model = BisimDirection::new(
+            num_aps,
+            config.hidden_size,
+            config.attention,
+            config.time_lag,
+            &mut rng,
+        );
+        let backward_model = BisimDirection::new(
+            num_aps,
+            config.hidden_size,
+            config.attention,
+            config.time_lag,
+            &mut rng,
+        );
+        let mut params = forward_model.parameters();
+        params.extend(backward_model.parameters());
+        let mut optimizer = Adam::new(params, config.learning_rate).with_clip(5.0);
+        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
+        for _ in 0..config.epochs {
+            for (seq, rev) in sequences.iter().zip(reversed.iter()) {
+                optimizer.zero_grad();
+                let fwd = forward_model.run(seq);
+                let bwd = backward_model.run(rev);
+                Bisim::sequence_loss(seq, rev, &fwd, &bwd).backward();
+                optimizer.step();
+            }
+        }
+        for (seq, rev) in sequences.iter().zip(reversed.iter()) {
+            let fwd = forward_model.run(seq);
+            let bwd = backward_model.run(rev);
+            for (t, &record) in seq.record_indices.iter().enumerate() {
+                let rt = seq.len() - 1 - t;
+                let f = fwd.fingerprint_complements[t].value();
+                let b = bwd.fingerprint_complements[rt].value();
+                for ap in 0..num_aps {
+                    if mask.get(record, ap) == EntryKind::Mar {
+                        let avg = (f.get(ap, 0) + b.get(ap, 0)) / 2.0;
+                        assert_eq!(
+                            batched.rssi(record, ap).to_bits(),
+                            norm.denormalize_rssi(avg).to_bits(),
+                            "batch_size = 1 diverged from the serial reference at ({record}, {ap})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A fixed `batch_size > 1` yields a bitwise-identical BiSIM model at
+    /// any thread count.
+    #[test]
+    fn batched_training_is_bit_identical_across_thread_counts() {
+        let (map, mask) = smooth_map();
+        let run = |threads: usize| {
+            Bisim::new(BisimConfig {
+                epochs: 4,
+                batch_size: 2,
+                threads,
+                ..quick_config()
+            })
+            .impute(&map, &mask)
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            for (a, b) in serial
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(parallel.fingerprints.iter().flatten())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "batched BiSIM differs at {threads} threads"
+                );
+            }
+            for (la, lb) in serial.locations.iter().zip(parallel.locations.iter()) {
+                match (la, lb) {
+                    (Some(pa), Some(pb)) => {
+                        assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+                        assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+                    }
+                    (None, None) => {}
+                    _ => panic!("imputed-RP presence differs at {threads} threads"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use rand::rngs::StdRng;
 use rm_imputers::PathSequence;
-use rm_nn::{Activation, Linear, LstmCell, LstmState, Mlp};
+use rm_nn::{
+    Activation, Linear, LinearWeights, LstmCell, LstmCellWeights, LstmState, Mlp, MlpWeights,
+};
 use rm_tensor::{Matrix, Var};
 
 /// Which attention mechanism the decoder uses (the Fig. 17 ablation).
@@ -240,6 +242,26 @@ impl BisimDirection {
         context
     }
 
+    /// Copies the current parameters into a graph-free, `Send + Sync`
+    /// [`BisimDirectionWeights`] snapshot, for worker-side graph rebuilds
+    /// during batched training.
+    pub fn snapshot(&self) -> BisimDirectionWeights {
+        BisimDirectionWeights {
+            encoder_estimate: self.encoder_estimate.snapshot(),
+            encoder_decay: self.encoder_decay.snapshot(),
+            encoder_cell: self.encoder_cell.snapshot(),
+            decoder_estimate: self.decoder_estimate.snapshot(),
+            decoder_decay: self.decoder_decay.snapshot(),
+            decoder_cell: self.decoder_cell.snapshot(),
+            attention_transform: self.attention_transform.snapshot(),
+            attention_align: self.attention_align.snapshot(),
+            hidden_size: self.hidden_size,
+            num_aps: self.num_aps,
+            attention: self.attention,
+            time_lag: self.time_lag,
+        }
+    }
+
     /// Time-lag vectors for the RP sequence (2-dimensional, driven by the RP
     /// masks), used only by the decoder-side ablations.
     fn rp_time_lags(&self, seq: &PathSequence) -> Vec<Vec<f64>> {
@@ -260,6 +282,52 @@ impl BisimDirection {
             }
         }
         lags
+    }
+}
+
+/// A graph-free snapshot of one [`BisimDirection`]: plain matrices plus the
+/// ablation settings, so it is `Send + Sync` and can be shipped to worker
+/// threads (unlike [`Var`], whose nodes are `Rc`-shared).
+///
+/// [`BisimDirectionWeights::to_model`] rebuilds a trainable direction whose
+/// forward and backward passes are bit-identical to the original's — the
+/// property that lets batched training differentiate per-sequence replicas
+/// on the pool and ship only plain gradient matrices back.
+#[derive(Clone)]
+pub struct BisimDirectionWeights {
+    encoder_estimate: LinearWeights,
+    encoder_decay: LinearWeights,
+    encoder_cell: LstmCellWeights,
+    decoder_estimate: LinearWeights,
+    decoder_decay: LinearWeights,
+    decoder_cell: LstmCellWeights,
+    attention_transform: LinearWeights,
+    attention_align: MlpWeights,
+    hidden_size: usize,
+    num_aps: usize,
+    attention: AttentionMode,
+    time_lag: TimeLagMode,
+}
+
+impl BisimDirectionWeights {
+    /// Rebuilds a trainable [`BisimDirection`] from this snapshot (fresh
+    /// parameter leaves holding copies of the snapshotted matrices; the
+    /// inverse of [`BisimDirection::snapshot`]).
+    pub fn to_model(&self) -> BisimDirection {
+        BisimDirection {
+            encoder_estimate: self.encoder_estimate.to_linear(),
+            encoder_decay: self.encoder_decay.to_linear(),
+            encoder_cell: self.encoder_cell.to_cell(),
+            decoder_estimate: self.decoder_estimate.to_linear(),
+            decoder_decay: self.decoder_decay.to_linear(),
+            decoder_cell: self.decoder_cell.to_cell(),
+            attention_transform: self.attention_transform.to_linear(),
+            attention_align: self.attention_align.to_mlp(),
+            hidden_size: self.hidden_size,
+            num_aps: self.num_aps,
+            attention: self.attention,
+            time_lag: self.time_lag,
+        }
     }
 }
 

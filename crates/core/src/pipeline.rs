@@ -132,10 +132,16 @@ impl ImputerKind {
     /// neural imputers; `None` keeps their default (which honours the
     /// `RM_EPOCHS`/`RM_QUICK` environment variables). `threads` is forwarded
     /// to the imputers with internal fan-outs (`0` = auto); results are
-    /// bit-identical at any thread count. `precision` selects the inference
-    /// precision of the recurrent imputers (BRITS, SSGAN): training always
-    /// runs at `f64`, and [`Precision::F32`] rounds the trained weights once
-    /// and runs inference through the f32 SIMD kernels. The deterministic
+    /// bit-identical at any thread count. `batch_size` overrides the training
+    /// mini-batch size of the recurrent imputers (BiSIM, BRITS, SSGAN);
+    /// `None` keeps their default (the `RM_BATCH` environment variable, else
+    /// 1 — the classic per-sequence SGD trajectory). Unlike `threads`, the
+    /// batch size *does* change which model a fixed seed yields (fewer,
+    /// summed-gradient steps), but any fixed value stays bit-identical
+    /// across thread counts. `precision` selects the inference precision of
+    /// the recurrent imputers (BRITS, SSGAN): training always runs at `f64`,
+    /// and [`Precision::F32`] rounds the trained weights once and runs
+    /// inference through the f32 SIMD kernels. The deterministic
     /// (non-neural) imputers and BiSIM ignore it today — BiSIM's inference
     /// reuses its training graph, so widening the knob there is tracked as a
     /// ROADMAP follow-up.
@@ -146,6 +152,7 @@ impl ImputerKind {
         time_lag: TimeLagMode,
         epochs: Option<usize>,
         threads: usize,
+        batch_size: Option<usize>,
         precision: Precision,
     ) -> Box<dyn Imputer> {
         match self {
@@ -154,10 +161,14 @@ impl ImputerKind {
                     seed,
                     attention,
                     time_lag,
+                    threads,
                     ..BisimConfig::default()
                 };
                 if let Some(epochs) = epochs {
                     config.epochs = epochs;
+                }
+                if let Some(batch_size) = batch_size {
+                    config.batch_size = batch_size;
                 }
                 Box::new(Bisim::new(config))
             }
@@ -184,6 +195,9 @@ impl ImputerKind {
                 if let Some(epochs) = epochs {
                     config.epochs = epochs;
                 }
+                if let Some(batch_size) = batch_size {
+                    config.batch_size = batch_size;
+                }
                 Box::new(Brits::new(config))
             }
             ImputerKind::Ssgan => {
@@ -195,6 +209,9 @@ impl ImputerKind {
                 };
                 if let Some(epochs) = epochs {
                     config.epochs = epochs;
+                }
+                if let Some(batch_size) = batch_size {
+                    config.batch_size = batch_size;
                 }
                 Box::new(Ssgan::new(config))
             }
@@ -228,12 +245,20 @@ pub struct PipelineConfig {
     /// they stay deterministic under the parallel test runner.
     pub epochs: Option<usize>,
     /// Worker threads for every fan-out along the pipeline (grid cells,
-    /// imputer column/sequence loops, positioning queries). `0` means auto:
-    /// the `RM_THREADS` environment variable if set, else the machine's
-    /// available parallelism; `1` forces the serial fallback path. The
-    /// pipeline output is bit-identical at any value — parallelism is purely
-    /// a wall-clock knob.
+    /// imputer column/sequence loops, training batches, positioning
+    /// queries). `0` means auto: the `RM_THREADS` environment variable if
+    /// set, else the machine's available parallelism; `1` forces the serial
+    /// fallback path. The pipeline output is bit-identical at any value —
+    /// parallelism is purely a wall-clock knob.
     pub threads: usize,
+    /// Training mini-batch size of the recurrent imputers (BiSIM, BRITS,
+    /// SSGAN). `None` uses their built-in default, which honours the
+    /// `RM_BATCH` environment variable (else 1). Batch boundaries are fixed
+    /// by the batch size alone and the per-batch gradient reduction is
+    /// ordered, so any fixed value is bit-identical across thread counts —
+    /// but unlike `threads`, `batch_size > 1` *does* change which model a
+    /// fixed seed yields (fewer, summed-gradient optimizer steps).
+    pub batch_size: Option<usize>,
     /// Numeric precision of the neural imputers' inference pass (BRITS,
     /// SSGAN). The default [`Precision::F64`] keeps the pipeline
     /// bit-identical to the pre-precision-axis output; [`Precision::F32`]
@@ -259,6 +284,7 @@ impl Default for PipelineConfig {
             time_lag: TimeLagMode::Encoder,
             epochs: None,
             threads: 0,
+            batch_size: None,
             precision: Precision::F64,
             seed: 2023,
         }
@@ -311,6 +337,7 @@ impl ImputationPipeline {
             self.config.time_lag,
             self.config.epochs,
             self.config.threads,
+            self.config.batch_size,
             self.config.precision,
         );
         (imputer.impute(map, &mask), mask)
@@ -350,6 +377,7 @@ impl ImputationPipeline {
             self.config.time_lag,
             self.config.epochs,
             self.config.threads,
+            self.config.batch_size,
             self.config.precision,
         );
         let imp_start = Instant::now();

@@ -3,11 +3,13 @@
 //! each survey path, and falls back to linear interpolation for missing RPs
 //! (BRITS itself cannot impute labels).
 
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rm_nn::{
-    loss, Adam, Linear, LinearWeights, LstmCell, LstmCellWeights, LstmState, LstmStateMatrix,
-    Optimizer,
+    loss, Adam, GradientBatch, Linear, LinearWeights, LstmCell, LstmCellWeights, LstmState,
+    LstmStateMatrix, Optimizer,
 };
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
 use rm_tensor::{Matrix, Precision, Scalar, Var};
@@ -28,11 +30,27 @@ pub struct BritsConfig {
     pub sequence_length: usize,
     /// RNG seed for parameter initialisation.
     pub seed: u64,
-    /// Worker threads for the per-sequence fan-outs (`0` = auto). Training
-    /// stays sequential — per-sequence SGD steps form a dependency chain —
-    /// but sequence preparation and the final inference pass over all
-    /// sequences are pure and parallelise deterministically.
+    /// Worker threads for the per-sequence fan-outs (`0` = auto): sequence
+    /// preparation, the final inference pass, and — when [`Self::batch_size`]
+    /// is above 1 — the per-sequence forward/backward passes inside each
+    /// training batch. All fan-outs are deterministic: results are
+    /// bit-identical at any thread count.
     pub threads: usize,
+    /// Mini-batch size of the training loop. Batch boundaries are fixed by
+    /// this value alone (never by the thread count), the per-sequence
+    /// gradients inside a batch are computed against the batch-start
+    /// weights, and their sum is reduced in sequence-index order — so a
+    /// fixed `batch_size` yields a bitwise-identical model at any thread
+    /// count. The default of `1` reproduces the classic per-sequence SGD
+    /// trajectory bitwise; larger batches take fewer, **summed-gradient**
+    /// steps (a *different* — though equally deterministic — trajectory),
+    /// letting training fan out across the worker pool. The sum is applied
+    /// raw — no division by the batch size — so a `k`-sequence batch's
+    /// gradient norm is roughly `k×` a per-sequence gradient's and the
+    /// optimizer's fixed element-wise clip engages correspondingly more
+    /// often; retune `learning_rate` rather than assume an averaged step
+    /// when raising this.
+    pub batch_size: usize,
     /// Precision of the inference pass. Training always runs at `f64`;
     /// [`Precision::F32`] rounds the trained weights to f32 once and runs
     /// every sequence through the f32 kernels (twice the SIMD lanes, half
@@ -51,6 +69,7 @@ impl Default for BritsConfig {
             sequence_length: 5,
             seed: 31,
             threads: 0,
+            batch_size: default_batch_size(),
             precision: Precision::F64,
         }
     }
@@ -59,17 +78,56 @@ impl Default for BritsConfig {
 /// Default epoch count for the neural imputers; honouring `RM_EPOCHS` lets the
 /// experiment harness trade training time for accuracy, and `RM_QUICK=1`
 /// selects a fast smoke-test setting.
+///
+/// The value is resolved **once per process** and cached (like the
+/// `RM_THREADS` resolution in `rm-runtime`), so repeated calls can never
+/// disagree and concurrent tests can never observe a mid-run environment
+/// change. `RM_EPOCHS` has a floor of 1 — zero epochs would return an
+/// untrained model — and a request of `0` is promoted to 1 with a one-time
+/// warning on stderr.
 pub fn default_epochs() -> usize {
-    if let Ok(v) = std::env::var("RM_EPOCHS") {
-        if let Ok(parsed) = v.parse::<usize>() {
-            return parsed.max(1);
+    static EPOCHS: OnceLock<usize> = OnceLock::new();
+    *EPOCHS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RM_EPOCHS") {
+            if let Ok(parsed) = v.parse::<usize>() {
+                if parsed == 0 {
+                    eprintln!(
+                        "[rm-imputers] warning: RM_EPOCHS=0 is below the floor of 1 \
+                         training epoch; running 1 epoch instead"
+                    );
+                }
+                return parsed.max(1);
+            }
         }
-    }
-    if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
-        8
-    } else {
-        30
-    }
+        if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
+            8
+        } else {
+            30
+        }
+    })
+}
+
+/// Default training mini-batch size for the recurrent imputers: the
+/// `RM_BATCH` environment variable if set to a positive integer, else `1`
+/// (the classic per-sequence SGD trajectory). Resolved once per process and
+/// cached, like [`default_epochs`]; `RM_BATCH=0` is promoted to 1 with a
+/// one-time warning.
+pub fn default_batch_size() -> usize {
+    static BATCH: OnceLock<usize> = OnceLock::new();
+    *BATCH.get_or_init(|| {
+        if let Ok(v) = std::env::var("RM_BATCH") {
+            if let Ok(parsed) = v.parse::<usize>() {
+                if parsed == 0 {
+                    eprintln!(
+                        "[rm-imputers] warning: RM_BATCH=0 is below the floor of a \
+                         1-sequence training batch; using batch_size = 1 instead"
+                    );
+                }
+                return parsed.max(1);
+            }
+        }
+        1
+    })
 }
 
 /// One direction of the recurrent imputer: estimates each step's fingerprint
@@ -168,6 +226,25 @@ pub(crate) struct RecurrentImputerWeights<T: Scalar = f64> {
     hidden_size: usize,
 }
 
+impl RecurrentImputerWeights {
+    /// Rebuilds a trainable [`RecurrentImputer`] from this snapshot: fresh
+    /// parameter leaves holding copies of the snapshotted matrices, at the
+    /// training precision (`f64`). This is the worker-side half of batched
+    /// training — each sequence in a batch differentiates its own rebuilt
+    /// replica, and only plain gradient matrices cross threads. The replica
+    /// performs the same operations on the same values as the original, so
+    /// its gradients are bit-identical to gradients computed on the live
+    /// graph (see the parity tests below).
+    pub(crate) fn to_model(&self) -> RecurrentImputer {
+        RecurrentImputer {
+            estimate: self.estimate.to_linear(),
+            decay: self.decay.to_linear(),
+            cell: self.cell.to_cell(),
+            hidden_size: self.hidden_size,
+        }
+    }
+}
+
 impl<T: Scalar> RecurrentImputerWeights<T> {
     /// Rounds the snapshot to another precision (the one-time `f64 → f32`
     /// weight rounding of the f32 inference path).
@@ -210,6 +287,76 @@ impl<T: Scalar> RecurrentImputerWeights<T> {
             complements.push(x_c);
         }
         complements
+    }
+}
+
+/// Differentiates the combined BRITS loss of one `(sequence, reversed)` pair
+/// — forward/backward reconstruction plus the cross-direction consistency
+/// term — and returns the per-parameter gradients in optimizer order
+/// (forward-direction parameters, then backward-direction).
+///
+/// The caller must ensure the models' gradient buffers are zero on entry:
+/// freshly rebuilt replicas ([`RecurrentImputerWeights::to_model`]) start
+/// zeroed, and the live-graph fast path zeroes through its optimizer.
+fn pair_gradients(
+    forward: &RecurrentImputer,
+    backward: &RecurrentImputer,
+    seq: &PathSequence,
+    rev: &PathSequence,
+) -> Vec<Matrix<f64>> {
+    let fwd = forward.run(seq);
+    let bwd = backward.run(rev);
+    let mut total = Var::scalar(0.0);
+    for t in 0..seq.len() {
+        let target = Matrix::column(&seq.fingerprints[t]);
+        let m = Matrix::column(&seq.fingerprint_masks[t]);
+        total = total.add(&loss::masked_mse(&fwd.estimates[t], &target, &m));
+        let rt = rev.len() - 1 - t;
+        let target_b = Matrix::column(&rev.fingerprints[rt]);
+        let m_b = Matrix::column(&rev.fingerprint_masks[rt]);
+        total = total.add(&loss::masked_mse(&bwd.estimates[rt], &target_b, &m_b));
+        // Consistency between the two directions at the same record.
+        total = total.add(
+            &loss::masked_mse_between(&fwd.complements[t], &bwd.complements[rt], &m).scale(0.1),
+        );
+    }
+    total.scale(1.0 / seq.len() as f64).backward();
+    let mut params = forward.parameters();
+    params.extend(backward.parameters());
+    params.iter().map(|p| p.grad()).collect()
+}
+
+/// Runs the deterministic mini-batch training loop shared by the batched
+/// recurrent trainers: the epoch is split into fixed-boundary chunks of
+/// `batch_size` sequence indices, each chunk's per-sequence gradients are
+/// produced by `grads` (fanned out by the caller where profitable), summed
+/// in sequence-index order into a [`GradientBatch`], and applied as one
+/// optimizer step.
+///
+/// `grads(chunk)` must return one gradient list per index in `chunk`, in
+/// chunk order — [`rm_runtime::par_map`] over the chunk satisfies this by
+/// construction. Because the boundaries depend only on `batch_size` and the
+/// reduction order only on the sequence index, the resulting trajectory is
+/// bitwise independent of the thread count.
+pub fn train_in_batches<T: Scalar>(
+    optimizer: &mut impl Optimizer<T>,
+    epochs: usize,
+    num_sequences: usize,
+    batch_size: usize,
+    mut grads: impl FnMut(&[usize]) -> Vec<Vec<Matrix<T>>>,
+) {
+    let batch_size = batch_size.max(1);
+    let indices: Vec<usize> = (0..num_sequences).collect();
+    for _ in 0..epochs {
+        for chunk in indices.chunks(batch_size) {
+            let per_sequence = grads(chunk);
+            debug_assert_eq!(per_sequence.len(), chunk.len());
+            let mut batch = GradientBatch::zeros_like(optimizer.parameters());
+            for sequence_grads in &per_sequence {
+                batch.accumulate(sequence_grads);
+            }
+            optimizer.apply_batch(&batch);
+        }
     }
 }
 
@@ -298,33 +445,43 @@ impl Imputer for Brits {
         let reversed: Vec<PathSequence> =
             rm_runtime::par_map(reversal_threads, &sequences, |_, s| s.reversed(&norm));
 
-        // Training is deliberately serial: each per-sequence Adam step reads
-        // the parameters the previous step wrote, so the epoch loop is a
-        // dependency chain (and the autodiff graph is `Rc`-based anyway).
-        for _ in 0..self.config.epochs {
-            for (seq, rev) in sequences.iter().zip(reversed.iter()) {
-                optimizer.zero_grad();
-                let fwd = forward.run(seq);
-                let bwd = backward.run(rev);
-                let mut total = Var::scalar(0.0);
-                for t in 0..seq.len() {
-                    let target = Matrix::column(&seq.fingerprints[t]);
-                    let m = Matrix::column(&seq.fingerprint_masks[t]);
-                    total = total.add(&loss::masked_mse(&fwd.estimates[t], &target, &m));
-                    let rt = rev.len() - 1 - t;
-                    let target_b = Matrix::column(&rev.fingerprints[rt]);
-                    let m_b = Matrix::column(&rev.fingerprint_masks[rt]);
-                    total = total.add(&loss::masked_mse(&bwd.estimates[rt], &target_b, &m_b));
-                    // Consistency between the two directions at the same record.
-                    total = total.add(
-                        &loss::masked_mse_between(&fwd.complements[t], &bwd.complements[rt], &m)
-                            .scale(0.1),
-                    );
+        // Deterministic mini-batch training: the epoch is chunked into
+        // fixed-boundary batches of `batch_size` sequences. Within a batch
+        // the per-sequence losses are independent given the batch-start
+        // weights, so each sequence differentiates its own detached graph
+        // replica (rebuilt from a `Send + Sync` weight snapshot) on the
+        // worker pool, and only the extracted gradient matrices cross
+        // threads; the sums reduce in sequence-index order, so the model is
+        // bitwise thread-count independent. Single-sequence batches — the
+        // `batch_size = 1` default in particular — skip the snapshot/rebuild
+        // round-trip and differentiate the live graph directly, reproducing
+        // the classic serial SGD trajectory bitwise (parity-tested below).
+        let threads = self.config.threads;
+        train_in_batches(
+            &mut optimizer,
+            self.config.epochs,
+            sequences.len(),
+            self.config.batch_size,
+            |chunk| {
+                if let [i] = *chunk {
+                    for p in forward.parameters().iter().chain(&backward.parameters()) {
+                        p.zero_grad();
+                    }
+                    vec![pair_gradients(
+                        &forward,
+                        &backward,
+                        &sequences[i],
+                        &reversed[i],
+                    )]
+                } else {
+                    let fw = forward.snapshot();
+                    let bw = backward.snapshot();
+                    rm_runtime::par_map(threads, chunk, |_, &i| {
+                        pair_gradients(&fw.to_model(), &bw.to_model(), &sequences[i], &reversed[i])
+                    })
                 }
-                total.scale(1.0 / seq.len() as f64).backward();
-                optimizer.step();
-            }
-        }
+            },
+        );
 
         // Produce imputations: average of forward and backward complements at
         // MAR positions. The trained weights are snapshotted into plain
@@ -408,6 +565,7 @@ pub(crate) mod tests {
             sequence_length: 5,
             seed: 3,
             threads: 0,
+            batch_size: 1,
             precision: Precision::F64,
         }
     }
@@ -472,5 +630,209 @@ pub(crate) mod tests {
         // Just exercise the parsing path; the value depends on the environment.
         let e = default_epochs();
         assert!(e >= 1);
+        // The process-level cache makes repeated reads agree by construction.
+        assert_eq!(e, default_epochs());
+        let b = default_batch_size();
+        assert!(b >= 1);
+        assert_eq!(b, default_batch_size());
+    }
+
+    /// The worker-side graph rebuild must not perturb the trajectory: the
+    /// gradients of a `(sequence, reversed)` pair computed on replicas
+    /// rebuilt from weight snapshots are bit-identical to gradients computed
+    /// on the live graph. This is the property that makes the snapshot
+    /// fan-out of `batch_size > 1` and the live-graph fast path of
+    /// single-sequence batches two schedules of the same computation.
+    #[test]
+    fn rebuilt_replica_gradients_match_live_graph_bitwise() {
+        let (map, mask) = smooth_map();
+        let norm = Normalization::from_map(&map);
+        let sequences = build_sequences(&map, &mask, 5, &norm);
+        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
+        let mut rng = StdRng::seed_from_u64(17);
+        let forward = RecurrentImputer::new(2, 12, &mut rng);
+        let backward = RecurrentImputer::new(2, 12, &mut rng);
+        for (seq, rev) in sequences.iter().zip(reversed.iter()) {
+            for p in forward.parameters().iter().chain(&backward.parameters()) {
+                p.zero_grad();
+            }
+            let live = pair_gradients(&forward, &backward, seq, rev);
+            let replica = pair_gradients(
+                &forward.snapshot().to_model(),
+                &backward.snapshot().to_model(),
+                seq,
+                rev,
+            );
+            assert_eq!(live.len(), replica.len());
+            for (a, b) in live.iter().zip(replica.iter()) {
+                assert!(a.bits_eq(b), "replica gradient drifted from live graph");
+            }
+        }
+    }
+
+    /// The pre-batching reference: trains with the literal pre-PR-5 serial
+    /// dependency-chain loop (`zero_grad → backward → step` per sequence on
+    /// the live graph) and returns the inferred `(record, ap, rssi)` MAR
+    /// values from the trained weights.
+    fn serial_reference_values(
+        config: &BritsConfig,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+    ) -> Vec<(usize, usize, f64)> {
+        let num_aps = map.num_aps();
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, config.sequence_length, &norm);
+        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let forward = RecurrentImputer::new(num_aps, config.hidden_size, &mut rng);
+        let backward = RecurrentImputer::new(num_aps, config.hidden_size, &mut rng);
+        let mut params = forward.parameters();
+        params.extend(backward.parameters());
+        let mut optimizer = Adam::new(params, config.learning_rate).with_clip(5.0);
+        for _ in 0..config.epochs {
+            for (seq, rev) in sequences.iter().zip(reversed.iter()) {
+                optimizer.zero_grad();
+                let fwd = forward.run(seq);
+                let bwd = backward.run(rev);
+                let mut total = Var::scalar(0.0);
+                for t in 0..seq.len() {
+                    let target = Matrix::column(&seq.fingerprints[t]);
+                    let m = Matrix::column(&seq.fingerprint_masks[t]);
+                    total = total.add(&loss::masked_mse(&fwd.estimates[t], &target, &m));
+                    let rt = rev.len() - 1 - t;
+                    let target_b = Matrix::column(&rev.fingerprints[rt]);
+                    let m_b = Matrix::column(&rev.fingerprint_masks[rt]);
+                    total = total.add(&loss::masked_mse(&bwd.estimates[rt], &target_b, &m_b));
+                    total = total.add(
+                        &loss::masked_mse_between(&fwd.complements[t], &bwd.complements[rt], &m)
+                            .scale(0.1),
+                    );
+                }
+                total.scale(1.0 / seq.len() as f64).backward();
+                optimizer.step();
+            }
+        }
+        let pairs: Vec<(&PathSequence, &PathSequence)> =
+            sequences.iter().zip(reversed.iter()).collect();
+        infer_mar_values(
+            &forward.snapshot(),
+            &backward.snapshot(),
+            &pairs,
+            mask,
+            &norm,
+            num_aps,
+            1,
+        )
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// `batch_size = 1` (the default) reproduces the pre-batching serial SGD
+    /// trajectory bitwise.
+    #[test]
+    fn batch_size_one_reproduces_the_serial_sgd_trajectory() {
+        let (map, mask) = smooth_map();
+        let config = quick_config();
+        let batched = Brits::new(config.clone()).impute(&map, &mask);
+        let reference = serial_reference_values(&config, &map, &mask);
+        assert!(!reference.is_empty());
+        for (record, ap, value) in reference {
+            assert_eq!(
+                batched.rssi(record, ap).to_bits(),
+                value.to_bits(),
+                "batch_size = 1 diverged from the serial reference at ({record}, {ap})"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Property form of the trajectory-parity contract: over random path
+        /// maps, missing patterns and training shapes, `batch_size = 1`
+        /// reproduces the pre-PR-5 serial SGD trajectory bit for bit.
+        #[test]
+        fn batch_size_one_matches_serial_reference_on_random_maps(
+            num_records in 6usize..14,
+            num_aps in 2usize..4,
+            missing_stride in 2usize..5,
+            epochs in 1usize..4,
+            seed in 0u64..1_000,
+        ) {
+            let mut records = Vec::new();
+            for i in 0..num_records {
+                let values: Vec<Option<f64>> = (0..num_aps)
+                    .map(|ap| {
+                        if (i + ap) % missing_stride == 0 {
+                            None
+                        } else {
+                            Some(-50.0 - i as f64 - ap as f64 * 2.5)
+                        }
+                    })
+                    .collect();
+                records.push(rm_radiomap::RadioMapRecord::new(
+                    Fingerprint::new(values),
+                    Some(Point::new(i as f64, 0.5)),
+                    i as f64 * 2.0,
+                    0,
+                ));
+            }
+            let map = RadioMap::new(records, num_aps);
+            let mut mask = MaskMatrix::all_observed(num_records, num_aps);
+            for i in 0..num_records {
+                for ap in 0..num_aps {
+                    if (i + ap) % missing_stride == 0 {
+                        mask.set(i, ap, EntryKind::Mar);
+                    }
+                }
+            }
+            let config = BritsConfig {
+                hidden_size: 8,
+                epochs,
+                sequence_length: 4,
+                seed,
+                batch_size: 1,
+                ..quick_config()
+            };
+            let batched = Brits::new(config.clone()).impute(&map, &mask);
+            for (record, ap, value) in serial_reference_values(&config, &map, &mask) {
+                proptest::prop_assert_eq!(batched.rssi(record, ap).to_bits(), value.to_bits());
+            }
+        }
+    }
+
+    /// A fixed `batch_size > 1` yields a bitwise-identical model at any
+    /// thread count: batch boundaries and reduction order are fixed by the
+    /// batch size alone, and `par_map` hands back gradients in
+    /// sequence-index order no matter which worker produced them.
+    #[test]
+    fn batched_training_is_bit_identical_across_thread_counts() {
+        let (map, mask) = smooth_map();
+        let run = |threads: usize| {
+            Brits::new(BritsConfig {
+                epochs: 8,
+                batch_size: 3,
+                threads,
+                ..quick_config()
+            })
+            .impute(&map, &mask)
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            for (a, b) in serial
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(parallel.fingerprints.iter().flatten())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "batched BRITS differs at {threads} threads"
+                );
+            }
+        }
     }
 }

@@ -10,11 +10,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rm_nn::{loss, Activation, Adam, Mlp, Optimizer};
+use rm_nn::{loss, Activation, Adam, GradientBatch, Mlp, Optimizer};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
 use rm_tensor::{Matrix, Precision, Scalar, Var};
 
-use crate::brits::{default_epochs, RecurrentImputer, RecurrentImputerWeights};
+use crate::brits::{default_batch_size, default_epochs, RecurrentImputer, RecurrentImputerWeights};
 use crate::sequence::{build_sequences, Normalization, PathSequence};
 use crate::{ImputedRadioMap, Imputer};
 
@@ -35,11 +35,18 @@ pub struct SsganConfig {
     pub adversarial_weight: f64,
     /// RNG seed.
     pub seed: u64,
-    /// Worker threads for the per-sequence fan-outs (`0` = auto). As in
-    /// BRITS, adversarial training is a sequential dependency chain, but the
-    /// final inference pass over all sequences parallelises
-    /// deterministically.
+    /// Worker threads for the per-sequence fan-outs (`0` = auto): the final
+    /// inference pass and — when [`Self::batch_size`] is above 1 — the
+    /// per-sequence passes inside each training batch. Results are
+    /// bit-identical at any thread count.
     pub threads: usize,
+    /// Mini-batch size of the adversarial training loop (see
+    /// [`crate::BritsConfig::batch_size`] for the determinism contract).
+    /// Both phases of a batch — discriminator, then generator — consume the
+    /// same fixed-boundary chunk of sequences, each against the weights its
+    /// phase started from, so `batch_size = 1` (the default) reproduces the
+    /// classic alternating per-sequence trajectory bitwise.
+    pub batch_size: usize,
     /// Precision of the inference pass (training always runs at `f64`; see
     /// [`crate::BritsConfig::precision`] for the contract).
     pub precision: Precision,
@@ -56,9 +63,69 @@ impl Default for SsganConfig {
             adversarial_weight: 0.3,
             seed: 41,
             threads: 0,
+            batch_size: default_batch_size(),
             precision: Precision::F64,
         }
     }
+}
+
+/// Differentiates the discriminator loss for one sequence — predict the
+/// observation mask from the (detached) complemented vectors — and returns
+/// the discriminator's per-parameter gradients. `complements` are the
+/// generator outputs as plain values: the graph forward's `.value()` on the
+/// live path, or the bit-identical matrix-kernel forward of
+/// [`RecurrentImputerWeights::run`] on the batched path. The discriminator's
+/// gradient buffers must be zero on entry.
+fn disc_gradients(
+    discriminator: &Mlp,
+    seq: &PathSequence,
+    complements: &[Matrix<f64>],
+) -> Vec<Matrix<f64>> {
+    let mut disc_loss = Var::scalar(0.0);
+    for t in 0..seq.len() {
+        let m = Matrix::column(&seq.fingerprint_masks[t]);
+        // Detach the generator output by rebuilding it as a constant.
+        let detached = Var::constant(complements[t].clone());
+        let predicted = discriminator.forward(&detached);
+        disc_loss = disc_loss.add(&loss::mse(&predicted, &m));
+    }
+    disc_loss.scale(1.0 / seq.len() as f64).backward();
+    discriminator
+        .parameters()
+        .iter()
+        .map(|p| p.grad())
+        .collect()
+}
+
+/// Differentiates the generator loss for one sequence — masked
+/// reconstruction plus the least-squares adversarial term — and returns the
+/// generator's per-parameter gradients. The generator's gradient buffers
+/// must be zero on entry (the discriminator's need not be: its parameters
+/// receive gradient here too, but only the generator slice is extracted,
+/// mirroring the classic loop where `gen_opt.step()` ignored them).
+fn gen_gradients(
+    generator: &RecurrentImputer,
+    discriminator: &Mlp,
+    seq: &PathSequence,
+    num_aps: usize,
+    adversarial_weight: f64,
+) -> Vec<Matrix<f64>> {
+    let pass = generator.run(seq);
+    let mut gen_loss = Var::scalar(0.0);
+    for t in 0..seq.len() {
+        let target = Matrix::column(&seq.fingerprints[t]);
+        let m = Matrix::column(&seq.fingerprint_masks[t]);
+        gen_loss = gen_loss.add(&loss::masked_mse(&pass.estimates[t], &target, &m));
+        // Adversarial: imputed entries should look observed (1) to the
+        // discriminator.
+        let inverse_mask = m.map(|v| 1.0 - v);
+        let predicted = discriminator.forward(&pass.complements[t]);
+        let ones = Matrix::ones(num_aps, 1);
+        let adv = loss::masked_mse(&predicted, &ones, &inverse_mask).scale(adversarial_weight);
+        gen_loss = gen_loss.add(&adv);
+    }
+    gen_loss.scale(1.0 / seq.len() as f64).backward();
+    generator.parameters().iter().map(|p| p.grad()).collect()
 }
 
 /// The SSGAN imputer.
@@ -107,41 +174,79 @@ impl Imputer for Ssgan {
         let mut disc_opt =
             Adam::new(discriminator.parameters(), self.config.learning_rate).with_clip(5.0);
 
+        // Deterministic mini-batch adversarial training: each fixed-boundary
+        // chunk of sequences runs two phases — discriminator, then generator
+        // against the just-updated discriminator — with the per-sequence
+        // gradients of a phase computed against that phase's starting
+        // weights, fanned out over the pool, and summed in sequence-index
+        // order. Single-sequence chunks (the `batch_size = 1` default)
+        // differentiate the live graphs directly, reproducing the classic
+        // alternating loop bitwise; larger chunks ship detached replicas
+        // (rebuilt from `Send + Sync` snapshots) to the workers, so only
+        // plain gradient matrices cross threads.
+        let batch_size = self.config.batch_size.max(1);
+        let threads = self.config.threads;
+        let adversarial_weight = self.config.adversarial_weight;
+        let indices: Vec<usize> = (0..sequences.len()).collect();
         for _ in 0..self.config.epochs {
-            for seq in &sequences {
-                // ---- Discriminator step: predict the observation mask. ----
-                disc_opt.zero_grad();
-                let pass = generator.run(seq);
-                let mut disc_loss = Var::scalar(0.0);
-                for t in 0..seq.len() {
-                    let m = Matrix::column(&seq.fingerprint_masks[t]);
-                    // Detach the generator output by rebuilding it as a constant.
-                    let detached = Var::constant(pass.complements[t].value());
-                    let predicted = discriminator.forward(&detached);
-                    disc_loss = disc_loss.add(&loss::mse(&predicted, &m));
+            for chunk in indices.chunks(batch_size) {
+                // ---- Discriminator phase: predict the observation mask. ----
+                let disc_grads: Vec<Vec<Matrix<f64>>> = if let [i] = *chunk {
+                    for p in disc_opt.parameters() {
+                        p.zero_grad();
+                    }
+                    let pass = generator.run(&sequences[i]);
+                    let complements: Vec<Matrix<f64>> =
+                        pass.complements.iter().map(Var::value).collect();
+                    vec![disc_gradients(&discriminator, &sequences[i], &complements)]
+                } else {
+                    let gen_weights = generator.snapshot();
+                    let disc_weights = discriminator.snapshot();
+                    rm_runtime::par_map(threads, chunk, |_, &i| {
+                        // The generator is only sampled here (its output is
+                        // detached), so the graph-free matrix forward — bit-
+                        // identical to the graph forward — serves directly.
+                        let complements = gen_weights.run(&sequences[i]);
+                        disc_gradients(&disc_weights.to_mlp(), &sequences[i], &complements)
+                    })
+                };
+                let mut batch = GradientBatch::zeros_like(disc_opt.parameters());
+                for g in &disc_grads {
+                    batch.accumulate(g);
                 }
-                disc_loss.scale(1.0 / seq.len() as f64).backward();
-                disc_opt.step();
+                disc_opt.apply_batch(&batch);
 
-                // ---- Generator step: reconstruction + fooling the discriminator. ----
-                gen_opt.zero_grad();
-                let pass = generator.run(seq);
-                let mut gen_loss = Var::scalar(0.0);
-                for t in 0..seq.len() {
-                    let target = Matrix::column(&seq.fingerprints[t]);
-                    let m = Matrix::column(&seq.fingerprint_masks[t]);
-                    gen_loss = gen_loss.add(&loss::masked_mse(&pass.estimates[t], &target, &m));
-                    // Adversarial: imputed entries should look observed (1) to
-                    // the discriminator.
-                    let inverse_mask = m.map(|v| 1.0 - v);
-                    let predicted = discriminator.forward(&pass.complements[t]);
-                    let ones = Matrix::ones(num_aps, 1);
-                    let adv = loss::masked_mse(&predicted, &ones, &inverse_mask)
-                        .scale(self.config.adversarial_weight);
-                    gen_loss = gen_loss.add(&adv);
+                // ---- Generator phase: reconstruction + fooling the updated
+                // discriminator. ----
+                let gen_grads: Vec<Vec<Matrix<f64>>> = if let [i] = *chunk {
+                    for p in gen_opt.parameters() {
+                        p.zero_grad();
+                    }
+                    vec![gen_gradients(
+                        &generator,
+                        &discriminator,
+                        &sequences[i],
+                        num_aps,
+                        adversarial_weight,
+                    )]
+                } else {
+                    let gen_weights = generator.snapshot();
+                    let disc_weights = discriminator.snapshot();
+                    rm_runtime::par_map(threads, chunk, |_, &i| {
+                        gen_gradients(
+                            &gen_weights.to_model(),
+                            &disc_weights.to_mlp(),
+                            &sequences[i],
+                            num_aps,
+                            adversarial_weight,
+                        )
+                    })
+                };
+                let mut batch = GradientBatch::zeros_like(gen_opt.parameters());
+                for g in &gen_grads {
+                    batch.accumulate(g);
                 }
-                gen_loss.scale(1.0 / seq.len() as f64).backward();
-                gen_opt.step();
+                gen_opt.apply_batch(&batch);
             }
         }
 
@@ -228,6 +333,7 @@ mod tests {
             adversarial_weight: 0.3,
             seed: 5,
             threads: 0,
+            batch_size: 1,
             precision: Precision::F64,
         }
     }
@@ -261,6 +367,103 @@ mod tests {
             "f32 imputation {b} drifted from f64 imputation {a}"
         );
         assert_eq!(f32_out.rssi(0, 0).to_bits(), f64_out.rssi(0, 0).to_bits());
+    }
+
+    /// A fixed `batch_size > 1` yields a bitwise-identical SSGAN model at
+    /// any thread count (both adversarial phases batch deterministically).
+    #[test]
+    fn batched_adversarial_training_is_bit_identical_across_thread_counts() {
+        let (map, mask) = smooth_map();
+        let run = |threads: usize| {
+            Ssgan::new(SsganConfig {
+                epochs: 5,
+                batch_size: 2,
+                threads,
+                ..quick_config()
+            })
+            .impute(&map, &mask)
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let parallel = run(threads);
+            for (a, b) in serial
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(parallel.fingerprints.iter().flatten())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "batched SSGAN differs at {threads} threads"
+                );
+            }
+        }
+    }
+
+    /// `batch_size = 1` reproduces the classic alternating per-sequence
+    /// trajectory bitwise: the reference below is the literal pre-batching
+    /// loop (disc `zero_grad → backward → step`, then gen, per sequence).
+    #[test]
+    fn batch_size_one_reproduces_the_alternating_trajectory() {
+        let (map, mask) = smooth_map();
+        let config = quick_config();
+        let batched = Ssgan::new(config.clone()).impute(&map, &mask);
+
+        let norm = Normalization::from_map(&map);
+        let sequences = build_sequences(&map, &mask, config.sequence_length, &norm);
+        let num_aps = 2;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let generator = RecurrentImputer::new(num_aps, config.hidden_size, &mut rng);
+        let discriminator = Mlp::new(
+            &[num_aps, config.discriminator_hidden, num_aps],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        let mut gen_opt = Adam::new(generator.parameters(), config.learning_rate).with_clip(5.0);
+        let mut disc_opt =
+            Adam::new(discriminator.parameters(), config.learning_rate).with_clip(5.0);
+        for _ in 0..config.epochs {
+            for seq in &sequences {
+                disc_opt.zero_grad();
+                let pass = generator.run(seq);
+                let mut disc_loss = Var::scalar(0.0);
+                for t in 0..seq.len() {
+                    let m = Matrix::column(&seq.fingerprint_masks[t]);
+                    let detached = Var::constant(pass.complements[t].value());
+                    let predicted = discriminator.forward(&detached);
+                    disc_loss = disc_loss.add(&loss::mse(&predicted, &m));
+                }
+                disc_loss.scale(1.0 / seq.len() as f64).backward();
+                disc_opt.step();
+
+                gen_opt.zero_grad();
+                let pass = generator.run(seq);
+                let mut gen_loss = Var::scalar(0.0);
+                for t in 0..seq.len() {
+                    let target = Matrix::column(&seq.fingerprints[t]);
+                    let m = Matrix::column(&seq.fingerprint_masks[t]);
+                    gen_loss = gen_loss.add(&loss::masked_mse(&pass.estimates[t], &target, &m));
+                    let inverse_mask = m.map(|v| 1.0 - v);
+                    let predicted = discriminator.forward(&pass.complements[t]);
+                    let ones = Matrix::ones(num_aps, 1);
+                    let adv = loss::masked_mse(&predicted, &ones, &inverse_mask)
+                        .scale(config.adversarial_weight);
+                    gen_loss = gen_loss.add(&adv);
+                }
+                gen_loss.scale(1.0 / seq.len() as f64).backward();
+                gen_opt.step();
+            }
+        }
+        let values = infer_mar_values(&generator.snapshot(), &sequences, &mask, &norm, num_aps, 1);
+        for (record, ap, value) in values.into_iter().flatten() {
+            assert_eq!(
+                batched.rssi(record, ap).to_bits(),
+                value.to_bits(),
+                "batch_size = 1 diverged from the alternating reference at ({record}, {ap})"
+            );
+        }
     }
 
     #[test]

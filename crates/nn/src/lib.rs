@@ -43,5 +43,5 @@ pub mod optim;
 
 pub use linear::{Linear, LinearWeights};
 pub use lstm::{LstmCell, LstmCellWeights, LstmState, LstmStateMatrix, SimpleRecurrentCell};
-pub use mlp::{Activation, Mlp};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use mlp::{Activation, Mlp, MlpWeights};
+pub use optim::{Adam, GradientBatch, Optimizer, Sgd};

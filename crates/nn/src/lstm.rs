@@ -182,6 +182,20 @@ impl<T: Scalar> LstmCellWeights<T> {
         }
     }
 
+    /// Rebuilds a trainable [`LstmCell`] from this snapshot (the inverse of
+    /// [`LstmCell::snapshot`]; see [`crate::LinearWeights::to_linear`] for
+    /// the role this plays in mini-batch training).
+    pub fn to_cell(&self) -> LstmCell<T> {
+        LstmCell {
+            input_gate: self.input_gate.to_linear(),
+            forget_gate: self.forget_gate.to_linear(),
+            output_gate: self.output_gate.to_linear(),
+            candidate: self.candidate.to_linear(),
+            input_size: self.input_size,
+            hidden_size: self.hidden_size,
+        }
+    }
+
     /// Performs one recurrent step on plain matrices.
     pub fn step(&self, input: &Matrix<T>, state: &LstmStateMatrix<T>) -> LstmStateMatrix<T> {
         debug_assert_eq!(input.rows(), self.input_size, "LSTM input size mismatch");

@@ -3,6 +3,17 @@
 //! Training in this workspace runs at the default `f64` (the
 //! determinism-contract precision); the generic instantiation exists so the
 //! optimizer math monomorphises alongside `Var<f32>` graphs.
+//!
+//! # Mini-batch gradient accumulation
+//!
+//! The optimizer contract is split in two: gradients can be *accumulated*
+//! into a [`GradientBatch`] (an ordered sum over per-example gradients,
+//! independent of which thread produced each term) and then *applied* as one
+//! [`Optimizer::step`] via [`Optimizer::apply_batch`]. A batch holding a
+//! single example's gradient reproduces the plain
+//! `zero_grad → backward → step` trajectory bitwise: summing one gradient
+//! into a zeroed buffer and re-depositing it into the (zeroed) parameter
+//! gradients is exactly the accumulation `backward` itself performs.
 
 use rm_tensor::{Matrix, Scalar, Var};
 
@@ -17,6 +28,98 @@ pub trait Optimizer<T: Scalar = f64> {
 
     /// The parameters managed by this optimizer.
     fn parameters(&self) -> &[Var<T>];
+
+    /// Applies one update step from an externally accumulated gradient
+    /// batch: the parameters' gradient buffers are zeroed, the batch sums
+    /// are deposited into them, and a single [`Optimizer::step`] runs.
+    ///
+    /// # Panics
+    /// Panics if the batch was not built for this optimizer's parameter
+    /// list (length or shape mismatch).
+    fn apply_batch(&mut self, batch: &GradientBatch<T>) {
+        batch.load_into(self.parameters());
+        self.step();
+    }
+}
+
+/// An ordered accumulator for mini-batch gradients, matching one optimizer's
+/// parameter list tensor for tensor.
+///
+/// Per-example gradients — typically extracted from detached graph replicas
+/// evaluated on worker threads — are summed with [`GradientBatch::accumulate`]
+/// **in the order the calls are made**. Callers that fan the per-example
+/// backward passes out in parallel must therefore accumulate the results in
+/// example-index order (e.g. from an order-preserving `par_map`), which makes
+/// the summed gradient — and thus the whole training trajectory — bitwise
+/// independent of which worker produced each term.
+pub struct GradientBatch<T: Scalar = f64> {
+    grads: Vec<Matrix<T>>,
+    examples: usize,
+}
+
+impl<T: Scalar> GradientBatch<T> {
+    /// Creates a zeroed batch shaped like `params` (one gradient buffer per
+    /// parameter tensor, in the same order).
+    pub fn zeros_like(params: &[Var<T>]) -> Self {
+        Self {
+            grads: params
+                .iter()
+                .map(|p| {
+                    let (r, c) = p.shape();
+                    Matrix::zeros(r, c)
+                })
+                .collect(),
+            examples: 0,
+        }
+    }
+
+    /// Adds one example's per-parameter gradients into the running sums.
+    ///
+    /// # Panics
+    /// Panics if `grads` does not match the batch's parameter list (length
+    /// or shape).
+    pub fn accumulate(&mut self, grads: &[Matrix<T>]) {
+        assert_eq!(
+            self.grads.len(),
+            grads.len(),
+            "gradient batch holds {} tensors, example provided {}",
+            self.grads.len(),
+            grads.len()
+        );
+        for (sum, g) in self.grads.iter_mut().zip(grads.iter()) {
+            sum.axpy(T::ONE, g);
+        }
+        self.examples += 1;
+    }
+
+    /// Number of examples accumulated so far.
+    pub fn examples(&self) -> usize {
+        self.examples
+    }
+
+    /// The per-parameter gradient sums accumulated so far.
+    pub fn sums(&self) -> &[Matrix<T>] {
+        &self.grads
+    }
+
+    /// Zeroes `params`' gradient buffers and deposits the accumulated sums
+    /// into them (the load half of [`Optimizer::apply_batch`]).
+    ///
+    /// # Panics
+    /// Panics if `params` does not match the batch (length or shape).
+    pub fn load_into(&self, params: &[Var<T>]) {
+        assert_eq!(
+            self.grads.len(),
+            params.len(),
+            "gradient batch holds {} tensors, optimizer manages {}",
+            self.grads.len(),
+            params.len()
+        );
+        for (p, sum) in params.iter().zip(self.grads.iter()) {
+            p.zero_grad();
+            p.add_grad(sum);
+        }
+    }
 }
 
 /// Plain stochastic gradient descent with optional gradient clipping.
@@ -240,6 +343,61 @@ mod tests {
         big.backward();
         opt.step();
         assert!((w.value().get(0, 0) + 0.5).abs() < 1e-12);
+    }
+
+    /// A single-example batch must reproduce the plain
+    /// `zero_grad → backward → step` trajectory bitwise — the contract the
+    /// batched trainers rely on for `batch_size = 1`.
+    #[test]
+    fn single_example_batch_matches_direct_step_bitwise() {
+        let run = |batched: bool| -> Vec<u64> {
+            let w = Var::parameter(Matrix::from_vec(2, 1, vec![0.3, -1.7]));
+            let mut opt = Adam::new(vec![w.clone()], 0.05).with_clip(5.0);
+            for step in 0..20 {
+                let target = 1.0 + step as f64 * 0.1;
+                if batched {
+                    // Compute the gradient on a detached replica of the graph.
+                    let replica = Var::parameter(w.value());
+                    let loss = replica.add_const(-target).square().sum();
+                    loss.backward();
+                    let mut batch = GradientBatch::zeros_like(opt.parameters());
+                    batch.accumulate(&[replica.grad()]);
+                    assert_eq!(batch.examples(), 1);
+                    opt.apply_batch(&batch);
+                } else {
+                    opt.zero_grad();
+                    let loss = w.add_const(-target).square().sum();
+                    loss.backward();
+                    opt.step();
+                }
+            }
+            w.value().data().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// Accumulating N per-example gradients and applying once equals one
+    /// step over the manually summed gradient.
+    #[test]
+    fn batch_accumulation_sums_in_order() {
+        let w = Var::parameter(Matrix::from_vec(1, 1, vec![2.0]));
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        let mut batch = GradientBatch::zeros_like(opt.parameters());
+        for g in [0.25, -1.5, 3.0] {
+            batch.accumulate(&[Matrix::from_vec(1, 1, vec![g])]);
+        }
+        assert_eq!(batch.examples(), 3);
+        assert_eq!(batch.sums()[0].get(0, 0), 0.25 - 1.5 + 3.0);
+        opt.apply_batch(&batch);
+        assert!((w.value().get(0, 0) - (2.0 - 0.1 * 1.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient batch holds")]
+    fn batch_rejects_mismatched_example() {
+        let w = Var::parameter(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut batch = GradientBatch::zeros_like(&[w]);
+        batch.accumulate(&[]);
     }
 
     #[test]

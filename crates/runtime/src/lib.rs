@@ -41,7 +41,7 @@
 //! `PipelineConfig.threads` get exactly that width no matter what
 //! `RM_THREADS` said when the cache was filled.
 
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -160,11 +160,47 @@ fn parallel_width(threads: usize, len: usize) -> Option<usize> {
     }
 }
 
+/// A fixed array of per-participant result buckets for the pool fan-out.
+///
+/// Each execution of a fan-out's job body claims a distinct bucket index
+/// from an atomic cursor and is the only thread that ever touches that
+/// bucket, so the buckets need no locking; the dispatching caller reads them
+/// only after `Pool::run` returned (i.e. after every ticket finished, which
+/// the pool's latch guarantees with a happens-before edge).
+struct ParticipantSlots<R> {
+    buckets: Vec<UnsafeCell<Vec<(usize, R)>>>,
+}
+
+// SAFETY: distinct participants access distinct buckets (unique indices from
+// an atomic claim cursor), and the caller's final read is ordered after all
+// participant writes by the pool latch, so sharing the array is sound for any
+// `R` the results themselves allow crossing threads (`R: Send`).
+#[allow(unsafe_code)]
+unsafe impl<R: Send> Sync for ParticipantSlots<R> {}
+
+impl<R> ParticipantSlots<R> {
+    fn new(participants: usize) -> Self {
+        let mut buckets = Vec::with_capacity(participants);
+        buckets.resize_with(participants, || UnsafeCell::new(Vec::new()));
+        Self { buckets }
+    }
+
+    /// Raw pointer to bucket `pid` (also keeps closures capturing the whole
+    /// `Sync` wrapper rather than disjointly capturing the inner vector).
+    ///
+    /// SAFETY (caller): dereference only while `pid` is this thread's
+    /// uniquely claimed participant index.
+    fn bucket(&self, pid: usize) -> *mut Vec<(usize, R)> {
+        self.buckets[pid].get()
+    }
+}
+
 /// [`par_map`] dispatched through the persistent pool: the caller and
-/// `threads - 1` pool workers drain a shared atomic cursor; each participant
-/// buffers its `(index, result)` pairs locally and merges them into the
-/// caller-owned slot vector under a mutex once it runs out of work, so slot
-/// `i` always ends up holding `f(i, &items[i])`.
+/// `threads - 1` pool workers drain a shared atomic cursor, each pushing its
+/// `(index, result)` pairs into its own slot of a per-participant array —
+/// the merge into the output vector happens on the caller alone, after the
+/// fan-out's latch, so no participant ever takes a lock for its results.
+/// Slot `i` of the output always ends up holding `f(i, &items[i])`.
 fn pool_par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -174,42 +210,39 @@ where
     let extra = threads - 1;
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let mut initial: Vec<Option<R>> = Vec::with_capacity(items.len());
-    initial.resize_with(items.len(), || None);
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new(initial);
+    // One bucket per possible participant: `extra` tickets plus the caller.
+    // (A ticket the caller reclaims unexecuted claims no bucket.)
+    let participant = AtomicUsize::new(0);
+    let slots: ParticipantSlots<R> = ParticipantSlots::new(extra + 1);
+    // Panics are the cold path; a mutex on the payload slot is fine.
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     let body = || {
+        let pid = participant.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `pid` is unique per body execution and at most
+        // `extra + 1` executions exist (one per dispatched ticket plus the
+        // caller), so this is the only live reference to bucket `pid`; the
+        // caller merges the buckets only after `Pool::run` returns.
+        #[allow(unsafe_code)]
+        let local = unsafe { &mut *slots.bucket(pid) };
         // Catch panics *inside* the job so the executing pool worker (or the
         // caller mid-dispatch) never unwinds through pool machinery; the
         // first payload is re-raised on the caller below.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let mut local: Vec<(usize, R)> = Vec::new();
-            loop {
-                if abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                local.push((i, f(i, &items[i])));
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
             }
-            local
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            local.push((i, f(i, &items[i])));
         }));
-        match outcome {
-            Ok(local) => {
-                let mut slots = slots.lock().unwrap();
-                for (i, r) in local {
-                    slots[i] = Some(r);
-                }
-            }
-            Err(payload) => {
-                abort.store(true, Ordering::Relaxed);
-                let mut slot = panic_payload.lock().unwrap();
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
+        if let Err(payload) = outcome {
+            abort.store(true, Ordering::Relaxed);
+            let mut slot = panic_payload.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
             }
         }
     };
@@ -218,10 +251,14 @@ where
     if let Some(payload) = panic_payload.into_inner().unwrap() {
         std::panic::resume_unwind(payload);
     }
-    slots
-        .into_inner()
-        .unwrap()
-        .into_iter()
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    for bucket in slots.buckets {
+        for (i, r) in bucket.into_inner() {
+            out[i] = Some(r);
+        }
+    }
+    out.into_iter()
         .map(|r| r.expect("par_map filled every slot"))
         .collect()
 }

@@ -74,6 +74,24 @@ proptest! {
         }
     }
 
+    /// The same parity with heap-owning results: every item's `Vec` must
+    /// come back exactly once through the pool's lock-free per-participant
+    /// slot merge (a double-deposit or dropped bucket would corrupt or lose
+    /// allocations, which this shape surfaces immediately).
+    #[test]
+    fn pool_and_scoped_par_map_agree_on_heap_results(
+        values in prop::collection::vec(0u32..1_000, 2..120),
+        threads in 2usize..6,
+    ) {
+        let f = |i: usize, v: &u32| vec![i as u32, *v, v.wrapping_mul(31)];
+        let pooled = par_map(threads, &values, f);
+        let scoped = par_map_scoped(threads, &values, f);
+        prop_assert_eq!(&pooled, &scoped);
+        for (i, (out, v)) in pooled.iter().zip(values.iter()).enumerate() {
+            prop_assert_eq!(out, &vec![i as u32, *v, v.wrapping_mul(31)]);
+        }
+    }
+
     #[test]
     fn pool_and_scoped_par_chunks_agree_bitwise(
         values in prop::collection::vec(-1e3f64..1e3, 1..200),

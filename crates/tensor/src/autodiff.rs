@@ -176,6 +176,23 @@ impl<T: Scalar> Var<T> {
         n.grad = Matrix::zeros(r, c);
     }
 
+    /// Adds `delta` into this node's gradient buffer.
+    ///
+    /// This is the leaf-side half of mini-batch gradient accumulation: an
+    /// externally computed gradient (e.g. extracted from a worker's detached
+    /// replica of the graph) is summed into the parameter exactly as
+    /// [`Var::backward`] would have, so an optimizer step over the
+    /// accumulated buffer is bitwise-indistinguishable from one computed on
+    /// this graph directly.
+    ///
+    /// # Panics
+    /// Panics if `delta`'s shape differs from the value's shape.
+    pub fn add_grad(&self, delta: &Matrix<T>) {
+        let mut n = self.node.borrow_mut();
+        assert_eq!(n.value.shape(), delta.shape(), "add_grad shape mismatch");
+        n.grad.axpy(T::ONE, delta);
+    }
+
     /// Replaces the value of a leaf (used by optimizers).
     ///
     /// # Panics

@@ -230,17 +230,25 @@ impl DatasetSpec {
 /// The default scale factor used by tests and the experiment harness. It can
 /// be overridden through the `RM_SCALE` environment variable; `RM_QUICK=1`
 /// selects an even smaller scale for smoke runs.
+///
+/// The value is resolved **once per process** and cached (like the
+/// `RM_THREADS` resolution in `rm-runtime` and `default_epochs` in
+/// `rm-imputers`), so repeated calls can never disagree and concurrent
+/// tests can never observe a mid-run environment change.
 pub fn default_scale() -> f64 {
-    if let Ok(v) = std::env::var("RM_SCALE") {
-        if let Ok(parsed) = v.parse::<f64>() {
-            return parsed.clamp(0.05, 1.0);
+    static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *SCALE.get_or_init(|| {
+        if let Ok(v) = std::env::var("RM_SCALE") {
+            if let Ok(parsed) = v.parse::<f64>() {
+                return parsed.clamp(0.05, 1.0);
+            }
         }
-    }
-    if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
-        0.08
-    } else {
-        0.15
-    }
+        if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
+            0.08
+        } else {
+            0.15
+        }
+    })
 }
 
 #[cfg(test)]

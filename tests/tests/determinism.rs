@@ -78,6 +78,44 @@ fn imputed_maps_are_bit_identical_across_thread_counts() {
     }
 }
 
+/// Batched training (a fixed `batch_size > 1`) obeys the same contract for
+/// all three recurrent imputers: batch boundaries are fixed by the batch
+/// size alone, per-sequence gradients inside a batch are computed against
+/// the batch-start weights on detached graph replicas, and the gradient sums
+/// reduce in sequence-index order — so training itself is now a parallel
+/// fan-out whose model (and therefore whose imputations) is bit-identical at
+/// `RM_THREADS = 1 / 2 / available_parallelism`.
+#[test]
+fn batched_training_is_bit_identical_across_thread_counts() {
+    let map = straight_path_map(24, 8);
+    let topology = MultiPolygon::empty();
+    let thread_counts = [1, 2, rm_runtime::default_threads()];
+    for imputer in [ImputerKind::Brits, ImputerKind::Ssgan, ImputerKind::Bisim] {
+        let runs: Vec<ImputedRadioMap> = thread_counts
+            .iter()
+            .map(|&threads| {
+                ImputationPipeline::new(PipelineConfig {
+                    differentiator: DifferentiatorKind::MarOnly,
+                    imputer,
+                    epochs: Some(2),
+                    threads,
+                    batch_size: Some(4),
+                    ..PipelineConfig::default()
+                })
+                .impute(&map, &topology)
+                .0
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert!(
+                bitwise_eq_maps(&runs[0], run),
+                "{} batched training differs across thread counts",
+                imputer.name()
+            );
+        }
+    }
+}
+
 /// The f32 inference mode obeys the same contract as the default pipeline:
 /// **bit-identical at any thread count**. Precision changes which kernels
 /// run (and therefore the values — f32 rounds differently from f64); it must
