@@ -74,10 +74,7 @@ fn print_index() {
 
 fn main() {
     print_index();
-    if std::env::var("RM_INDEX_ONLY")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-    {
+    if rm_bench::index_only() {
         return;
     }
 

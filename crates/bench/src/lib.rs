@@ -22,7 +22,7 @@
 //!   (default) or `f32` (single-precision SIMD kernels; see
 //!   [`radiomap_core::Precision`]).
 
-use std::collections::HashSet;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -33,22 +33,50 @@ use radiomap_core::{DifferentiatorKind, ImputerKind, PipelineConfig};
 use rm_radiomap::DenseRadioMap;
 
 /// The base seed used by the experiment harness (override with `RM_SEED`).
+///
+/// Resolved **once per process** and cached, like every other env knob
+/// (`RM_THREADS`, `RM_EPOCHS`, `RM_BATCH`, `RM_SCALE`): repeated calls can
+/// never disagree, and a mid-run `set_var` can never split an experiment
+/// across two seeds.
 pub fn experiment_seed() -> u64 {
-    std::env::var("RM_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2023)
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_SEED
+        std::env::var("RM_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2023)
+    })
 }
 
 /// The inference precision used by the experiment harness: `RM_PRECISION`
 /// (`f32`/`f64`, case-insensitive) if set and valid, else the `f64` default.
 /// This is how CI runs the whole grid in single-precision mode without a
-/// second binary.
+/// second binary. Resolved once per process and cached, like
+/// [`experiment_seed`].
 pub fn experiment_precision() -> Precision {
-    std::env::var("RM_PRECISION")
-        .ok()
-        .and_then(|v| Precision::parse(&v))
-        .unwrap_or(Precision::F64)
+    static PRECISION: OnceLock<Precision> = OnceLock::new();
+    *PRECISION.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_PRECISION
+        std::env::var("RM_PRECISION")
+            .ok()
+            .and_then(|v| Precision::parse(&v))
+            .unwrap_or(Precision::F64)
+    })
+}
+
+/// Whether `run_all_experiments` should print the experiment index and exit
+/// (`RM_INDEX_ONLY=1`). Resolved once per process and cached, like
+/// [`experiment_seed`] — a binary-startup flag, but routed through the same
+/// accessor pattern so no raw env read survives in the harness.
+pub fn index_only() -> bool {
+    static INDEX_ONLY: OnceLock<bool> = OnceLock::new();
+    *INDEX_ONLY.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_INDEX_ONLY
+        std::env::var("RM_INDEX_ONLY")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
 }
 
 /// The training mini-batch size used by the experiment harness: the
@@ -195,12 +223,15 @@ pub fn run_cell_with_threads(
     let imputed = imputer_impl.impute(&working, &mask);
     let imputation_seconds = imp_start.elapsed().as_secs_f64();
 
-    // Training radio map: everything except the test records.
-    let test_set: HashSet<usize> = test_indices.iter().copied().collect();
+    // Training radio map: everything except the test records. Sorted-slice
+    // membership instead of a hash set keeps the deterministic path free of
+    // unordered structures (same O(log n) lookup).
+    let mut test_set: Vec<usize> = test_indices.to_vec();
+    test_set.sort_unstable();
     let mut fingerprints = Vec::new();
     let mut locations = Vec::new();
     for i in 0..imputed.len() {
-        if test_set.contains(&i) {
+        if test_set.binary_search(&i).is_ok() {
             continue;
         }
         if let Some(loc) = imputed.locations[i] {
@@ -381,6 +412,7 @@ mod tests {
             _lock: ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner),
             saved: vars
                 .iter()
+                // rm-lint: allow(no-raw-env-read): snapshots variables so the guard can restore them — not a knob resolution
                 .map(|&name| (name, std::env::var(name).ok()))
                 .collect(),
         }

@@ -187,6 +187,7 @@ pub fn elbow_method(samples: &[Vec<f64>], max_k: usize, rng: &mut impl Rng) -> u
 
 #[cfg(test)]
 mod tests {
+    // rm-lint: allow(no-unordered-iteration): test-only cardinality check — the set is counted, never iterated
     use std::collections::HashSet;
 
     use super::*;
@@ -218,6 +219,7 @@ mod tests {
         assert_eq!(clustering.num_clusters(), 3);
         // Every ground-truth blob must map to a single cluster.
         for blob in 0..3 {
+            // rm-lint: allow(no-unordered-iteration): deduplicates assignments to count them — order never observed
             let assigned: HashSet<usize> = labels
                 .iter()
                 .zip(clustering.assignments().iter())

@@ -12,7 +12,6 @@
 //! parallelism). Results are **bit-identical at any thread count** — see the
 //! determinism contract in `rm_runtime`.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -366,6 +365,8 @@ impl ImputationPipeline {
             working.records_mut()[i].rp = None;
         }
 
+        #[allow(clippy::disallowed_methods)]
+        // rm-lint: allow(no-wallclock-in-deterministic-path): stage-timing telemetry — reported, never branched on
         let diff_start = Instant::now();
         let mask = self.differentiate(&working, topology);
         let differentiation_seconds = diff_start.elapsed().as_secs_f64();
@@ -380,16 +381,21 @@ impl ImputationPipeline {
             self.config.batch_size,
             self.config.precision,
         );
+        #[allow(clippy::disallowed_methods)]
+        // rm-lint: allow(no-wallclock-in-deterministic-path): stage-timing telemetry — reported, never branched on
         let imp_start = Instant::now();
         let imputed = imputer.impute(&working, &mask);
         let imputation_seconds = imp_start.elapsed().as_secs_f64();
 
         // Radio map for estimation: all imputed records except the test ones.
-        let test_set: HashSet<usize> = test_indices.iter().copied().collect();
+        // Sorted-slice membership instead of a hash set: same O(log n)
+        // contains, no unordered structure in the deterministic path.
+        let mut test_set: Vec<usize> = test_indices.to_vec();
+        test_set.sort_unstable();
         let mut fingerprints = Vec::new();
         let mut locations = Vec::new();
         for i in 0..imputed.len() {
-            if test_set.contains(&i) {
+            if test_set.binary_search(&i).is_ok() {
                 continue;
             }
             if let Some(loc) = imputed.locations[i] {

@@ -85,9 +85,11 @@ impl Default for BritsConfig {
 /// change. `RM_EPOCHS` has a floor of 1 — zero epochs would return an
 /// untrained model — and a request of `0` is promoted to 1 with a one-time
 /// warning on stderr.
+#[allow(clippy::disallowed_methods)] // audited env reads; see the rm-lint allows inside
 pub fn default_epochs() -> usize {
     static EPOCHS: OnceLock<usize> = OnceLock::new();
     *EPOCHS.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_EPOCHS
         if let Ok(v) = std::env::var("RM_EPOCHS") {
             if let Ok(parsed) = v.parse::<usize>() {
                 if parsed == 0 {
@@ -99,6 +101,7 @@ pub fn default_epochs() -> usize {
                 return parsed.max(1);
             }
         }
+        // rm-lint: allow(no-raw-env-read): RM_QUICK is folded into the same cached RM_EPOCHS resolution
         if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
             8
         } else {
@@ -112,9 +115,11 @@ pub fn default_epochs() -> usize {
 /// (the classic per-sequence SGD trajectory). Resolved once per process and
 /// cached, like [`default_epochs`]; `RM_BATCH=0` is promoted to 1 with a
 /// one-time warning.
+#[allow(clippy::disallowed_methods)] // audited env read; see the rm-lint allow inside
 pub fn default_batch_size() -> usize {
     static BATCH: OnceLock<usize> = OnceLock::new();
     *BATCH.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_BATCH
         if let Ok(v) = std::env::var("RM_BATCH") {
             if let Ok(parsed) = v.parse::<usize>() {
                 if parsed == 0 {

@@ -1,0 +1,515 @@
+//! A minimal hand-rolled Rust lexer, just deep enough for rule matching.
+//!
+//! The rules in [`crate::rules`] match *token sequences*, so the lexer's one
+//! real job is to make sure banned tokens inside string literals and comments
+//! can never trip a rule: `"std::env::var"` in a test fixture string or a doc
+//! comment mentioning `HashMap` must lex to a literal/comment, not to the
+//! identifier tokens the rules look for. Everything else is deliberately
+//! simple: single-character punctuation (rules match `::` as two `:` tokens),
+//! no keyword table (`unsafe` is just an identifier token), no spans beyond
+//! `line:col`.
+//!
+//! Comments are *kept*, separately from the token stream, because two rules
+//! read them: `unsafe-needs-safety-comment` looks for `SAFETY` markers near
+//! `unsafe` tokens, and the suppression layer parses `rm-lint: allow(...)`
+//! annotations out of comment text. Block comments attribute their text to
+//! every line they span so a multi-line `/* SAFETY: ... */` works the same as
+//! a run of `//` lines.
+
+/// What a token is; rules only ever distinguish identifiers from punctuation
+/// (literals and lifetimes exist so their *contents* can never be mistaken
+/// for code).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `matmul`, ...).
+    Ident,
+    /// A single punctuation character (`:`, `.`, `(`, ...).
+    Punct,
+    /// A string/char/number literal (contents discarded).
+    Literal,
+    /// A lifetime (`'a`); kept distinct so `'static` is not an `Ident`.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token text for `Ident`/`Punct` (empty for literals/lifetimes —
+    /// no rule reads their contents).
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The comments observed on one source line, one segment per comment (a line
+/// carrying `/* a */ code // b` records two segments). Line-comment segments
+/// keep their `//`/`///`/`//!` prefix so the annotation parser can tell plain
+/// comments from doc comments.
+#[derive(Debug, Clone, Default)]
+pub struct LineComments {
+    pub segments: Vec<String>,
+}
+
+/// The output of lexing one file: the code tokens plus per-line comment text
+/// (index 0 = line 1).
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComments>,
+}
+
+impl Lexed {
+    /// The comment segments on a 1-based line (empty slice if none — also
+    /// for the out-of-range line 0, which lookback windows may produce).
+    pub fn comments_on(&self, line: u32) -> &[String] {
+        let Some(idx) = (line as usize).checked_sub(1) else {
+            return &[];
+        };
+        self.comments
+            .get(idx)
+            .map(|c| c.segments.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether any comment on a 1-based line contains `needle`.
+    pub fn comment_contains(&self, line: u32, needle: &str) -> bool {
+        self.comments_on(line).iter().any(|s| s.contains(needle))
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    /// Consumes one byte, tracking line/col. Multi-byte UTF-8 continuation
+    /// bytes do not advance the column (close enough for diagnostics).
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes one file. Never fails: unterminated strings/comments simply consume
+/// the rest of the file (the compiler is the authority on well-formedness;
+/// the linter only needs to never mis-tokenize valid code).
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner::new(src);
+    let mut out = Lexed::default();
+    let total_lines = src.lines().count().max(1);
+    out.comments.resize_with(total_lines, Default::default);
+
+    let record_comment = |comments: &mut Vec<LineComments>, line: u32, text: &str| {
+        let idx = line as usize - 1;
+        if idx >= comments.len() {
+            comments.resize_with(idx + 1, Default::default);
+        }
+        comments[idx].segments.push(text.to_string());
+    };
+
+    while let Some(b) = s.peek() {
+        let (line, col) = (s.line, s.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek_at(1) == Some(b'/') => {
+                // Line comment (including `///` and `//!` doc comments).
+                let start = s.pos;
+                while let Some(c) = s.peek() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    s.bump();
+                }
+                let text = std::str::from_utf8(&s.src[start..s.pos]).unwrap_or("");
+                record_comment(&mut out.comments, line, text);
+            }
+            b'/' if s.peek_at(1) == Some(b'*') => {
+                // Block comment, possibly nested; text is attributed per line.
+                s.bump();
+                s.bump();
+                let mut depth = 1usize;
+                let mut seg_start = s.pos;
+                let mut seg_line = s.line;
+                while depth > 0 {
+                    match (s.peek(), s.peek_at(1)) {
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            s.bump();
+                            s.bump();
+                        }
+                        (Some(b'\n'), _) => {
+                            let text = std::str::from_utf8(&s.src[seg_start..s.pos]).unwrap_or("");
+                            record_comment(&mut out.comments, seg_line, text);
+                            s.bump();
+                            seg_start = s.pos;
+                            seg_line = s.line;
+                        }
+                        (Some(_), _) => {
+                            s.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                let text = std::str::from_utf8(&s.src[seg_start..s.pos]).unwrap_or("");
+                let text = text.strip_suffix("*/").unwrap_or(text);
+                if !text.trim().is_empty() {
+                    record_comment(&mut out.comments, seg_line, text);
+                }
+            }
+            b'"' => {
+                s.bump();
+                consume_string_body(&mut s);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'r' | b'b' if is_raw_or_byte_string(&s) => {
+                consume_prefixed_string(&mut s);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`): after the
+                // quote, an identifier not followed by a closing quote is a
+                // lifetime.
+                let is_lifetime = match (s.peek_at(1), s.peek_at(2)) {
+                    (Some(c), Some(q)) if is_ident_start(c) && c != b'\\' => q != b'\'',
+                    (Some(c), None) if is_ident_start(c) => true,
+                    _ => false,
+                };
+                s.bump();
+                if is_lifetime {
+                    while let Some(c) = s.peek() {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        s.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                } else {
+                    // Char literal: consume until the closing quote,
+                    // honouring escapes.
+                    while let Some(c) = s.bump() {
+                        match c {
+                            b'\\' => {
+                                s.bump();
+                            }
+                            b'\'' => break,
+                            _ => {}
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                        col,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Number literal: digits plus any trailing ident chars or
+                // dots (`1_000`, `0xFF`, `1.5e-3`, `3.0f64`).
+                while let Some(c) = s.peek() {
+                    if is_ident_continue(c) || c == b'.' {
+                        // A dot only belongs to the number if a digit
+                        // follows (so `1.max(2)` keeps its method call).
+                        if c == b'.' && !matches!(s.peek_at(1), Some(d) if d.is_ascii_digit()) {
+                            break;
+                        }
+                        s.bump();
+                    } else if (c == b'+' || c == b'-')
+                        && matches!(s.src.get(s.pos - 1), Some(b'e') | Some(b'E'))
+                    {
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = s.pos;
+                while let Some(c) = s.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    s.bump();
+                }
+                let text = std::str::from_utf8(&s.src[start..s.pos])
+                    .unwrap_or("")
+                    .to_string();
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            c => {
+                s.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// After an opening `"`, consumes the body and closing quote with `\` escapes.
+fn consume_string_body(s: &mut Scanner) {
+    while let Some(c) = s.bump() {
+        match c {
+            b'\\' => {
+                s.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Whether the scanner sits on a raw/byte string prefix: `r"`, `r#`, `b"`,
+/// `br"`, `br#`, `b'`. A plain identifier starting with `r`/`b` (e.g.
+/// `result`) is not.
+fn is_raw_or_byte_string(s: &Scanner) -> bool {
+    let p1 = s.peek_at(1);
+    match s.peek() {
+        Some(b'r') => matches!(p1, Some(b'"') | Some(b'#')) && raw_hashes_then_quote(s, 1),
+        Some(b'b') => match p1 {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => raw_hashes_then_quote(s, 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// From `offset` (just past the `r`), checks `#*"` follows — distinguishes
+/// `r#"raw"#` and `r#keyword` (raw identifiers, which are *not* strings).
+fn raw_hashes_then_quote(s: &Scanner, offset: usize) -> bool {
+    let mut i = offset;
+    while s.peek_at(i) == Some(b'#') {
+        i += 1;
+    }
+    s.peek_at(i) == Some(b'"')
+}
+
+/// Consumes `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`, or `b'c'` from the
+/// prefix character onward.
+fn consume_prefixed_string(s: &mut Scanner) {
+    let mut raw = false;
+    // Consume the `r` / `b` / `br` prefix.
+    while matches!(s.peek(), Some(b'r') | Some(b'b')) {
+        raw |= s.peek() == Some(b'r');
+        s.bump();
+    }
+    if s.peek() == Some(b'\'') {
+        // Byte char literal `b'x'`.
+        s.bump();
+        while let Some(c) = s.bump() {
+            match c {
+                b'\\' => {
+                    s.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        return;
+    }
+    let mut hashes = 0usize;
+    while s.peek() == Some(b'#') {
+        hashes += 1;
+        s.bump();
+    }
+    if s.peek() != Some(b'"') {
+        return;
+    }
+    s.bump();
+    if raw {
+        // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+        'outer: while let Some(c) = s.bump() {
+            if c == b'"' {
+                for i in 0..hashes {
+                    if s.peek_at(i) != Some(b'#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    s.bump();
+                }
+                break;
+            }
+        }
+    } else {
+        consume_string_body(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // std::env::var in a comment
+            let a = "std::env::var(\"HOME\")";
+            let b = r#"HashMap::new() "quoted" inside raw"#;
+            /* unsafe { thread::spawn } */
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "env" || i == "HashMap" || i == "spawn" || i == "unsafe"));
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+
+    #[test]
+    fn comments_are_recorded_per_line() {
+        let src = "let x = 1; // SAFETY: fine\n/* spans\nSAFETY too */\nlet y = 2;\n";
+        let lexed = lex(src);
+        assert!(lexed.comment_contains(1, "SAFETY"));
+        assert!(lexed.comment_contains(3, "SAFETY too"));
+        assert!(lexed.comments_on(4).is_empty());
+        // A line with two comments keeps them as separate segments.
+        let lexed = lex("/* a */ let z = 3; // rm-lint: hot-path\n");
+        assert_eq!(lexed.comments_on(1).len(), 2);
+        assert!(lexed.comments_on(1)[1].starts_with("//"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+        // `'a'` by contrast is one literal.
+        let lexed = lex("let c = 'a';");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        // `r#type` is a raw identifier, not the start of a raw string.
+        let ids = idents("let r#type = 1; let ok = r#type;");
+        assert!(ids.iter().any(|i| i == "type"));
+        assert!(ids.iter().any(|i| i == "ok"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let ids = idents("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(ids, vec!["let", "x"]);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_lex_as_literals() {
+        let lexed = lex("let x = 1_000u64 + 0xFFu8 + 1.5e-3f64; x.max(2)");
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(ids.contains(&"max"));
+        assert!(!ids.contains(&"u64"));
+        assert!(!ids.contains(&"f64"));
+    }
+}

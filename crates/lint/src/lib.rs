@@ -1,0 +1,136 @@
+//! `rm-lint` — the workspace's determinism & concurrency static-analysis
+//! pass.
+//!
+//! The repo's core contract — bit-identical pipeline output at any thread
+//! count, batch size, or pool mode — is enforced dynamically by the
+//! determinism suite; this crate enforces it *statically*, at review time,
+//! before a stray `HashMap` iteration or raw `std::env::var` read turns into
+//! a flaky determinism failure. It is dependency-free by construction: a
+//! small hand-rolled lexer ([`lexer`]) strips strings and comments so rule
+//! patterns can never match inside them, and a rule engine ([`rules`])
+//! matches named invariants over the token stream.
+//!
+//! Three ways to run it:
+//!
+//! * `cargo run -p rm-lint -- check` — lint the workspace, print
+//!   `file:line:col rule: message` diagnostics, exit nonzero on findings;
+//! * the `workspace_clean` integration test asserts a clean tree inside
+//!   `cargo test`;
+//! * the `rm-lint` CI job runs the same check on every push.
+//!
+//! Suppressions are explicit and must carry a justification:
+//!
+//! ```text
+//! // rm-lint: allow(no-raw-env-read): this IS the cached accessor for RM_FOO
+//! ```
+//!
+//! The annotation covers its own line and the line directly below it. A
+//! per-crate policy table ([`rules::PATH_POLICIES`]) exempts whole crates
+//! whose purpose exempts them (the bench harness from the wall-clock rule,
+//! the runtime from the spawn rule), with the reason on record. Files under
+//! `vendor/` are outside the determinism contract and are not walked.
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Diagnostic, Rule, ALL_RULES, PATH_POLICIES};
+
+/// Recursively collects every `.rs` file under `root`, skipping
+/// [`rules::SKIP_DIR_NAMES`] (vendor, target, VCS/CI state). The list is
+/// sorted by path so diagnostics come out in a stable order.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !rules::SKIP_DIR_NAMES.contains(&name) {
+                    stack.push(path);
+                }
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace `.rs` file under `root` and returns all diagnostics,
+/// sorted by (file, line, col). Unreadable files become diagnostics rather
+/// than errors, so one bad file cannot hide the rest of the report.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diagnostics = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match std::fs::read_to_string(&path) {
+            Ok(src) => diagnostics.extend(lint_source(&rel, &src)),
+            Err(err) => diagnostics.push(Diagnostic {
+                file: rel,
+                line: 1,
+                col: 1,
+                rule: "io-error".to_string(),
+                message: format!("could not read file: {err}"),
+            }),
+        }
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Ok(diagnostics)
+}
+
+/// The workspace root when running under cargo (`crates/lint` → two levels
+/// up), else the current directory.
+#[allow(clippy::disallowed_methods)] // audited env read; see the rm-lint allow inside
+pub fn default_root() -> PathBuf {
+    // rm-lint: allow(no-raw-env-read): CARGO_MANIFEST_DIR is cargo's location handshake, not a determinism knob
+    if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(manifest_dir);
+        if let Some(root) = manifest.parent().and_then(Path::parent) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_root_is_the_workspace_root() {
+        let root = default_root();
+        assert!(
+            root.join("Cargo.toml").exists(),
+            "expected workspace root, got {}",
+            root.display()
+        );
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn workspace_walk_skips_vendor_and_target() {
+        let files = workspace_files(&default_root()).expect("walk workspace");
+        assert!(!files.is_empty());
+        for file in &files {
+            let s = file.to_string_lossy();
+            assert!(!s.contains("/vendor/"), "walked into vendor: {s}");
+            assert!(!s.contains("/target/"), "walked into target: {s}");
+        }
+        // The walk must cover every member crate, not just this one.
+        assert!(files
+            .iter()
+            .any(|f| f.to_string_lossy().contains("crates/runtime/src/pool.rs")));
+    }
+}

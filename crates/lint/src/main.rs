@@ -1,0 +1,73 @@
+//! The `rm-lint` CLI.
+//!
+//! ```text
+//! cargo run -p rm-lint -- check [ROOT]   # lint the workspace (default: repo root)
+//! cargo run -p rm-lint -- rules          # list the rules and their rationale
+//! ```
+//!
+//! `check` prints one `file:line:col rule: message` line per finding and
+//! exits 1 if there were any (0 on a clean tree, 2 on usage/IO errors) — the
+//! same contract the CI job and the `workspace_clean` integration test rely
+//! on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rm-lint <check [ROOT] | rules>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            if args.len() > 2 {
+                return usage();
+            }
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(rm_lint::default_root);
+            let diagnostics = match rm_lint::lint_workspace(&root) {
+                Ok(diagnostics) => diagnostics,
+                Err(err) => {
+                    eprintln!("rm-lint: cannot walk {}: {err}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            for diagnostic in &diagnostics {
+                println!("{diagnostic}");
+            }
+            if diagnostics.is_empty() {
+                println!("rm-lint: workspace clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "rm-lint: {} finding(s) — fix them or add a justified \
+                     `rm-lint: allow(rule): why` annotation",
+                    diagnostics.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Some("rules") => {
+            println!("rm-lint rules (suppress with `rm-lint: allow(rule): why`):\n");
+            for rule in rm_lint::ALL_RULES {
+                println!("  {:<36} {}", rule.name(), rule.rationale());
+            }
+            println!("\nper-crate policies:");
+            for policy in rm_lint::PATH_POLICIES {
+                let skipped: Vec<&str> = policy.skip.iter().map(|r| r.name()).collect();
+                println!(
+                    "  {:<20} skips {}: {}",
+                    policy.prefix,
+                    skipped.join(", "),
+                    policy.why
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,300 @@
+//! Fixture coverage for every rule: a snippet that must trip it, a near-miss
+//! that must not (banned tokens inside strings/comments, suppressed sites,
+//! exempted paths), and the suppression machinery itself.
+//!
+//! Fixtures are inline source strings run through [`rm_lint::lint_source`]
+//! under a synthetic deterministic-crate path (`crates/fixture/src/lib.rs`)
+//! unless the test is specifically about the per-crate policy table.
+
+use rm_lint::lint_source;
+
+/// Lints a fixture under a path where every rule applies.
+fn lint(src: &str) -> Vec<rm_lint::Diagnostic> {
+    lint_source("crates/fixture/src/lib.rs", src)
+}
+
+/// The rule names tripped by a fixture, in reporting order.
+fn tripped(src: &str) -> Vec<String> {
+    lint(src).into_iter().map(|d| d.rule).collect()
+}
+
+#[track_caller]
+fn assert_trips(src: &str, rule: &str) {
+    let rules = tripped(src);
+    assert!(
+        rules.iter().any(|r| r == rule),
+        "expected {rule} to trip, got {rules:?} for:\n{src}"
+    );
+}
+
+#[track_caller]
+fn assert_clean(src: &str) {
+    let diagnostics = lint(src);
+    assert!(
+        diagnostics.is_empty(),
+        "expected no findings, got {diagnostics:?} for:\n{src}"
+    );
+}
+
+// ---------------------------------------------------------------- unsafe
+
+#[test]
+fn unsafe_without_safety_comment_trips() {
+    assert_trips(
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        "unsafe-needs-safety-comment",
+    );
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    assert_clean(
+        "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+    );
+}
+
+#[test]
+fn safety_comment_covers_across_attribute_lines() {
+    // The comment may be separated from the token by an attribute, as at the
+    // real sites in rm-runtime.
+    assert_clean(
+        "// SAFETY: distinct participants touch distinct buckets.\n#[allow(unsafe_code)]\nunsafe impl Send for T {}\n",
+    );
+}
+
+#[test]
+fn the_word_unsafe_in_a_string_or_comment_is_not_a_site() {
+    assert_clean("// this code is unsafe in spirit only\nlet x = \"unsafe { }\";\n");
+}
+
+#[test]
+fn safety_comment_too_far_above_does_not_cover() {
+    let src = format!(
+        "// SAFETY: stale argument.\n{}unsafe fn g() {{}}\n",
+        "let filler = 0;\n".repeat(7)
+    );
+    assert_trips(&src, "unsafe-needs-safety-comment");
+}
+
+// ---------------------------------------------------------------- env reads
+
+#[test]
+fn raw_env_read_trips() {
+    assert_trips(
+        "fn f() -> Option<String> { std::env::var(\"RM_SEED\").ok() }\n",
+        "no-raw-env-read",
+    );
+    assert_trips(
+        "fn f() { let _ = env::var_os(\"RM_POOL\"); }\n",
+        "no-raw-env-read",
+    );
+}
+
+#[test]
+fn env_var_in_string_or_comment_is_clean() {
+    assert_clean(
+        "// std::env::var(\"RM_SEED\") would be wrong here\nlet msg = \"std::env::var\";\n",
+    );
+}
+
+#[test]
+fn env_read_with_justified_allow_is_clean() {
+    assert_clean(
+        "fn accessor() -> Option<String> {\n    // rm-lint: allow(no-raw-env-read): this IS the cached accessor for RM_FOO\n    std::env::var(\"RM_FOO\").ok()\n}\n",
+    );
+}
+
+// ---------------------------------------------------------------- spawns
+
+#[test]
+fn thread_spawn_trips_outside_runtime() {
+    assert_trips(
+        "fn f() { std::thread::spawn(|| {}); }\n",
+        "no-thread-spawn-outside-runtime",
+    );
+    assert_trips(
+        "fn f() { std::thread::scope(|s| { let _ = s; }); }\n",
+        "no-thread-spawn-outside-runtime",
+    );
+    assert_trips(
+        "fn f() { let _ = std::thread::Builder::new(); }\n",
+        "no-thread-spawn-outside-runtime",
+    );
+}
+
+#[test]
+fn thread_spawn_inside_runtime_crate_is_policy_exempt() {
+    let diagnostics = lint_source(
+        "crates/runtime/src/pool.rs",
+        "fn f() { std::thread::spawn(|| {}); }\n",
+    );
+    assert!(diagnostics.is_empty(), "got {diagnostics:?}");
+}
+
+#[test]
+fn yield_now_and_available_parallelism_are_not_spawns() {
+    assert_clean(
+        "fn f() { std::thread::yield_now(); let _ = std::thread::available_parallelism(); }\n",
+    );
+}
+
+// ---------------------------------------------------------------- unordered
+
+#[test]
+fn hashmap_and_hashset_trip() {
+    assert_trips("use std::collections::HashMap;\n", "no-unordered-iteration");
+    assert_trips(
+        "fn f() { let s: std::collections::HashSet<u32> = Default::default(); let _ = s; }\n",
+        "no-unordered-iteration",
+    );
+}
+
+#[test]
+fn btree_collections_are_clean() {
+    assert_clean("use std::collections::{BTreeMap, BTreeSet};\n");
+}
+
+#[test]
+fn hashmap_in_doc_comment_is_clean() {
+    assert_clean("/// Unlike a `HashMap`, iteration order here is stable.\nfn f() {}\n");
+}
+
+// ---------------------------------------------------------------- wallclock
+
+#[test]
+fn instant_now_trips_in_deterministic_path() {
+    assert_trips(
+        "fn f() { let _t = std::time::Instant::now(); }\n",
+        "no-wallclock-in-deterministic-path",
+    );
+    assert_trips(
+        "fn f() { let _t = std::time::SystemTime::now(); }\n",
+        "no-wallclock-in-deterministic-path",
+    );
+}
+
+#[test]
+fn instant_now_in_bench_crate_and_benches_dir_is_policy_exempt() {
+    for path in [
+        "crates/bench/src/bin/exp_table7_time_cost.rs",
+        "crates/imputers/benches/bench_imputers.rs",
+    ] {
+        let diagnostics = lint_source(path, "fn f() { let _t = std::time::Instant::now(); }\n");
+        assert!(diagnostics.is_empty(), "{path}: got {diagnostics:?}");
+    }
+}
+
+#[test]
+fn duration_and_instant_type_mentions_are_clean() {
+    // Only the clock *reads* are banned; passing an Instant around is not.
+    assert_clean(
+        "use std::time::{Duration, Instant};\nfn f(t: Instant, d: Duration) -> Instant { t + d }\n",
+    );
+}
+
+// ---------------------------------------------------------------- entropy
+
+#[test]
+fn entropy_rng_constructors_trip() {
+    assert_trips(
+        "fn f() { let _rng = StdRng::from_entropy(); }\n",
+        "no-entropy-rng",
+    );
+    assert_trips(
+        "fn f() { let _rng = rand::thread_rng(); }\n",
+        "no-entropy-rng",
+    );
+    assert_trips("use rand::rngs::OsRng;\n", "no-entropy-rng");
+}
+
+#[test]
+fn seeded_rng_is_clean() {
+    assert_clean("fn f(seed: u64) {\n    let _rng = StdRng::seed_from_u64(seed);\n}\n");
+}
+
+// ---------------------------------------------------------------- matmul
+
+#[test]
+fn allocating_matmul_trips_only_in_hot_path_modules() {
+    let hot = "// rm-lint: hot-path\nfn f(a: &Matrix, b: &Matrix) -> Matrix { a.matmul(b) }\n";
+    assert_trips(hot, "prefer-matmul-into");
+    // Same code without the marker: the rule does not apply.
+    assert_clean("fn f(a: &Matrix, b: &Matrix) -> Matrix { a.matmul(b) }\n");
+}
+
+#[test]
+fn matmul_into_and_definitions_are_clean_in_hot_path() {
+    assert_clean(
+        "// rm-lint: hot-path\nfn f(a: &Matrix, b: &Matrix, out: &mut Matrix) {\n    a.matmul_into(b, out);\n}\nimpl Matrix {\n    pub fn matmul(&self, rhs: &Matrix) -> Matrix { self.clone() }\n}\n",
+    );
+}
+
+// ------------------------------------------------------------ suppressions
+
+#[test]
+fn allow_covers_its_own_line_and_the_next() {
+    assert_clean(
+        "fn f() { let _ = std::env::var(\"X\"); } // rm-lint: allow(no-raw-env-read): fixture same-line\n",
+    );
+    assert_clean(
+        "// rm-lint: allow(no-raw-env-read): fixture line-above\nfn f() { let _ = std::env::var(\"X\"); }\n",
+    );
+}
+
+#[test]
+fn allow_does_not_cover_two_lines_below() {
+    let src = "// rm-lint: allow(no-raw-env-read): too far away\nfn f() {\n    let _ = std::env::var(\"X\");\n}\n";
+    assert_trips(src, "no-raw-env-read");
+}
+
+#[test]
+fn allow_without_justification_is_a_diagnostic_and_does_not_suppress() {
+    let src = "// rm-lint: allow(no-raw-env-read)\nfn f() { let _ = std::env::var(\"X\"); }\n";
+    let rules = tripped(src);
+    assert!(
+        rules.iter().any(|r| r == "lint-annotation"),
+        "got {rules:?}"
+    );
+    assert!(
+        rules.iter().any(|r| r == "no-raw-env-read"),
+        "got {rules:?}"
+    );
+}
+
+#[test]
+fn allow_naming_unknown_rule_is_a_diagnostic() {
+    let rules = tripped("// rm-lint: allow(no-such-rule): whatever\nfn f() {}\n");
+    assert_eq!(rules, vec!["lint-annotation"]);
+}
+
+#[test]
+fn allow_only_suppresses_its_named_rule() {
+    // The allow names the wrong rule: the env read must still be reported.
+    let src = "// rm-lint: allow(no-entropy-rng): wrong rule named\nfn f() { let _ = std::env::var(\"X\"); }\n";
+    assert_trips(src, "no-raw-env-read");
+}
+
+#[test]
+fn annotations_in_doc_comments_and_strings_are_inert() {
+    // Documentation may show the syntax verbatim without creating (or
+    // breaking) a suppression.
+    assert_clean("/// Suppress with `rm-lint: allow(no-raw-env-read): why`.\nfn f() {}\n");
+    assert_clean("fn f() { let _doc = \"rm-lint: allow(bogus)\"; }\n");
+}
+
+#[test]
+fn diagnostics_carry_position_and_format() {
+    let diagnostics = lint("fn f() {\n    let _ = std::env::var(\"X\");\n}\n");
+    assert_eq!(diagnostics.len(), 1);
+    let d = &diagnostics[0];
+    assert_eq!((d.line, d.rule.as_str()), (2, "no-raw-env-read"));
+    let rendered = d.to_string();
+    assert!(
+        rendered.starts_with("crates/fixture/src/lib.rs:2:"),
+        "bad rendering: {rendered}"
+    );
+    assert!(
+        rendered.contains(" no-raw-env-read: "),
+        "bad rendering: {rendered}"
+    );
+}

@@ -1,0 +1,44 @@
+//! The workspace-clean assertion: `cargo test` fails if any crate violates a
+//! determinism/concurrency invariant without a justified suppression — the
+//! same check `cargo run -p rm-lint -- check` and the CI job perform.
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = rm_lint::default_root();
+    let diagnostics = rm_lint::lint_workspace(&root).expect("walk the workspace");
+    assert!(
+        diagnostics.is_empty(),
+        "rm-lint found {} violation(s) — fix them or add a justified \
+         `rm-lint: allow(rule): why` annotation:\n{}",
+        diagnostics.len(),
+        diagnostics
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_walk_covers_every_member_crate() {
+    // Guards against the walker silently losing a directory: every workspace
+    // member named in the root manifest must contribute at least one file.
+    let root = rm_lint::default_root();
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml")).expect("read root manifest");
+    let files = rm_lint::workspace_files(&root).expect("walk the workspace");
+    let file_strs: Vec<String> = files
+        .iter()
+        .map(|f| f.to_string_lossy().replace('\\', "/"))
+        .collect();
+    for line in manifest.lines() {
+        let line = line.trim().trim_matches(|c| c == '"' || c == ',');
+        if let Some(member) = line.strip_prefix("crates/") {
+            assert!(
+                file_strs
+                    .iter()
+                    .any(|f| f.contains(&format!("crates/{member}/"))),
+                "workspace member crates/{member} contributed no files to the lint walk"
+            );
+        }
+    }
+}

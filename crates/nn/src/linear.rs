@@ -1,5 +1,10 @@
 //! Fully-connected (linear) layers, generic over the [`Scalar`] precision.
 
+// rm-lint: hot-path
+// Every per-step forward of the recurrent imputers funnels through these
+// layers; allocating matmuls here are lint-visible until the per-worker
+// arena / buffer pool (ROADMAP) lands.
+
 use rand::Rng;
 use rm_tensor::{Matrix, Scalar, Var};
 
@@ -63,6 +68,7 @@ impl<T: Scalar> Linear<T> {
             x.shape().0,
             self.in_features
         );
+        // rm-lint: allow(prefer-matmul-into): graph-building forward — the product becomes a new autodiff node that owns its value
         self.weight.matmul(x).add_broadcast_col(&self.bias)
     }
 
@@ -148,6 +154,7 @@ impl<T: Scalar> LinearWeights<T> {
 
     /// Applies `W x + b` to a `(in_features, batch)` input.
     pub fn forward(&self, x: &Matrix<T>) -> Matrix<T> {
+        // rm-lint: allow(prefer-matmul-into): snapshot inference returns an owned activation; workspace reuse lands with the arena (ROADMAP)
         self.weight.matmul(x).add_broadcast_col(&self.bias)
     }
 }

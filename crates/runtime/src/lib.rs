@@ -41,6 +41,11 @@
 //! `PipelineConfig.threads` get exactly that width no matter what
 //! `RM_THREADS` said when the cache was filled.
 
+// Every `unsafe` operation must be argued individually, even inside an
+// `unsafe fn` — rm-lint's `unsafe-needs-safety-comment` rule then pins a
+// `// SAFETY:` justification to each explicit block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::{Cell, UnsafeCell};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -66,11 +71,13 @@ static AUTO_THREADS: OnceLock<usize> = OnceLock::new();
 /// the `RM_THREADS` environment variable (if a positive integer) and finally
 /// the machine's available parallelism. The auto value is resolved **once per
 /// process** and cached; set `RM_THREADS` before the first fan-out.
+#[allow(clippy::disallowed_methods)] // audited env read; see the rm-lint allow inside
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
     *AUTO_THREADS.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_THREADS
         if let Ok(v) = std::env::var("RM_THREADS") {
             if let Ok(n) = v.parse::<usize>() {
                 if n > 0 {

@@ -97,6 +97,9 @@ impl Latch {
 /// alive until every ticket has run.
 struct Ticket {
     data: *const (),
+    // SAFETY: the function is only ever `run_ticket::<B>` for the `B` that
+    // `data` points to (both are set together in `Pool::run`), so the cast
+    // inside can never type-pun.
     run: unsafe fn(*const ()),
     latch: Arc<Latch>,
 }
@@ -114,7 +117,9 @@ unsafe impl Send for Ticket {}
 /// SAFETY (caller): `data` must point to a live `B` shared via `Pool::run`.
 #[allow(unsafe_code)]
 unsafe fn run_ticket<B: Fn() + Sync>(data: *const ()) {
-    (*data.cast::<B>())();
+    // SAFETY: per this function's contract, `data` points to a live `B` on
+    // the dispatching caller's stack, kept alive by the ticket's latch.
+    unsafe { (*data.cast::<B>())() };
 }
 
 /// Cumulative pool counters, exposed for the stress suite (leak detection)
@@ -152,10 +157,12 @@ pub fn pool_enabled() -> bool {
     enabled()
 }
 
+#[allow(clippy::disallowed_methods)] // audited env read; see the rm-lint allow inside
 pub(crate) fn enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
     *ENABLED.get_or_init(|| {
         !matches!(
+            // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_POOL
             std::env::var("RM_POOL").as_deref(),
             Ok("0") | Ok("off") | Ok("scoped")
         )

@@ -11,6 +11,7 @@
 //!    *bitwise* — the pool changes where closures run, never what they
 //!    compute.
 
+// rm-lint: allow(no-unordered-iteration): collision detection only — seeds are inserted and never iterated
 use std::collections::HashSet;
 
 use proptest::prelude::*;
@@ -46,6 +47,7 @@ proptest! {
         base in proptest::arbitrary::any::<u64>(),
         n in 1u64..2_000,
     ) {
+        // rm-lint: allow(no-unordered-iteration): membership-only collision check, never iterated
         let mut seen = HashSet::with_capacity(n as usize);
         for i in 0..n {
             let seed = derive_seed(base, i);

@@ -156,10 +156,14 @@ fn explicit_threads_override_cached_auto_value() {
     let items = [0usize, 1];
     let out = par_map(2, &items, |_, &v| {
         arrived.fetch_add(1, Ordering::SeqCst);
+        #[allow(clippy::disallowed_methods)]
+        // rm-lint: allow(no-wallclock-in-deterministic-path): watchdog deadline so a serialised schedule fails instead of hanging
         let deadline = Instant::now() + Duration::from_secs(20);
         // Each item waits until it has seen the *other* item start, which is
         // impossible under a serial schedule.
         while arrived.load(Ordering::SeqCst) < 2 {
+            #[allow(clippy::disallowed_methods)]
+            // rm-lint: allow(no-wallclock-in-deterministic-path): watchdog poll against the deadline above
             if Instant::now() > deadline {
                 panic!("par_map(2, ..) ran serially despite the explicit request");
             }

@@ -14,7 +14,12 @@
 //! sigmoid/tanh/ReLU/exp activations, masking by constant matrices, column
 //! softmax, row concatenation and scalar reductions.
 
+// rm-lint: hot-path
+// Every training step builds and walks this graph, so allocating matmuls are
+// lint-visible here; the per-worker arena (ROADMAP) is the planned fix.
+
 use std::cell::{Ref, RefCell};
+// rm-lint: allow(no-unordered-iteration): visited-set membership only — topological order comes from the DFS stack below
 use std::collections::HashSet;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -241,6 +246,7 @@ impl<T: Scalar> Var<T> {
 
     /// Matrix product `self · rhs`.
     pub fn matmul(&self, rhs: &Var<T>) -> Var<T> {
+        // rm-lint: allow(prefer-matmul-into): a graph node owns its freshly computed value by contract; arena reuse is the ROADMAP follow-up
         let v = self.value_ref().matmul(&rhs.value_ref());
         Var::from_node(v, vec![self.clone(), rhs.clone()], Op::MatMul)
     }
@@ -375,6 +381,7 @@ impl<T: Scalar> Var<T> {
     /// Returns the nodes reachable from `self` in topological order
     /// (parents before children).
     fn topological_order(&self) -> Vec<Var<T>> {
+        // rm-lint: allow(no-unordered-iteration): membership test on node ids; iteration order never observed
         let mut visited = HashSet::new();
         let mut order = Vec::new();
         // Iterative DFS with an explicit stack to avoid recursion limits on
@@ -445,6 +452,7 @@ impl<T: Scalar> Var<T> {
                 // axpy-shaped like the blocked one and skips the transpose.
                 let a = parents[0].value();
                 let b = parents[1].value();
+                // rm-lint: allow(prefer-matmul-into): dA is handed to accumulate, which consumes it; buffer reuse lands with the arena (ROADMAP)
                 parents[0].accumulate(&grad.matmul(&b.transpose()));
                 parents[1].accumulate(&a.matmul_at_b(&grad));
             }
@@ -558,6 +566,7 @@ mod tests {
     fn matmul_gradient_matches_numeric() {
         let w = Var::parameter(Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]));
         let x = Var::constant(Matrix::from_vec(3, 1, vec![1.0, 2.0, -1.0]));
+        // rm-lint: allow(prefer-matmul-into): test-only graph, not a hot loop
         let loss_fn = || w.matmul(&x).square().sum();
         let loss = loss_fn();
         loss.backward();
@@ -736,6 +745,7 @@ mod tests {
         // sanity check keeps that instantiation exercised.
         let w: Var<f32> = Var::parameter(Matrix::from_vec(1, 2, vec![0.5f32, -0.25]));
         let x: Var<f32> = Var::constant(Matrix::column(&[1.0f32, 2.0]));
+        // rm-lint: allow(prefer-matmul-into): test-only graph, not a hot loop
         let loss = w.matmul(&x).sigmoid().square().sum();
         loss.backward();
         assert!(loss.scalar_value().is_finite());

@@ -235,14 +235,17 @@ impl DatasetSpec {
 /// `RM_THREADS` resolution in `rm-runtime` and `default_epochs` in
 /// `rm-imputers`), so repeated calls can never disagree and concurrent
 /// tests can never observe a mid-run environment change.
+#[allow(clippy::disallowed_methods)] // audited env reads; see the rm-lint allows inside
 pub fn default_scale() -> f64 {
     static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
     *SCALE.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_SCALE
         if let Ok(v) = std::env::var("RM_SCALE") {
             if let Ok(parsed) = v.parse::<f64>() {
                 return parsed.clamp(0.05, 1.0);
             }
         }
+        // rm-lint: allow(no-raw-env-read): RM_QUICK is folded into the same cached RM_SCALE resolution
         if std::env::var("RM_QUICK").map(|v| v == "1").unwrap_or(false) {
             0.08
         } else {

@@ -6,14 +6,28 @@
 
 use radiomap_core::prelude::*;
 
+/// The venue scale used by the examples: `RM_SCALE` if set, else an
+/// example-friendly 0.06 (smaller than the harness default so the examples
+/// run in seconds). Resolved **once per process** and cached, matching the
+/// accessor pattern of every other env knob in the workspace.
+#[allow(clippy::disallowed_methods)] // audited env read; see the rm-lint allow inside
+pub fn example_scale() -> f64 {
+    static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *SCALE.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for the examples' RM_SCALE
+        std::env::var("RM_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.06)
+    })
+}
+
 /// Builds a small dataset for the given venue preset, honouring the `RM_SCALE`
 /// environment variable but defaulting to an example-friendly size.
 pub fn example_dataset(preset: VenuePreset, seed: u64) -> Dataset {
-    let scale = std::env::var("RM_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(0.06);
-    DatasetSpec::new(preset, seed).with_scale(scale).build()
+    DatasetSpec::new(preset, seed)
+        .with_scale(example_scale())
+        .build()
 }
 
 /// Formats an `Option<f64>` metric for display.
