@@ -157,10 +157,22 @@ fn pair_gradients(
 ) -> Vec<Matrix<f64>> {
     let fwd = forward.run(seq);
     let bwd = backward.run(rev);
-    Bisim::sequence_loss(seq, rev, &fwd, &bwd).backward();
+    let loss = Bisim::sequence_loss(seq, rev, &fwd, &bwd);
+    loss.backward();
     let mut params = forward.parameters();
     params.extend(backward.parameters());
-    params.iter().map(|p| p.grad()).collect()
+    let grads = params.iter().map(|p| p.grad()).collect();
+    // The gradients are out; return the pair's graph — both passes, the
+    // loss chain and every intermediate — to the per-worker node arena so
+    // the next pair rebuilds on recycled storage. The parameter leaves are
+    // still held by the models and are skipped by the recycler.
+    drop(params);
+    Var::recycle_all(
+        fwd.into_vars()
+            .chain(bwd.into_vars())
+            .chain(std::iter::once(loss)),
+    );
+    grads
 }
 
 impl Imputer for Bisim {
@@ -265,6 +277,9 @@ impl Imputer for Bisim {
                     locations[record] = Some(norm.denormalize_point(x, y));
                 }
             }
+            // This pair's imputations are extracted; recycle its graphs so
+            // the next pair's pass rebuilds on arena storage.
+            Var::recycle_all(fwd.into_vars().chain(bwd.into_vars()));
         }
 
         ImputedRadioMap {

@@ -46,6 +46,19 @@ pub struct BisimPass {
     pub rp_complements: Vec<Var>,
 }
 
+impl BisimPass {
+    /// Consumes the pass into its output handles — the roots to hand to
+    /// [`Var::recycle_all`] once the pass's values and gradients are no
+    /// longer needed, returning the graph to the per-worker node arena.
+    pub fn into_vars(self) -> impl Iterator<Item = Var> {
+        self.fingerprint_estimates
+            .into_iter()
+            .chain(self.fingerprint_complements)
+            .chain(self.rp_estimates)
+            .chain(self.rp_complements)
+    }
+}
+
 /// One directional BiSIM model: an encoder stack over the fingerprint
 /// sequence, a decoder stack over the RP sequence, and an attention unit
 /// connecting them.

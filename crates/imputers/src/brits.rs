@@ -12,7 +12,7 @@ use rm_nn::{
     LstmStateMatrix, Optimizer,
 };
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Precision, Scalar, Var};
+use rm_tensor::{Matrix, Precision, Scalar, Var, Workspace};
 
 use crate::sequence::{build_sequences, Normalization, PathSequence};
 use crate::{gates, ImputedRadioMap, Imputer};
@@ -266,8 +266,16 @@ impl<T: Scalar> RecurrentImputerWeights<T> {
     /// `x_c` of every step (the imputations; the reconstruction estimates are
     /// only needed for training). Sequence data is stored in `f64` and
     /// rounded per step, so the kernels — the hot path — run entirely in `T`.
-    pub(crate) fn run(&self, seq: &PathSequence) -> Vec<Matrix<T>> {
-        let mut state = LstmStateMatrix::zeros(self.hidden_size);
+    /// Every intermediate cycles through the caller-owned workspace `ws`
+    /// (reuse is capacity-only — values are bit-identical to fresh buffers),
+    /// so a steady-state inference step allocates nothing.
+    pub(crate) fn run(&self, seq: &PathSequence, ws: &mut Workspace<T>) -> Vec<Matrix<T>> {
+        // Seed the state from the workspace (bitwise zeros), so the buffers
+        // retired at the end of one sequence serve the next.
+        let mut state = LstmStateMatrix {
+            h: ws.take(self.hidden_size, 1),
+            c: ws.take(self.hidden_size, 1),
+        };
         let mut complements = Vec::with_capacity(seq.len());
         // Scratch buffers reused across all steps of the sequence.
         let mut x_hat = Matrix::zeros(0, 0);
@@ -288,9 +296,17 @@ impl<T: Scalar> RecurrentImputerWeights<T> {
                 c: state.c.clone(),
             };
             let input = x_c.vstack(&mask);
-            state = self.cell.step(&input, &decayed);
+            let next = self.cell.step_ws(&input, &decayed, ws);
+            ws.give(state.h);
+            ws.give(state.c);
+            ws.give(decayed.h);
+            ws.give(decayed.c);
+            ws.give(input);
+            state = next;
             complements.push(x_c);
         }
+        ws.give(state.h);
+        ws.give(state.c);
         complements
     }
 }
@@ -325,10 +341,25 @@ fn pair_gradients(
             &loss::masked_mse_between(&fwd.complements[t], &bwd.complements[rt], &m).scale(0.1),
         );
     }
-    total.scale(1.0 / seq.len() as f64).backward();
+    let loss = total.scale(1.0 / seq.len() as f64);
+    loss.backward();
     let mut params = forward.parameters();
     params.extend(backward.parameters());
-    params.iter().map(|p| p.grad()).collect()
+    let grads = params.iter().map(|p| p.grad()).collect();
+    // The gradients are out; return the step's graph — both passes, the
+    // loss chain and every intermediate — to the per-worker node arena so
+    // the next sequence rebuilds on recycled storage. The parameter leaves
+    // are still held by the models and are skipped by the recycler.
+    drop(params);
+    Var::recycle_all(
+        fwd.estimates
+            .into_iter()
+            .chain(fwd.complements)
+            .chain(bwd.estimates)
+            .chain(bwd.complements)
+            .chain([total, loss]),
+    );
+    grads
 }
 
 /// Runs the deterministic mini-batch training loop shared by the batched
@@ -382,8 +413,12 @@ fn infer_mar_values<T: Scalar>(
     threads: usize,
 ) -> Vec<Vec<(usize, usize, f64)>> {
     rm_runtime::par_map(threads, pairs, |_, &(seq, rev)| {
-        let fwd = forward.run(seq);
-        let bwd = backward.run(rev);
+        // Per-task scratch: the workspace itself is cheap, and the matrix
+        // buffers it hands out come from the worker's thread-local pool, so
+        // steady-state inference tasks allocate nothing.
+        let mut ws = Workspace::new();
+        let fwd = forward.run(seq, &mut ws);
+        let bwd = backward.run(rev, &mut ws);
         let mut values: Vec<(usize, usize, f64)> = Vec::new();
         for (t, &record) in seq.record_indices.iter().enumerate() {
             let rt = rev.len() - 1 - t;

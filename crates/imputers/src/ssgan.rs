@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rm_nn::{loss, Activation, Adam, GradientBatch, Mlp, Optimizer};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Precision, Scalar, Var};
+use rm_tensor::{Matrix, Precision, Scalar, Var, Workspace};
 
 use crate::brits::{default_batch_size, default_epochs, RecurrentImputer, RecurrentImputerWeights};
 use crate::sequence::{build_sequences, Normalization, PathSequence};
@@ -89,12 +89,17 @@ fn disc_gradients(
         let predicted = discriminator.forward(&detached);
         disc_loss = disc_loss.add(&loss::mse(&predicted, &m));
     }
-    disc_loss.scale(1.0 / seq.len() as f64).backward();
-    discriminator
+    let scaled = disc_loss.scale(1.0 / seq.len() as f64);
+    scaled.backward();
+    let grads = discriminator
         .parameters()
         .iter()
         .map(|p| p.grad())
-        .collect()
+        .collect();
+    // Return the step's graph to the per-worker node arena (the
+    // discriminator's parameter leaves are skipped by the recycler).
+    Var::recycle_all([disc_loss, scaled]);
+    grads
 }
 
 /// Differentiates the generator loss for one sequence — masked
@@ -124,8 +129,19 @@ fn gen_gradients(
         let adv = loss::masked_mse(&predicted, &ones, &inverse_mask).scale(adversarial_weight);
         gen_loss = gen_loss.add(&adv);
     }
-    gen_loss.scale(1.0 / seq.len() as f64).backward();
-    generator.parameters().iter().map(|p| p.grad()).collect()
+    let scaled = gen_loss.scale(1.0 / seq.len() as f64);
+    scaled.backward();
+    let grads = generator.parameters().iter().map(|p| p.grad()).collect();
+    // Return the step's graph — the generator pass, the loss chain and every
+    // intermediate — to the per-worker node arena; the generator and
+    // discriminator parameter leaves are skipped by the recycler.
+    Var::recycle_all(
+        pass.estimates
+            .into_iter()
+            .chain(pass.complements)
+            .chain([gen_loss, scaled]),
+    );
+    grads
 }
 
 /// The SSGAN imputer.
@@ -198,6 +214,9 @@ impl Imputer for Ssgan {
                     let pass = generator.run(&sequences[i]);
                     let complements: Vec<Matrix<f64>> =
                         pass.complements.iter().map(Var::value).collect();
+                    // The pass was only sampled (its values are detached
+                    // above); recycle its graph before differentiating.
+                    Var::recycle_all(pass.estimates.into_iter().chain(pass.complements));
                     vec![disc_gradients(&discriminator, &sequences[i], &complements)]
                 } else {
                     let gen_weights = generator.snapshot();
@@ -206,7 +225,8 @@ impl Imputer for Ssgan {
                         // The generator is only sampled here (its output is
                         // detached), so the graph-free matrix forward — bit-
                         // identical to the graph forward — serves directly.
-                        let complements = gen_weights.run(&sequences[i]);
+                        let mut ws = Workspace::new();
+                        let complements = gen_weights.run(&sequences[i], &mut ws);
                         disc_gradients(&disc_weights.to_mlp(), &sequences[i], &complements)
                     })
                 };
@@ -304,7 +324,9 @@ fn infer_mar_values<T: Scalar>(
     threads: usize,
 ) -> Vec<Vec<(usize, usize, f64)>> {
     rm_runtime::par_map(threads, sequences, |_, seq| {
-        let complements = generator.run(seq);
+        // Per-task scratch backed by the worker's thread-local buffer pool.
+        let mut ws = Workspace::new();
+        let complements = generator.run(seq, &mut ws);
         let mut values: Vec<(usize, usize, f64)> = Vec::new();
         for (t, &record) in seq.record_indices.iter().enumerate() {
             for ap in 0..num_aps {

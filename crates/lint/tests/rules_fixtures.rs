@@ -229,6 +229,27 @@ fn matmul_into_and_definitions_are_clean_in_hot_path() {
     );
 }
 
+#[test]
+fn workspace_matmul_and_ufcs_graph_matmul_are_clean_in_hot_path() {
+    // The arena-era sanctioned spellings: `matmul_ws` checks its output out
+    // of a caller-owned workspace, and UFCS `Var::matmul` is the live-graph
+    // op (which must allocate a node). Neither is the banned allocating
+    // kernel call.
+    assert_clean(
+        "// rm-lint: hot-path\nfn f(a: &Matrix, b: &Matrix, ws: &mut Workspace) -> Matrix {\n    a.matmul_ws(b, ws)\n}\nfn g(x: &Var, w: &Var) -> Var {\n    Var::matmul(w, x)\n}\n",
+    );
+}
+
+#[test]
+fn allocating_matmul_still_trips_beside_workspace_variants() {
+    // A stray `.matmul(` is caught even when the surrounding code uses the
+    // workspace API correctly.
+    assert_trips(
+        "// rm-lint: hot-path\nfn f(a: &Matrix, b: &Matrix, ws: &mut Workspace) -> Matrix {\n    let _scratch = a.matmul_ws(b, ws);\n    a.matmul(b)\n}\n",
+        "prefer-matmul-into",
+    );
+}
+
 // ------------------------------------------------------------ suppressions
 
 #[test]

@@ -2,11 +2,12 @@
 
 // rm-lint: hot-path
 // Every per-step forward of the recurrent imputers funnels through these
-// layers; allocating matmuls here are lint-visible until the per-worker
-// arena / buffer pool (ROADMAP) lands.
+// layers. Products go through `matmul_into` — into pooled graph-node buffers
+// on the training path, into caller-owned `Workspace` scratch on the
+// snapshot-inference path — so steady state allocates nothing.
 
 use rand::Rng;
-use rm_tensor::{Matrix, Scalar, Var};
+use rm_tensor::{Matrix, Scalar, Var, Workspace};
 
 /// A linear layer computing `y = W x + b` for column-vector (or
 /// column-batched) inputs. `T` defaults to `f64`, the training precision.
@@ -68,8 +69,10 @@ impl<T: Scalar> Linear<T> {
             x.shape().0,
             self.in_features
         );
-        // rm-lint: allow(prefer-matmul-into): graph-building forward — the product becomes a new autodiff node that owns its value
-        self.weight.matmul(x).add_broadcast_col(&self.bias)
+        // `Var::matmul` computes the product through the blocked kernel into
+        // a pooled buffer, so the graph forward is allocation-free in steady
+        // state (see `rm_tensor::workspace`).
+        Var::matmul(&self.weight, x).add_broadcast_col(&self.bias)
     }
 
     /// The trainable parameters of this layer.
@@ -152,10 +155,23 @@ impl<T: Scalar> LinearWeights<T> {
         }
     }
 
-    /// Applies `W x + b` to a `(in_features, batch)` input.
+    /// Applies `W x + b` to a `(in_features, batch)` input (bitwise equal to
+    /// [`LinearWeights::forward_into`] on a fresh output, which is what it
+    /// delegates to).
     pub fn forward(&self, x: &Matrix<T>) -> Matrix<T> {
-        // rm-lint: allow(prefer-matmul-into): snapshot inference returns an owned activation; workspace reuse lands with the arena (ROADMAP)
-        self.weight.matmul(x).add_broadcast_col(&self.bias)
+        let mut out = Matrix::zeros(self.weight.rows(), x.cols());
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// [`LinearWeights::forward`] into a matrix checked out of `ws` — the
+    /// workspace-backed variant for snapshot-inference loops that return
+    /// their activations to the workspace each step. Bitwise identical to
+    /// `forward` (reuse is capacity-only).
+    pub fn forward_ws(&self, x: &Matrix<T>, ws: &mut Workspace<T>) -> Matrix<T> {
+        let mut out = ws.take(self.weight.rows(), x.cols());
+        self.forward_into(x, &mut out);
+        out
     }
 }
 
@@ -238,6 +254,22 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
             assert_eq!(b.to_bits(), c.to_bits());
         }
+    }
+
+    #[test]
+    fn workspace_forward_matches_plain_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let layer: Linear = Linear::new(4, 3, &mut rng);
+        let weights = layer.snapshot();
+        let x = Matrix::random_uniform(4, 2, 1.0, &mut rng);
+        let plain = weights.forward(&x);
+        let mut ws = Workspace::new();
+        // Park a poisoned scratch matrix so the checkout must reinitialise.
+        ws.give(Matrix::filled(3, 2, f64::NAN));
+        let pooled = weights.forward_ws(&x, &mut ws);
+        assert!(plain.bits_eq(&pooled));
+        ws.give(pooled);
+        assert!(plain.bits_eq(&weights.forward_ws(&x, &mut ws)));
     }
 
     /// The snapshot → rebuild round-trip must preserve the training

@@ -8,8 +8,13 @@
 //! (there used to be a second, hand-inlined sigmoid here; see the parity
 //! tests below).
 
+// rm-lint: hot-path
+// The per-step recurrence of every imputer runs through this cell; products
+// reach `matmul_into` through the Linear layers, and `step_ws` keeps
+// snapshot inference allocation-free with a caller-owned workspace.
+
 use rand::Rng;
-use rm_tensor::{Matrix, Scalar, Var};
+use rm_tensor::{Matrix, Scalar, Var, Workspace};
 
 use crate::Linear;
 
@@ -208,6 +213,58 @@ impl<T: Scalar> LstmCellWeights<T> {
         let h = o.hadamard(&c.map(Scalar::tanh));
         LstmStateMatrix { h, c }
     }
+
+    /// [`LstmCellWeights::step`] with every intermediate drawn from `ws` —
+    /// the workspace-backed variant for snapshot-inference loops. Bitwise
+    /// identical to `step`: the same scalar operations in the same order,
+    /// with capacity-only buffer reuse. The caller owns the returned state
+    /// and typically gives the previous step's state back to `ws`.
+    pub fn step_ws(
+        &self,
+        input: &Matrix<T>,
+        state: &LstmStateMatrix<T>,
+        ws: &mut Workspace<T>,
+    ) -> LstmStateMatrix<T> {
+        debug_assert_eq!(input.rows(), self.input_size, "LSTM input size mismatch");
+        let cols = input.cols();
+        // `input.vstack(&state.h)` written into workspace scratch.
+        let mut concat = ws.take(input.rows() + state.h.rows(), cols);
+        let split = input.data().len();
+        concat.data_mut()[..split].copy_from_slice(input.data());
+        concat.data_mut()[split..].copy_from_slice(state.h.data());
+        let mut i = self.input_gate.forward_ws(&concat, ws);
+        let mut f = self.forget_gate.forward_ws(&concat, ws);
+        let mut o = self.output_gate.forward_ws(&concat, ws);
+        let mut g = self.candidate.forward_ws(&concat, ws);
+        for v in i.data_mut() {
+            *v = v.sigmoid();
+        }
+        for v in f.data_mut() {
+            *v = v.sigmoid();
+        }
+        for v in o.data_mut() {
+            *v = v.sigmoid();
+        }
+        for v in g.data_mut() {
+            *v = v.tanh();
+        }
+        // c = f ∘ c_prev + i ∘ g, h = o ∘ tanh(c) — element-for-element the
+        // products and the sum of the hadamard/add/map chain in `step`.
+        let mut c = ws.take(state.c.rows(), cols);
+        for (j, cv) in c.data_mut().iter_mut().enumerate() {
+            *cv = f.data()[j] * state.c.data()[j] + i.data()[j] * g.data()[j];
+        }
+        let mut h = ws.take(state.c.rows(), cols);
+        for (j, hv) in h.data_mut().iter_mut().enumerate() {
+            *hv = o.data()[j] * c.data()[j].tanh();
+        }
+        ws.give(concat);
+        ws.give(i);
+        ws.give(f);
+        ws.give(o);
+        ws.give(g);
+        LstmStateMatrix { h, c }
+    }
 }
 
 /// A lightweight sigmoid-gated recurrent cell:
@@ -374,6 +431,28 @@ mod tests {
             graph_state = cell32.step(&Var::constant(x.clone()), &graph_state);
             matrix_state = weights32.step(&x, &matrix_state);
             assert!(graph_state.h.value().bits_eq(&matrix_state.h));
+        }
+    }
+
+    #[test]
+    fn workspace_step_is_bit_identical_to_plain_step() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let cell: LstmCell = LstmCell::new(3, 5, &mut rng);
+        let weights = cell.snapshot();
+        let mut plain_state = LstmStateMatrix::zeros(5);
+        let mut ws_state = LstmStateMatrix::zeros(5);
+        let mut ws = Workspace::new();
+        // Poison the workspace so checkouts must reinitialise their buffers.
+        ws.give(Matrix::filled(8, 1, f64::NAN));
+        for t in 0..6 {
+            let x = Matrix::filled(3, 1, (t as f64 * 0.9).sin());
+            plain_state = weights.step(&x, &plain_state);
+            let next = weights.step_ws(&x, &ws_state, &mut ws);
+            ws.give(ws_state.h);
+            ws.give(ws_state.c);
+            ws_state = next;
+            assert!(plain_state.h.bits_eq(&ws_state.h));
+            assert!(plain_state.c.bits_eq(&ws_state.c));
         }
     }
 

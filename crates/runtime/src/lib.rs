@@ -52,6 +52,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+pub mod alloc_counter;
 pub mod pool;
 
 pub use pool::{pool_enabled, pool_stats, PoolStats, MAX_WORKERS};

@@ -13,10 +13,19 @@
 //! workspace (BiSIM, BRITS, SSGAN): matrix products, element-wise arithmetic,
 //! sigmoid/tanh/ReLU/exp activations, masking by constant matrices, column
 //! softmax, row concatenation and scalar reductions.
+//!
+//! Graph storage is arena-backed: nodes come out of a per-thread [`NodePool`]
+//! and return to it through [`Var::recycle`], every matrix a node holds draws
+//! its buffer from the per-thread pool in [`crate::workspace`], and
+//! [`Var::backward`] parks its traversal scratch between calls. Reuse is
+//! capacity-only — values are bitwise identical to the fresh-allocation
+//! reference path that `RM_ARENA=0` restores.
 
 // rm-lint: hot-path
-// Every training step builds and walks this graph, so allocating matmuls are
-// lint-visible here; the per-worker arena (ROADMAP) is the planned fix.
+// Every training step builds and walks this graph. Node storage, matrix
+// buffers and traversal scratch are recycled through the per-worker arena
+// (`crate::workspace` + the NodePool below); matmul outputs go through
+// `matmul_into` into pooled buffers.
 
 use std::cell::{Ref, RefCell};
 // rm-lint: allow(no-unordered-iteration): visited-set membership only — topological order comes from the DFS stack below
@@ -32,8 +41,55 @@ fn fresh_id() -> usize {
     NEXT_ID.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Nodes kept on a thread's free list; overflow drops to the allocator so a
+/// one-off huge graph cannot pin memory forever.
+const NODE_POOL_CAP: usize = 1 << 15;
+
+/// An explicit DFS frame of the topological sort (module-scoped so the
+/// backward pass can park its stack in the [`NodePool`] between calls).
+enum Frame<T: Scalar> {
+    Enter(Var<T>),
+    Exit(Var<T>),
+}
+
+/// Per-thread recycled autodiff storage: freed graph nodes plus the backward
+/// pass's traversal scratch, reached through the sealed
+/// [`Scalar`](crate::Scalar) trait exactly like the matrix buffer pool in
+/// [`crate::workspace`].
+///
+/// Internal plumbing of the arena layer — public only because the sealed
+/// trait's dispatch method names the type; not part of the stable API.
+#[doc(hidden)]
+pub struct NodePool<T: Scalar> {
+    /// Recycled nodes, ready for `from_node` to reinitialise.
+    free: Vec<Rc<RefCell<Node<T>>>>,
+    // Traversal scratch for `backward`, parked here so steady-state training
+    // steps reuse it instead of reallocating.
+    // rm-lint: allow(no-unordered-iteration): visited-set membership only; iteration order never observed
+    visited: HashSet<usize>,
+    order: Vec<Var<T>>,
+    frames: Vec<Frame<T>>,
+    /// Worklist scratch for `recycle_all`.
+    recycle_stack: Vec<Var<T>>,
+    /// Recycled `ConcatRows` row-count vectors.
+    counts: Vec<Vec<usize>>,
+}
+
+impl<T: Scalar> Default for NodePool<T> {
+    fn default() -> Self {
+        Self {
+            free: Vec::new(),
+            // rm-lint: allow(no-unordered-iteration): same membership-only visited set as above
+            visited: HashSet::new(),
+            order: Vec::new(),
+            frames: Vec::new(),
+            recycle_stack: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+}
+
 /// The operation that produced a graph node.
-#[derive(Clone)]
 enum Op<T: Scalar> {
     /// Leaf node (input or parameter).
     Leaf,
@@ -102,15 +158,45 @@ impl<T: Scalar> std::fmt::Debug for Var<T> {
 }
 
 impl<T: Scalar> Var<T> {
-    fn from_node(value: Matrix<T>, parents: Vec<Var<T>>, op: Op<T>) -> Var<T> {
-        let requires_grad = parents.iter().any(|p| p.node.borrow().requires_grad);
+    /// Builds a node over `value` with the given parents, reusing a recycled
+    /// node from this thread's [`NodePool`] when the arena layer is active.
+    /// Reuse is capacity-only: every field is reinitialised, so the graph is
+    /// bitwise identical to the fresh-allocation path (`RM_ARENA=0`).
+    fn from_node(value: Matrix<T>, parents: &[&Var<T>], op: Op<T>) -> Var<T> {
+        Self::from_node_with(value, parents.iter().copied(), op)
+    }
+
+    /// [`Var::from_node`] over any re-iterable listing of parents, so callers
+    /// holding owned slices (e.g. [`Var::concat_rows`]) need not collect a
+    /// reference vector first.
+    fn from_node_with<'a, I>(value: Matrix<T>, parents: I, op: Op<T>) -> Var<T>
+    where
+        T: 'a,
+        I: Iterator<Item = &'a Var<T>> + Clone,
+    {
+        let requires_grad = parents.clone().any(|p| p.node.borrow().requires_grad);
         let (r, c) = value.shape();
+        if crate::workspace::arena_enabled() {
+            if let Some(node) = T::with_node_pool(|pool| pool.free.pop()) {
+                {
+                    let mut n = node.borrow_mut();
+                    debug_assert!(n.parents.is_empty(), "recycled node still has parents");
+                    n.id = fresh_id();
+                    n.grad = Matrix::zeros(r, c);
+                    n.value = value;
+                    n.parents.extend(parents.cloned());
+                    n.op = op;
+                    n.requires_grad = requires_grad;
+                }
+                return Var { node };
+            }
+        }
         Var {
             node: Rc::new(RefCell::new(Node {
                 id: fresh_id(),
                 grad: Matrix::zeros(r, c),
                 value,
-                parents,
+                parents: parents.cloned().collect(),
                 op,
                 requires_grad,
             })),
@@ -119,19 +205,19 @@ impl<T: Scalar> Var<T> {
 
     /// Creates a constant (non-trainable) leaf.
     pub fn constant(value: Matrix<T>) -> Var<T> {
-        Var::from_node(value, Vec::new(), Op::Leaf)
+        Var::from_node(value, &[], Op::Leaf)
     }
 
     /// Creates a trainable parameter leaf that accumulates gradients.
     pub fn parameter(value: Matrix<T>) -> Var<T> {
-        let v = Var::from_node(value, Vec::new(), Op::Leaf);
+        let v = Var::from_node(value, &[], Op::Leaf);
         v.node.borrow_mut().requires_grad = true;
         v
     }
 
     /// A 1×1 constant.
     pub fn scalar(value: T) -> Var<T> {
-        Var::constant(Matrix::from_vec(1, 1, vec![value]))
+        Var::constant(Matrix::filled(1, 1, value))
     }
 
     /// Unique node id (useful in tests and debugging).
@@ -211,9 +297,9 @@ impl<T: Scalar> Var<T> {
     /// Applies an in-place update `f(value, grad)` to the stored value.
     pub fn update_value(&self, f: impl FnOnce(&mut Matrix<T>, &Matrix<T>)) {
         let mut n = self.node.borrow_mut();
-        // Split borrows: grad is only read, value is mutated.
-        let grad = n.grad.clone();
-        f(&mut n.value, &grad);
+        // Split borrows: value and grad are disjoint fields of the node.
+        let n = &mut *n;
+        f(&mut n.value, &n.grad);
     }
 
     // ------------------------------------------------------------------
@@ -223,44 +309,45 @@ impl<T: Scalar> Var<T> {
     /// Element-wise sum.
     pub fn add(&self, rhs: &Var<T>) -> Var<T> {
         let v = &*self.value_ref() + &*rhs.value_ref();
-        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Add)
+        Var::from_node(v, &[self, rhs], Op::Add)
     }
 
     /// Adds a column vector `rhs` (shape `(rows, 1)`) to every column of `self`.
     pub fn add_broadcast_col(&self, rhs: &Var<T>) -> Var<T> {
         let out = self.value_ref().add_broadcast_col(&rhs.value_ref());
-        Var::from_node(out, vec![self.clone(), rhs.clone()], Op::AddBroadcastCol)
+        Var::from_node(out, &[self, rhs], Op::AddBroadcastCol)
     }
 
     /// Element-wise difference `self - rhs`.
     pub fn sub(&self, rhs: &Var<T>) -> Var<T> {
         let v = &*self.value_ref() - &*rhs.value_ref();
-        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Sub)
+        Var::from_node(v, &[self, rhs], Op::Sub)
     }
 
     /// Element-wise product of two variables.
     pub fn hadamard(&self, rhs: &Var<T>) -> Var<T> {
         let v = self.value_ref().hadamard(&rhs.value_ref());
-        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::Hadamard)
+        Var::from_node(v, &[self, rhs], Op::Hadamard)
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, computed through the blocked kernel into
+    /// a pooled buffer (bitwise identical to [`Matrix::matmul`]).
     pub fn matmul(&self, rhs: &Var<T>) -> Var<T> {
-        // rm-lint: allow(prefer-matmul-into): a graph node owns its freshly computed value by contract; arena reuse is the ROADMAP follow-up
-        let v = self.value_ref().matmul(&rhs.value_ref());
-        Var::from_node(v, vec![self.clone(), rhs.clone()], Op::MatMul)
+        let mut v = Matrix::zeros(self.value_ref().rows(), rhs.value_ref().cols());
+        self.value_ref().matmul_into(&rhs.value_ref(), &mut v);
+        Var::from_node(v, &[self, rhs], Op::MatMul)
     }
 
     /// Multiplies every entry by the constant `s`.
     pub fn scale(&self, s: T) -> Var<T> {
         let v = self.value_ref().scale(s);
-        Var::from_node(v, vec![self.clone()], Op::ScaleConst(s))
+        Var::from_node(v, &[self], Op::ScaleConst(s))
     }
 
     /// Adds the constant `s` to every entry.
     pub fn add_const(&self, s: T) -> Var<T> {
         let v = self.value_ref().map(|x| x + s);
-        Var::from_node(v, vec![self.clone()], Op::AddConst)
+        Var::from_node(v, &[self], Op::AddConst)
     }
 
     /// Element-wise product with a constant matrix (no gradient flows into the
@@ -268,50 +355,50 @@ impl<T: Scalar> Var<T> {
     /// sparsity-friendly attention of BiSIM.
     pub fn mask(&self, mask: &Matrix<T>) -> Var<T> {
         let v = self.value_ref().hadamard(mask);
-        Var::from_node(v, vec![self.clone()], Op::HadamardConst(mask.clone()))
+        Var::from_node(v, &[self], Op::HadamardConst(mask.clone()))
     }
 
     /// Logistic sigmoid applied element-wise (the shared
     /// [`Scalar::sigmoid`] definition).
     pub fn sigmoid(&self) -> Var<T> {
         let v = self.value_ref().map(Scalar::sigmoid);
-        Var::from_node(v, vec![self.clone()], Op::Sigmoid)
+        Var::from_node(v, &[self], Op::Sigmoid)
     }
 
     /// Hyperbolic tangent applied element-wise.
     pub fn tanh(&self) -> Var<T> {
         let v = self.value_ref().map(Scalar::tanh);
-        Var::from_node(v, vec![self.clone()], Op::Tanh)
+        Var::from_node(v, &[self], Op::Tanh)
     }
 
     /// ReLU applied element-wise (the shared [`Scalar::relu`] definition).
     pub fn relu(&self) -> Var<T> {
         let v = self.value_ref().map(Scalar::relu);
-        Var::from_node(v, vec![self.clone()], Op::Relu)
+        Var::from_node(v, &[self], Op::Relu)
     }
 
     /// Element-wise exponential.
     pub fn exp(&self) -> Var<T> {
         let v = self.value_ref().map(Scalar::exp);
-        Var::from_node(v, vec![self.clone()], Op::Exp)
+        Var::from_node(v, &[self], Op::Exp)
     }
 
     /// Element-wise square.
     pub fn square(&self) -> Var<T> {
         let v = self.value_ref().map(|x| x * x);
-        Var::from_node(v, vec![self.clone()], Op::Square)
+        Var::from_node(v, &[self], Op::Square)
     }
 
     /// Sum of all entries as a 1×1 variable.
     pub fn sum(&self) -> Var<T> {
-        let v = Matrix::from_vec(1, 1, vec![self.value_ref().sum()]);
-        Var::from_node(v, vec![self.clone()], Op::Sum)
+        let v = Matrix::filled(1, 1, self.value_ref().sum());
+        Var::from_node(v, &[self], Op::Sum)
     }
 
     /// Mean of all entries as a 1×1 variable.
     pub fn mean(&self) -> Var<T> {
-        let v = Matrix::from_vec(1, 1, vec![self.value_ref().mean()]);
-        Var::from_node(v, vec![self.clone()], Op::Mean)
+        let v = Matrix::filled(1, 1, self.value_ref().mean());
+        Var::from_node(v, &[self], Op::Mean)
     }
 
     /// Vertically concatenates several variables (all with the same column
@@ -322,13 +409,17 @@ impl<T: Scalar> Var<T> {
     pub fn concat_rows(vars: &[Var<T>]) -> Var<T> {
         assert!(!vars.is_empty(), "concat_rows needs at least one variable");
         let mut value = vars[0].value();
-        let mut counts = vec![value.rows()];
+        // The per-parent row counts live in the op for the backward split;
+        // recycled nodes park their vector in the pool for reuse here.
+        let mut counts = T::with_node_pool(|pool| pool.counts.pop()).unwrap_or_default();
+        counts.reserve(vars.len());
+        counts.push(value.rows());
         for v in &vars[1..] {
             let m = v.value();
             counts.push(m.rows());
             value = value.vstack(&m);
         }
-        Var::from_node(value, vars.to_vec(), Op::ConcatRows(counts))
+        Var::from_node_with(value, vars.iter(), Op::ConcatRows(counts))
     }
 
     /// Softmax over a column vector (shape `(n, 1)`), numerically stabilised.
@@ -339,11 +430,11 @@ impl<T: Scalar> Var<T> {
         let v = self.value_ref();
         assert_eq!(v.cols(), 1, "softmax_col expects a column vector");
         let max = v.max().unwrap_or(T::ZERO);
-        let exps: Vec<T> = v.data().iter().map(|&x| (x - max).exp()).collect();
-        let total = exps.iter().fold(T::ZERO, |acc, &e| acc + e);
-        let out = Matrix::from_vec(v.rows(), 1, exps.iter().map(|&e| e / total).collect());
+        let exps = v.map(|x| (x - max).exp());
         drop(v);
-        Var::from_node(out, vec![self.clone()], Op::SoftmaxCol)
+        let total = exps.sum();
+        let out = exps.map(|e| e / total);
+        Var::from_node(out, &[self], Op::SoftmaxCol)
     }
 
     /// Multiplies every entry of `self` by the 1×1 variable `s` (broadcast).
@@ -351,7 +442,7 @@ impl<T: Scalar> Var<T> {
         assert_eq!(s.shape(), (1, 1), "mul_scalar_var expects a 1x1 scalar Var");
         let sv = s.scalar_value();
         let v = self.value_ref().scale(sv);
-        Var::from_node(v, vec![self.clone(), s.clone()], Op::MulScalarVar)
+        Var::from_node(v, &[self, s], Op::MulScalarVar)
     }
 
     // ------------------------------------------------------------------
@@ -372,63 +463,90 @@ impl<T: Scalar> Var<T> {
             let mut n = self.node.borrow_mut();
             n.grad = Matrix::ones(1, 1);
         }
-        let order = self.topological_order();
+        // Park the traversal scratch in the thread's node pool between calls
+        // so steady-state training steps reuse it instead of reallocating.
+        let reuse_scratch = crate::workspace::arena_enabled();
+        let (mut visited, mut order, mut frames) = if reuse_scratch {
+            T::with_node_pool(|pool| {
+                (
+                    std::mem::take(&mut pool.visited),
+                    std::mem::take(&mut pool.order),
+                    std::mem::take(&mut pool.frames),
+                )
+            })
+        } else {
+            // rm-lint: allow(no-unordered-iteration): membership test on node ids; iteration order never observed
+            (HashSet::new(), Vec::new(), Vec::new())
+        };
+        self.topological_order_into(&mut visited, &mut order, &mut frames);
         for var in order.iter().rev() {
             var.propagate();
         }
+        if reuse_scratch {
+            visited.clear();
+            order.clear();
+            frames.clear();
+            T::with_node_pool(|pool| {
+                pool.visited = visited;
+                pool.order = order;
+                pool.frames = frames;
+            });
+        }
     }
 
-    /// Returns the nodes reachable from `self` in topological order
-    /// (parents before children).
-    fn topological_order(&self) -> Vec<Var<T>> {
+    /// Collects the nodes reachable from `self` in topological order
+    /// (parents before children) into `order`, using caller-owned scratch.
+    fn topological_order_into(
+        &self,
         // rm-lint: allow(no-unordered-iteration): membership test on node ids; iteration order never observed
-        let mut visited = HashSet::new();
-        let mut order = Vec::new();
+        visited: &mut HashSet<usize>,
+        order: &mut Vec<Var<T>>,
+        frames: &mut Vec<Frame<T>>,
+    ) {
+        debug_assert!(visited.is_empty() && order.is_empty() && frames.is_empty());
         // Iterative DFS with an explicit stack to avoid recursion limits on
         // long unrolled sequences.
-        enum Frame<T: Scalar> {
-            Enter(Var<T>),
-            Exit(Var<T>),
-        }
-        let mut stack = vec![Frame::Enter(self.clone())];
-        while let Some(frame) = stack.pop() {
+        frames.push(Frame::Enter(self.clone()));
+        while let Some(frame) = frames.pop() {
             match frame {
                 Frame::Enter(v) => {
                     let id = v.id();
                     if !visited.insert(id) {
                         continue;
                     }
-                    stack.push(Frame::Exit(v.clone()));
+                    frames.push(Frame::Exit(v.clone()));
                     for p in v.node.borrow().parents.iter() {
-                        stack.push(Frame::Enter(p.clone()));
+                        frames.push(Frame::Enter(p.clone()));
                     }
                 }
                 Frame::Exit(v) => order.push(v),
             }
         }
-        order
     }
 
     /// Propagates this node's gradient to its parents.
+    ///
+    /// Holds a shared borrow of this node across the whole dispatch: a node
+    /// is created strictly after its parents, so it can never be its own
+    /// parent and the `borrow_mut` inside `accumulate` cannot alias it.
+    /// Parent *values* are only borrowed in temporaries that end before the
+    /// matching `accumulate`, because the same parent may appear twice
+    /// (e.g. `x.hadamard(&x)`).
     fn propagate(&self) {
         let node = self.node.borrow();
         if node.parents.is_empty() {
             return;
         }
-        let grad = node.grad.clone();
-        let value = node.value.clone();
-        let op = node.op.clone();
-        let parents = node.parents.clone();
-        drop(node);
-
-        match op {
+        let grad = &node.grad;
+        let parents = &node.parents;
+        match &node.op {
             Op::Leaf => {}
             Op::Add => {
-                parents[0].accumulate(&grad);
-                parents[1].accumulate(&grad);
+                parents[0].accumulate(grad);
+                parents[1].accumulate(grad);
             }
             Op::AddBroadcastCol => {
-                parents[0].accumulate(&grad);
+                parents[0].accumulate(grad);
                 // Gradient of the broadcast column vector: row sums.
                 let summed = Matrix::from_fn(grad.rows(), 1, |r, _| {
                     grad.row(r).iter().fold(T::ZERO, |acc, &v| acc + v)
@@ -436,46 +554,52 @@ impl<T: Scalar> Var<T> {
                 parents[1].accumulate(&summed);
             }
             Op::Sub => {
-                parents[0].accumulate(&grad);
+                parents[0].accumulate(grad);
                 parents[1].accumulate(&grad.scale(-T::ONE));
             }
             Op::Hadamard => {
-                let a = parents[0].value();
-                let b = parents[1].value();
-                parents[0].accumulate(&grad.hadamard(&b));
-                parents[1].accumulate(&grad.hadamard(&a));
+                let da = grad.hadamard(&parents[1].value_ref());
+                let db = grad.hadamard(&parents[0].value_ref());
+                parents[0].accumulate(&da);
+                parents[1].accumulate(&db);
             }
             Op::MatMul => {
-                // dA = dC · Bᵀ goes through the blocked kernel (a one-off
-                // transpose is cheaper than losing the vectorised inner
-                // loop); dB = Aᵀ · dC uses the transposed kernel, which is
-                // axpy-shaped like the blocked one and skips the transpose.
-                let a = parents[0].value();
-                let b = parents[1].value();
-                // rm-lint: allow(prefer-matmul-into): dA is handed to accumulate, which consumes it; buffer reuse lands with the arena (ROADMAP)
-                parents[0].accumulate(&grad.matmul(&b.transpose()));
-                parents[1].accumulate(&a.matmul_at_b(&grad));
+                // dA = dC · Bᵀ goes through the blocked kernel into a pooled
+                // buffer (a one-off transpose is cheaper than losing the
+                // vectorised inner loop); dB = Aᵀ · dC uses the transposed
+                // kernel, which is axpy-shaped like the blocked one and
+                // skips the transpose.
+                let da = {
+                    let bt = parents[1].value_ref().transpose();
+                    let mut da = Matrix::zeros(grad.rows(), bt.cols());
+                    grad.matmul_into(&bt, &mut da);
+                    da
+                };
+                let db = parents[0].value_ref().matmul_at_b(grad);
+                parents[0].accumulate(&da);
+                parents[1].accumulate(&db);
             }
-            Op::ScaleConst(s) => parents[0].accumulate(&grad.scale(s)),
-            Op::AddConst => parents[0].accumulate(&grad),
-            Op::HadamardConst(mask) => parents[0].accumulate(&grad.hadamard(&mask)),
+            Op::ScaleConst(s) => parents[0].accumulate(&grad.scale(*s)),
+            Op::AddConst => parents[0].accumulate(grad),
+            Op::HadamardConst(mask) => parents[0].accumulate(&grad.hadamard(mask)),
             Op::Sigmoid => {
-                let d = value.map(|y| y * (T::ONE - y));
+                let d = node.value.map(|y| y * (T::ONE - y));
                 parents[0].accumulate(&grad.hadamard(&d));
             }
             Op::Tanh => {
-                let d = value.map(|y| T::ONE - y * y);
+                let d = node.value.map(|y| T::ONE - y * y);
                 parents[0].accumulate(&grad.hadamard(&d));
             }
             Op::Relu => {
-                let x = parents[0].value();
-                let d = x.map(|v| if v > T::ZERO { T::ONE } else { T::ZERO });
+                let d = parents[0]
+                    .value_ref()
+                    .map(|v| if v > T::ZERO { T::ONE } else { T::ZERO });
                 parents[0].accumulate(&grad.hadamard(&d));
             }
-            Op::Exp => parents[0].accumulate(&grad.hadamard(&value)),
+            Op::Exp => parents[0].accumulate(&grad.hadamard(&node.value)),
             Op::Square => {
-                let x = parents[0].value();
-                parents[0].accumulate(&grad.hadamard(&x.scale(T::from_f64(2.0))));
+                let scaled = parents[0].value_ref().scale(T::from_f64(2.0));
+                parents[0].accumulate(&grad.hadamard(&scaled));
             }
             Op::Sum => {
                 let g = grad.get(0, 0);
@@ -496,7 +620,7 @@ impl<T: Scalar> Var<T> {
             }
             Op::SoftmaxCol => {
                 // dX_i = y_i * (dY_i - sum_j dY_j y_j)
-                let y = value;
+                let y = &node.value;
                 let dot = y
                     .data()
                     .iter()
@@ -506,15 +630,16 @@ impl<T: Scalar> Var<T> {
                 parents[0].accumulate(&dx);
             }
             Op::MulScalarVar => {
-                let a = parents[0].value();
-                let s = parents[1].value().get(0, 0);
+                let s = parents[1].value_ref().get(0, 0);
+                let ds = {
+                    let a = parents[0].value_ref();
+                    grad.data()
+                        .iter()
+                        .zip(a.data().iter())
+                        .fold(T::ZERO, |acc, (&g, &av)| acc + g * av)
+                };
                 parents[0].accumulate(&grad.scale(s));
-                let ds = grad
-                    .data()
-                    .iter()
-                    .zip(a.data().iter())
-                    .fold(T::ZERO, |acc, (&g, &av)| acc + g * av);
-                parents[1].accumulate(&Matrix::from_vec(1, 1, vec![ds]));
+                parents[1].accumulate(&Matrix::filled(1, 1, ds));
             }
         }
     }
@@ -526,6 +651,74 @@ impl<T: Scalar> Var<T> {
             return;
         }
         n.grad.axpy(T::ONE, delta);
+    }
+
+    // ------------------------------------------------------------------
+    // Node recycling
+    // ------------------------------------------------------------------
+
+    /// Returns this graph to the thread's node pool for reuse.
+    ///
+    /// Call this after a training step (or a discarded forward pass) once
+    /// every gradient has been read out: the handle is consumed, every
+    /// reachable node whose only owner was this graph is stripped and parked
+    /// in the per-thread [`NodePool`], and its matrix buffers flow back to
+    /// the buffer pool. Nodes still referenced elsewhere — model parameters,
+    /// outputs the caller kept — are left untouched, so recycling is always
+    /// safe. A no-op under `RM_ARENA=0`.
+    pub fn recycle(self) {
+        Var::recycle_all(std::iter::once(self));
+    }
+
+    /// [`Var::recycle`] over several roots at once (e.g. every output of an
+    /// inference pass).
+    pub fn recycle_all(roots: impl IntoIterator<Item = Var<T>>) {
+        if !crate::workspace::arena_enabled() {
+            return;
+        }
+        let mut stack = T::with_node_pool(|pool| std::mem::take(&mut pool.recycle_stack));
+        stack.extend(roots);
+        while let Some(var) = stack.pop() {
+            let Var { node } = var;
+            if Rc::strong_count(&node) != 1 {
+                // Another handle (a parameter, a kept output) owns this node
+                // too; dropping ours here leaves that graph intact. If the
+                // other handle is itself pending on the stack, the node is
+                // revisited — and then recycled — when it drains.
+                continue;
+            }
+            let recovered_counts = {
+                let mut n = node.borrow_mut();
+                while let Some(parent) = n.parents.pop() {
+                    stack.push(parent);
+                }
+                // Strip the node: matrix buffers return to the buffer pool
+                // now; the parents Vec — and a ConcatRows op's row-count
+                // vector, parked below — keep their capacity for the next
+                // graph.
+                n.value = Matrix::zeros(0, 0);
+                n.grad = Matrix::zeros(0, 0);
+                n.requires_grad = false;
+                match std::mem::replace(&mut n.op, Op::Leaf) {
+                    Op::ConcatRows(mut counts) => {
+                        counts.clear();
+                        Some(counts)
+                    }
+                    _ => None,
+                }
+            };
+            T::with_node_pool(|pool| {
+                if let Some(counts) = recovered_counts {
+                    if pool.counts.len() < NODE_POOL_CAP {
+                        pool.counts.push(counts);
+                    }
+                }
+                if pool.free.len() < NODE_POOL_CAP {
+                    pool.free.push(node);
+                }
+            });
+        }
+        T::with_node_pool(|pool| pool.recycle_stack = stack);
     }
 }
 
@@ -737,6 +930,56 @@ mod tests {
         let loss = y.sum();
         loss.backward();
         assert!((x.grad().get(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recycled_graphs_rebuild_bitwise_identical() {
+        let w = Var::parameter(Matrix::from_vec(2, 2, vec![0.3, -0.1, 0.7, 0.2]));
+        let x = Var::constant(Matrix::column(&[1.0, -2.0]));
+        let build = || {
+            // rm-lint: allow(prefer-matmul-into): test-only graph, not a hot loop
+            let loss = w.matmul(&x).tanh().square().sum();
+            loss.backward();
+            loss
+        };
+        let loss1 = build();
+        let l1: f64 = loss1.scalar_value();
+        let g1 = w.grad();
+        loss1.recycle();
+        w.zero_grad();
+        // Rebuilding the same graph on recycled nodes must be bit-identical.
+        let loss2 = build();
+        assert_eq!(loss2.scalar_value().to_bits(), l1.to_bits());
+        assert!(w.grad().bits_eq(&g1));
+        loss2.recycle();
+        // The parameter leaf survives both recycles untouched.
+        assert_eq!(w.shape(), (2, 2));
+        assert!(w.value().is_finite());
+    }
+
+    #[test]
+    fn recycle_parks_exclusive_nodes_and_skips_shared_handles() {
+        if !crate::workspace::arena_enabled() {
+            return; // RM_ARENA=0: recycling is a no-op by design.
+        }
+        let p = Var::<f64>::parameter(Matrix::ones(2, 2));
+        let kept = p.square();
+        let loss = kept.sum();
+        loss.backward();
+        let kept_id = kept.id();
+        let before = f64::with_node_pool(|pool| pool.free.len());
+        loss.recycle();
+        let after = f64::with_node_pool(|pool| pool.free.len());
+        // Only the loss node was exclusively owned by the recycled handle;
+        // `kept` (still held here) and the parameter stay intact.
+        assert_eq!(after, before + 1);
+        assert_eq!(kept.id(), kept_id);
+        assert_eq!(kept.shape(), (2, 2));
+        assert_eq!(p.grad().get(0, 0), 2.0);
+        // The next node built on this thread draws from the pool.
+        let next = p.sum();
+        assert_eq!(f64::with_node_pool(|pool| pool.free.len()), after - 1);
+        assert_eq!(next.shape(), (1, 1));
     }
 
     #[test]

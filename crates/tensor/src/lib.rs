@@ -14,7 +14,11 @@
 //! * [`Var`] — a node in a dynamically-built reverse-mode autodiff graph
 //!   (default `Var<f64>`), supporting matrix products, element-wise
 //!   arithmetic, activations, masking, concatenation, column softmax and
-//!   scalar reductions.
+//!   scalar reductions,
+//! * [`Workspace`] and the per-thread buffer pools behind every [`Matrix`]
+//!   constructor — the arena layer ([`workspace`]) that keeps the hot loops
+//!   allocation-free; `RM_ARENA=0` restores the fresh-allocation reference
+//!   path.
 //!
 //! # Example
 //!
@@ -37,7 +41,9 @@
 pub mod autodiff;
 pub mod matrix;
 pub mod scalar;
+pub mod workspace;
 
 pub use autodiff::Var;
 pub use matrix::{Matrix, MATMUL_BLOCK};
 pub use scalar::{Precision, Scalar};
+pub use workspace::{arena_enabled, buffer_pool_stats, BufferPoolStats, Workspace};

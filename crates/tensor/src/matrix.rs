@@ -13,6 +13,7 @@ use std::ops::{Add, Mul, Neg, Sub};
 
 use rand::Rng;
 
+use crate::workspace::{self, Workspace};
 use crate::Scalar;
 
 /// Panel width of the blocked matmul kernel: [`Matrix::matmul_into`]
@@ -52,11 +53,35 @@ fn axpy_row<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
 }
 
 /// A dense row-major matrix of [`Scalar`] values (`f64` by default).
-#[derive(Clone, PartialEq)]
+///
+/// Backing buffers are checked out of this thread's
+/// [`workspace`](crate::workspace) buffer pool and returned to it on drop
+/// (capacity-only reuse — every constructor initialises all entries, so
+/// values are bitwise independent of where the buffer came from).
+/// `RM_ARENA=0` bypasses the pool entirely.
+#[derive(PartialEq)]
 pub struct Matrix<T: Scalar = f64> {
     rows: usize,
     cols: usize,
     data: Vec<T>,
+}
+
+impl<T: Scalar> Clone for Matrix<T> {
+    fn clone(&self) -> Self {
+        let mut data = workspace::take_buffer(self.data.len());
+        data.extend_from_slice(&self.data);
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl<T: Scalar> Drop for Matrix<T> {
+    fn drop(&mut self) {
+        workspace::give_buffer(std::mem::take(&mut self.data));
+    }
 }
 
 impl<T: Scalar> fmt::Debug for Matrix<T> {
@@ -79,11 +104,7 @@ impl<T: Scalar> fmt::Debug for Matrix<T> {
 impl<T: Scalar> Matrix<T> {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![T::ZERO; rows * cols],
-        }
+        Self::filled(rows, cols, T::ZERO)
     }
 
     /// Creates a matrix filled with ones.
@@ -93,11 +114,30 @@ impl<T: Scalar> Matrix<T> {
 
     /// Creates a matrix filled with a constant value.
     pub fn filled(rows: usize, cols: usize, value: T) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
+        let n = rows * cols;
+        let mut data = workspace::take_buffer(n);
+        data.resize(n, value);
+        Self { rows, cols, data }
+    }
+
+    /// Reshapes `self` into a zero-filled `rows × cols` matrix in place,
+    /// reusing the existing buffer capacity — bitwise identical to assigning
+    /// a fresh [`Matrix::zeros`]. This is the reuse primitive behind
+    /// [`Workspace::take`](crate::Workspace::take).
+    pub fn reset_zeros(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let len = rows * cols;
+        if self.data.capacity() < len {
+            // Growing would reallocate through the global allocator; swap the
+            // too-small buffer for a pooled one of the right class instead.
+            crate::workspace::give_buffer(std::mem::replace(
+                &mut self.data,
+                crate::workspace::take_buffer(len),
+            ));
         }
+        self.data.clear();
+        self.data.resize(len, T::ZERO);
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -118,7 +158,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Creates a matrix by evaluating `f(row, col)` for every entry.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = workspace::take_buffer(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -129,23 +169,37 @@ impl<T: Scalar> Matrix<T> {
 
     /// Creates a column vector from a slice.
     pub fn column(values: &[T]) -> Self {
-        Self::from_vec(values.len(), 1, values.to_vec())
+        let mut data = workspace::take_buffer(values.len());
+        data.extend_from_slice(values);
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data,
+        }
     }
 
     /// Creates a column vector from an `f64` slice, rounding each entry to
     /// `T` — the bridge from the `f64` data-preparation layer into an
     /// `f32` inference kernel.
     pub fn column_from_f64(values: &[f64]) -> Self {
-        Self::from_vec(
-            values.len(),
-            1,
-            values.iter().map(|&v| T::from_f64(v)).collect(),
-        )
+        let mut data = workspace::take_buffer(values.len());
+        data.extend(values.iter().map(|&v| T::from_f64(v)));
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data,
+        }
     }
 
     /// Creates a row vector from a slice.
     pub fn row_vector(values: &[T]) -> Self {
-        Self::from_vec(1, values.len(), values.to_vec())
+        let mut data = workspace::take_buffer(values.len());
+        data.extend_from_slice(values);
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data,
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -234,10 +288,12 @@ impl<T: Scalar> Matrix<T> {
     /// one-time weight-snapshot rounding of the f32 inference path;
     /// `f32 → f64` is lossless.
     pub fn cast<U: Scalar>(&self) -> Matrix<U> {
+        let mut data = workspace::take_buffer(self.data.len());
+        data.extend(self.data.iter().map(|&v| U::from_f64(v.to_f64())));
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| U::from_f64(v.to_f64())).collect(),
+            data,
         }
     }
 
@@ -256,6 +312,20 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if the inner dimensions do not match.
     pub fn matmul(&self, rhs: &Matrix<T>) -> Matrix<T> {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self * rhs` into a matrix checked out of `ws` — the
+    /// workspace-backed variant of [`Matrix::matmul`] for snapshot-inference
+    /// loops that return the product to the workspace each step. Bitwise
+    /// identical to `matmul` (same [`Matrix::matmul_into`] kernel into a
+    /// zeroed output).
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul_ws(&self, rhs: &Matrix<T>, ws: &mut Workspace<T>) -> Matrix<T> {
+        let mut out = ws.take(self.rows, rhs.cols);
         self.matmul_into(rhs, &mut out);
         out
     }
@@ -384,10 +454,12 @@ impl<T: Scalar> Matrix<T> {
 
     /// Applies `f` to every entry, producing a new matrix.
     pub fn map(&self, f: impl Fn(T) -> T) -> Matrix<T> {
+        let mut data = workspace::take_buffer(self.data.len());
+        data.extend(self.data.iter().map(|&v| f(v)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
@@ -403,15 +475,17 @@ impl<T: Scalar> Matrix<T> {
             self.shape(),
             rhs.shape()
         );
+        let mut data = workspace::take_buffer(self.data.len());
+        data.extend(
+            self.data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         }
     }
 
@@ -472,7 +546,8 @@ impl<T: Scalar> Matrix<T> {
     /// Panics if the column counts differ.
     pub fn vstack(&self, other: &Matrix<T>) -> Matrix<T> {
         assert_eq!(self.cols, other.cols, "vstack column mismatch");
-        let mut data = self.data.clone();
+        let mut data = workspace::take_buffer(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
         Matrix::from_vec(self.rows + other.rows, self.cols, data)
     }
@@ -495,11 +570,9 @@ impl<T: Scalar> Matrix<T> {
     /// Extracts rows `[start, start + count)` into a new matrix.
     pub fn slice_rows(&self, start: usize, count: usize) -> Matrix<T> {
         assert!(start + count <= self.rows, "slice_rows out of range");
-        Matrix::from_vec(
-            count,
-            self.cols,
-            self.data[start * self.cols..(start + count) * self.cols].to_vec(),
-        )
+        let mut data = workspace::take_buffer(count * self.cols);
+        data.extend_from_slice(&self.data[start * self.cols..(start + count) * self.cols]);
+        Matrix::from_vec(count, self.cols, data)
     }
 
     /// Returns `true` if every entry is finite.
@@ -802,6 +875,43 @@ mod tests {
         assert_eq!(back.get(0, 1), (0.1f64 as f32) as f64);
         // Same-precision cast is the identity.
         assert!(m.cast::<f64>().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn reset_zeros_is_bitwise_fresh_zeros() {
+        let mut m = Matrix::filled(4, 4, f64::NAN);
+        m.reset_zeros(3, 5);
+        assert!(m.bits_eq(&Matrix::zeros(3, 5)));
+        // Growing past the old capacity also stays exact.
+        m.reset_zeros(9, 9);
+        assert!(m.bits_eq(&Matrix::zeros(9, 9)));
+    }
+
+    #[test]
+    fn matmul_ws_matches_matmul_bitwise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut ws = Workspace::new();
+        for (m, k, n) in [(1, 1, 1), (3, 64, 5), (7, 65, 9)] {
+            let a = Matrix::<f64>::random_uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::<f64>::random_uniform(k, n, 1.0, &mut rng);
+            let via_ws = a.matmul_ws(&b, &mut ws);
+            assert!(via_ws.bits_eq(&a.matmul(&b)));
+            ws.give(via_ws);
+        }
+    }
+
+    #[test]
+    fn clone_of_pooled_matrix_is_bitwise_equal() {
+        let mut rng = StdRng::seed_from_u64(57);
+        let m = Matrix::<f64>::random_uniform(6, 7, 1.0, &mut rng);
+        let c = m.clone();
+        assert!(c.bits_eq(&m));
+        drop(m);
+        // The clone owns its buffer: dropping the original and building new
+        // matrices over the reclaimed capacity must not disturb it.
+        let _noise = Matrix::<f64>::filled(6, 7, f64::NAN);
+        assert_eq!(c.shape(), (6, 7));
+        assert!(c.is_finite());
     }
 
     #[test]

@@ -117,6 +117,22 @@ pub trait Scalar:
     fn relu(self) -> Self {
         self.max(Self::ZERO)
     }
+
+    /// Runs `f` with this thread's raw-buffer pool for `Self` elements.
+    ///
+    /// Internal plumbing of the arena layer (`crate::workspace`): the pools
+    /// are declared per implementor so each thread — in particular each
+    /// `rm-runtime` pool worker — owns a private arena per precision and no
+    /// synchronisation is ever needed. Public only because the sealed trait
+    /// is the dispatch point; not part of the stable API.
+    #[doc(hidden)]
+    fn with_buffer_pool<R, F: FnOnce(&mut crate::workspace::BufferPool<Self>) -> R>(f: F) -> R;
+
+    /// Runs `f` with this thread's autodiff node pool for `Self` graphs.
+    ///
+    /// Same internal-plumbing caveats as [`Scalar::with_buffer_pool`].
+    #[doc(hidden)]
+    fn with_node_pool<R, F: FnOnce(&mut crate::autodiff::NodePool<Self>) -> R>(f: F) -> R;
 }
 
 macro_rules! impl_scalar {
@@ -181,6 +197,24 @@ macro_rules! impl_scalar {
             #[inline]
             fn to_bits_u64(self) -> u64 {
                 self.to_bits() as u64
+            }
+
+            fn with_buffer_pool<R, F: FnOnce(&mut crate::workspace::BufferPool<Self>) -> R>(
+                f: F,
+            ) -> R {
+                std::thread_local! {
+                    static POOL: std::cell::RefCell<crate::workspace::BufferPool<$t>> =
+                        std::cell::RefCell::new(crate::workspace::BufferPool::default());
+                }
+                POOL.with(|pool| f(&mut pool.borrow_mut()))
+            }
+
+            fn with_node_pool<R, F: FnOnce(&mut crate::autodiff::NodePool<Self>) -> R>(f: F) -> R {
+                std::thread_local! {
+                    static POOL: std::cell::RefCell<crate::autodiff::NodePool<$t>> =
+                        std::cell::RefCell::new(crate::autodiff::NodePool::default());
+                }
+                POOL.with(|pool| f(&mut pool.borrow_mut()))
             }
         }
     };

@@ -1,7 +1,7 @@
 //! Property-based tests for matrices and autodiff.
 
 use proptest::prelude::*;
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Var, Workspace};
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-5.0f64..5.0, rows * cols)
@@ -147,6 +147,73 @@ proptest! {
             for j in 0..3 {
                 prop_assert!((grad.get(i, j) - x_data[j]).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn workspace_matmul_matches_fresh_allocation_bitwise(
+        m in 1usize..10,
+        k in 1usize..48,
+        n in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        // The workspace checkout is capacity-only reuse: the recycled buffer
+        // is re-zeroed and the same kernel runs over it, so the result must
+        // match a freshly allocated matmul bit for bit — including when the
+        // checked-out buffer is a differently shaped leftover from an
+        // earlier, larger product.
+        let mut data = seed;
+        let mut next = || {
+            data = data.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((data >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+        };
+        let a = Matrix::from_fn(m, k, |_, _| next());
+        let b = Matrix::from_fn(k, n, |_, _| next());
+        let fresh = a.matmul(&b);
+
+        let mut ws = Workspace::new();
+        // Dirty the pool with a larger product first so the second checkout
+        // reuses a buffer that held other values.
+        let big_a = Matrix::from_fn(m + 2, k, |_, _| next());
+        let scratch = big_a.matmul_ws(&b, &mut ws);
+        ws.give(scratch);
+        let pooled = a.matmul_ws(&b, &mut ws);
+
+        prop_assert_eq!(fresh.shape(), pooled.shape());
+        for (x, y) in fresh.data().iter().zip(pooled.data().iter()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn recycled_graphs_rebuild_bitwise_identical_under_proptest(
+        w_data in prop::collection::vec(-2.0f64..2.0, 12),
+        x_data in prop::collection::vec(-2.0f64..2.0, 4),
+        rounds in 2usize..5,
+    ) {
+        // Arena parity for the live graph: after recycling a graph, a
+        // rebuild of the same computation from pooled nodes and buffers must
+        // reproduce every value and gradient bit for bit. With RM_ARENA=0
+        // recycling is a no-op and the rebuilds are fresh allocations, so
+        // this property pins arena ≡ no-arena as well.
+        let w = Var::parameter(Matrix::from_vec(3, 4, w_data));
+        let mut reference: Option<(f64, Vec<u64>)> = None;
+        for _ in 0..rounds {
+            let x = Var::constant(Matrix::column(&x_data));
+            let h = w.matmul(&x).tanh();
+            let loss = h.square().sum();
+            loss.backward();
+            let bits: Vec<u64> = w.grad().data().iter().map(|v| v.to_bits()).collect();
+            let value = loss.scalar_value();
+            match &reference {
+                None => reference = Some((value, bits)),
+                Some((v0, bits0)) => {
+                    prop_assert_eq!(value.to_bits(), v0.to_bits());
+                    prop_assert_eq!(&bits, bits0);
+                }
+            }
+            w.zero_grad();
+            Var::recycle_all([loss, h, x]);
         }
     }
 

@@ -1,0 +1,190 @@
+//! Allocator-budget harness for the arena-backed workspaces (PR 7).
+//!
+//! This binary installs a counting `#[global_allocator]` and drives the two
+//! hot loops the arena layer exists for — a recurrent training step
+//! (graph build → backward → gradient extraction → recycle) and a
+//! graph-free snapshot-inference sweep — asserting that, once warm, they
+//! allocate (near-)nothing: matrix buffers cycle through the per-worker
+//! buffer pool, autodiff nodes through the node arena, and snapshot scratch
+//! through a caller-owned [`Workspace`].
+//!
+//! With `RM_ARENA=0` the pools are disabled and every buffer and node is a
+//! fresh heap allocation; the harness then only reports the numbers (they
+//! are the baseline for the ≥10× reduction recorded in
+//! `BENCH_baseline.json`). Run it directly to see both sides:
+//!
+//! ```text
+//! cargo test -p rm-integration-tests --test allocations -- --nocapture
+//! RM_ARENA=0 cargo test -p rm-integration-tests --test allocations -- --nocapture
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_nn::{Linear, LstmCell, LstmState, LstmStateMatrix};
+use rm_runtime::alloc_counter::CountingAlloc;
+use rm_tensor::{arena_enabled, Matrix, Var, Workspace};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const FEATURES: usize = 8;
+const HIDDEN: usize = 16;
+const STEPS: usize = 6;
+const WARMUP: usize = 5;
+const MEASURED: usize = 50;
+
+/// Deterministic per-step input vectors.
+fn inputs() -> Vec<Vec<f64>> {
+    (0..STEPS)
+        .map(|t| {
+            (0..FEATURES)
+                .map(|f| -60.0 - (t as f64) * 1.5 - (f as f64) * 0.25)
+                .collect()
+        })
+        .collect()
+}
+
+/// One training step over the live graph, shaped like the recurrent
+/// imputers' inner loop: unroll an LSTM, read the states out, differentiate
+/// a scalar loss, pull the gradients, and recycle the step's graph.
+fn training_step(
+    cell: &LstmCell,
+    readout: &Linear,
+    params: &[Var],
+    xs: &[Vec<f64>],
+    grad_sink: &mut f64,
+) -> f64 {
+    let mut state = LstmState::zeros(HIDDEN);
+    let mut total = Var::scalar(0.0);
+    for raw in xs {
+        let x = Var::constant(Matrix::column(raw));
+        state = cell.step(&x, &state);
+        let est = readout.forward(&state.h);
+        total = total.add(&est.square().sum());
+    }
+    let loss = total.scale(1.0 / xs.len() as f64);
+    loss.backward();
+    let value = loss.scalar_value();
+    for p in params {
+        *grad_sink += p.grad().get(0, 0);
+        p.zero_grad();
+    }
+    let LstmState { h, c } = state;
+    Var::recycle_all([loss, total, h, c]);
+    value
+}
+
+/// One snapshot-inference sweep: the graph-free kernels with every
+/// intermediate drawn from a caller-owned workspace.
+fn inference_sweep(
+    cell: &rm_nn::LstmCellWeights,
+    readout: &rm_nn::LinearWeights,
+    xs: &[Vec<f64>],
+    ws: &mut Workspace,
+) -> f64 {
+    // Seed the state from the workspace (bitwise zeros) so the buffers it
+    // retires at the end of the sweep are the ones the next sweep reuses.
+    let mut state = LstmStateMatrix {
+        h: ws.take(HIDDEN, 1),
+        c: ws.take(HIDDEN, 1),
+    };
+    let mut sink = 0.0;
+    for raw in xs {
+        let x = Matrix::column(raw);
+        let next = cell.step_ws(&x, &state, ws);
+        ws.give(state.h);
+        ws.give(state.c);
+        state = next;
+        let out = readout.forward_ws(&state.h, ws);
+        sink += out.sum();
+        ws.give(out);
+    }
+    ws.give(state.h);
+    ws.give(state.c);
+    sink
+}
+
+/// Steady-state allocation budget of the two hot loops. Both phases live in
+/// one `#[test]` so no concurrently running test pollutes the process-wide
+/// counters between the before/after reads.
+#[test]
+fn steady_state_hot_loops_allocate_near_zero() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cell = LstmCell::new(FEATURES, HIDDEN, &mut rng);
+    let readout = Linear::new(HIDDEN, FEATURES, &mut rng);
+    let mut params = cell.parameters();
+    params.extend(readout.parameters());
+    let xs = inputs();
+
+    // ---- Training loop ----
+    let mut grad_sink = 0.0;
+    let mut loss_sink = 0.0;
+    for _ in 0..WARMUP {
+        loss_sink += training_step(&cell, &readout, &params, &xs, &mut grad_sink);
+    }
+    let before = ALLOC.allocations();
+    let bytes_before = ALLOC.allocated_bytes();
+    for _ in 0..MEASURED {
+        loss_sink += training_step(&cell, &readout, &params, &xs, &mut grad_sink);
+    }
+    let train_allocs = ALLOC.allocations() - before;
+    let train_bytes = ALLOC.allocated_bytes() - bytes_before;
+    assert!(loss_sink.is_finite() && grad_sink.is_finite());
+
+    // ---- Snapshot-inference loop ----
+    let cell_w = cell.snapshot();
+    let readout_w = readout.snapshot();
+    let mut ws = Workspace::new();
+    let mut infer_sink = 0.0;
+    for _ in 0..WARMUP {
+        infer_sink += inference_sweep(&cell_w, &readout_w, &xs, &mut ws);
+    }
+    let before = ALLOC.allocations();
+    let bytes_before = ALLOC.allocated_bytes();
+    for _ in 0..MEASURED {
+        infer_sink += inference_sweep(&cell_w, &readout_w, &xs, &mut ws);
+    }
+    let infer_allocs = ALLOC.allocations() - before;
+    let infer_bytes = ALLOC.allocated_bytes() - bytes_before;
+    assert!(infer_sink.is_finite());
+
+    eprintln!(
+        "[alloc-harness] arena={} training: {} allocs / {} bytes over {} steps \
+         ({:.1} allocs/step); inference: {} allocs / {} bytes over {} sweeps \
+         ({:.1} allocs/sweep)",
+        if arena_enabled() { "on" } else { "off" },
+        train_allocs,
+        train_bytes,
+        MEASURED,
+        train_allocs as f64 / MEASURED as f64,
+        infer_allocs,
+        infer_bytes,
+        MEASURED,
+        infer_allocs as f64 / MEASURED as f64,
+    );
+
+    if arena_enabled() {
+        // Near-zero, not zero: the libtest harness itself may allocate a
+        // handful of times on other threads while the loops run.
+        assert!(
+            train_allocs <= 8 * MEASURED as u64 / 10,
+            "steady-state training allocated {train_allocs} times in {MEASURED} steps"
+        );
+        assert!(
+            infer_allocs <= 8 * MEASURED as u64 / 10,
+            "steady-state inference allocated {infer_allocs} times in {MEASURED} sweeps"
+        );
+    } else {
+        // RM_ARENA=0 is the fresh-allocation reference: every node and
+        // buffer hits the heap, so the loops must allocate heavily — this
+        // guards the baseline the ≥10× reduction is measured against.
+        assert!(
+            train_allocs >= 10 * MEASURED as u64,
+            "RM_ARENA=0 training allocated only {train_allocs} times — baseline invalid"
+        );
+        assert!(
+            infer_allocs >= MEASURED as u64,
+            "RM_ARENA=0 inference allocated only {infer_allocs} times — baseline invalid"
+        );
+    }
+}

@@ -116,6 +116,44 @@ fn batched_training_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// The arena layer (PR 7) must be invisible to the contract: buffer and
+/// node reuse is capacity-only, so with arenas at their default (enabled)
+/// the recurrent imputers — whose training recycles every step's graph into
+/// the per-worker node arena and whose snapshot inference draws all scratch
+/// from caller-owned workspaces — are still bit-identical at any thread
+/// count. (The CI `RM_ARENA=0` leg runs this same suite against the
+/// fresh-allocation reference, closing the loop from the other side.)
+#[test]
+fn arena_backed_training_and_inference_are_bit_identical_across_thread_counts() {
+    let map = straight_path_map(24, 8);
+    let topology = MultiPolygon::empty();
+    let thread_counts = [1, 2, rm_runtime::default_threads()];
+    for imputer in [ImputerKind::Brits, ImputerKind::Ssgan, ImputerKind::Bisim] {
+        let runs: Vec<ImputedRadioMap> = thread_counts
+            .iter()
+            .map(|&threads| {
+                ImputationPipeline::new(PipelineConfig {
+                    differentiator: DifferentiatorKind::MarOnly,
+                    imputer,
+                    epochs: Some(2),
+                    threads,
+                    batch_size: Some(2),
+                    ..PipelineConfig::default()
+                })
+                .impute(&map, &topology)
+                .0
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert!(
+                bitwise_eq_maps(&runs[0], run),
+                "{} arena-backed run differs across thread counts",
+                imputer.name()
+            );
+        }
+    }
+}
+
 /// The f32 inference mode obeys the same contract as the default pipeline:
 /// **bit-identical at any thread count**. Precision changes which kernels
 /// run (and therefore the values — f32 rounds differently from f64); it must
