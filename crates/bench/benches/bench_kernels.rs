@@ -7,6 +7,10 @@ use rm_nn::{LstmCell, LstmState, LstmStateMatrix};
 use rm_tensor::{Matrix, Var};
 
 fn bench_matmul(c: &mut Criterion) {
+    // Stamp recorded runs with the axpy_row kernel this process resolved to
+    // (scalar / avx2 / avx2+fma), so BENCH_baseline.json entries stay
+    // attributable without renaming the cross-PR bench ids.
+    eprintln!("axpy_row kernel: {}", rm_tensor::simd_kernel_name());
     let mut rng = StdRng::seed_from_u64(1);
     let a: Matrix = Matrix::random_uniform(64, 128, 1.0, &mut rng);
     let b: Matrix = Matrix::random_uniform(128, 64, 1.0, &mut rng);

@@ -1,0 +1,68 @@
+//! Snapshot-storage report: resident bytes of the recurrent imputers'
+//! inference snapshots at each storage dtype, and the per-venue accuracy
+//! cost of running f32 inference from bf16-resident snapshots.
+//!
+//! This is the measurement half of the sub-f32 storage contract: bf16 must
+//! cut resident snapshot bytes ≥2× against f32 (4× against f64), and the
+//! accuracy delta it buys that with has to be on the table, not assumed.
+
+use radiomap_core::prelude::*;
+use radiomap_core::{rssi_imputation_mae, DifferentiatorKind, ImputerKind, PipelineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rm_bench::{experiment_dataset, experiment_seed, fmt, wifi_presets, ReportTable};
+
+fn main() {
+    // ---- Resident bytes of a BRITS-shaped inference snapshot. ----
+    let mut bytes_table = ReportTable::new(
+        "Snapshot resident bytes (one BRITS direction)",
+        &["APs", "hidden", "f64", "f32", "bf16", "f64/bf16"],
+    );
+    for (aps, hidden) in [(24usize, 32usize), (60, 64), (120, 64)] {
+        let (b64, b32, b16) = rm_imputers::snapshot_resident_bytes(aps, hidden);
+        bytes_table.add_row(vec![
+            aps.to_string(),
+            hidden.to_string(),
+            b64.to_string(),
+            b32.to_string(),
+            b16.to_string(),
+            format!("{:.2}x", b64 as f64 / b16 as f64),
+        ]);
+    }
+    bytes_table.print();
+
+    // ---- Accuracy cost per venue (β=0.2 RSSI-imputation MAE, BRITS). ----
+    for preset in wifi_presets() {
+        let dataset = experiment_dataset(preset);
+        let mut rng = StdRng::seed_from_u64(experiment_seed() ^ 0x51a9);
+        let (perturbed, removed) = remove_random_rssis(&dataset.radio_map, 0.2, &mut rng);
+        let mae = |precision, snapshot_dtype| {
+            let config = PipelineConfig {
+                differentiator: DifferentiatorKind::TopoAc,
+                imputer: ImputerKind::Brits,
+                precision,
+                snapshot_dtype,
+                seed: experiment_seed(),
+                ..PipelineConfig::default()
+            };
+            let imputed = radiomap_core::ImputationPipeline::new(config)
+                .impute(&perturbed, &dataset.venue.walls)
+                .0;
+            rssi_imputation_mae(&imputed, &removed).unwrap_or(f64::NAN)
+        };
+        let base = mae(Precision::F64, SnapshotDtype::Native);
+        let mut table = ReportTable::new(
+            &format!("Snapshot dtype vs BRITS RSSI MAE (dBm), {}", preset.name()),
+            &["precision/dtype", "MAE", "delta vs f64"],
+        );
+        table.add_row(vec!["f64/native".into(), fmt(base), fmt(0.0)]);
+        for (label, precision, dtype) in [
+            ("f32/native", Precision::F32, SnapshotDtype::Native),
+            ("f32/bf16", Precision::F32, SnapshotDtype::Bf16),
+        ] {
+            let v = mae(precision, dtype);
+            table.add_row(vec![label.into(), fmt(v), fmt(v - base)]);
+        }
+        table.print();
+    }
+}

@@ -15,15 +15,19 @@
 
 pub mod model;
 
-pub use model::{AttentionMode, BisimDirection, BisimDirectionWeights, BisimPass, TimeLagMode};
+pub use model::{
+    AttentionMode, BisimDirection, BisimDirectionWeights, BisimDirectionWeightsBf16,
+    BisimMatrixPass, BisimPass, TimeLagMode,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rm_geometry::Point;
 use rm_imputers::brits::{default_batch_size, default_epochs};
 use rm_imputers::{build_sequences, ImputedRadioMap, Imputer, Normalization, PathSequence};
 use rm_nn::{loss, Adam};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Precision, Scalar, SnapshotDtype, Var, Workspace};
 
 /// Configuration of the BiSIM imputer.
 #[derive(Debug, Clone)]
@@ -52,6 +56,17 @@ pub struct BisimConfig {
     /// contract). The default of 1 reproduces the classic per-sequence-pair
     /// trajectory bitwise.
     pub batch_size: usize,
+    /// Precision of the inference pass. Training always runs at `f64`;
+    /// [`Precision::F32`] rounds the trained snapshots to f32 once and runs
+    /// every sequence pair through the f32 kernels. [`Precision::F64`] —
+    /// the default — is bit-identical to the pre-precision-axis pipeline
+    /// (the snapshot pass mirrors the graph pass operation for operation).
+    /// Either setting is bit-identical across thread counts.
+    pub precision: Precision,
+    /// Resident storage format of the trained snapshots during inference
+    /// (see [`rm_imputers::BritsConfig::snapshot_dtype`] for the contract;
+    /// only meaningful with [`Precision::F32`]).
+    pub snapshot_dtype: SnapshotDtype,
 }
 
 impl Default for BisimConfig {
@@ -66,6 +81,8 @@ impl Default for BisimConfig {
             seed: 71,
             threads: 0,
             batch_size: default_batch_size(),
+            precision: Precision::F64,
+            snapshot_dtype: SnapshotDtype::Native,
         }
     }
 }
@@ -175,6 +192,107 @@ fn pair_gradients(
     grads
 }
 
+/// The per-record updates one `(sequence, reversed)` pair contributes to the
+/// imputed radio map: `(record, ap, rssi)` triples for MAR fingerprints and
+/// `(record, point)` pairs for initially-missing reference points.
+type PairUpdates = (Vec<(usize, usize, f64)>, Vec<(usize, Point)>);
+
+/// Runs every `(sequence, reversed)` pair through the shared graph-free
+/// snapshots on the pool and averages the two directions (Eq. 13) at MAR
+/// fingerprints and missing RPs. Denormalisation happens after widening back
+/// to `f64`; at `T = f64` the arithmetic is bitwise identical to the classic
+/// serial live-graph loop. Each task only reads the shared snapshots, so the
+/// fan-out is order-preserving and bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+fn infer_pairs<T: Scalar>(
+    forward: &BisimDirectionWeights<T>,
+    backward: &BisimDirectionWeights<T>,
+    pairs: &[(&PathSequence, &PathSequence)],
+    mask: &MaskMatrix,
+    norm: &Normalization,
+    num_aps: usize,
+    missing_rp: &[bool],
+    threads: usize,
+) -> Vec<PairUpdates> {
+    rm_runtime::par_map(threads, pairs, |_, &(seq, rev)| {
+        // Per-task scratch: the matrix buffers come from the worker's
+        // thread-local pool, so steady-state inference allocates nothing.
+        let mut ws = Workspace::new();
+        updates_for_pair(
+            forward, backward, seq, rev, mask, norm, num_aps, missing_rp, &mut ws,
+        )
+    })
+}
+
+/// One `(sequence, reversed)` pair of the inference fan-out. Shared by the
+/// native-dtype fan-out ([`infer_pairs`]) and the bf16 fan-out
+/// ([`infer_pairs_bf16`]).
+#[allow(clippy::too_many_arguments)]
+fn updates_for_pair<T: Scalar>(
+    forward: &BisimDirectionWeights<T>,
+    backward: &BisimDirectionWeights<T>,
+    seq: &PathSequence,
+    rev: &PathSequence,
+    mask: &MaskMatrix,
+    norm: &Normalization,
+    num_aps: usize,
+    missing_rp: &[bool],
+    ws: &mut Workspace<T>,
+) -> PairUpdates {
+    let fwd = forward.run(seq, ws);
+    let bwd = backward.run(rev, ws);
+    let two = T::from_f64(2.0);
+    let mut rssi_updates: Vec<(usize, usize, f64)> = Vec::new();
+    let mut rp_updates: Vec<(usize, Point)> = Vec::new();
+    for (t, &record) in seq.record_indices.iter().enumerate() {
+        let rt = seq.len() - 1 - t;
+        let f = &fwd.fingerprint_complements[t];
+        let b = &bwd.fingerprint_complements[rt];
+        for ap in 0..num_aps {
+            if mask.get(record, ap) == EntryKind::Mar {
+                let avg = (f.get(ap, 0) + b.get(ap, 0)) / two;
+                rssi_updates.push((record, ap, norm.denormalize_rssi(avg.to_f64())));
+            }
+        }
+        if missing_rp[record] {
+            let lf = &fwd.rp_complements[t];
+            let lb = &bwd.rp_complements[rt];
+            let x = ((lf.get(0, 0) + lb.get(0, 0)) / two).to_f64();
+            let y = ((lf.get(1, 0) + lb.get(1, 0)) / two).to_f64();
+            rp_updates.push((record, norm.denormalize_point(x, y)));
+        }
+    }
+    (rssi_updates, rp_updates)
+}
+
+/// The bf16-resident variant of [`infer_pairs`]: each task decodes the shared
+/// bfloat16 snapshots into its own pooled f32 scratch, runs the same f32
+/// inference, and recycles the decoded matrices. Decoding is pure and
+/// per-task, so the fan-out stays bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+fn infer_pairs_bf16(
+    forward: &BisimDirectionWeightsBf16,
+    backward: &BisimDirectionWeightsBf16,
+    pairs: &[(&PathSequence, &PathSequence)],
+    mask: &MaskMatrix,
+    norm: &Normalization,
+    num_aps: usize,
+    missing_rp: &[bool],
+    threads: usize,
+) -> Vec<PairUpdates> {
+    rm_runtime::par_map(threads, pairs, |_, &(seq, rev)| {
+        let mut ws = Workspace::new();
+        let fwd = forward.decode_ws(&mut ws);
+        let bwd = backward.decode_ws(&mut ws);
+        let updates = updates_for_pair(
+            &fwd, &bwd, seq, rev, mask, norm, num_aps, missing_rp, &mut ws,
+        );
+        fwd.recycle(&mut ws);
+        bwd.recycle(&mut ws);
+        updates
+    })
+}
+
 impl Imputer for Bisim {
     fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
         let num_aps = map.num_aps();
@@ -256,30 +374,61 @@ impl Imputer for Bisim {
         );
 
         // ---- Imputation (Eq. 13): average the two directions. ----
-        for (seq, rev) in sequences.iter().zip(reversed.iter()) {
-            let fwd = forward_model.run(seq);
-            let bwd = backward_model.run(rev);
-            for (t, &record) in seq.record_indices.iter().enumerate() {
-                let rt = seq.len() - 1 - t;
-                let f = fwd.fingerprint_complements[t].value();
-                let b = bwd.fingerprint_complements[rt].value();
-                for ap in 0..num_aps {
-                    if mask.get(record, ap) == EntryKind::Mar {
-                        let avg = (f.get(ap, 0) + b.get(ap, 0)) / 2.0;
-                        fingerprints[record][ap] = norm.denormalize_rssi(avg);
-                    }
-                }
+        // The trained models are snapshotted into graph-free, `Send + Sync`
+        // weights — rounded once to f32 (and optionally truncated to bf16)
+        // when the config asks — and every `(sequence, reversed)` pair fans
+        // out over the pool. The f64 snapshot pass mirrors the graph pass
+        // operation for operation, so this is bit-identical to the old
+        // serial live-graph inference (pinned by the serial-trajectory test
+        // below). Each task writes values for its own records; RP updates
+        // are merged in pair order, first writer wins, matching the serial
+        // `is_none` check.
+        let forward_weights = forward_model.snapshot();
+        let backward_weights = backward_model.snapshot();
+        let pairs: Vec<(&PathSequence, &PathSequence)> =
+            sequences.iter().zip(reversed.iter()).collect();
+        let missing_rp: Vec<bool> = locations.iter().map(Option::is_none).collect();
+        let results = match (self.config.precision, self.config.snapshot_dtype) {
+            (Precision::F64, _) => infer_pairs(
+                &forward_weights,
+                &backward_weights,
+                &pairs,
+                mask,
+                &norm,
+                num_aps,
+                &missing_rp,
+                threads,
+            ),
+            (Precision::F32, SnapshotDtype::Native) => infer_pairs(
+                &forward_weights.cast::<f32>(),
+                &backward_weights.cast::<f32>(),
+                &pairs,
+                mask,
+                &norm,
+                num_aps,
+                &missing_rp,
+                threads,
+            ),
+            (Precision::F32, SnapshotDtype::Bf16) => infer_pairs_bf16(
+                &BisimDirectionWeightsBf16::from_weights(&forward_weights.cast::<f32>()),
+                &BisimDirectionWeightsBf16::from_weights(&backward_weights.cast::<f32>()),
+                &pairs,
+                mask,
+                &norm,
+                num_aps,
+                &missing_rp,
+                threads,
+            ),
+        };
+        for (rssi_updates, rp_updates) in results {
+            for (record, ap, value) in rssi_updates {
+                fingerprints[record][ap] = value;
+            }
+            for (record, point) in rp_updates {
                 if locations[record].is_none() {
-                    let lf = fwd.rp_complements[t].value();
-                    let lb = bwd.rp_complements[rt].value();
-                    let x = (lf.get(0, 0) + lb.get(0, 0)) / 2.0;
-                    let y = (lf.get(1, 0) + lb.get(1, 0)) / 2.0;
-                    locations[record] = Some(norm.denormalize_point(x, y));
+                    locations[record] = Some(point);
                 }
             }
-            // This pair's imputations are extracted; recycle its graphs so
-            // the next pair's pass rebuilds on arena storage.
-            Var::recycle_all(fwd.into_vars().chain(bwd.into_vars()));
         }
 
         ImputedRadioMap {
@@ -470,6 +619,52 @@ mod tests {
                     _ => panic!("imputed-RP presence differs at {threads} threads"),
                 }
             }
+        }
+    }
+
+    /// The reduced-precision inference paths (f32 snapshots, and bf16-resident
+    /// snapshots decoded to f32) track the f64 result within a small epsilon,
+    /// and each stays bit-identical across thread counts.
+    #[test]
+    fn reduced_precision_inference_tracks_f64() {
+        let (map, mask) = smooth_map();
+        let run = |precision, snapshot_dtype, threads| {
+            Bisim::new(BisimConfig {
+                epochs: 6,
+                precision,
+                snapshot_dtype,
+                threads,
+                ..quick_config()
+            })
+            .impute(&map, &mask)
+        };
+        let base = run(Precision::F64, SnapshotDtype::Native, 1);
+        for (precision, dtype, tol) in [
+            (Precision::F32, SnapshotDtype::Native, 0.5),
+            (Precision::F32, SnapshotDtype::Bf16, 2.0),
+        ] {
+            let out = run(precision, dtype, 1);
+            let delta = (out.rssi(6, 0) - base.rssi(6, 0)).abs();
+            assert!(
+                delta < tol,
+                "{precision:?}/{dtype} imputed RSSI drifted {delta} dBm from f64"
+            );
+            let pa = base.locations[4].expect("f64 RP must be imputed");
+            let pb = out.locations[4].expect("reduced-precision RP must be imputed");
+            assert!(
+                pa.distance(pb) < tol,
+                "{precision:?}/{dtype} imputed RP drifted {} m from f64",
+                pa.distance(pb)
+            );
+            let repeat = run(precision, dtype, 3);
+            assert_eq!(
+                out.rssi(6, 0).to_bits(),
+                repeat.rssi(6, 0).to_bits(),
+                "{precision:?}/{dtype} inference differs across thread counts"
+            );
+            let pr = repeat.locations[4].expect("repeat RP must be imputed");
+            assert_eq!(pb.x.to_bits(), pr.x.to_bits());
+            assert_eq!(pb.y.to_bits(), pr.y.to_bits());
         }
     }
 

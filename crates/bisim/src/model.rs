@@ -5,9 +5,10 @@
 use rand::rngs::StdRng;
 use rm_imputers::PathSequence;
 use rm_nn::{
-    Activation, Linear, LinearWeights, LstmCell, LstmCellWeights, LstmState, Mlp, MlpWeights,
+    Activation, Linear, LinearWeights, LinearWeightsBf16, LstmCell, LstmCellWeights,
+    LstmCellWeightsBf16, LstmState, LstmStateMatrix, Mlp, MlpWeights, MlpWeightsBf16,
 };
-use rm_tensor::{Matrix, Var};
+use rm_tensor::{Matrix, Scalar, Var, Workspace};
 
 /// Which attention mechanism the decoder uses (the Fig. 17 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,7 +188,7 @@ impl BisimDirection {
                 .cloned()
                 .unwrap_or_else(|| Var::constant(Matrix::zeros(self.hidden_size, 1))),
         );
-        let rp_lags = self.rp_time_lags(seq);
+        let rp_lags = rp_time_lags(seq);
         let mut rp_estimates = Vec::with_capacity(len);
         let mut rp_complements = Vec::with_capacity(len);
         for j in 0..len {
@@ -274,52 +275,70 @@ impl BisimDirection {
             time_lag: self.time_lag,
         }
     }
+}
 
-    /// Time-lag vectors for the RP sequence (2-dimensional, driven by the RP
-    /// masks), used only by the decoder-side ablations.
-    fn rp_time_lags(&self, seq: &PathSequence) -> Vec<Vec<f64>> {
-        let len = seq.len();
-        let mut lags = Vec::with_capacity(len);
-        for j in 0..len {
-            if j == 0 {
-                lags.push(vec![0.0, 0.0]);
+/// Time-lag vectors for the RP sequence (2-dimensional, driven by the RP
+/// masks), used only by the decoder-side ablations. Shared by the graph pass
+/// ([`BisimDirection::run`]) and the snapshot pass
+/// ([`BisimDirectionWeights::run`]) so the two stay in lockstep.
+fn rp_time_lags(seq: &PathSequence) -> Vec<Vec<f64>> {
+    let len = seq.len();
+    let mut lags = Vec::with_capacity(len);
+    for j in 0..len {
+        if j == 0 {
+            lags.push(vec![0.0, 0.0]);
+        } else {
+            let dt = (seq.times[j] - seq.times[j - 1]).abs() / 10.0;
+            let previous: &Vec<f64> = &lags[j - 1];
+            let lag = if seq.rp_masks[j - 1] > 0.5 {
+                vec![dt, dt]
             } else {
-                let dt = (seq.times[j] - seq.times[j - 1]).abs() / 10.0;
-                let previous: &Vec<f64> = &lags[j - 1];
-                let lag = if seq.rp_masks[j - 1] > 0.5 {
-                    vec![dt, dt]
-                } else {
-                    vec![previous[0] + dt, previous[1] + dt]
-                };
-                lags.push(lag);
-            }
+                vec![previous[0] + dt, previous[1] + dt]
+            };
+            lags.push(lag);
         }
-        lags
     }
+    lags
 }
 
 /// A graph-free snapshot of one [`BisimDirection`]: plain matrices plus the
 /// ablation settings, so it is `Send + Sync` and can be shipped to worker
-/// threads (unlike [`Var`], whose nodes are `Rc`-shared).
+/// threads (unlike [`Var`], whose nodes are `Rc`-shared). Generic over the
+/// [`Scalar`] precision: the `f64` snapshot serves batched training and the
+/// bit-identical inference fan-out; [`BisimDirectionWeights::cast`] rounds
+/// it once for the f32 inference path.
 ///
 /// [`BisimDirectionWeights::to_model`] rebuilds a trainable direction whose
 /// forward and backward passes are bit-identical to the original's — the
 /// property that lets batched training differentiate per-sequence replicas
 /// on the pool and ship only plain gradient matrices back.
+/// [`BisimDirectionWeights::run`] mirrors [`BisimDirection::run`] operation
+/// for operation, so snapshot inference is bit-identical to the graph
+/// forward at the same precision (pinned by the serial-trajectory test in
+/// the crate root).
 #[derive(Clone)]
-pub struct BisimDirectionWeights {
-    encoder_estimate: LinearWeights,
-    encoder_decay: LinearWeights,
-    encoder_cell: LstmCellWeights,
-    decoder_estimate: LinearWeights,
-    decoder_decay: LinearWeights,
-    decoder_cell: LstmCellWeights,
-    attention_transform: LinearWeights,
-    attention_align: MlpWeights,
+pub struct BisimDirectionWeights<T: Scalar = f64> {
+    encoder_estimate: LinearWeights<T>,
+    encoder_decay: LinearWeights<T>,
+    encoder_cell: LstmCellWeights<T>,
+    decoder_estimate: LinearWeights<T>,
+    decoder_decay: LinearWeights<T>,
+    decoder_cell: LstmCellWeights<T>,
+    attention_transform: LinearWeights<T>,
+    attention_align: MlpWeights<T>,
     hidden_size: usize,
     num_aps: usize,
     attention: AttentionMode,
     time_lag: TimeLagMode,
+}
+
+/// The per-step outputs of one matrix-level (graph-free) directional pass:
+/// only the complements, which are all inference consumes.
+pub struct BisimMatrixPass<T: Scalar = f64> {
+    /// Complemented fingerprints `f^c_i`, one `(num_aps, 1)` column per step.
+    pub fingerprint_complements: Vec<Matrix<T>>,
+    /// Complemented RP vectors `l^c_j`, one `(2, 1)` column per step.
+    pub rp_complements: Vec<Matrix<T>>,
 }
 
 impl BisimDirectionWeights {
@@ -341,6 +360,292 @@ impl BisimDirectionWeights {
             attention: self.attention,
             time_lag: self.time_lag,
         }
+    }
+}
+
+impl<T: Scalar> BisimDirectionWeights<T> {
+    /// Rounds the snapshot to another precision (the one-time `f64 → f32`
+    /// weight rounding of the f32 inference path).
+    pub fn cast<U: Scalar>(&self) -> BisimDirectionWeights<U> {
+        BisimDirectionWeights {
+            encoder_estimate: self.encoder_estimate.cast(),
+            encoder_decay: self.encoder_decay.cast(),
+            encoder_cell: self.encoder_cell.cast(),
+            decoder_estimate: self.decoder_estimate.cast(),
+            decoder_decay: self.decoder_decay.cast(),
+            decoder_cell: self.decoder_cell.cast(),
+            attention_transform: self.attention_transform.cast(),
+            attention_align: self.attention_align.cast(),
+            hidden_size: self.hidden_size,
+            num_aps: self.num_aps,
+            attention: self.attention,
+            time_lag: self.time_lag,
+        }
+    }
+
+    /// Bytes the snapshot keeps resident at precision `T`.
+    pub fn resident_bytes(&self) -> usize {
+        self.encoder_estimate.resident_bytes()
+            + self.encoder_decay.resident_bytes()
+            + self.encoder_cell.resident_bytes()
+            + self.decoder_estimate.resident_bytes()
+            + self.decoder_decay.resident_bytes()
+            + self.decoder_cell.resident_bytes()
+            + self.attention_transform.resident_bytes()
+            + self.attention_align.resident_bytes()
+    }
+
+    /// Returns the snapshot's matrices to `ws` for capacity reuse — the
+    /// give-back half of a per-task [`BisimDirectionWeightsBf16::decode_ws`]
+    /// cycle.
+    pub fn recycle(self, ws: &mut Workspace<T>) {
+        self.encoder_estimate.recycle(ws);
+        self.encoder_decay.recycle(ws);
+        self.encoder_cell.recycle(ws);
+        self.decoder_estimate.recycle(ws);
+        self.decoder_decay.recycle(ws);
+        self.decoder_cell.recycle(ws);
+        self.attention_transform.recycle(ws);
+        self.attention_align.recycle(ws);
+    }
+
+    /// Runs the encoder–decoder over one prepared sequence on plain matrices
+    /// — the graph-free mirror of [`BisimDirection::run`], performing the
+    /// same operations in the same order (same complements, same decay
+    /// chain, same attention softmax and accumulation order), so at the same
+    /// precision the complements are bit-identical to the graph pass's.
+    /// Sequence data is stored in `f64` and rounded per step, so the kernels
+    /// run entirely in `T`; intermediates cycle through the caller-owned
+    /// workspace `ws`.
+    pub fn run(&self, seq: &PathSequence, ws: &mut Workspace<T>) -> BisimMatrixPass<T> {
+        let len = seq.len();
+        let mut fingerprint_complements = Vec::with_capacity(len);
+        let mut encoder_latents: Vec<Matrix<T>> = Vec::with_capacity(len);
+        let mut encoder_masks = Vec::with_capacity(len);
+
+        // ---------------- Encoder stack (Eq. 2–5) ----------------
+        // Seed the state from the workspace (bitwise zeros).
+        let mut state = LstmStateMatrix {
+            h: ws.take(self.hidden_size, 1),
+            c: ws.take(self.hidden_size, 1),
+        };
+        // Scratch reused across steps.
+        let mut estimate_pre = Matrix::zeros(0, 0);
+        let mut decay_pre = Matrix::zeros(0, 0);
+        for t in 0..len {
+            let fingerprint = Matrix::<T>::column_from_f64(&seq.fingerprints[t]);
+            let mask = Matrix::<T>::column_from_f64(&seq.fingerprint_masks[t]);
+            let inverse_mask = mask.map(|m| T::ONE - m);
+
+            // Eq. 2–3: estimate, then complement observed values with it.
+            self.encoder_estimate
+                .forward_into(&state.h, &mut estimate_pre);
+            let complement = &fingerprint.hadamard(&mask) + &estimate_pre.hadamard(&inverse_mask);
+            // Eq. 4: γ = exp(-relu(W_γ δ + b_γ)), matching relu → scale(-1) → exp.
+            let decayed_h = if matches!(self.time_lag, TimeLagMode::Encoder | TimeLagMode::Both) {
+                let lag = Matrix::<T>::column_from_f64(&seq.time_lags[t]);
+                self.encoder_decay.forward_into(&lag, &mut decay_pre);
+                let gamma = decay_pre.map(Scalar::relu).scale(-T::ONE).map(Scalar::exp);
+                state.h.hadamard(&gamma)
+            } else {
+                state.h.clone()
+            };
+            // Eq. 5: LSTM over the complemented fingerprint + mask.
+            let input = complement.vstack(&mask);
+            let decayed = LstmStateMatrix {
+                h: decayed_h,
+                c: state.c.clone(),
+            };
+            let next = self.encoder_cell.step_ws(&input, &decayed, ws);
+            ws.give(state.h);
+            ws.give(state.c);
+            ws.give(decayed.h);
+            ws.give(decayed.c);
+            ws.give(input);
+            state = next;
+
+            fingerprint_complements.push(complement);
+            encoder_latents.push(state.h.clone());
+            encoder_masks.push(mask);
+        }
+        ws.give(state.h);
+        ws.give(state.c);
+
+        // Pre-compute the (possibly masked) transformed latents h''_i (Eq. 9).
+        let transformed: Vec<Matrix<T>> = encoder_latents
+            .iter()
+            .zip(encoder_masks.iter())
+            .map(|(h, m)| {
+                let h_prime = self.attention_transform.forward(h);
+                match self.attention {
+                    AttentionMode::SparsityFriendly => h_prime.hadamard(m),
+                    _ => h_prime,
+                }
+            })
+            .collect();
+
+        // -------- Decoder stack with attention (Eq. 6–12) --------
+        // s_0 = h_T, with a zero cell state (mirrors `LstmState::from_hidden`).
+        let mut decoder_state = LstmStateMatrix {
+            h: encoder_latents
+                .last()
+                .cloned()
+                .unwrap_or_else(|| Matrix::zeros(self.hidden_size, 1)),
+            c: Matrix::zeros(self.hidden_size, 1),
+        };
+        let rp_lags = rp_time_lags(seq);
+        let mut rp_complements = Vec::with_capacity(len);
+        for j in 0..len {
+            let rp = Matrix::<T>::column_from_f64(&[seq.rps[j].0, seq.rps[j].1]);
+            let rp_mask = Matrix::<T>::column_from_f64(&[seq.rp_masks[j], seq.rp_masks[j]]);
+            let inverse_mask = rp_mask.map(|m| T::ONE - m);
+
+            // Eq. 6–7: estimate the RP, then complement.
+            self.decoder_estimate
+                .forward_into(&decoder_state.h, &mut estimate_pre);
+            let complement = &rp.hadamard(&rp_mask) + &estimate_pre.hadamard(&inverse_mask);
+            // Attention (Eq. 10–12).
+            let context = self.context_vector_matrix(&decoder_state.h, &transformed);
+            // Optional decoder-side time decay (ablation only).
+            let decoder_h = if matches!(self.time_lag, TimeLagMode::Decoder | TimeLagMode::Both) {
+                let lag = Matrix::<T>::column_from_f64(&rp_lags[j]);
+                self.decoder_decay.forward_into(&lag, &mut decay_pre);
+                let gamma = decay_pre.map(Scalar::relu).scale(-T::ONE).map(Scalar::exp);
+                decoder_state.h.hadamard(&gamma)
+            } else {
+                decoder_state.h.clone()
+            };
+            // Eq. 8: LSTM over the complemented RP + context.
+            let input = complement.vstack(&context);
+            let decayed = LstmStateMatrix {
+                h: decoder_h,
+                c: decoder_state.c.clone(),
+            };
+            let next = self.decoder_cell.step_ws(&input, &decayed, ws);
+            ws.give(decoder_state.h);
+            ws.give(decoder_state.c);
+            ws.give(decayed.h);
+            ws.give(decayed.c);
+            ws.give(input);
+            decoder_state = next;
+
+            rp_complements.push(complement);
+        }
+        ws.give(decoder_state.h);
+        ws.give(decoder_state.c);
+
+        BisimMatrixPass {
+            fingerprint_complements,
+            rp_complements,
+        }
+    }
+
+    /// The attention context vector c_j on plain matrices — the same
+    /// energies, the same stabilised softmax (max-shift, exp, normalise) and
+    /// the same index-order accumulation as [`BisimDirection::context_vector`],
+    /// so the result is bit-identical at the same precision. (The graph
+    /// version extracts each weight as `mask(one_hot).sum()`, which is
+    /// exactly `weights[i]`: every other term of the sum is `±0.0` and the
+    /// softmax weights are non-negative.)
+    fn context_vector_matrix(
+        &self,
+        decoder_hidden: &Matrix<T>,
+        transformed: &[Matrix<T>],
+    ) -> Matrix<T> {
+        if matches!(self.attention, AttentionMode::None) || transformed.is_empty() {
+            return Matrix::zeros(self.num_aps, 1);
+        }
+        // Eq. 10: energies from the alignment MLP.
+        let energies: Vec<T> = transformed
+            .iter()
+            .map(|h| {
+                let joint = decoder_hidden.vstack(h);
+                self.attention_align.forward(&joint).get(0, 0)
+            })
+            .collect();
+        // Eq. 11: softmax over the energies — the same stabilised forward as
+        // `Var::softmax_col`.
+        let energy_col = Matrix::from_fn(energies.len(), 1, |r, _| energies[r]);
+        let max = energy_col.max().unwrap_or(T::ZERO);
+        let exps = energy_col.map(|x| (x - max).exp());
+        let total = exps.sum();
+        let weights = exps.map(|e| e / total);
+        // Eq. 12: weighted sum of the transformed latents, in index order.
+        let mut context = Matrix::zeros(self.num_aps, 1);
+        for (i, h) in transformed.iter().enumerate() {
+            context = &context + &h.scale(weights.get(i, 0));
+        }
+        context
+    }
+}
+
+/// A [`BisimDirectionWeights<f32>`] snapshot stored as truncated bfloat16:
+/// the `RM_SNAPSHOT_DTYPE=bf16` resident form — half the bytes of the f32
+/// snapshot — decoded into pooled f32 scratch once per inference task.
+#[derive(Clone)]
+pub struct BisimDirectionWeightsBf16 {
+    encoder_estimate: LinearWeightsBf16,
+    encoder_decay: LinearWeightsBf16,
+    encoder_cell: LstmCellWeightsBf16,
+    decoder_estimate: LinearWeightsBf16,
+    decoder_decay: LinearWeightsBf16,
+    decoder_cell: LstmCellWeightsBf16,
+    attention_transform: LinearWeightsBf16,
+    attention_align: MlpWeightsBf16,
+    hidden_size: usize,
+    num_aps: usize,
+    attention: AttentionMode,
+    time_lag: TimeLagMode,
+}
+
+impl BisimDirectionWeightsBf16 {
+    /// Encodes an f32 snapshot by truncating every weight to bfloat16.
+    pub fn from_weights(w: &BisimDirectionWeights<f32>) -> Self {
+        Self {
+            encoder_estimate: LinearWeightsBf16::from_weights(&w.encoder_estimate),
+            encoder_decay: LinearWeightsBf16::from_weights(&w.encoder_decay),
+            encoder_cell: LstmCellWeightsBf16::from_weights(&w.encoder_cell),
+            decoder_estimate: LinearWeightsBf16::from_weights(&w.decoder_estimate),
+            decoder_decay: LinearWeightsBf16::from_weights(&w.decoder_decay),
+            decoder_cell: LstmCellWeightsBf16::from_weights(&w.decoder_cell),
+            attention_transform: LinearWeightsBf16::from_weights(&w.attention_transform),
+            attention_align: MlpWeightsBf16::from_weights(&w.attention_align),
+            hidden_size: w.hidden_size,
+            num_aps: w.num_aps,
+            attention: w.attention,
+            time_lag: w.time_lag,
+        }
+    }
+
+    /// Decodes into an f32 snapshot whose matrices are checked out of `ws`;
+    /// pair with [`BisimDirectionWeights::recycle`] to return them.
+    pub fn decode_ws(&self, ws: &mut Workspace<f32>) -> BisimDirectionWeights<f32> {
+        BisimDirectionWeights {
+            encoder_estimate: self.encoder_estimate.decode_ws(ws),
+            encoder_decay: self.encoder_decay.decode_ws(ws),
+            encoder_cell: self.encoder_cell.decode_ws(ws),
+            decoder_estimate: self.decoder_estimate.decode_ws(ws),
+            decoder_decay: self.decoder_decay.decode_ws(ws),
+            decoder_cell: self.decoder_cell.decode_ws(ws),
+            attention_transform: self.attention_transform.decode_ws(ws),
+            attention_align: self.attention_align.decode_ws(ws),
+            hidden_size: self.hidden_size,
+            num_aps: self.num_aps,
+            attention: self.attention,
+            time_lag: self.time_lag,
+        }
+    }
+
+    /// Bytes the snapshot keeps resident (2 per weight).
+    pub fn resident_bytes(&self) -> usize {
+        self.encoder_estimate.resident_bytes()
+            + self.encoder_decay.resident_bytes()
+            + self.encoder_cell.resident_bytes()
+            + self.decoder_estimate.resident_bytes()
+            + self.decoder_decay.resident_bytes()
+            + self.decoder_cell.resident_bytes()
+            + self.attention_transform.resident_bytes()
+            + self.attention_align.resident_bytes()
     }
 }
 
@@ -476,6 +781,84 @@ mod tests {
             "only {with_grad} of {} parameters received gradient",
             model.parameters().len()
         );
+    }
+
+    /// The graph-free snapshot pass must reproduce the graph pass bit for
+    /// bit at f64, across every attention/time-lag ablation — the property
+    /// that lets `Bisim::impute` fan inference out over the pool without
+    /// perturbing the pre-snapshot pipeline.
+    #[test]
+    fn snapshot_run_matches_graph_run_bitwise_across_ablations() {
+        let seq = sequence();
+        for attention in [
+            AttentionMode::SparsityFriendly,
+            AttentionMode::Standard,
+            AttentionMode::None,
+        ] {
+            for time_lag in [
+                TimeLagMode::Encoder,
+                TimeLagMode::Decoder,
+                TimeLagMode::Both,
+                TimeLagMode::None,
+            ] {
+                let model = direction(attention, time_lag);
+                let graph = model.run(&seq);
+                let mut ws = Workspace::new();
+                // Poison the pool so checkouts must reinitialise.
+                ws.give(Matrix::filled(8, 1, f64::NAN));
+                let snap = model.snapshot().run(&seq, &mut ws);
+                for (g, s) in graph
+                    .fingerprint_complements
+                    .iter()
+                    .zip(snap.fingerprint_complements.iter())
+                {
+                    assert!(
+                        g.value().bits_eq(s),
+                        "{attention:?}/{time_lag:?}: fingerprint complement drifted"
+                    );
+                }
+                for (g, s) in graph.rp_complements.iter().zip(snap.rp_complements.iter()) {
+                    assert!(
+                        g.value().bits_eq(s),
+                        "{attention:?}/{time_lag:?}: RP complement drifted"
+                    );
+                }
+            }
+        }
+    }
+
+    /// bf16 snapshots are half the resident bytes of f32 and their decoded
+    /// pass stays epsilon-close to the native f32 pass.
+    #[test]
+    fn bf16_snapshot_halves_bytes_and_tracks_the_f32_pass() {
+        let seq = sequence();
+        let model = direction(AttentionMode::SparsityFriendly, TimeLagMode::Encoder);
+        let w64 = model.snapshot();
+        let w32 = w64.cast::<f32>();
+        let packed = BisimDirectionWeightsBf16::from_weights(&w32);
+        assert_eq!(packed.resident_bytes() * 2, w32.resident_bytes());
+        assert_eq!(packed.resident_bytes() * 4, w64.resident_bytes());
+
+        let mut ws = Workspace::new();
+        let exact = w32.run(&seq, &mut ws);
+        let decoded = packed.decode_ws(&mut ws);
+        let approx = decoded.run(&seq, &mut ws);
+        for (a, b) in exact
+            .fingerprint_complements
+            .iter()
+            .chain(exact.rp_complements.iter())
+            .zip(
+                approx
+                    .fingerprint_complements
+                    .iter()
+                    .chain(approx.rp_complements.iter()),
+            )
+        {
+            // Complements mix raw observations (identical in both) with
+            // squashed estimates, so a loose absolute bound pins the path.
+            assert!(a.approx_eq(b, 0.2), "bf16 BiSIM pass drifted");
+        }
+        decoded.recycle(&mut ws);
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub use pipeline::{
     rp_imputation_error, rssi_imputation_mae, DifferentiatorKind, EvaluationResult,
     ImputationPipeline, ImputerKind, PipelineConfig,
 };
-pub use rm_tensor::Precision;
+pub use rm_tensor::{Precision, SnapshotDtype};
 
 // Re-export the component crates under stable names so downstream users can
 // depend on `radiomap-core` alone.
@@ -71,7 +71,7 @@ pub mod prelude {
         remove_random_rps, remove_random_rssis, DenseRadioMap, EntryKind, Fingerprint, MaskMatrix,
         RadioMap, RadioMapRecord, RadioMapStats, WalkingSurveyTable,
     };
-    pub use rm_tensor::Precision;
+    pub use rm_tensor::{Precision, SnapshotDtype};
     pub use rm_venue_sim::{Dataset, DatasetSpec, PropagationModel, VenuePreset};
 }
 

@@ -28,7 +28,7 @@ use rm_imputers::{
 };
 use rm_positioning::{evaluate_estimator_threads, EstimatorKind, TestQuery};
 use rm_radiomap::{MaskMatrix, RadioMap, RemovedRp, RemovedRssi};
-use rm_tensor::Precision;
+use rm_tensor::{Precision, SnapshotDtype};
 
 /// Which missing-RSSI differentiator the pipeline uses (Section V-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,12 +138,14 @@ impl ImputerKind {
     /// batch size *does* change which model a fixed seed yields (fewer,
     /// summed-gradient steps), but any fixed value stays bit-identical
     /// across thread counts. `precision` selects the inference precision of
-    /// the recurrent imputers (BRITS, SSGAN): training always runs at `f64`,
-    /// and [`Precision::F32`] rounds the trained weights once and runs
-    /// inference through the f32 SIMD kernels. The deterministic
-    /// (non-neural) imputers and BiSIM ignore it today — BiSIM's inference
-    /// reuses its training graph, so widening the knob there is tracked as a
-    /// ROADMAP follow-up.
+    /// the neural imputers (BiSIM, BRITS, SSGAN): training always runs at
+    /// `f64`, and [`Precision::F32`] rounds the trained weights once and runs
+    /// inference through the f32 SIMD kernels. `snapshot_dtype` selects the
+    /// resident storage format of those inference snapshots
+    /// ([`SnapshotDtype::Bf16`] halves the bytes; only meaningful with
+    /// [`Precision::F32`]). The deterministic (non-neural) imputers ignore
+    /// both.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         self,
         seed: u64,
@@ -153,6 +155,7 @@ impl ImputerKind {
         threads: usize,
         batch_size: Option<usize>,
         precision: Precision,
+        snapshot_dtype: SnapshotDtype,
     ) -> Box<dyn Imputer> {
         match self {
             ImputerKind::Bisim => {
@@ -161,6 +164,8 @@ impl ImputerKind {
                     attention,
                     time_lag,
                     threads,
+                    precision,
+                    snapshot_dtype,
                     ..BisimConfig::default()
                 };
                 if let Some(epochs) = epochs {
@@ -189,6 +194,7 @@ impl ImputerKind {
                     seed,
                     threads,
                     precision,
+                    snapshot_dtype,
                     ..BritsConfig::default()
                 };
                 if let Some(epochs) = epochs {
@@ -204,6 +210,7 @@ impl ImputerKind {
                     seed,
                     threads,
                     precision,
+                    snapshot_dtype,
                     ..SsganConfig::default()
                 };
                 if let Some(epochs) = epochs {
@@ -258,14 +265,21 @@ pub struct PipelineConfig {
     /// but unlike `threads`, `batch_size > 1` *does* change which model a
     /// fixed seed yields (fewer, summed-gradient optimizer steps).
     pub batch_size: Option<usize>,
-    /// Numeric precision of the neural imputers' inference pass (BRITS,
-    /// SSGAN). The default [`Precision::F64`] keeps the pipeline
+    /// Numeric precision of the neural imputers' inference pass (BiSIM,
+    /// BRITS, SSGAN). The default [`Precision::F64`] keeps the pipeline
     /// bit-identical to the pre-precision-axis output; [`Precision::F32`]
     /// rounds the trained weights once and runs inference through the f32
     /// SIMD kernels — faster, and still bit-identical across thread counts,
     /// just rounded differently from f64. Unlike `threads`, this knob *does*
     /// change output values.
     pub precision: Precision,
+    /// Resident storage format of the neural imputers' trained inference
+    /// snapshots. The default [`SnapshotDtype::Native`] stores them at the
+    /// inference precision; [`SnapshotDtype::Bf16`] truncates f32 snapshots
+    /// to bfloat16 (half the resident bytes) and decodes per inference task —
+    /// epsilon-bounded against the f32 path and still bit-identical across
+    /// thread counts. Only meaningful with [`Precision::F32`].
+    pub snapshot_dtype: SnapshotDtype,
     /// RNG seed controlling the test split and model initialisation.
     pub seed: u64,
 }
@@ -285,6 +299,7 @@ impl Default for PipelineConfig {
             threads: 0,
             batch_size: None,
             precision: Precision::F64,
+            snapshot_dtype: SnapshotDtype::Native,
             seed: 2023,
         }
     }
@@ -338,6 +353,7 @@ impl ImputationPipeline {
             self.config.threads,
             self.config.batch_size,
             self.config.precision,
+            self.config.snapshot_dtype,
         );
         (imputer.impute(map, &mask), mask)
     }
@@ -380,6 +396,7 @@ impl ImputationPipeline {
             self.config.threads,
             self.config.batch_size,
             self.config.precision,
+            self.config.snapshot_dtype,
         );
         #[allow(clippy::disallowed_methods)]
         // rm-lint: allow(no-wallclock-in-deterministic-path): stage-timing telemetry — reported, never branched on

@@ -58,7 +58,7 @@ pub mod gates {
     pub const BRITS_REVERSAL_MIN_SEQUENCES: usize = 16;
 }
 
-pub use brits::{Brits, BritsConfig};
+pub use brits::{snapshot_resident_bytes, Brits, BritsConfig};
 pub use mf::{MatrixFactorization, MatrixFactorizationConfig};
 pub use mice::{Mice, MiceConfig};
 pub use sequence::{build_sequences, Normalization, PathSequence};

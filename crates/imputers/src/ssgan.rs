@@ -12,9 +12,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rm_nn::{loss, Activation, Adam, GradientBatch, Mlp, Optimizer};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Precision, Scalar, Var, Workspace};
+use rm_tensor::{Matrix, Precision, Scalar, SnapshotDtype, Var, Workspace};
 
-use crate::brits::{default_batch_size, default_epochs, RecurrentImputer, RecurrentImputerWeights};
+use crate::brits::{
+    default_batch_size, default_epochs, RecurrentImputer, RecurrentImputerWeights,
+    RecurrentImputerWeightsBf16,
+};
 use crate::sequence::{build_sequences, Normalization, PathSequence};
 use crate::{ImputedRadioMap, Imputer};
 
@@ -50,6 +53,10 @@ pub struct SsganConfig {
     /// Precision of the inference pass (training always runs at `f64`; see
     /// [`crate::BritsConfig::precision`] for the contract).
     pub precision: Precision,
+    /// Resident storage format of the trained generator snapshot during
+    /// inference (see [`crate::BritsConfig::snapshot_dtype`] for the
+    /// contract; only meaningful with [`Precision::F32`]).
+    pub snapshot_dtype: SnapshotDtype,
 }
 
 impl Default for SsganConfig {
@@ -65,6 +72,7 @@ impl Default for SsganConfig {
             threads: 0,
             batch_size: default_batch_size(),
             precision: Precision::F64,
+            snapshot_dtype: SnapshotDtype::Native,
         }
     }
 }
@@ -276,8 +284,8 @@ impl Imputer for Ssgan {
         // over the pool (each task writes values for its own disjoint
         // records).
         let generator_weights = generator.snapshot();
-        let imputations = match self.config.precision {
-            Precision::F64 => infer_mar_values(
+        let imputations = match (self.config.precision, self.config.snapshot_dtype) {
+            (Precision::F64, _) => infer_mar_values(
                 &generator_weights,
                 &sequences,
                 mask,
@@ -285,8 +293,16 @@ impl Imputer for Ssgan {
                 num_aps,
                 self.config.threads,
             ),
-            Precision::F32 => infer_mar_values(
+            (Precision::F32, SnapshotDtype::Native) => infer_mar_values(
                 &generator_weights.cast::<f32>(),
+                &sequences,
+                mask,
+                &norm,
+                num_aps,
+                self.config.threads,
+            ),
+            (Precision::F32, SnapshotDtype::Bf16) => infer_mar_values_bf16(
+                &RecurrentImputerWeightsBf16::from_weights(&generator_weights.cast::<f32>()),
                 &sequences,
                 mask,
                 &norm,
@@ -326,16 +342,51 @@ fn infer_mar_values<T: Scalar>(
     rm_runtime::par_map(threads, sequences, |_, seq| {
         // Per-task scratch backed by the worker's thread-local buffer pool.
         let mut ws = Workspace::new();
-        let complements = generator.run(seq, &mut ws);
-        let mut values: Vec<(usize, usize, f64)> = Vec::new();
-        for (t, &record) in seq.record_indices.iter().enumerate() {
-            for ap in 0..num_aps {
-                if mask.get(record, ap) == EntryKind::Mar {
-                    let v = complements[t].get(ap, 0).to_f64();
-                    values.push((record, ap, norm.denormalize_rssi(v)));
-                }
+        mar_values_for_sequence(generator, seq, mask, norm, num_aps, &mut ws)
+    })
+}
+
+/// One sequence of the inference fan-out, shared by the native-dtype and
+/// bf16 variants.
+fn mar_values_for_sequence<T: Scalar>(
+    generator: &RecurrentImputerWeights<T>,
+    seq: &PathSequence,
+    mask: &MaskMatrix,
+    norm: &Normalization,
+    num_aps: usize,
+    ws: &mut Workspace<T>,
+) -> Vec<(usize, usize, f64)> {
+    let complements = generator.run(seq, ws);
+    let mut values: Vec<(usize, usize, f64)> = Vec::new();
+    for (t, &record) in seq.record_indices.iter().enumerate() {
+        for ap in 0..num_aps {
+            if mask.get(record, ap) == EntryKind::Mar {
+                let v = complements[t].get(ap, 0).to_f64();
+                values.push((record, ap, norm.denormalize_rssi(v)));
             }
         }
+    }
+    values
+}
+
+/// The bf16-resident variant of [`infer_mar_values`]: each task decodes the
+/// shared bfloat16 generator snapshot into its own pooled f32 scratch, runs
+/// the same f32 inference, and recycles the decoded matrices. Decoding is
+/// pure and per-task, so the fan-out stays bit-identical at any thread
+/// count.
+fn infer_mar_values_bf16(
+    generator: &RecurrentImputerWeightsBf16,
+    sequences: &[PathSequence],
+    mask: &MaskMatrix,
+    norm: &Normalization,
+    num_aps: usize,
+    threads: usize,
+) -> Vec<Vec<(usize, usize, f64)>> {
+    rm_runtime::par_map(threads, sequences, |_, seq| {
+        let mut ws = Workspace::new();
+        let decoded = generator.decode_ws(&mut ws);
+        let values = mar_values_for_sequence(&decoded, seq, mask, norm, num_aps, &mut ws);
+        decoded.recycle(&mut ws);
         values
     })
 }
@@ -357,6 +408,7 @@ mod tests {
             threads: 0,
             batch_size: 1,
             precision: Precision::F64,
+            snapshot_dtype: SnapshotDtype::Native,
         }
     }
 
@@ -389,6 +441,31 @@ mod tests {
             "f32 imputation {b} drifted from f64 imputation {a}"
         );
         assert_eq!(f32_out.rssi(0, 0).to_bits(), f64_out.rssi(0, 0).to_bits());
+    }
+
+    /// The bf16-resident generator snapshot tracks the native-f32 path to
+    /// within the bfloat16 truncation epsilon.
+    #[test]
+    fn ssgan_bf16_snapshots_track_the_f32_path() {
+        let (map, mask) = smooth_map();
+        let f32_out = Ssgan::new(SsganConfig {
+            precision: Precision::F32,
+            ..quick_config()
+        })
+        .impute(&map, &mask);
+        let bf16_out = Ssgan::new(SsganConfig {
+            precision: Precision::F32,
+            snapshot_dtype: SnapshotDtype::Bf16,
+            ..quick_config()
+        })
+        .impute(&map, &mask);
+        let a = f32_out.rssi(5, 0);
+        let b = bf16_out.rssi(5, 0);
+        assert!(
+            (a - b).abs() < 1.0,
+            "bf16 imputation {b} drifted from f32 imputation {a}"
+        );
+        assert_eq!(bf16_out.rssi(0, 0).to_bits(), f32_out.rssi(0, 0).to_bits());
     }
 
     /// A fixed `batch_size > 1` yields a bitwise-identical SSGAN model at

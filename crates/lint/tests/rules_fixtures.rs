@@ -76,6 +76,50 @@ fn safety_comment_too_far_above_does_not_cover() {
     assert_trips(&src, "unsafe-needs-safety-comment");
 }
 
+#[test]
+fn intrinsics_block_without_safety_comment_trips() {
+    // The shape of an AVX2 kernel (rm-tensor simd.rs, rm-positioning
+    // quant.rs) with the mandatory SAFETY comment left off the inner
+    // intrinsics block: the declaration is covered, the block is not.
+    assert_trips(
+        concat!(
+            "#[target_feature(enable = \"avx2\")]\n",
+            "#[allow(unsafe_code)]\n",
+            "// SAFETY: the `unsafe fn` contract is AVX2 availability.\n",
+            "pub(crate) unsafe fn axpy(x: &[f64], y: &mut [f64]) {\n",
+            "    debug_assert_eq!(x.len(), y.len());\n",
+            "    let n = x.len().min(y.len());\n",
+            "    let xp = x.as_ptr();\n",
+            "    let yp = y.as_mut_ptr();\n",
+            "    let mut i = 0usize;\n",
+            "    let stride = 4usize;\n",
+            "    let tail = n % stride;\n",
+            "    unsafe { core::ptr::read(xp.add(i)) };\n",
+            "}\n",
+        ),
+        "unsafe-needs-safety-comment",
+    );
+}
+
+#[test]
+fn intrinsics_kernel_with_both_safety_comments_is_clean() {
+    // The real kernel shape: one SAFETY comment covering the `unsafe fn`
+    // declaration (below the attributes, within the rule's window) and one
+    // covering the inner intrinsics block.
+    assert_clean(concat!(
+        "#[target_feature(enable = \"avx2\")]\n",
+        "#[allow(unsafe_code)]\n",
+        "// SAFETY: the `unsafe fn` contract is AVX2 availability, checked\n",
+        "// by the dispatcher before any call.\n",
+        "pub(crate) unsafe fn axpy(x: &[f64], y: &mut [f64]) {\n",
+        "    let xp = x.as_ptr();\n",
+        "    // SAFETY: every offset is within the slice bounds; unaligned\n",
+        "    // loads carry no alignment precondition.\n",
+        "    unsafe { core::ptr::read(xp) };\n",
+        "}\n",
+    ));
+}
+
 // ---------------------------------------------------------------- env reads
 
 #[test]

@@ -1,10 +1,19 @@
 //! KNN and weighted-KNN location estimation.
+//!
+//! Candidate ranking runs on the int8-quantized fingerprints
+//! ([`QuantizedFingerprints`]) — an 8×-smaller scan with exact integer
+//! arithmetic — and the top `k + RERANK_MARGIN` candidates are re-ranked
+//! with the exact f64 Euclidean distance, so the neighbour distances the
+//! estimators consume carry no quantization error.
+
+// rm-lint: hot-path
 
 use std::cmp::Ordering;
 
 use rm_geometry::Point;
 use rm_radiomap::DenseRadioMap;
 
+use crate::quant::{QuantizedFingerprints, RERANK_MARGIN};
 use crate::LocationEstimator;
 
 /// K-nearest-neighbour location estimation: the estimated location is the mean
@@ -13,29 +22,68 @@ use crate::LocationEstimator;
 #[derive(Debug, Clone)]
 pub struct Knn {
     map: DenseRadioMap,
+    quantized: QuantizedFingerprints,
     k: usize,
 }
 
 impl Knn {
-    /// Builds a KNN estimator over an imputed radio map. The paper uses
-    /// `k = 3` for both KNN and WKNN-style estimators.
+    /// Builds a KNN estimator over an imputed radio map, quantizing its
+    /// fingerprints once for the int8 ranking scan. The paper uses `k = 3`
+    /// for both KNN and WKNN-style estimators.
     pub fn new(map: DenseRadioMap, k: usize) -> Self {
-        Self { map, k: k.max(1) }
+        let quantized = QuantizedFingerprints::from_map(&map);
+        Self {
+            map,
+            quantized,
+            k: k.max(1),
+        }
     }
 
     /// The `k` nearest entries as `(distance, location)` pairs, sorted by
-    /// increasing distance.
+    /// increasing exact f64 distance (ties broken by record index, like the
+    /// full scan's stable sort).
+    ///
+    /// Ranking is two-phase: the int8 kernel scores every record, the
+    /// `k + RERANK_MARGIN` best quantized candidates are selected, and those
+    /// are re-ranked exactly. Both phases break ties by record index and the
+    /// int8 kernel is bit-identical across its variants, so the result is a
+    /// pure function of `(map, fingerprint, k)`.
     fn nearest(&self, fingerprint: &[f64]) -> Vec<(f64, Point)> {
-        let mut scored: Vec<(f64, Point)> = self
-            .map
-            .fingerprints()
-            .iter()
-            .zip(self.map.locations().iter())
-            .map(|(f, &loc)| (euclidean(fingerprint, f), loc))
+        let n = self.map.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let window = (self.k + RERANK_MARGIN).min(n);
+        let query = self.quantized.encode_query(fingerprint);
+        let mut scored: Vec<(i32, u32)> = self
+            .quantized
+            .squared_distances(&query)
+            .into_iter()
+            .zip(0u32..)
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
-        scored.truncate(self.k);
-        scored
+        if window < n {
+            scored.select_nth_unstable(window - 1);
+            scored.truncate(window);
+        }
+        let mut exact: Vec<(f64, u32)> = scored
+            .into_iter()
+            .map(|(_, i)| {
+                (
+                    euclidean(fingerprint, &self.map.fingerprints()[i as usize]),
+                    i,
+                )
+            })
+            .collect();
+        exact.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        exact.truncate(self.k);
+        exact
+            .into_iter()
+            .map(|(d, i)| (d, self.map.locations()[i as usize]))
+            .collect()
     }
 }
 

@@ -15,6 +15,7 @@
 pub mod forest;
 pub mod knn;
 pub mod metrics;
+pub mod quant;
 
 pub use forest::{ForestConfig, RandomForest};
 pub use knn::{Knn, Wknn};
@@ -22,6 +23,7 @@ pub use metrics::{
     average_positioning_error, error_percentile, mean_absolute_error, mean_rp_distance,
     root_mean_square_error,
 };
+pub use quant::{QuantizedFingerprints, RERANK_MARGIN};
 
 use rm_geometry::Point;
 use rm_radiomap::DenseRadioMap;

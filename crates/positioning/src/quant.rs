@@ -1,0 +1,322 @@
+//! Int8-quantized fingerprint distances for KNN candidate ranking.
+//!
+//! A serving-scale radio map is distance-bound: every online query scans all
+//! stored fingerprints. This module shrinks that scan 8× in memory traffic
+//! by quantizing the dense map once — a per-map affine int8 code
+//! (`value ≈ min + (code + 128) · scale`, 255 levels over the map's RSSI
+//! range) — and ranking candidates with an i32-accumulating squared-distance
+//! kernel over the codes. The affine offset cancels in differences, so the
+//! quantized squared distance is `(‖â − b̂‖₂ / scale)²` of the dequantized
+//! vectors: a faithful, monotone-up-to-ε proxy for the f64 distance.
+//!
+//! Ranking is approximate, estimates are not: the estimators select a
+//! slightly widened candidate window by quantized distance and then re-rank
+//! those candidates with the **exact f64** Euclidean distance, so the final
+//! neighbour distances (and the KNN/WKNN weights computed from them) carry
+//! no quantization error. The quality guarantee is proptest-checked in
+//! `tests/proptest_positioning.rs`: every returned neighbour's exact
+//! distance is within [`QuantizedFingerprints::distance_slack`] of the true
+//! k-th smallest.
+//!
+//! Unlike the float kernels in `rm_tensor::simd`, both int8 kernel variants
+//! are exact integer arithmetic, so the AVX2 path is **bit-identical** to
+//! the scalar path by construction — `RM_SIMD=0` (the same knob as the float
+//! kernels) still forces the scalar reference, making the equivalence
+//! checkable.
+
+// rm-lint: hot-path
+
+use rm_radiomap::DenseRadioMap;
+
+/// Quantized squared distances overflow i32 only past this many APs
+/// (`i32::MAX / 255² ≈ 33 025`); real venues have tens to hundreds.
+const MAX_QUANTIZED_APS: usize = 32_768;
+
+/// How many candidates beyond `k` the quantized ranking hands to the exact
+/// f64 re-rank. Quantization can swap near-tied neighbours across the cut;
+/// widening the window by a few slots lets the exact re-rank restore the
+/// true order at the boundary for all but adversarially dense ties, at the
+/// cost of a handful of extra f64 distance evaluations per query.
+pub const RERANK_MARGIN: usize = 8;
+
+/// A dense radio map's fingerprints in per-map affine int8 codes, plus the
+/// parameters needed to quantize queries against the same grid.
+#[derive(Debug, Clone)]
+pub struct QuantizedFingerprints {
+    /// Row-major codes, `len × num_aps`.
+    codes: Vec<i8>,
+    num_aps: usize,
+    len: usize,
+    /// Smallest RSSI in the map (code −128).
+    min: f64,
+    /// Dequantization step; strictly positive even for constant maps.
+    scale: f64,
+}
+
+impl QuantizedFingerprints {
+    /// Quantizes every fingerprint of `map` onto a 255-level affine grid
+    /// spanning the map's own value range.
+    ///
+    /// # Panics
+    /// If the map has more than 32 768 APs (the i32 accumulator bound) or a
+    /// non-finite fingerprint value.
+    pub fn from_map(map: &DenseRadioMap) -> Self {
+        let num_aps = map.num_aps();
+        assert!(
+            num_aps <= MAX_QUANTIZED_APS,
+            "int8 distance accumulator supports at most {MAX_QUANTIZED_APS} APs, got {num_aps}"
+        );
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for row in map.fingerprints() {
+            for &v in row {
+                assert!(v.is_finite(), "cannot quantize non-finite RSSI {v}");
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if !min.is_finite() {
+            // Empty map: any grid works, nothing will be scanned.
+            (min, max) = (0.0, 0.0);
+        }
+        // 255 levels over the range; a degenerate (constant) map keeps a
+        // positive scale so dequantization stays well-defined.
+        let scale = if max > min { (max - min) / 255.0 } else { 1.0 };
+        let mut codes = Vec::with_capacity(map.len() * num_aps);
+        for row in map.fingerprints() {
+            for &v in row {
+                codes.push(Self::encode(v, min, scale));
+            }
+        }
+        Self {
+            codes,
+            num_aps,
+            len: map.len(),
+            min,
+            scale,
+        }
+    }
+
+    /// One value onto the grid: round to the nearest level, clamp to the
+    /// representable range (map values never clamp by construction; query
+    /// values outside the map's range do).
+    fn encode(v: f64, min: f64, scale: f64) -> i8 {
+        let level = ((v - min) / scale).round().clamp(0.0, 255.0);
+        (level as i16 - 128) as i8
+    }
+
+    /// Quantizes an online query fingerprint onto the map's grid.
+    pub fn encode_query(&self, fingerprint: &[f64]) -> Vec<i8> {
+        fingerprint
+            .iter()
+            .map(|&v| Self::encode(v, self.min, self.scale))
+            .collect()
+    }
+
+    /// Resident bytes of the quantized codes (the f64 fingerprints they
+    /// stand in for during ranking take 8× this).
+    pub fn resident_bytes(&self) -> usize {
+        self.codes.len() * std::mem::size_of::<i8>()
+    }
+
+    /// Number of fingerprints.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no fingerprints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The quantized squared distance of the query against every stored
+    /// fingerprint, in record order. Integer arithmetic end to end, so the
+    /// result is bit-identical regardless of which kernel variant runs.
+    #[allow(unsafe_code)] // dispatch into the runtime-detected AVX2 kernel
+    pub fn squared_distances(&self, query: &[i8]) -> Vec<i32> {
+        assert_eq!(query.len(), self.num_aps, "query arity mismatch");
+        let mut out = Vec::with_capacity(self.len);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if rm_tensor::simd_enabled() && avx2_available() {
+                // SAFETY: AVX2 availability was just checked at runtime,
+                // which is the `unsafe fn`'s only contract.
+                unsafe { squared_distances_avx2(&self.codes, query, self.num_aps, &mut out) };
+                return out;
+            }
+        }
+        squared_distances_scalar(&self.codes, query, self.num_aps, &mut out);
+        out
+    }
+
+    /// Exact distance of one dequantized value from its source: at most half
+    /// a grid step per element (for in-range values).
+    fn per_element_error(&self) -> f64 {
+        self.scale / 2.0
+    }
+
+    /// Bound on how much a neighbour returned by quantized ranking + exact
+    /// re-rank can exceed the true k-th smallest Euclidean distance, for
+    /// queries within the map's value range: each of the two vectors
+    /// dequantizes within `(scale/2)·√num_aps` of its source (ℓ₂ from the
+    /// per-element ℓ∞ bound), the ranking metric is the dequantized
+    /// distance, and the selection argument pays that gap twice.
+    pub fn distance_slack(&self) -> f64 {
+        2.0 * 2.0 * self.per_element_error() * (self.num_aps as f64).sqrt()
+    }
+}
+
+/// Runtime AVX2 support, detected once per process (same pattern as
+/// `rm_tensor::simd`).
+#[cfg(target_arch = "x86_64")]
+fn avx2_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX2: OnceLock<bool> = OnceLock::new();
+    *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+}
+
+/// Scalar reference: i32-accumulated squared differences, one row at a time.
+/// This is the semantics both kernel variants must produce bit-for-bit.
+fn squared_distances_scalar(codes: &[i8], query: &[i8], num_aps: usize, out: &mut Vec<i32>) {
+    for row in codes.chunks_exact(num_aps.max(1)) {
+        let mut acc = 0i32;
+        for (&a, &b) in row.iter().zip(query.iter()) {
+            let d = i32::from(a) - i32::from(b);
+            acc += d * d;
+        }
+        out.push(acc);
+    }
+}
+
+/// AVX2 kernel: 16 codes per iteration, widened i8→i16, differenced, and
+/// pair-summed into 8 i32 lanes by `_mm256_madd_epi16`. Every step is exact
+/// integer arithmetic (|diff| ≤ 255, so diff² ≤ 65 025 and a lane holds at
+/// most `2 · 65 025` per madd; the row total is asserted ≤ i32::MAX via the
+/// AP-count bound at quantization time) — bit-identical to the scalar
+/// reference by construction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unsafe_code)]
+// SAFETY: the `unsafe fn` contract is AVX2 availability (checked by the
+// caller); every pointer below is derived from the row/query slices and
+// offset strictly within their bounds.
+unsafe fn squared_distances_avx2(codes: &[i8], query: &[i8], num_aps: usize, out: &mut Vec<i32>) {
+    use std::arch::x86_64::{
+        _mm256_add_epi32, _mm256_castsi256_si128, _mm256_cvtepi8_epi16, _mm256_extracti128_si256,
+        _mm256_madd_epi16, _mm256_setzero_si256, _mm256_sub_epi16, _mm_add_epi32,
+        _mm_cvtsi128_si32, _mm_loadu_si128, _mm_shuffle_epi32,
+    };
+    let n = num_aps;
+    let qp = query.as_ptr();
+    for row in codes.chunks_exact(n.max(1)) {
+        let rp = row.as_ptr();
+        // SAFETY: all offsets are < n ≤ both the row and query lengths;
+        // unaligned loads are used throughout, so no alignment precondition.
+        let acc = unsafe {
+            let mut acc = _mm256_setzero_si256();
+            let mut i = 0usize;
+            while i + 16 <= n {
+                let a = _mm256_cvtepi8_epi16(_mm_loadu_si128(rp.add(i).cast()));
+                let b = _mm256_cvtepi8_epi16(_mm_loadu_si128(qp.add(i).cast()));
+                let d = _mm256_sub_epi16(a, b);
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(d, d));
+                i += 16;
+            }
+            // Horizontal sum of the 8 i32 lanes, then the scalar tail.
+            let lo = _mm256_castsi256_si128(acc);
+            let hi = _mm256_extracti128_si256(acc, 1);
+            let s = _mm_add_epi32(lo, hi);
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+            let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+            let mut total = _mm_cvtsi128_si32(s);
+            while i < n {
+                let d = i32::from(*rp.add(i)) - i32::from(*qp.add(i));
+                total += d * d;
+                i += 1;
+            }
+            total
+        };
+        out.push(acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rm_geometry::Point;
+
+    fn map(rows: Vec<Vec<f64>>) -> DenseRadioMap {
+        let n = rows.first().map(Vec::len).unwrap_or(0);
+        let locations = (0..rows.len()).map(|i| Point::new(i as f64, 0.0)).collect();
+        DenseRadioMap::new(rows, locations, n)
+    }
+
+    #[test]
+    fn codes_dequantize_within_half_a_step() {
+        let m = map(vec![vec![-50.0, -73.5, -90.0], vec![-61.2, -88.8, -55.1]]);
+        let q = QuantizedFingerprints::from_map(&m);
+        for (row, codes) in m.fingerprints().iter().zip(q.codes.chunks_exact(3)) {
+            for (&v, &c) in row.iter().zip(codes.iter()) {
+                let dequant = q.min + (f64::from(c) + 128.0) * q.scale;
+                assert!(
+                    (dequant - v).abs() <= q.per_element_error() + 1e-12,
+                    "{v} dequantized to {dequant}"
+                );
+            }
+        }
+        assert_eq!(q.resident_bytes(), 6);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn query_values_outside_the_map_range_clamp() {
+        let m = map(vec![vec![-50.0, -90.0]]);
+        let q = QuantizedFingerprints::from_map(&m);
+        let codes = q.encode_query(&[-30.0, -120.0]);
+        assert_eq!(codes, vec![127, -128]);
+    }
+
+    #[test]
+    fn constant_map_has_positive_scale_and_zero_distances() {
+        let m = map(vec![vec![-70.0, -70.0], vec![-70.0, -70.0]]);
+        let q = QuantizedFingerprints::from_map(&m);
+        assert!(q.scale > 0.0);
+        let query = q.encode_query(&[-70.0, -70.0]);
+        assert_eq!(q.squared_distances(&query), vec![0, 0]);
+    }
+
+    #[test]
+    fn empty_map_scans_to_nothing() {
+        let q = QuantizedFingerprints::from_map(&map(vec![]));
+        assert!(q.is_empty());
+        assert_eq!(q.squared_distances(&[]).len(), 0);
+    }
+
+    /// The dispatched kernel (AVX2 on capable hosts unless `RM_SIMD=0`) must
+    /// agree with the scalar reference exactly — integers carry no rounding,
+    /// so this is equality, not epsilon. Row lengths straddle the 16-lane
+    /// vector width to cover both the vector body and the scalar tail.
+    #[test]
+    fn dispatched_kernel_matches_scalar_reference_exactly() {
+        for num_aps in [1usize, 3, 15, 16, 17, 31, 32, 47] {
+            let rows: Vec<Vec<f64>> = (0..5)
+                .map(|r| {
+                    (0..num_aps)
+                        .map(|a| -40.0 - ((r * 31 + a * 17) % 60) as f64)
+                        .collect()
+                })
+                .collect();
+            let m = map(rows);
+            let q = QuantizedFingerprints::from_map(&m);
+            let query: Vec<f64> = (0..num_aps)
+                .map(|a| -45.0 - ((a * 13) % 55) as f64)
+                .collect();
+            let encoded = q.encode_query(&query);
+            let dispatched = q.squared_distances(&encoded);
+            let mut reference = Vec::new();
+            squared_distances_scalar(&q.codes, &encoded, q.num_aps, &mut reference);
+            assert_eq!(dispatched, reference, "kernel mismatch at {num_aps} APs");
+        }
+    }
+}

@@ -9,8 +9,13 @@
 //!   them,
 //! * [`Matrix`] — a dense row-major matrix (default `Matrix<f64>`) with the
 //!   usual linear-algebra and element-wise operations; the blocked kernels
-//!   have 4-wide unrolled inner loops that auto-vectorise at either
-//!   precision,
+//!   dispatch to explicit-width AVX2 intrinsics ([`simd`]) when the CPU has
+//!   them and fall back to the bitwise-identical scalar reference otherwise
+//!   (`RM_SIMD=0` forces the reference; `RM_FMA=1` opts into the
+//!   epsilon-only fused variants),
+//! * [`SnapshotDtype`] and the [`half`] module — software bf16 (`u16`
+//!   truncation of f32) for storing inference snapshots at half the f32
+//!   footprint, decoded back to f32 before any arithmetic,
 //! * [`Var`] — a node in a dynamically-built reverse-mode autodiff graph
 //!   (default `Var<f64>`), supporting matrix products, element-wise
 //!   arithmetic, activations, masking, concatenation, column softmax and
@@ -39,11 +44,15 @@
 //! ```
 
 pub mod autodiff;
+pub mod half;
 pub mod matrix;
 pub mod scalar;
+pub mod simd;
 pub mod workspace;
 
 pub use autodiff::Var;
+pub use half::{bf16_to_f32, f32_to_bf16, Bf16Matrix, SnapshotDtype};
 pub use matrix::{Matrix, MATMUL_BLOCK};
 pub use scalar::{Precision, Scalar};
+pub use simd::{fma_enabled, simd_enabled, simd_kernel_name};
 pub use workspace::{arena_enabled, buffer_pool_stats, BufferPoolStats, Workspace};

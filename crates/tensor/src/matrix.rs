@@ -23,17 +23,30 @@ use crate::Scalar;
 /// uses (an `f32` panel is half that).
 pub const MATMUL_BLOCK: usize = 64;
 
-/// In-place `y[j] += a * x[j]` over two equal-length slices — the shared
-/// inner loop of [`Matrix::matmul_into`], [`Matrix::matmul_at_b`] and
+/// The scalar reference formulation of the `y[j] += a * x[j]` row kernel
+/// shared by [`Matrix::matmul_into`], [`Matrix::matmul_at_b`] and
 /// [`Matrix::axpy`].
 ///
-/// The loop is manually unrolled 4-wide so the backend reliably
-/// auto-vectorises it at both precisions (4 lanes of `f64`, 8 of `f32` under
-/// AVX2). Each output element is still touched exactly once, in index order,
-/// with a plain multiply-then-add — so the result is bit-identical to the
-/// rolled `for (o, &b) in y.iter_mut().zip(x)` formulation at any precision.
+/// Those consumers resolve [`crate::simd::kernel`] **once per call** and run
+/// their whole loop either against this reference or inside a
+/// `#[target_feature]` context where the explicit-width AVX2 kernels of
+/// [`crate::simd`] inline (`RM_SIMD=0` forces this reference instead).
+/// Because the update is element-wise independent and both paths perform one
+/// multiply and one add per element in index order, the SIMD path is
+/// **bit-identical** to this function at either precision — the parity
+/// proptests below and `crate::simd`'s own tests check exactly that. (The
+/// opt-in `RM_FMA=1` variant is the one exception: fused rounding,
+/// epsilon-checked only.)
+///
+/// The loop is manually unrolled
+/// 4-wide so the backend reliably auto-vectorises it at both precisions.
+/// Each output element is touched exactly once, in index order, with a plain
+/// multiply-then-add — so the result is bit-identical to the rolled
+/// `for (o, &b) in y.iter_mut().zip(x)` loop at any precision. This is the
+/// `RM_SIMD=0` bitwise-checked baseline the AVX2 kernels are compared
+/// against.
 #[inline]
-fn axpy_row<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+pub(crate) fn axpy_row_scalar<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
     debug_assert_eq!(x.len(), y.len());
     let mut y_chunks = y.chunks_exact_mut(4);
     let mut x_chunks = x.chunks_exact(4);
@@ -335,18 +348,21 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// The reduction dimension is processed in panels of [`MATMUL_BLOCK`]
     /// rows of `rhs`, so each panel stays cache-hot while the kernel streams
-    /// over the rows of `self` and `out`; the inner loop is the 4-wide
-    /// unrolled [`axpy_row`], contiguous over both `rhs` and `out`. For every
-    /// output entry the contributions are accumulated in increasing `k` order
-    /// — exactly the order of the naive kernel — so for **finite inputs** the
+    /// over the rows of `self` and `out`; the inner loop is the
+    /// [`crate::simd`]-dispatched row kernel (scalar reference under
+    /// `RM_SIMD=0`), contiguous over both `rhs` and `out`. For every output
+    /// entry the contributions are accumulated in increasing `k` order —
+    /// exactly the order of the naive kernel — so for **finite inputs** the
     /// result is bit-identical to [`Matrix::matmul_naive`] at either
     /// precision. (The kernel skips exact-zero multiplicands; if `rhs`
     /// contains NaN or ±∞ against a zero in `self`, the naive kernel
-    /// propagates the NaN while this one does not.)
+    /// propagates the NaN while this one does not. The opt-in `RM_FMA=1`
+    /// kernels degrade bit-identity to epsilon-closeness.)
     ///
     /// # Panics
     /// Panics if the inner dimensions do not match or `out` has the wrong
     /// shape.
+    #[allow(unsafe_code)] // audited dispatch into the target_feature loops below
     pub fn matmul_into(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
         assert_eq!(
             self.cols, rhs.rows,
@@ -361,6 +377,36 @@ impl<T: Scalar> Matrix<T> {
             (self.rows, rhs.cols)
         );
         out.data.iter_mut().for_each(|v| *v = T::ZERO);
+        if rhs.cols < crate::simd::SIMD_MIN_COLS {
+            // Narrow products (column vectors in particular) have no vector
+            // body to amortise the arch-kernel dispatch; the bit-identical
+            // scalar reference inlines here and is strictly faster.
+            return self.matmul_into_body(rhs, out, axpy_row_scalar::<T>);
+        }
+        match crate::simd::kernel() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kernel::Avx2` is only resolved after runtime AVX2
+            // detection succeeded on this CPU.
+            crate::simd::Kernel::Avx2 => unsafe { self.matmul_into_avx2(rhs, out) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kernel::Fma` is only resolved after runtime AVX2+FMA
+            // detection succeeded on this CPU.
+            crate::simd::Kernel::Fma => unsafe { self.matmul_into_fma(rhs, out) },
+            _ => self.matmul_into_body(rhs, out, axpy_row_scalar::<T>),
+        }
+    }
+
+    /// The blocked i-k-j loop of [`Matrix::matmul_into`], generic over the
+    /// row kernel so one definition serves the scalar reference and both
+    /// `#[target_feature]` instantiations (where the closure inherits the
+    /// caller's features and the intrinsics inline).
+    #[inline(always)]
+    fn matmul_into_body(
+        &self,
+        rhs: &Matrix<T>,
+        out: &mut Matrix<T>,
+        axpy: impl Fn(T, &[T], &mut [T]),
+    ) {
         let n = rhs.cols;
         for kb in (0..self.cols).step_by(MATMUL_BLOCK) {
             let kend = (kb + MATMUL_BLOCK).min(self.cols);
@@ -373,10 +419,99 @@ impl<T: Scalar> Matrix<T> {
                         continue;
                     }
                     let rhs_row = &rhs.data[k * n..(k + 1) * n];
-                    axpy_row(a, rhs_row, out_row);
+                    axpy(a, rhs_row, out_row);
                 }
             }
         }
+    }
+
+    /// The k-unrolled variant of [`Matrix::matmul_into_body`] the
+    /// `#[target_feature]` wrappers run: panels advance four `rhs` rows at a
+    /// time through the fused four-row kernel, which loads and stores each
+    /// `out` vector once per four reduction steps instead of once per step.
+    /// Per-element contributions keep the exact increasing-`k` order (the
+    /// fused kernel is bit-identical to four sequential row updates), and
+    /// exact zeros are still skipped one row at a time on the fallback arm,
+    /// so the bit-compat contract with the scalar reference is untouched.
+    #[inline(always)]
+    fn matmul_into_body_x4(
+        &self,
+        rhs: &Matrix<T>,
+        out: &mut Matrix<T>,
+        axpy: impl Fn(T, &[T], &mut [T]),
+        axpy4: impl Fn([T; 4], [&[T]; 4], &mut [T]),
+    ) {
+        let n = rhs.cols;
+        for kb in (0..self.cols).step_by(MATMUL_BLOCK) {
+            let kend = (kb + MATMUL_BLOCK).min(self.cols);
+            for i in 0..self.rows {
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                let mut k = kb;
+                while k + 4 <= kend {
+                    let a = [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]];
+                    if a[0] != T::ZERO && a[1] != T::ZERO && a[2] != T::ZERO && a[3] != T::ZERO {
+                        let x = [
+                            &rhs.data[k * n..(k + 1) * n],
+                            &rhs.data[(k + 1) * n..(k + 2) * n],
+                            &rhs.data[(k + 2) * n..(k + 3) * n],
+                            &rhs.data[(k + 3) * n..(k + 4) * n],
+                        ];
+                        axpy4(a, x, out_row);
+                    } else {
+                        for (r, &ar) in a.iter().enumerate() {
+                            if ar != T::ZERO {
+                                axpy(ar, &rhs.data[(k + r) * n..(k + r + 1) * n], out_row);
+                            }
+                        }
+                    }
+                    k += 4;
+                }
+                for k in k..kend {
+                    let a = a_row[k];
+                    if a == T::ZERO {
+                        continue;
+                    }
+                    axpy(a, &rhs.data[k * n..(k + 1) * n], out_row);
+                }
+            }
+        }
+    }
+
+    /// [`Matrix::matmul_into_body_x4`] compiled in an AVX2 context so the
+    /// explicit-width row kernels inline into the blocked loop.
+    // SAFETY: `unsafe fn` contract is runtime AVX2 availability, upheld by
+    // the `Kernel::Avx2` dispatch arm; the row kernels stay within the
+    // equal-length row slices they are handed.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn matmul_into_avx2(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
+        // SAFETY: forwards this fn's own AVX2 contract to the row kernels.
+        self.matmul_into_body_x4(
+            rhs,
+            out,
+            |a, x, y| unsafe { T::axpy_row_avx2(a, x, y) },
+            |a, x, y| unsafe { T::axpy_row4_avx2(a, x, y) },
+        );
+    }
+
+    /// [`Matrix::matmul_into_body_x4`] compiled in an AVX2+FMA context
+    /// (`RM_FMA=1` opt-in; epsilon contract).
+    // SAFETY: `unsafe fn` contract is runtime AVX2+FMA availability, upheld
+    // by the `Kernel::Fma` dispatch arm; the row kernels stay within the
+    // equal-length row slices they are handed.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(unsafe_code)]
+    unsafe fn matmul_into_fma(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
+        // SAFETY: forwards this fn's own AVX2+FMA contract to the row kernels.
+        self.matmul_into_body_x4(
+            rhs,
+            out,
+            |a, x, y| unsafe { T::axpy_row_fma(a, x, y) },
+            |a, x, y| unsafe { T::axpy_row4_fma(a, x, y) },
+        );
     }
 
     /// Reference matrix product: the textbook triple loop, kept as the ground
@@ -404,9 +539,9 @@ impl<T: Scalar> Matrix<T> {
 
     /// Computes `selfᵀ * rhs` without materialising the transpose: the kernel
     /// walks both operands row by row and accumulates rank-1 updates, keeping
-    /// the inner loop the 4-wide unrolled [`axpy_row`]. This is the gradient
-    /// kernel for the right operand of a matmul (`dB = Aᵀ · dC`); the
-    /// left-operand gradient (`dA = dC · Bᵀ`) stays on the blocked kernel
+    /// the inner loop the [`crate::simd`]-dispatched row kernel. This is the
+    /// gradient kernel for the right operand of a matmul (`dB = Aᵀ · dC`);
+    /// the left-operand gradient (`dA = dC · Bᵀ`) stays on the blocked kernel
     /// with an explicit transpose, which benchmarks faster than a dot-product
     /// kernel because the axpy inner loop vectorises. Like
     /// [`Matrix::matmul_into`] this kernel skips exact-zero multiplicands, so
@@ -414,6 +549,7 @@ impl<T: Scalar> Matrix<T> {
     ///
     /// # Panics
     /// Panics if the row counts differ.
+    #[allow(unsafe_code)] // audited dispatch into the target_feature loops below
     pub fn matmul_at_b(&self, rhs: &Matrix<T>) -> Matrix<T> {
         assert_eq!(
             self.rows, rhs.rows,
@@ -421,6 +557,35 @@ impl<T: Scalar> Matrix<T> {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.cols, rhs.cols);
+        if rhs.cols < crate::simd::SIMD_MIN_COLS {
+            // Same narrow-product reasoning as `matmul_into`.
+            self.matmul_at_b_body(rhs, &mut out, axpy_row_scalar::<T>);
+            return out;
+        }
+        match crate::simd::kernel() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kernel::Avx2` is only resolved after runtime AVX2
+            // detection succeeded on this CPU.
+            crate::simd::Kernel::Avx2 => unsafe { self.matmul_at_b_avx2(rhs, &mut out) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kernel::Fma` is only resolved after runtime AVX2+FMA
+            // detection succeeded on this CPU.
+            crate::simd::Kernel::Fma => unsafe { self.matmul_at_b_fma(rhs, &mut out) },
+            _ => self.matmul_at_b_body(rhs, &mut out, axpy_row_scalar::<T>),
+        }
+        out
+    }
+
+    /// The rank-1-update loop of [`Matrix::matmul_at_b`], generic over the
+    /// row kernel (same single-definition reasoning as
+    /// [`Matrix::matmul_into_body`]).
+    #[inline(always)]
+    fn matmul_at_b_body(
+        &self,
+        rhs: &Matrix<T>,
+        out: &mut Matrix<T>,
+        axpy: impl Fn(T, &[T], &mut [T]),
+    ) {
         let n = rhs.cols;
         for k in 0..self.rows {
             let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
@@ -430,10 +595,34 @@ impl<T: Scalar> Matrix<T> {
                     continue;
                 }
                 let out_row = &mut out.data[i * n..(i + 1) * n];
-                axpy_row(a, rhs_row, out_row);
+                axpy(a, rhs_row, out_row);
             }
         }
-        out
+    }
+
+    /// [`Matrix::matmul_at_b_body`] compiled in an AVX2 context.
+    // SAFETY: `unsafe fn` contract is runtime AVX2 availability, upheld by
+    // the `Kernel::Avx2` dispatch arm; the row kernel stays within the
+    // equal-length row slices it is handed.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    unsafe fn matmul_at_b_avx2(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
+        // SAFETY: forwards this fn's own AVX2 contract to the row kernel.
+        self.matmul_at_b_body(rhs, out, |a, x, y| unsafe { T::axpy_row_avx2(a, x, y) });
+    }
+
+    /// [`Matrix::matmul_at_b_body`] compiled in an AVX2+FMA context
+    /// (`RM_FMA=1` opt-in; epsilon contract).
+    // SAFETY: `unsafe fn` contract is runtime AVX2+FMA availability, upheld
+    // by the `Kernel::Fma` dispatch arm; the row kernel stays within the
+    // equal-length row slices it is handed.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(unsafe_code)]
+    unsafe fn matmul_at_b_fma(&self, rhs: &Matrix<T>, out: &mut Matrix<T>) {
+        // SAFETY: forwards this fn's own AVX2+FMA contract to the row kernel.
+        self.matmul_at_b_body(rhs, out, |a, x, y| unsafe { T::axpy_row_fma(a, x, y) });
     }
 
     /// Adds the column vector `col` (shape `(rows, 1)`) to every column of
@@ -489,11 +678,31 @@ impl<T: Scalar> Matrix<T> {
         }
     }
 
-    /// In-place `self += alpha * rhs`, through the 4-wide unrolled
-    /// [`axpy_row`] kernel.
+    /// In-place `self += alpha * rhs`, through the [`crate::simd`]-dispatched
+    /// row kernel ([`axpy_row_scalar`] under `RM_SIMD=0`; bit-identical
+    /// either way, except under the opt-in `RM_FMA=1`).
+    #[allow(unsafe_code)] // audited dispatch into the detected arch kernels
     pub fn axpy(&mut self, alpha: T, rhs: &Matrix<T>) {
         assert_eq!(self.shape(), rhs.shape(), "axpy shape mismatch");
-        axpy_row(alpha, &rhs.data, &mut self.data);
+        if self.data.len() < crate::simd::SIMD_MIN_COLS {
+            // Same narrow-operand reasoning as `matmul_into`.
+            return axpy_row_scalar(alpha, &rhs.data, &mut self.data);
+        }
+        match crate::simd::kernel() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kernel::Avx2` is only resolved after runtime AVX2
+            // detection succeeded on this CPU.
+            crate::simd::Kernel::Avx2 => unsafe {
+                T::axpy_row_avx2(alpha, &rhs.data, &mut self.data)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kernel::Fma` is only resolved after runtime AVX2+FMA
+            // detection succeeded on this CPU.
+            crate::simd::Kernel::Fma => unsafe {
+                T::axpy_row_fma(alpha, &rhs.data, &mut self.data)
+            },
+            _ => axpy_row_scalar(alpha, &rhs.data, &mut self.data),
+        }
     }
 
     /// Multiplies every entry by `s`.
@@ -697,6 +906,21 @@ mod tests {
         let _ = a.matmul(&b);
     }
 
+    /// Bitwise parity at the default configuration; under the opt-in
+    /// `RM_FMA=1` the kernels trade bit-compat for fused rounding, so the
+    /// same assertion degrades to the documented epsilon contract.
+    #[track_caller]
+    fn assert_kernel_parity<T: Scalar>(got: &Matrix<T>, want: &Matrix<T>, fma_tol: f64) {
+        if crate::simd::fma_enabled() {
+            assert!(
+                got.approx_eq(want, T::from_f64(fma_tol)),
+                "fma drift over tolerance"
+            );
+        } else {
+            assert!(got.bits_eq(want), "kernel not bit-identical to reference");
+        }
+    }
+
     #[test]
     fn blocked_matmul_is_bit_identical_to_naive() {
         let mut rng = StdRng::seed_from_u64(99);
@@ -704,7 +928,7 @@ mod tests {
         for (m, k, n) in [(1, 1, 1), (3, 64, 5), (7, 65, 9), (20, 130, 17)] {
             let a = Matrix::<f64>::random_uniform(m, k, 1.0, &mut rng);
             let b = Matrix::<f64>::random_uniform(k, n, 1.0, &mut rng);
-            assert!(a.matmul(&b).bits_eq(&a.matmul_naive(&b)));
+            assert_kernel_parity(&a.matmul(&b), &a.matmul_naive(&b), 1e-10);
         }
     }
 
@@ -714,7 +938,7 @@ mod tests {
         for (m, k, n) in [(1, 1, 1), (3, 64, 5), (7, 65, 9), (20, 130, 17)] {
             let a = Matrix::<f32>::random_uniform(m, k, 1.0, &mut rng);
             let b = Matrix::<f32>::random_uniform(k, n, 1.0, &mut rng);
-            assert!(a.matmul(&b).bits_eq(&a.matmul_naive(&b)));
+            assert_kernel_parity(&a.matmul(&b), &a.matmul_naive(&b), 1e-4);
         }
     }
 
@@ -842,7 +1066,7 @@ mod tests {
                 .map(|(&y, &xv)| y + 0.75 * xv)
                 .collect(),
         );
-        assert!(unrolled.bits_eq(&rolled));
+        assert_kernel_parity(&unrolled, &rolled, 1e-12);
     }
 
     #[test]
@@ -922,5 +1146,72 @@ mod tests {
         assert_eq!(c.get(1, 0), 0.2f64 as f32);
         let c64 = Matrix::<f64>::column_from_f64(&[0.1]);
         assert_eq!(c64.get(0, 0), 0.1);
+    }
+
+    /// Runs every `axpy_row` consumer at one random shape and asserts the
+    /// dispatched kernel (AVX2 under the default `RM_SIMD=1`, the scalar
+    /// reference under `RM_SIMD=0` or off-x86 hosts) is bit-identical to
+    /// formulations that never touch `axpy_row`: `matmul_naive`, explicit
+    /// transpose + naive, and the rolled axpy loop. Output buffers are
+    /// pre-dirtied through the pool so capacity reuse cannot mask a stale
+    /// read. The CI `test-no-simd` leg runs this same property against the
+    /// forced scalar path, closing the parity check from both sides.
+    fn axpy_consumers_match_reference<T: Scalar>(
+        m: usize,
+        k: usize,
+        n: usize,
+        seed: u64,
+        fma_tol: f64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Matrix<T> = Matrix::<f64>::random_uniform(m, k, 1.0, &mut rng).cast();
+        let b: Matrix<T> = Matrix::<f64>::random_uniform(k, n, 1.0, &mut rng).cast();
+        let grad: Matrix<T> = Matrix::<f64>::random_uniform(m, n, 1.0, &mut rng).cast();
+
+        // Dirty the output through the pool: fill with NaN, then overwrite.
+        let mut out = Matrix::<T>::filled(m, n, T::from_f64(f64::NAN));
+        a.matmul_into(&b, &mut out);
+        assert_kernel_parity(&out, &a.matmul_naive(&b), fma_tol);
+
+        let at_b = a.matmul_at_b(&grad);
+        assert_kernel_parity(&at_b, &a.transpose().matmul_naive(&grad), fma_tol);
+
+        let alpha = T::from_f64(0.375);
+        let x: Matrix<T> = Matrix::<f64>::random_uniform(m, n, 1.0, &mut rng).cast();
+        let mut acc = grad.clone();
+        acc.axpy(alpha, &x);
+        let rolled = Matrix::from_vec(
+            m,
+            n,
+            grad.data()
+                .iter()
+                .zip(x.data().iter())
+                .map(|(&y, &xv)| y + alpha * xv)
+                .collect(),
+        );
+        assert_kernel_parity(&acc, &rolled, fma_tol);
+    }
+
+    mod simd_parity {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(12))]
+
+            /// SIMD ≡ scalar, bit for bit, at random shapes straddling the
+            /// vector width and the matmul block, for both dtypes, with
+            /// dirty pooled output buffers.
+            #[test]
+            fn dispatched_kernels_are_bit_identical_to_references(
+                m in 1usize..20,
+                k in 1usize..90,
+                n in 1usize..20,
+                seed in any::<u64>(),
+            ) {
+                axpy_consumers_match_reference::<f64>(m, k, n, seed, 1e-10);
+                axpy_consumers_match_reference::<f32>(m, k, n, seed, 1e-4);
+            }
+        }
     }
 }

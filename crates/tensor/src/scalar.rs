@@ -118,6 +118,51 @@ pub trait Scalar:
         self.max(Self::ZERO)
     }
 
+    /// Explicit-width AVX2 `y[j] += a * x[j]` row kernel for this precision
+    /// (bit-identical to the scalar reference). The dispatch point the
+    /// `#[target_feature]` consumer loops in `crate::matrix` inline through;
+    /// not part of the stable API.
+    ///
+    /// # Safety
+    /// Only call after runtime AVX2 detection succeeded — i.e. only when
+    /// [`crate::simd`]'s resolved kernel is the AVX2 family. (On non-x86_64
+    /// targets the hook is a safe scalar delegation and is never dispatched.)
+    // SAFETY: declaration only — the contract above binds the implementors.
+    #[doc(hidden)]
+    #[allow(unsafe_code)]
+    unsafe fn axpy_row_avx2(a: Self, x: &[Self], y: &mut [Self]);
+
+    /// AVX2+FMA variant of [`Scalar::axpy_row_avx2`] (`RM_FMA=1` opt-in;
+    /// fused rounding, epsilon-checked only, **not** bit-compatible).
+    ///
+    /// # Safety
+    /// Only call after runtime AVX2+FMA detection succeeded.
+    // SAFETY: declaration only — the contract above binds the implementors.
+    #[doc(hidden)]
+    #[allow(unsafe_code)]
+    unsafe fn axpy_row_fma(a: Self, x: &[Self], y: &mut [Self]);
+
+    /// Fused four-row AVX2 update `y[j] += Σ_r a[r] * x[r][j]` — the
+    /// k-unrolled panel kernel of `matmul_into`, bit-identical to four
+    /// sequential [`Scalar::axpy_row_avx2`] calls.
+    ///
+    /// # Safety
+    /// Same contract as [`Scalar::axpy_row_avx2`].
+    // SAFETY: declaration only — the contract above binds the implementors.
+    #[doc(hidden)]
+    #[allow(unsafe_code)]
+    unsafe fn axpy_row4_avx2(a: [Self; 4], x: [&[Self]; 4], y: &mut [Self]);
+
+    /// AVX2+FMA variant of [`Scalar::axpy_row4_avx2`] (`RM_FMA=1` opt-in;
+    /// epsilon contract).
+    ///
+    /// # Safety
+    /// Same contract as [`Scalar::axpy_row_fma`].
+    // SAFETY: declaration only — the contract above binds the implementors.
+    #[doc(hidden)]
+    #[allow(unsafe_code)]
+    unsafe fn axpy_row4_fma(a: [Self; 4], x: [&[Self]; 4], y: &mut [Self]);
+
     /// Runs `f` with this thread's raw-buffer pool for `Self` elements.
     ///
     /// Internal plumbing of the arena layer (`crate::workspace`): the pools
@@ -136,7 +181,7 @@ pub trait Scalar:
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $name:literal) => {
+    ($t:ty, $name:literal, $axpy_avx2:path, $axpy_fma:path, $axpy4_avx2:path, $axpy4_fma:path) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -199,6 +244,46 @@ macro_rules! impl_scalar {
                 self.to_bits() as u64
             }
 
+            // SAFETY: thin forwarder — the caller upholds the CPU-feature
+            // contract of the trait declaration; the arch kernel itself
+            // stays within the slice bounds.
+            #[inline(always)]
+            #[allow(unsafe_code)]
+            unsafe fn axpy_row_avx2(a: Self, x: &[Self], y: &mut [Self]) {
+                // SAFETY: forwarded contract, argued at the declaration.
+                unsafe { $axpy_avx2(a, x, y) }
+            }
+
+            // SAFETY: thin forwarder — the caller upholds the CPU-feature
+            // contract of the trait declaration; the arch kernel itself
+            // stays within the slice bounds.
+            #[inline(always)]
+            #[allow(unsafe_code)]
+            unsafe fn axpy_row_fma(a: Self, x: &[Self], y: &mut [Self]) {
+                // SAFETY: forwarded contract, argued at the declaration.
+                unsafe { $axpy_fma(a, x, y) }
+            }
+
+            // SAFETY: thin forwarder — the caller upholds the CPU-feature
+            // contract of the trait declaration; the arch kernel itself
+            // stays within the slice bounds.
+            #[inline(always)]
+            #[allow(unsafe_code)]
+            unsafe fn axpy_row4_avx2(a: [Self; 4], x: [&[Self]; 4], y: &mut [Self]) {
+                // SAFETY: forwarded contract, argued at the declaration.
+                unsafe { $axpy4_avx2(a, x, y) }
+            }
+
+            // SAFETY: thin forwarder — the caller upholds the CPU-feature
+            // contract of the trait declaration; the arch kernel itself
+            // stays within the slice bounds.
+            #[inline(always)]
+            #[allow(unsafe_code)]
+            unsafe fn axpy_row4_fma(a: [Self; 4], x: [&[Self]; 4], y: &mut [Self]) {
+                // SAFETY: forwarded contract, argued at the declaration.
+                unsafe { $axpy4_fma(a, x, y) }
+            }
+
             fn with_buffer_pool<R, F: FnOnce(&mut crate::workspace::BufferPool<Self>) -> R>(
                 f: F,
             ) -> R {
@@ -220,8 +305,22 @@ macro_rules! impl_scalar {
     };
 }
 
-impl_scalar!(f64, "f64");
-impl_scalar!(f32, "f32");
+impl_scalar!(
+    f64,
+    "f64",
+    crate::simd::axpy_row_f64_avx2,
+    crate::simd::axpy_row_f64_fma,
+    crate::simd::axpy_row4_f64_avx2,
+    crate::simd::axpy_row4_f64_fma
+);
+impl_scalar!(
+    f32,
+    "f32",
+    crate::simd::axpy_row_f32_avx2,
+    crate::simd::axpy_row_f32_fma,
+    crate::simd::axpy_row4_f32_avx2,
+    crate::simd::axpy_row4_f32_fma
+);
 
 /// The numeric precision a pipeline stage runs at — the user-facing knob
 /// that selects the [`Scalar`] instantiation of the inference kernels.

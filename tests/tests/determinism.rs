@@ -155,17 +155,22 @@ fn arena_backed_training_and_inference_are_bit_identical_across_thread_counts() 
 }
 
 /// The f32 inference mode obeys the same contract as the default pipeline:
-/// **bit-identical at any thread count**. Precision changes which kernels
-/// run (and therefore the values — f32 rounds differently from f64); it must
-/// never re-introduce scheduling sensitivity. The f64 suite in this file is
+/// **bit-identical at any thread count**, with the explicit-width SIMD
+/// kernels active at their default (the CI `RM_SIMD=0` leg runs this same
+/// suite against the scalar reference, which the SIMD kernels are bitwise
+/// checked against — so this case plus that leg pin SIMD-on ≡ SIMD-off ≡
+/// any thread count). Precision changes which kernels run (and therefore
+/// the values — f32 rounds differently from f64); it must never
+/// re-introduce scheduling sensitivity. The f64 suite in this file is
 /// unchanged, which is itself the second half of the contract: the default
-/// precision still produces the PR 2 bits.
+/// precision still produces the PR 2 bits. BiSIM joined the precision axis
+/// in PR 8 (graph-free snapshot inference), so it is covered here too.
 #[test]
 fn f32_pipeline_is_bit_identical_across_thread_counts() {
     let map = straight_path_map(24, 8);
     let topology = MultiPolygon::empty();
     let thread_counts = [1, 2, rm_runtime::default_threads()];
-    for imputer in [ImputerKind::Brits, ImputerKind::Ssgan] {
+    for imputer in [ImputerKind::Brits, ImputerKind::Ssgan, ImputerKind::Bisim] {
         let runs: Vec<ImputedRadioMap> = thread_counts
             .iter()
             .map(|&threads| {
@@ -185,6 +190,43 @@ fn f32_pipeline_is_bit_identical_across_thread_counts() {
             assert!(
                 bitwise_eq_maps(&runs[0], run),
                 "{} f32 imputation differs across thread counts",
+                imputer.name()
+            );
+        }
+    }
+}
+
+/// bf16-resident snapshots keep the contract too: every inference task
+/// decodes the shared bf16 snapshot into its own pooled f32 scratch, so the
+/// decode is pure and per-task and the fan-out stays bit-identical at any
+/// thread count (the values differ from f32/native — bf16 truncation is an
+/// accuracy knob, like precision — but never across schedules).
+#[test]
+fn bf16_snapshot_pipeline_is_bit_identical_across_thread_counts() {
+    let map = straight_path_map(24, 8);
+    let topology = MultiPolygon::empty();
+    let thread_counts = [1, 2, rm_runtime::default_threads()];
+    for imputer in [ImputerKind::Brits, ImputerKind::Ssgan, ImputerKind::Bisim] {
+        let runs: Vec<ImputedRadioMap> = thread_counts
+            .iter()
+            .map(|&threads| {
+                ImputationPipeline::new(PipelineConfig {
+                    differentiator: DifferentiatorKind::MarOnly,
+                    imputer,
+                    epochs: Some(2),
+                    threads,
+                    precision: Precision::F32,
+                    snapshot_dtype: SnapshotDtype::Bf16,
+                    ..PipelineConfig::default()
+                })
+                .impute(&map, &topology)
+                .0
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert!(
+                bitwise_eq_maps(&runs[0], run),
+                "{} bf16-snapshot imputation differs across thread counts",
                 imputer.name()
             );
         }
