@@ -39,7 +39,7 @@ pub mod pipeline;
 
 pub use pipeline::{
     rp_imputation_error, rssi_imputation_mae, DifferentiatorKind, EvaluationResult,
-    ImputationPipeline, ImputerKind, PipelineConfig,
+    ImputationPipeline, ImputerKind, PipelineConfig, VenueSnapshot,
 };
 pub use rm_tensor::{Precision, SnapshotDtype};
 
@@ -60,7 +60,7 @@ pub use rm_venue_sim as venue_sim;
 pub mod prelude {
     pub use crate::pipeline::{
         rp_imputation_error, rssi_imputation_mae, DifferentiatorKind, EvaluationResult,
-        ImputationPipeline, ImputerKind, PipelineConfig,
+        ImputationPipeline, ImputerKind, PipelineConfig, VenueSnapshot,
     };
     pub use rm_bisim::{AttentionMode, Bisim, BisimConfig, TimeLagMode};
     pub use rm_differentiator::{Differentiator, MarOnly, MnarOnly};

@@ -27,8 +27,8 @@ use rm_imputers::{
     MatrixFactorization, Mice, SemiSupervised, Ssgan, SsganConfig,
 };
 use rm_positioning::{evaluate_estimator_threads, EstimatorKind, TestQuery};
-use rm_radiomap::{MaskMatrix, RadioMap, RemovedRp, RemovedRssi};
-use rm_tensor::{Precision, SnapshotDtype};
+use rm_radiomap::{DenseRadioMap, MaskMatrix, RadioMap, RemovedRp, RemovedRssi};
+use rm_tensor::{NamedTensor, Precision, SnapshotDtype};
 
 /// Which missing-RSSI differentiator the pipeline uses (Section V-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,6 +305,38 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Everything a serving process needs to answer positioning queries for one
+/// venue, produced by [`ImputationPipeline::export_snapshot`]: the imputed
+/// dense radio map, the differentiator's mask, the estimator configuration,
+/// and the trained imputer snapshot as named tensors at the dtype the
+/// inference path keeps resident ([`SnapshotDtype::Bf16`] exports are ¼ the
+/// payload bytes of f64 exports of the same weights). This is the in-memory
+/// form of the `rm-serve` artifact; the on-disk codec lives in that crate so
+/// the pipeline stays serialization-free.
+#[derive(Debug, Clone)]
+pub struct VenueSnapshot {
+    /// Stable venue identifier (artifact registry key).
+    pub venue: String,
+    /// The imputed dense radio map the estimator is built over.
+    pub map: DenseRadioMap,
+    /// The differentiator's MAR/MNAR assignment for the source map.
+    pub mask: MaskMatrix,
+    /// The online location-estimation algorithm to build at load time.
+    pub estimator: EstimatorKind,
+    /// Neighbour count `k` for the KNN-style estimators.
+    pub knn_k: usize,
+    /// The seed the pipeline ran with (provenance; a rebuild with this seed
+    /// reproduces the snapshot bitwise).
+    pub seed: u64,
+    /// Inference precision the tensors were exported at.
+    pub precision: Precision,
+    /// Resident storage dtype the tensors were exported at.
+    pub snapshot_dtype: SnapshotDtype,
+    /// The trained imputer snapshot, one named tensor per parameter (empty
+    /// for imputers without a trained model).
+    pub tensors: Vec<NamedTensor>,
+}
+
 /// The result of one end-to-end evaluation run.
 #[derive(Debug, Clone)]
 pub struct EvaluationResult {
@@ -356,6 +388,48 @@ impl ImputationPipeline {
             self.config.snapshot_dtype,
         );
         (imputer.impute(map, &mask), mask)
+    }
+
+    /// Runs differentiation + imputation and packages the result as a
+    /// [`VenueSnapshot`] — the in-memory serving artifact for `venue`.
+    ///
+    /// Unlike [`ImputationPipeline::evaluate`], no test split is held out:
+    /// a serving model is built from the *whole* survey, and every imputed
+    /// record with a location enters the radio map. The trained imputer
+    /// weights ride along as named tensors (via
+    /// [`Imputer::impute_with_snapshot`](rm_imputers::Imputer::impute_with_snapshot)),
+    /// exported at exactly the bits the inference path keeps resident, so
+    /// persisting and reloading the snapshot reproduces the serving model
+    /// bit for bit.
+    pub fn export_snapshot(
+        &self,
+        venue: impl Into<String>,
+        map: &RadioMap,
+        topology: &MultiPolygon,
+    ) -> VenueSnapshot {
+        let mask = self.differentiate(map, topology);
+        let imputer = self.config.imputer.build(
+            self.config.seed,
+            self.config.attention,
+            self.config.time_lag,
+            self.config.epochs,
+            self.config.threads,
+            self.config.batch_size,
+            self.config.precision,
+            self.config.snapshot_dtype,
+        );
+        let (imputed, tensors) = imputer.impute_with_snapshot(map, &mask);
+        VenueSnapshot {
+            venue: venue.into(),
+            map: imputed.to_dense(map.num_aps()),
+            mask,
+            estimator: self.config.estimator,
+            knn_k: self.config.knn_k,
+            seed: self.config.seed,
+            precision: self.config.precision,
+            snapshot_dtype: self.config.snapshot_dtype,
+            tensors,
+        }
     }
 
     /// Runs the full evaluation protocol of Section V-A:

@@ -12,7 +12,9 @@ use rm_nn::{
     LstmCellWeightsBf16, LstmState, LstmStateMatrix, Optimizer,
 };
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Precision, Scalar, SnapshotDtype, Var, Workspace};
+use rm_tensor::{
+    Bf16Matrix, Matrix, NamedTensor, Precision, Scalar, SnapshotDtype, Var, Workspace,
+};
 
 use crate::sequence::{build_sequences, Normalization, PathSequence};
 use crate::{gates, ImputedRadioMap, Imputer};
@@ -554,6 +556,56 @@ fn infer_mar_values_bf16(
     })
 }
 
+/// Exports one direction's trained snapshot as named tensors at the dtype
+/// the inference path keeps resident: `(F64, _)` exports the f64 training
+/// snapshot, `(F32, Native)` the one-time f32 rounding, `(F32, Bf16)` the
+/// bfloat16 truncation of that rounding. The truncation is the same
+/// `Bf16Matrix::from_matrix` the resident [`RecurrentImputerWeightsBf16`]
+/// applies, so the exported bits equal the serving bits in every mode.
+fn export_direction(
+    prefix: &str,
+    weights: &RecurrentImputerWeights,
+    precision: Precision,
+    snapshot_dtype: SnapshotDtype,
+    tensors: &mut Vec<NamedTensor>,
+) {
+    let [input_gate, forget_gate, output_gate, candidate] = weights.cell.gates();
+    let layers: [(&str, &LinearWeights); 6] = [
+        ("estimate", &weights.estimate),
+        ("decay", &weights.decay),
+        ("cell.input_gate", input_gate),
+        ("cell.forget_gate", forget_gate),
+        ("cell.output_gate", output_gate),
+        ("cell.candidate", candidate),
+    ];
+    for (layer, lin) in layers {
+        let wname = format!("brits.{prefix}.{layer}.weight");
+        let bname = format!("brits.{prefix}.{layer}.bias");
+        match (precision, snapshot_dtype) {
+            (Precision::F64, _) => {
+                tensors.push(NamedTensor::new(wname, lin.weight().clone()));
+                tensors.push(NamedTensor::new(bname, lin.bias().clone()));
+            }
+            (Precision::F32, SnapshotDtype::Native) => {
+                let rounded: LinearWeights<f32> = lin.cast();
+                tensors.push(NamedTensor::new(wname, rounded.weight().clone()));
+                tensors.push(NamedTensor::new(bname, rounded.bias().clone()));
+            }
+            (Precision::F32, SnapshotDtype::Bf16) => {
+                let rounded: LinearWeights<f32> = lin.cast();
+                tensors.push(NamedTensor::new(
+                    wname,
+                    Bf16Matrix::from_matrix(rounded.weight()),
+                ));
+                tensors.push(NamedTensor::new(
+                    bname,
+                    Bf16Matrix::from_matrix(rounded.bias()),
+                ));
+            }
+        }
+    }
+}
+
 /// The BRITS imputer.
 #[derive(Default)]
 pub struct Brits {
@@ -566,10 +618,16 @@ impl Brits {
     pub fn new(config: BritsConfig) -> Self {
         Self { config }
     }
-}
 
-impl Imputer for Brits {
-    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
+    /// The shared train-then-infer body behind both [`Imputer`] entry
+    /// points; `export_snapshot` additionally serializes the trained weights
+    /// as named tensors (training and inference are unaffected by the flag).
+    fn impute_inner(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        export_snapshot: bool,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
         let num_aps = map.num_aps();
         let norm = Normalization::from_map(map);
         let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
@@ -582,10 +640,13 @@ impl Imputer for Brits {
             .collect();
         let locations = map.interpolate_rps();
         if sequences.is_empty() || num_aps == 0 {
-            return ImputedRadioMap {
-                fingerprints,
-                locations,
-            };
+            return (
+                ImputedRadioMap {
+                    fingerprints,
+                    locations,
+                },
+                Vec::new(),
+            );
         }
 
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -598,7 +659,7 @@ impl Imputer for Brits {
         // Reversing a sequence is pure, so the backward-direction inputs are
         // prepared in parallel (serially below the sequence count that
         // amortises the spawn cost — see [`crate::gates`]).
-        let reversal_threads = if sequences.len() < gates::BRITS_REVERSAL_MIN_SEQUENCES {
+        let reversal_threads = if sequences.len() < gates::brits_reversal_min_sequences() {
             1
         } else {
             self.config.threads
@@ -653,6 +714,24 @@ impl Imputer for Brits {
         // order-independent.
         let forward_weights = forward.snapshot();
         let backward_weights = backward.snapshot();
+        let tensors = if export_snapshot {
+            let mut tensors = Vec::with_capacity(24);
+            for (prefix, weights) in [
+                ("forward", &forward_weights),
+                ("backward", &backward_weights),
+            ] {
+                export_direction(
+                    prefix,
+                    weights,
+                    self.config.precision,
+                    self.config.snapshot_dtype,
+                    &mut tensors,
+                );
+            }
+            tensors
+        } else {
+            Vec::new()
+        };
         let pairs: Vec<(&PathSequence, &PathSequence)> =
             sequences.iter().zip(reversed.iter()).collect();
         let threads = self.config.threads;
@@ -691,10 +770,27 @@ impl Imputer for Brits {
             }
         }
 
-        ImputedRadioMap {
-            fingerprints,
-            locations,
-        }
+        (
+            ImputedRadioMap {
+                fingerprints,
+                locations,
+            },
+            tensors,
+        )
+    }
+}
+
+impl Imputer for Brits {
+    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
+        self.impute_inner(map, mask, false).0
+    }
+
+    fn impute_with_snapshot(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        self.impute_inner(map, mask, true)
     }
 
     fn name(&self) -> &'static str {
@@ -818,6 +914,76 @@ pub(crate) mod tests {
         let packed = RecurrentImputerWeightsBf16::from_weights(&w32);
         assert_eq!(packed.resident_bytes() * 2, w32.resident_bytes());
         assert_eq!(packed.resident_bytes() * 4, w64.resident_bytes());
+    }
+
+    /// The snapshot export carries exactly the bits the inference path keeps
+    /// resident, at every point of the precision × dtype axis, without
+    /// perturbing the imputation itself.
+    #[test]
+    fn snapshot_export_matches_resident_dtype_and_leaves_imputation_unchanged() {
+        let (map, mask) = smooth_map();
+        for (precision, snapshot_dtype, expected_dtype) in [
+            (Precision::F64, SnapshotDtype::Native, "f64"),
+            (Precision::F32, SnapshotDtype::Native, "f32"),
+            (Precision::F32, SnapshotDtype::Bf16, "bf16"),
+        ] {
+            let config = BritsConfig {
+                epochs: 3,
+                precision,
+                snapshot_dtype,
+                ..quick_config()
+            };
+            let (out, tensors) = Brits::new(config.clone()).impute_with_snapshot(&map, &mask);
+            // 2 directions × (estimate + decay + 4 LSTM gates) × (weight, bias).
+            assert_eq!(tensors.len(), 24);
+            let mut names: Vec<&str> = tensors.iter().map(|t| t.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), 24, "tensor names must be unique");
+            for t in &tensors {
+                assert_eq!(t.payload.dtype_name(), expected_dtype, "{}", t.name);
+                assert!(t.payload.rows() > 0 && t.payload.cols() > 0);
+            }
+            // Export is observation-only: same imputation as plain impute().
+            let plain = Brits::new(config).impute(&map, &mask);
+            for (a, b) in plain
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(out.fingerprints.iter().flatten())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // The dtype axis shrinks the artifact payload 2× per step: the f64
+        // export is 4× the bytes of the bf16 export of the same weights.
+        let export = |snapshot_dtype, precision| {
+            Brits::new(BritsConfig {
+                epochs: 1,
+                precision,
+                snapshot_dtype,
+                ..quick_config()
+            })
+            .impute_with_snapshot(&map, &mask)
+            .1
+            .iter()
+            .map(|t| t.payload.payload_bytes())
+            .sum::<usize>()
+        };
+        let f64_bytes = export(SnapshotDtype::Native, Precision::F64);
+        let bf16_bytes = export(SnapshotDtype::Bf16, Precision::F32);
+        assert_eq!(f64_bytes, bf16_bytes * 4);
+    }
+
+    /// Baselines without a trained snapshot fall back to the default hook:
+    /// same imputation, empty tensor list.
+    #[test]
+    fn default_snapshot_hook_returns_no_tensors() {
+        let (map, mask) = smooth_map();
+        let li = crate::LinearInterpolation;
+        let (out, tensors) = li.impute_with_snapshot(&map, &mask);
+        assert!(tensors.is_empty());
+        assert_eq!(out.fingerprints, li.impute(&map, &mask).fingerprints);
     }
 
     #[test]

@@ -147,7 +147,7 @@ impl Imputer for Mice {
                     // writes happen serially afterwards. The fan-out is gated
                     // on a row count that amortises the thread-spawn cost
                     // (see [`crate::gates`]).
-                    let threads = if missing_rows.len() < gates::MICE_PREDICTION_MIN_ROWS {
+                    let threads = if missing_rows.len() < gates::mice_prediction_min_rows() {
                         1
                     } else {
                         self.config.threads
@@ -204,7 +204,7 @@ fn select_predictors(
     // Each correlation is an O(rows) scan; fan out only when the total work
     // amortises the thread-spawn cost (see [`crate::gates`] — the gate is
     // deliberately conservative until a persistent pool lands).
-    let threads = if candidates.len() * rows.len() < gates::MICE_PREDICTOR_SCAN_MIN_CELLS {
+    let threads = if candidates.len() * rows.len() < gates::mice_predictor_scan_min_cells() {
         1
     } else {
         threads

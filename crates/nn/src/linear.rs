@@ -186,6 +186,34 @@ impl<T: Scalar> LinearWeights<T> {
         ws.give(self.weight);
         ws.give(self.bias);
     }
+
+    /// The `(out_features, in_features)` weight matrix — read access for
+    /// snapshot export (the serving artifact persists these exact bits).
+    pub fn weight(&self) -> &Matrix<T> {
+        &self.weight
+    }
+
+    /// The `(out_features, 1)` bias column.
+    pub fn bias(&self) -> &Matrix<T> {
+        &self.bias
+    }
+
+    /// Rebuilds a snapshot from its raw matrices (the deserialization
+    /// inverse of [`LinearWeights::weight`]/[`LinearWeights::bias`]): the
+    /// loaded layer holds exactly the given bits, so persisted snapshots
+    /// round-trip bitwise.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not an `(out_features, 1)` column matching
+    /// `weight`.
+    pub fn from_parts(weight: Matrix<T>, bias: Matrix<T>) -> Self {
+        assert_eq!(
+            (bias.rows(), bias.cols()),
+            (weight.rows(), 1),
+            "bias shape does not match weight"
+        );
+        Self { weight, bias }
+    }
 }
 
 /// A [`LinearWeights<f32>`] snapshot stored as truncated bfloat16 — half the

@@ -283,6 +283,51 @@ impl<T: Scalar> LstmCellWeights<T> {
         self.output_gate.recycle(ws);
         self.candidate.recycle(ws);
     }
+
+    /// The four gate snapshots in step order `(input, forget, output,
+    /// candidate)` — read access for snapshot export.
+    pub fn gates(&self) -> [&crate::linear::LinearWeights<T>; 4] {
+        [
+            &self.input_gate,
+            &self.forget_gate,
+            &self.output_gate,
+            &self.candidate,
+        ]
+    }
+
+    /// Rebuilds a snapshot from its four gate layers (in
+    /// [`LstmCellWeights::gates`] order). The cell's sizes are recovered
+    /// from the gate shapes: each gate maps `input_size + hidden_size`
+    /// concatenated features to `hidden_size` outputs.
+    ///
+    /// # Panics
+    /// Panics if the gate shapes disagree, or imply a non-positive input
+    /// size.
+    pub fn from_gates(
+        input_gate: crate::linear::LinearWeights<T>,
+        forget_gate: crate::linear::LinearWeights<T>,
+        output_gate: crate::linear::LinearWeights<T>,
+        candidate: crate::linear::LinearWeights<T>,
+    ) -> Self {
+        let hidden_size = input_gate.weight().rows();
+        let concat = input_gate.weight().cols();
+        for gate in [&forget_gate, &output_gate, &candidate] {
+            assert_eq!(
+                gate.weight().shape(),
+                (hidden_size, concat),
+                "LSTM gate shapes disagree"
+            );
+        }
+        assert!(concat > hidden_size, "LSTM gate implies empty input");
+        Self {
+            input_gate,
+            forget_gate,
+            output_gate,
+            candidate,
+            input_size: concat - hidden_size,
+            hidden_size,
+        }
+    }
 }
 
 /// An [`LstmCellWeights<f32>`] snapshot stored as truncated bfloat16 — half

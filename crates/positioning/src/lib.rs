@@ -31,9 +31,11 @@ use rm_radiomap::DenseRadioMap;
 /// A fingerprint-based location estimator built over an imputed radio map.
 ///
 /// Estimation is read-only (`&self`) and estimators hold plain data, so the
-/// trait requires `Sync`: a single estimator is shared by all workers of the
-/// parallel query fan-out in [`evaluate_estimator_threads`].
-pub trait LocationEstimator: Sync {
+/// trait requires `Send + Sync`: a single estimator is shared by all workers
+/// of the parallel query fan-out in [`evaluate_estimator_threads`], and a
+/// serving process moves whole models (estimator included) between threads
+/// when hot-swapping its `Arc`-held registry (`rm-serve`).
+pub trait LocationEstimator: Send + Sync {
     /// Estimates the location of a device reporting `fingerprint` (a dense
     /// RSSI vector over the same AP set as the radio map). Returns `None` when
     /// the estimator has no usable training data.

@@ -1,0 +1,112 @@
+//! A loaded, immutable venue model: the unit the registry swaps and the
+//! query engine estimates against.
+
+use radiomap_core::VenueSnapshot;
+use rm_geometry::Point;
+use rm_positioning::LocationEstimator;
+
+/// An immutable serving model for one venue: the decoded [`VenueSnapshot`]
+/// plus the location estimator built from it, tagged with the registry
+/// generation that published it.
+///
+/// Loading is deterministic — the estimator is built from the snapshot's
+/// radio map with the snapshot's configuration, the same construction the
+/// offline pipeline uses — so a model loaded from a persisted artifact
+/// answers every query bit-identically to the offline
+/// `evaluate_estimator` path over the same snapshot. Models are never
+/// mutated after construction; the registry retires whole models by
+/// swapping `Arc`s.
+pub struct VenueModel {
+    snapshot: VenueSnapshot,
+    estimator: Box<dyn LocationEstimator>,
+    generation: u64,
+}
+
+impl VenueModel {
+    /// Builds the serving model for `snapshot` under registry `generation`.
+    /// `threads` bounds the estimator's training-time fan-out (`0` = auto;
+    /// only the random forest trains) — the built model is bit-identical at
+    /// any value.
+    pub fn load(snapshot: VenueSnapshot, generation: u64, threads: usize) -> Self {
+        let estimator =
+            snapshot
+                .estimator
+                .build_threads(snapshot.map.clone(), snapshot.knn_k, threads);
+        Self {
+            snapshot,
+            estimator,
+            generation,
+        }
+    }
+
+    /// The venue this model serves.
+    pub fn venue(&self) -> &str {
+        &self.snapshot.venue
+    }
+
+    /// The registry generation that published this model.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The snapshot this model was loaded from.
+    pub fn snapshot(&self) -> &VenueSnapshot {
+        &self.snapshot
+    }
+
+    /// Estimates the location of a device reporting `fingerprint` — exactly
+    /// [`LocationEstimator::estimate`] on the model's estimator.
+    pub fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
+        self.estimator.estimate(fingerprint)
+    }
+
+    /// The estimator's display name (for reports).
+    pub fn estimator_name(&self) -> &'static str {
+        self.estimator.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radiomap_core::prelude::EstimatorKind;
+    use rm_radiomap::{DenseRadioMap, MaskMatrix};
+    use rm_tensor::{Precision, SnapshotDtype};
+
+    fn snapshot() -> VenueSnapshot {
+        VenueSnapshot {
+            venue: "t".into(),
+            map: DenseRadioMap::new(
+                vec![vec![-50.0, -90.0], vec![-90.0, -50.0]],
+                vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+                2,
+            ),
+            mask: MaskMatrix::all_observed(2, 2),
+            estimator: EstimatorKind::Knn,
+            knn_k: 1,
+            seed: 7,
+            precision: Precision::F64,
+            snapshot_dtype: SnapshotDtype::Native,
+            tensors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn load_builds_the_configured_estimator() {
+        let model = VenueModel::load(snapshot(), 3, 1);
+        assert_eq!(model.venue(), "t");
+        assert_eq!(model.generation(), 3);
+        assert_eq!(model.estimator_name(), "KNN");
+        assert_eq!(model.snapshot().knn_k, 1);
+        // 1-NN on an exact fingerprint returns its reference point.
+        let p = model.estimate(&[-50.0, -90.0]).unwrap();
+        assert_eq!((p.x, p.y), (0.0, 0.0));
+    }
+
+    /// The registry shares models across threads; the compiler must agree.
+    #[test]
+    fn venue_model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VenueModel>();
+    }
+}

@@ -1,0 +1,154 @@
+//! The hot-swappable model registry: queries read an `Arc` snapshot of the
+//! current model, publishers atomically replace it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use radiomap_core::VenueSnapshot;
+
+use crate::model::VenueModel;
+
+/// A registry of live [`VenueModel`]s, one slot per venue, with
+/// atomic-swap semantics:
+///
+/// * **No torn models.** A reader clones the venue's current
+///   `Arc<VenueModel>` under a read lock and works against that immutable
+///   model from then on; [`ModelRegistry::publish`] builds the replacement
+///   *outside* the lock and swaps the `Arc` in one write-locked assignment.
+///   Every query therefore observes exactly one complete model — there is
+///   no intermediate state to observe.
+/// * **Monotonic generations.** Each publish stamps its model from a
+///   process-wide counter, so any response can be attributed to exactly one
+///   generation and swaps are totally ordered.
+/// * **Prompt retirement.** The swapped-out `Arc` is returned to the
+///   publisher; once the last in-flight batch drops its clone, the retired
+///   model (radio map, tensors, estimator) is freed — pinned by the
+///   hot-reload stress test via a `Weak` upgrade.
+///
+/// Venue slots are kept sorted by name (binary-searched, no unordered
+/// containers in the serving path).
+#[derive(Default)]
+pub struct ModelRegistry {
+    /// Sorted by venue name; the `Arc` per slot is the swap unit.
+    models: RwLock<Vec<(String, Arc<VenueModel>)>>,
+    /// Monotonic generation source; the first publish is generation 1.
+    generations: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a model from `snapshot` and publishes it under the snapshot's
+    /// venue name, replacing any current model for that venue. Returns the
+    /// retired model (`None` on first publish), whose memory is freed once
+    /// the last in-flight reader drops its `Arc`.
+    ///
+    /// The expensive part — estimator construction — happens before the
+    /// write lock is taken, so concurrent readers are only blocked for the
+    /// duration of one pointer swap.
+    pub fn publish(&self, snapshot: VenueSnapshot, threads: usize) -> Option<Arc<VenueModel>> {
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        let model = Arc::new(VenueModel::load(snapshot, generation, threads));
+        let venue = model.venue().to_string();
+        let mut slots = self.models.write().expect("registry lock poisoned");
+        match slots.binary_search_by(|(name, _)| name.as_str().cmp(&venue)) {
+            Ok(i) => Some(std::mem::replace(&mut slots[i].1, model)),
+            Err(i) => {
+                slots.insert(i, (venue, model));
+                None
+            }
+        }
+    }
+
+    /// The current model for `venue`, or `None` if nothing was published.
+    /// The returned `Arc` stays valid (and immutable) across any number of
+    /// concurrent publishes — it just stops being current.
+    pub fn model(&self, venue: &str) -> Option<Arc<VenueModel>> {
+        let slots = self.models.read().expect("registry lock poisoned");
+        slots
+            .binary_search_by(|(name, _)| name.as_str().cmp(venue))
+            .ok()
+            .map(|i| Arc::clone(&slots[i].1))
+    }
+
+    /// The highest generation published so far (0 = none).
+    pub fn generation(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Venue names currently served, in sorted order.
+    pub fn venues(&self) -> Vec<String> {
+        let slots = self.models.read().expect("registry lock poisoned");
+        slots.iter().map(|(name, _)| name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radiomap_core::prelude::EstimatorKind;
+    use rm_geometry::Point;
+    use rm_radiomap::{DenseRadioMap, MaskMatrix};
+    use rm_tensor::{Precision, SnapshotDtype};
+
+    fn snapshot(venue: &str, x: f64) -> VenueSnapshot {
+        VenueSnapshot {
+            venue: venue.into(),
+            map: DenseRadioMap::new(vec![vec![-50.0]], vec![Point::new(x, 0.0)], 1),
+            mask: MaskMatrix::all_observed(1, 1),
+            estimator: EstimatorKind::Knn,
+            knn_k: 1,
+            seed: 0,
+            precision: Precision::F64,
+            snapshot_dtype: SnapshotDtype::Native,
+            tensors: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn publish_and_lookup_by_venue() {
+        let registry = ModelRegistry::new();
+        assert_eq!(registry.generation(), 0);
+        assert!(registry.model("a").is_none());
+        assert!(registry.publish(snapshot("b", 1.0), 1).is_none());
+        assert!(registry.publish(snapshot("a", 2.0), 1).is_none());
+        assert_eq!(registry.venues(), ["a", "b"]);
+        assert_eq!(registry.model("a").unwrap().generation(), 2);
+        assert_eq!(registry.model("b").unwrap().generation(), 1);
+        assert_eq!(registry.generation(), 2);
+    }
+
+    #[test]
+    fn republish_swaps_and_returns_the_retired_model() {
+        let registry = ModelRegistry::new();
+        registry.publish(snapshot("v", 1.0), 1);
+        let held = registry.model("v").unwrap();
+        let retired = registry.publish(snapshot("v", 9.0), 1).unwrap();
+        assert_eq!(retired.generation(), 1);
+        // The held Arc still answers from generation 1 — immutable, not torn.
+        assert_eq!(held.generation(), 1);
+        assert_eq!(held.estimate(&[-50.0]).unwrap().x, 1.0);
+        // The current model is the new generation.
+        let current = registry.model("v").unwrap();
+        assert_eq!(current.generation(), 2);
+        assert_eq!(current.estimate(&[-50.0]).unwrap().x, 9.0);
+    }
+
+    #[test]
+    fn retired_models_are_freed_when_the_last_reader_drops() {
+        let registry = ModelRegistry::new();
+        registry.publish(snapshot("v", 1.0), 1);
+        let weak = Arc::downgrade(&registry.model("v").unwrap());
+        assert!(weak.upgrade().is_some());
+        let retired = registry.publish(snapshot("v", 2.0), 1).unwrap();
+        assert!(weak.upgrade().is_some(), "retired model still held");
+        drop(retired);
+        assert!(
+            weak.upgrade().is_none(),
+            "retired generation must be freed once unreferenced"
+        );
+    }
+}

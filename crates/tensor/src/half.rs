@@ -123,6 +123,27 @@ impl Bf16Matrix {
         self.data.len() * std::mem::size_of::<u16>()
     }
 
+    /// The raw truncated-bfloat16 bits, row-major — the exact payload the
+    /// serving artifact serializes, so a persisted bf16 tensor round-trips
+    /// bit for bit.
+    pub fn bits(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Rebuilds a matrix from raw bfloat16 bits (the deserialization inverse
+    /// of [`Bf16Matrix::bits`]).
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != rows * cols`.
+    pub fn from_bits(rows: usize, cols: usize, bits: Vec<u16>) -> Self {
+        assert_eq!(bits.len(), rows * cols, "bf16 payload length mismatch");
+        Self {
+            rows,
+            cols,
+            data: bits,
+        }
+    }
+
     /// Decodes into `f32` scratch checked out of `ws`, expanding
     /// [`DECODE_ROW_BLOCK`] rows at a time so the working set of one block
     /// stays cache-resident while the kernels stream the previous one.

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod autodiff;
+pub mod export;
 pub mod half;
 pub mod matrix;
 pub mod scalar;
@@ -51,6 +52,7 @@ pub mod simd;
 pub mod workspace;
 
 pub use autodiff::Var;
+pub use export::{IntoTensorPayload, NamedTensor, TensorPayload};
 pub use half::{bf16_to_f32, f32_to_bf16, Bf16Matrix, SnapshotDtype};
 pub use matrix::{Matrix, MATMUL_BLOCK};
 pub use scalar::{Precision, Scalar};

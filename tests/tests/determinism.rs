@@ -403,6 +403,69 @@ fn random_forest_evaluation_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Batched query serving joins the contract (PR 9): a fixed query log
+/// replayed through the `rm-serve` micro-batching engine is bit-identical at
+/// `threads = 1 / 2 / available_parallelism`, and every served position
+/// equals the offline `evaluate_estimator` path's estimate on the same
+/// model — serving a persisted artifact is the same pure function as
+/// evaluating in-process, batched or not.
+#[test]
+fn batched_serving_is_bit_identical_and_equals_the_offline_path() {
+    use rm_serve::{decode, encode, ModelRegistry, QueryEngine};
+
+    let map = straight_path_map(24, 6);
+    let topology = MultiPolygon::empty();
+    let snapshot = ImputationPipeline::new(PipelineConfig {
+        differentiator: DifferentiatorKind::MarOnly,
+        imputer: ImputerKind::Mice,
+        estimator: EstimatorKind::Wknn,
+        epochs: Some(2),
+        threads: 1,
+        ..PipelineConfig::default()
+    })
+    .export_snapshot("det", &map, &topology);
+
+    // The serving model comes from persisted bytes, not the live snapshot.
+    let registry = ModelRegistry::new();
+    registry.publish(decode(&encode(&snapshot)).expect("artifact decodes"), 1);
+
+    // A log long enough to span several 64-query micro-batches.
+    let log: Vec<Vec<f64>> = (0..150)
+        .map(|i| {
+            let base = snapshot.map.fingerprints()[i % snapshot.map.len()].clone();
+            base.iter().map(|v| v + (i as f64) * 0.11).collect()
+        })
+        .collect();
+
+    let offline = snapshot
+        .estimator
+        .build_threads(snapshot.map.clone(), snapshot.knn_k, 1);
+    let reference = QueryEngine::new(&registry, "det", 1).run_log(&log);
+    assert_eq!(reference.len(), log.len());
+    for (response, fingerprint) in reference.iter().zip(&log) {
+        let served = response.position.expect("dense map answers");
+        let expected = offline.estimate(fingerprint).expect("offline answers");
+        assert_eq!(
+            (served.x.to_bits(), served.y.to_bits()),
+            (expected.x.to_bits(), expected.y.to_bits()),
+            "serving diverged from the offline estimator"
+        );
+    }
+
+    for threads in [2, rm_runtime::default_threads(), 0] {
+        let responses = QueryEngine::new(&registry, "det", threads).run_log(&log);
+        for (a, b) in reference.iter().zip(&responses) {
+            let (pa, pb) = (a.position.unwrap(), b.position.unwrap());
+            assert_eq!(a.index, b.index);
+            assert_eq!(
+                (pa.x.to_bits(), pa.y.to_bits()),
+                (pb.x.to_bits(), pb.y.to_bits()),
+                "serving differs between threads=1 and threads={threads}"
+            );
+        }
+    }
+}
+
 /// Seed derivation is a pure function of `(base, index)` — the property that
 /// keeps RNG-consuming tasks reproducible regardless of scheduling.
 #[test]
