@@ -231,16 +231,7 @@ pub fn run_cell_with_threads(
     let differentiation_seconds = diff_start.elapsed().as_secs_f64();
     let mar_fraction = mask.mar_fraction();
 
-    let imputer_impl = imputer.build(
-        seed,
-        attention,
-        time_lag,
-        pipeline.config.epochs,
-        pipeline.config.threads,
-        pipeline.config.batch_size,
-        pipeline.config.precision,
-        pipeline.config.snapshot_dtype,
-    );
+    let imputer_impl = imputer.build_with(&pipeline.build_options(seed));
     let imp_start = Instant::now();
     let imputed = imputer_impl.impute(&working, &mask);
     let imputation_seconds = imp_start.elapsed().as_secs_f64();

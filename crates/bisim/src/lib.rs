@@ -27,7 +27,7 @@ use rm_imputers::brits::{default_batch_size, default_epochs};
 use rm_imputers::{build_sequences, ImputedRadioMap, Imputer, Normalization, PathSequence};
 use rm_nn::{loss, Adam};
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Precision, Scalar, SnapshotDtype, Var, Workspace};
+use rm_tensor::{Matrix, NamedTensor, Precision, Scalar, SnapshotDtype, Var, Workspace};
 
 /// Configuration of the BiSIM imputer.
 #[derive(Debug, Clone)]
@@ -293,59 +293,54 @@ fn infer_pairs_bf16(
     })
 }
 
-impl Imputer for Bisim {
-    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
-        let num_aps = map.num_aps();
-        let norm = Normalization::from_map(map);
-        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+impl Bisim {
+    /// The pass-through baseline BiSIM starts from: MNAR-filled dense
+    /// fingerprints and the records' own RPs (BiSIM imputes the missing ones
+    /// itself, unlike the interpolating baselines).
+    fn passthrough(map: &RadioMap) -> (Vec<Vec<f64>>, Vec<Option<rm_geometry::Point>>) {
+        (
+            map.records()
+                .iter()
+                .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
+                .collect(),
+            map.records().iter().map(|r| r.rp).collect(),
+        )
+    }
 
-        // Start from the pass-through result; BiSIM overwrites MARs and missing RPs.
-        let mut fingerprints: Vec<Vec<f64>> = map
-            .records()
-            .iter()
-            .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
-            .collect();
-        let mut locations: Vec<Option<rm_geometry::Point>> =
-            map.records().iter().map(|r| r.rp).collect();
-        if sequences.is_empty() || num_aps == 0 {
-            return ImputedRadioMap {
-                fingerprints,
-                locations,
-            };
-        }
-
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let forward_model = BisimDirection::new(
+    /// Draws one freshly initialised direction from `rng`.
+    fn new_direction(&self, num_aps: usize, rng: &mut StdRng) -> BisimDirection {
+        BisimDirection::new(
             num_aps,
             self.config.hidden_size,
             self.config.attention,
             self.config.time_lag,
-            &mut rng,
-        );
-        let backward_model = BisimDirection::new(
-            num_aps,
-            self.config.hidden_size,
-            self.config.attention,
-            self.config.time_lag,
-            &mut rng,
-        );
+            rng,
+        )
+    }
+
+    /// Trains the two live directions jointly for `epochs` epochs (Section
+    /// IV-D), in deterministic mini-batches. Fixed-boundary chunks of
+    /// sequence pairs; within a chunk each pair differentiates its own graph
+    /// replica (rebuilt from a `Send + Sync` snapshot) on the worker pool,
+    /// and the gradients reduce in sequence-index order — bitwise
+    /// thread-count independent. Single-pair chunks (the `batch_size = 1`
+    /// default) differentiate the live graphs directly, reproducing the
+    /// classic serial trajectory bitwise.
+    fn train_pair(
+        &self,
+        forward_model: &BisimDirection,
+        backward_model: &BisimDirection,
+        sequences: &[PathSequence],
+        reversed: &[PathSequence],
+        epochs: usize,
+    ) {
         let mut params = forward_model.parameters();
         params.extend(backward_model.parameters());
         let mut optimizer = Adam::new(params, self.config.learning_rate).with_clip(5.0);
-
-        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
-
-        // ---- Training (Section IV-D), in deterministic mini-batches. ----
-        // Fixed-boundary chunks of sequence pairs; within a chunk each pair
-        // differentiates its own graph replica (rebuilt from a `Send + Sync`
-        // snapshot) on the worker pool, and the gradients reduce in
-        // sequence-index order — bitwise thread-count independent. Single-
-        // pair chunks (the `batch_size = 1` default) differentiate the live
-        // graphs directly, reproducing the classic serial trajectory bitwise.
         let threads = self.config.threads;
         rm_imputers::brits::train_in_batches(
             &mut optimizer,
-            self.config.epochs,
+            epochs,
             sequences.len(),
             self.config.batch_size,
             |chunk| {
@@ -358,8 +353,8 @@ impl Imputer for Bisim {
                         p.zero_grad();
                     }
                     vec![pair_gradients(
-                        &forward_model,
-                        &backward_model,
+                        forward_model,
+                        backward_model,
                         &sequences[i],
                         &reversed[i],
                     )]
@@ -372,29 +367,57 @@ impl Imputer for Bisim {
                 }
             },
         );
+    }
 
-        // ---- Imputation (Eq. 13): average the two directions. ----
-        // The trained models are snapshotted into graph-free, `Send + Sync`
-        // weights — rounded once to f32 (and optionally truncated to bf16)
-        // when the config asks — and every `(sequence, reversed)` pair fans
-        // out over the pool. The f64 snapshot pass mirrors the graph pass
-        // operation for operation, so this is bit-identical to the old
-        // serial live-graph inference (pinned by the serial-trajectory test
-        // below). Each task writes values for its own records; RP updates
-        // are merged in pair order, first writer wins, matching the serial
-        // `is_none` check.
-        let forward_weights = forward_model.snapshot();
-        let backward_weights = backward_model.snapshot();
+    /// The imputation tail (Eq. 13): average the two directions at MARs and
+    /// missing RPs, optionally exporting the trained snapshot as named
+    /// tensors first. The weights are rounded once to f32 (and optionally
+    /// truncated to bf16) when the config asks — the export happens at that
+    /// same resident dtype — and every `(sequence, reversed)` pair fans out
+    /// over the pool. The f64 snapshot pass mirrors the graph pass operation
+    /// for operation, so this is bit-identical to the old serial live-graph
+    /// inference (pinned by the serial-trajectory test below). Each task
+    /// writes values for its own records; RP updates are merged in pair
+    /// order, first writer wins, matching the serial `is_none` check.
+    #[allow(clippy::too_many_arguments)]
+    fn infer_and_export(
+        &self,
+        forward_weights: &BisimDirectionWeights,
+        backward_weights: &BisimDirectionWeights,
+        sequences: &[PathSequence],
+        reversed: &[PathSequence],
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        norm: &Normalization,
+        export_snapshot: bool,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        let num_aps = map.num_aps();
+        let (mut fingerprints, mut locations) = Self::passthrough(map);
+        let mut tensors = Vec::new();
+        if export_snapshot {
+            for (prefix, weights) in [
+                ("bisim.forward", forward_weights),
+                ("bisim.backward", backward_weights),
+            ] {
+                weights.export(
+                    prefix,
+                    self.config.precision,
+                    self.config.snapshot_dtype,
+                    &mut tensors,
+                );
+            }
+        }
         let pairs: Vec<(&PathSequence, &PathSequence)> =
             sequences.iter().zip(reversed.iter()).collect();
         let missing_rp: Vec<bool> = locations.iter().map(Option::is_none).collect();
+        let threads = self.config.threads;
         let results = match (self.config.precision, self.config.snapshot_dtype) {
             (Precision::F64, _) => infer_pairs(
-                &forward_weights,
-                &backward_weights,
+                forward_weights,
+                backward_weights,
                 &pairs,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 &missing_rp,
                 threads,
@@ -404,7 +427,7 @@ impl Imputer for Bisim {
                 &backward_weights.cast::<f32>(),
                 &pairs,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 &missing_rp,
                 threads,
@@ -414,7 +437,7 @@ impl Imputer for Bisim {
                 &BisimDirectionWeightsBf16::from_weights(&backward_weights.cast::<f32>()),
                 &pairs,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 &missing_rp,
                 threads,
@@ -430,10 +453,161 @@ impl Imputer for Bisim {
                 }
             }
         }
+        (
+            ImputedRadioMap {
+                fingerprints,
+                locations,
+            },
+            tensors,
+        )
+    }
 
-        ImputedRadioMap {
-            fingerprints,
-            locations,
+    /// Cold path: train both directions from scratch, then impute (and
+    /// optionally export the snapshot).
+    fn impute_inner(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        export_snapshot: bool,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        let num_aps = map.num_aps();
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+        if sequences.is_empty() || num_aps == 0 {
+            let (fingerprints, locations) = Self::passthrough(map);
+            return (
+                ImputedRadioMap {
+                    fingerprints,
+                    locations,
+                },
+                Vec::new(),
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let forward_model = self.new_direction(num_aps, &mut rng);
+        let backward_model = self.new_direction(num_aps, &mut rng);
+        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
+        self.train_pair(
+            &forward_model,
+            &backward_model,
+            &sequences,
+            &reversed,
+            self.config.epochs,
+        );
+        self.infer_and_export(
+            &forward_model.snapshot(),
+            &backward_model.snapshot(),
+            &sequences,
+            &reversed,
+            map,
+            mask,
+            &norm,
+            export_snapshot,
+        )
+    }
+
+    /// Decodes both directions from a `bisim.{forward, backward}.*` snapshot,
+    /// or `None` when either is missing or shaped for a different map.
+    fn import_directions(
+        &self,
+        warm: &[NamedTensor],
+        num_aps: usize,
+    ) -> Option<(BisimDirectionWeights, BisimDirectionWeights)> {
+        let forward = BisimDirectionWeights::import(
+            "bisim.forward",
+            warm,
+            num_aps,
+            self.config.attention,
+            self.config.time_lag,
+        )?;
+        let backward = BisimDirectionWeights::import(
+            "bisim.backward",
+            warm,
+            num_aps,
+            self.config.attention,
+            self.config.time_lag,
+        )?;
+        Some((forward, backward))
+    }
+
+    /// Warm path: `None` sends the caller back to cold training. With
+    /// `fine_tune_epochs = 0` the imported weights impute directly —
+    /// bit-identical to the exporting run on an unchanged map (the import
+    /// widens losslessly and inference re-applies the identical one-time
+    /// rounding). Otherwise the weights resume mini-batch training with a
+    /// fresh optimizer before imputing.
+    fn impute_warm_inner(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        warm: &[NamedTensor],
+        fine_tune_epochs: usize,
+    ) -> Option<(ImputedRadioMap, Vec<NamedTensor>)> {
+        let num_aps = map.num_aps();
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+        if sequences.is_empty() || num_aps == 0 {
+            return None;
+        }
+        let (forward_weights, backward_weights) = self.import_directions(warm, num_aps)?;
+        let reversed: Vec<PathSequence> = sequences.iter().map(|s| s.reversed(&norm)).collect();
+        if fine_tune_epochs == 0 {
+            return Some(self.infer_and_export(
+                &forward_weights,
+                &backward_weights,
+                &sequences,
+                &reversed,
+                map,
+                mask,
+                &norm,
+                true,
+            ));
+        }
+        let forward_model = forward_weights.to_model();
+        let backward_model = backward_weights.to_model();
+        self.train_pair(
+            &forward_model,
+            &backward_model,
+            &sequences,
+            &reversed,
+            fine_tune_epochs,
+        );
+        Some(self.infer_and_export(
+            &forward_model.snapshot(),
+            &backward_model.snapshot(),
+            &sequences,
+            &reversed,
+            map,
+            mask,
+            &norm,
+            true,
+        ))
+    }
+}
+
+impl Imputer for Bisim {
+    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
+        self.impute_inner(map, mask, false).0
+    }
+
+    fn impute_with_snapshot(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        self.impute_inner(map, mask, true)
+    }
+
+    fn impute_warm(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        warm: &[NamedTensor],
+        fine_tune_epochs: usize,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        match self.impute_warm_inner(map, mask, warm, fine_tune_epochs) {
+            Some(out) => out,
+            None => self.impute_with_snapshot(map, mask),
         }
     }
 
@@ -665,6 +839,111 @@ mod tests {
             let pr = repeat.locations[4].expect("repeat RP must be imputed");
             assert_eq!(pb.x.to_bits(), pr.x.to_bits());
             assert_eq!(pb.y.to_bits(), pr.y.to_bits());
+        }
+    }
+
+    /// `impute_warm` with `fine_tune_epochs = 0` on the unchanged map is a
+    /// pure inference replay of the exporting run — bit-identical outputs
+    /// and a bit-identical re-exported snapshot — at every storage dtype.
+    #[test]
+    fn warm_replay_reproduces_the_exporting_run_bitwise() {
+        let (map, mask) = smooth_map();
+        for (precision, snapshot_dtype) in [
+            (Precision::F64, SnapshotDtype::Native),
+            (Precision::F32, SnapshotDtype::Native),
+            (Precision::F32, SnapshotDtype::Bf16),
+        ] {
+            let imputer = Bisim::new(BisimConfig {
+                epochs: 4,
+                precision,
+                snapshot_dtype,
+                ..quick_config()
+            });
+            let (cold, tensors) = imputer.impute_with_snapshot(&map, &mask);
+            // 30 tensors per direction: encoder 12, decoder 12, attention 6.
+            assert_eq!(tensors.len(), 60);
+            assert!(tensors
+                .iter()
+                .any(|t| t.name == "bisim.forward.encoder.estimate.weight"));
+            assert!(tensors
+                .iter()
+                .any(|t| t.name == "bisim.backward.attention.align.1.bias"));
+
+            let (warm, re_exported) = imputer.impute_warm(&map, &mask, &tensors, 0);
+            for (a, b) in cold
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(warm.fingerprints.iter().flatten())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "warm replay diverged at {precision:?}/{snapshot_dtype}"
+                );
+            }
+            for (la, lb) in cold.locations.iter().zip(warm.locations.iter()) {
+                let (pa, pb) = (la.expect("cold RP"), lb.expect("warm RP"));
+                assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+                assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+            }
+            assert_eq!(re_exported.len(), tensors.len());
+            for (a, b) in tensors.iter().zip(re_exported.iter()) {
+                assert!(a.bits_eq(b), "{} drifted through the replay", a.name);
+            }
+        }
+    }
+
+    /// Fine-tuning moves both directions' weights and still produces a sane
+    /// imputation plus a fresh full snapshot.
+    #[test]
+    fn warm_fine_tune_updates_both_directions() {
+        let (map, mask) = smooth_map();
+        let imputer = Bisim::new(BisimConfig {
+            epochs: 3,
+            ..quick_config()
+        });
+        let (_, tensors) = imputer.impute_with_snapshot(&map, &mask);
+        let (out, re_exported) = imputer.impute_warm(&map, &mask, &tensors, 2);
+        assert_eq!(re_exported.len(), 60);
+        // Two extra epochs from a 3-epoch checkpoint need not land in the
+        // converged band yet — just keep the value sane.
+        assert!(out.rssi(6, 0).is_finite());
+        for prefix in ["bisim.forward", "bisim.backward"] {
+            let moved = tensors
+                .iter()
+                .zip(re_exported.iter())
+                .filter(|(a, _)| a.name.starts_with(prefix))
+                .any(|(a, b)| !a.bits_eq(b));
+            assert!(moved, "fine-tuning left {prefix} untouched");
+        }
+    }
+
+    /// An empty, foreign, or wrongly-shaped snapshot falls back to cold
+    /// training — bit-identical to `impute_with_snapshot` from scratch.
+    #[test]
+    fn warm_with_unusable_snapshot_falls_back_to_cold_training() {
+        let (map, mask) = smooth_map();
+        let imputer = Bisim::new(BisimConfig {
+            epochs: 3,
+            ..quick_config()
+        });
+        let (cold, _) = imputer.impute_with_snapshot(&map, &mask);
+        let foreign = vec![rm_tensor::NamedTensor::new(
+            "bisim.forward.encoder.estimate.weight",
+            Matrix::<f64>::filled(3, 7, 0.5),
+        )];
+        for warm in [&Vec::new(), &foreign] {
+            let (out, tensors) = imputer.impute_warm(&map, &mask, warm, 0);
+            assert_eq!(tensors.len(), 60);
+            for (a, b) in cold
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(out.fingerprints.iter().flatten())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

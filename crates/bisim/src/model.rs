@@ -8,7 +8,7 @@ use rm_nn::{
     Activation, Linear, LinearWeights, LinearWeightsBf16, LstmCell, LstmCellWeights,
     LstmCellWeightsBf16, LstmState, LstmStateMatrix, Mlp, MlpWeights, MlpWeightsBf16,
 };
-use rm_tensor::{Matrix, Scalar, Var, Workspace};
+use rm_tensor::{Matrix, NamedTensor, Precision, Scalar, SnapshotDtype, Var, Workspace};
 
 /// Which attention mechanism the decoder uses (the Fig. 17 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -342,6 +342,142 @@ pub struct BisimMatrixPass<T: Scalar = f64> {
 }
 
 impl BisimDirectionWeights {
+    /// Exports this direction's weights as `{prefix}.*` named tensors at the
+    /// dtype the inference path keeps resident (the shared
+    /// [`rm_imputers::snapshot::export_linear`] contract: exported bits
+    /// equal serving bits in every mode). Names mirror the unit structure:
+    /// `encoder.{estimate, decay, cell.*}`, `decoder.{estimate, decay,
+    /// cell.*}`, `attention.{transform, align.N}`.
+    pub fn export(
+        &self,
+        prefix: &str,
+        precision: Precision,
+        snapshot_dtype: SnapshotDtype,
+        tensors: &mut Vec<NamedTensor>,
+    ) {
+        use rm_imputers::snapshot::{export_linear, export_lstm_cell, export_mlp};
+        export_linear(
+            &format!("{prefix}.encoder.estimate"),
+            &self.encoder_estimate,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+        export_linear(
+            &format!("{prefix}.encoder.decay"),
+            &self.encoder_decay,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+        export_lstm_cell(
+            &format!("{prefix}.encoder"),
+            &self.encoder_cell,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+        export_linear(
+            &format!("{prefix}.decoder.estimate"),
+            &self.decoder_estimate,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+        export_linear(
+            &format!("{prefix}.decoder.decay"),
+            &self.decoder_decay,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+        export_lstm_cell(
+            &format!("{prefix}.decoder"),
+            &self.decoder_cell,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+        export_linear(
+            &format!("{prefix}.attention.transform"),
+            &self.attention_transform,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+        export_mlp(
+            &format!("{prefix}.attention.align"),
+            &self.attention_align,
+            precision,
+            snapshot_dtype,
+            tensors,
+        );
+    }
+
+    /// Rebuilds one direction's weights from tensors exported by
+    /// [`BisimDirectionWeights::export`] under `prefix`, validating every
+    /// shape against a `num_aps`-AP map (the ablation settings are part of
+    /// the architecture the caller fixes, like the MLP activations).
+    /// Returns `None` — the caller then falls back to cold training — when
+    /// a tensor is missing or the snapshot was trained for a different map
+    /// shape.
+    pub fn import(
+        prefix: &str,
+        tensors: &[NamedTensor],
+        num_aps: usize,
+        attention: AttentionMode,
+        time_lag: TimeLagMode,
+    ) -> Option<Self> {
+        use rm_imputers::snapshot::{import_linear, import_lstm_cell, import_mlp};
+        let encoder = format!("{prefix}.encoder");
+        let decoder = format!("{prefix}.decoder");
+        let encoder_estimate = import_linear(tensors, &encoder, "estimate")?;
+        let encoder_decay = import_linear(tensors, &encoder, "decay")?;
+        let encoder_cell = import_lstm_cell(tensors, &encoder)?;
+        let decoder_estimate = import_linear(tensors, &decoder, "estimate")?;
+        let decoder_decay = import_linear(tensors, &decoder, "decay")?;
+        let decoder_cell = import_lstm_cell(tensors, &decoder)?;
+        let attention_transform = import_linear(tensors, prefix, "attention.transform")?;
+        let attention_align = import_mlp(
+            tensors,
+            &format!("{prefix}.attention.align"),
+            Activation::Tanh,
+            Activation::Identity,
+        )?;
+
+        // Validate every unit against the architecture of
+        // [`BisimDirection::new`] before anything can panic downstream.
+        let hidden_size = encoder_estimate.weight().cols();
+        let align = attention_align.layers();
+        if hidden_size == 0
+            || encoder_estimate.weight().shape() != (num_aps, hidden_size)
+            || encoder_decay.weight().shape() != (hidden_size, num_aps)
+            || encoder_cell.gates()[0].weight().shape() != (hidden_size, num_aps * 2 + hidden_size)
+            || decoder_estimate.weight().shape() != (2, hidden_size)
+            || decoder_decay.weight().shape() != (hidden_size, 2)
+            || decoder_cell.gates()[0].weight().shape() != (hidden_size, 2 + num_aps + hidden_size)
+            || attention_transform.weight().shape() != (num_aps, hidden_size)
+            || align.first()?.weight().cols() != hidden_size + num_aps
+            || align.last()?.weight().rows() != 1
+        {
+            return None;
+        }
+        Some(Self {
+            encoder_estimate,
+            encoder_decay,
+            encoder_cell,
+            decoder_estimate,
+            decoder_decay,
+            decoder_cell,
+            attention_transform,
+            attention_align,
+            hidden_size,
+            num_aps,
+            attention,
+            time_lag,
+        })
+    }
+
     /// Rebuilds a trainable [`BisimDirection`] from this snapshot (fresh
     /// parameter leaves holding copies of the snapshotted matrices; the
     /// inverse of [`BisimDirection::snapshot`]).

@@ -35,11 +35,14 @@
 //! assert!(result.num_test_queries > 0);
 //! ```
 
+pub mod ingest;
 pub mod pipeline;
 
+pub use ingest::LiveVenue;
 pub use pipeline::{
-    rp_imputation_error, rssi_imputation_mae, DifferentiatorKind, EvaluationResult,
-    ImputationPipeline, ImputerKind, PipelineConfig, VenueSnapshot,
+    default_shards, rp_imputation_error, rssi_imputation_mae, BuildOptions, DifferentiatorKind,
+    EvaluationResult, ImputationPipeline, ImputerKind, PipelineConfig, ShardedVenueSnapshot,
+    VenueSnapshot,
 };
 pub use rm_tensor::{Precision, SnapshotDtype};
 
@@ -58,9 +61,11 @@ pub use rm_venue_sim as venue_sim;
 
 /// A convenient prelude for examples, tests and the experiment harness.
 pub mod prelude {
+    pub use crate::ingest::LiveVenue;
     pub use crate::pipeline::{
-        rp_imputation_error, rssi_imputation_mae, DifferentiatorKind, EvaluationResult,
-        ImputationPipeline, ImputerKind, PipelineConfig, VenueSnapshot,
+        rp_imputation_error, rssi_imputation_mae, BuildOptions, DifferentiatorKind,
+        EvaluationResult, ImputationPipeline, ImputerKind, PipelineConfig, ShardedVenueSnapshot,
+        VenueSnapshot,
     };
     pub use rm_bisim::{AttentionMode, Bisim, BisimConfig, TimeLagMode};
     pub use rm_differentiator::{Differentiator, MarOnly, MnarOnly};
@@ -69,7 +74,7 @@ pub mod prelude {
     pub use rm_positioning::{EstimatorKind, LocationEstimator, TestQuery};
     pub use rm_radiomap::{
         remove_random_rps, remove_random_rssis, DenseRadioMap, EntryKind, Fingerprint, MaskMatrix,
-        RadioMap, RadioMapRecord, RadioMapStats, WalkingSurveyTable,
+        RadioMap, RadioMapRecord, RadioMapStats, VenueShards, WalkingSurveyTable,
     };
     pub use rm_tensor::{Precision, SnapshotDtype};
     pub use rm_venue_sim::{Dataset, DatasetSpec, PropagationModel, VenuePreset};

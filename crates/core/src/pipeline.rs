@@ -12,6 +12,7 @@
 //! parallelism). Results are **bit-identical at any thread count** — see the
 //! determinism contract in `rm_runtime`.
 
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -22,13 +23,31 @@ use rm_differentiator::{
     ClusteringDifferentiator, DasaKm, Differentiator, ElbowKm, MarOnly, MnarOnly, TopoAc,
 };
 use rm_geometry::MultiPolygon;
+use rm_geometry::Point;
 use rm_imputers::{
     Brits, BritsConfig, CaseDeletion, ImputedRadioMap, Imputer, LinearInterpolation,
     MatrixFactorization, Mice, SemiSupervised, Ssgan, SsganConfig,
 };
 use rm_positioning::{evaluate_estimator_threads, EstimatorKind, TestQuery};
-use rm_radiomap::{DenseRadioMap, MaskMatrix, RadioMap, RemovedRp, RemovedRssi};
+use rm_radiomap::{DenseRadioMap, MaskMatrix, RadioMap, RemovedRp, RemovedRssi, VenueShards};
 use rm_tensor::{NamedTensor, Precision, SnapshotDtype};
+
+/// Default shard count for the sharded pipeline mode: the `RM_SHARDS`
+/// environment variable if set to a positive integer, else `1` (unsharded).
+/// Resolved once per process and cached, so every stage agrees and
+/// concurrent tests never observe a mid-run environment change.
+#[allow(clippy::disallowed_methods)] // audited env read; see the rm-lint allow inside
+pub fn default_shards() -> usize {
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        // rm-lint: allow(no-raw-env-read): this IS the once-per-process cached accessor for RM_SHARDS
+        std::env::var("RM_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(1)
+    })
+}
 
 /// Which missing-RSSI differentiator the pipeline uses (Section V-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,37 +145,38 @@ impl ImputerKind {
         }
     }
 
-    /// Builds the imputer with the given BiSIM ablation settings (ignored by
-    /// the other imputers). `epochs` overrides the training epoch count of the
-    /// neural imputers; `None` keeps their default (which honours the
-    /// `RM_EPOCHS`/`RM_QUICK` environment variables). `threads` is forwarded
-    /// to the imputers with internal fan-outs (`0` = auto); results are
-    /// bit-identical at any thread count. `batch_size` overrides the training
-    /// mini-batch size of the recurrent imputers (BiSIM, BRITS, SSGAN);
-    /// `None` keeps their default (the `RM_BATCH` environment variable, else
-    /// 1 — the classic per-sequence SGD trajectory). Unlike `threads`, the
-    /// batch size *does* change which model a fixed seed yields (fewer,
-    /// summed-gradient steps), but any fixed value stays bit-identical
-    /// across thread counts. `precision` selects the inference precision of
-    /// the neural imputers (BiSIM, BRITS, SSGAN): training always runs at
-    /// `f64`, and [`Precision::F32`] rounds the trained weights once and runs
-    /// inference through the f32 SIMD kernels. `snapshot_dtype` selects the
-    /// resident storage format of those inference snapshots
-    /// ([`SnapshotDtype::Bf16`] halves the bytes; only meaningful with
-    /// [`Precision::F32`]). The deterministic (non-neural) imputers ignore
-    /// both.
-    #[allow(clippy::too_many_arguments)]
-    pub fn build(
-        self,
-        seed: u64,
-        attention: AttentionMode,
-        time_lag: TimeLagMode,
-        epochs: Option<usize>,
-        threads: usize,
-        batch_size: Option<usize>,
-        precision: Precision,
-        snapshot_dtype: SnapshotDtype,
-    ) -> Box<dyn Imputer> {
+    /// Builds the imputer from a [`BuildOptions`] bundle — the successor of
+    /// the eight-positional-parameter [`ImputerKind::build`].
+    ///
+    /// The BiSIM ablation settings are ignored by the other imputers.
+    /// `epochs` overrides the training epoch count of the neural imputers;
+    /// `None` keeps their default (which honours the `RM_EPOCHS`/`RM_QUICK`
+    /// environment variables). `threads` is forwarded to the imputers with
+    /// internal fan-outs (`0` = auto); results are bit-identical at any
+    /// thread count. `batch_size` overrides the training mini-batch size of
+    /// the recurrent imputers (BiSIM, BRITS, SSGAN); `None` keeps their
+    /// default (the `RM_BATCH` environment variable, else 1 — the classic
+    /// per-sequence SGD trajectory). Unlike `threads`, the batch size *does*
+    /// change which model a fixed seed yields (fewer, summed-gradient
+    /// steps), but any fixed value stays bit-identical across thread counts.
+    /// `precision` selects the inference precision of the neural imputers:
+    /// training always runs at `f64`, and [`Precision::F32`] rounds the
+    /// trained weights once and runs inference through the f32 SIMD kernels.
+    /// `snapshot_dtype` selects the resident storage format of those
+    /// inference snapshots ([`SnapshotDtype::Bf16`] halves the bytes; only
+    /// meaningful with [`Precision::F32`]). The deterministic (non-neural)
+    /// imputers ignore both.
+    pub fn build_with(self, options: &BuildOptions) -> Box<dyn Imputer> {
+        let &BuildOptions {
+            seed,
+            attention,
+            time_lag,
+            epochs,
+            threads,
+            batch_size,
+            precision,
+            snapshot_dtype,
+        } = options;
         match self {
             ImputerKind::Bisim => {
                 let mut config = BisimConfig {
@@ -223,6 +243,74 @@ impl ImputerKind {
             }
         }
     }
+
+    /// Positional-parameter shim over [`ImputerKind::build_with`], kept one
+    /// release for out-of-tree callers.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `build_with(&BuildOptions { .. })` — the positional list grew a parameter per release"
+    )]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        self,
+        seed: u64,
+        attention: AttentionMode,
+        time_lag: TimeLagMode,
+        epochs: Option<usize>,
+        threads: usize,
+        batch_size: Option<usize>,
+        precision: Precision,
+        snapshot_dtype: SnapshotDtype,
+    ) -> Box<dyn Imputer> {
+        self.build_with(&BuildOptions {
+            seed,
+            attention,
+            time_lag,
+            epochs,
+            threads,
+            batch_size,
+            precision,
+            snapshot_dtype,
+        })
+    }
+}
+
+/// Options for [`ImputerKind::build_with`]: everything an imputer's
+/// construction depends on, with the same defaults as [`PipelineConfig`].
+/// See [`ImputerKind::build_with`] for the meaning of each field.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// RNG seed for model initialisation and training.
+    pub seed: u64,
+    /// BiSIM attention variant (ablations; ignored by other imputers).
+    pub attention: AttentionMode,
+    /// BiSIM time-lag variant (ablations; ignored by other imputers).
+    pub time_lag: TimeLagMode,
+    /// Training epochs of the neural imputers; `None` = built-in default.
+    pub epochs: Option<usize>,
+    /// Worker threads for internal fan-outs (`0` = auto).
+    pub threads: usize,
+    /// Training mini-batch size; `None` = built-in default.
+    pub batch_size: Option<usize>,
+    /// Inference precision of the neural imputers.
+    pub precision: Precision,
+    /// Resident storage dtype of trained inference snapshots.
+    pub snapshot_dtype: SnapshotDtype,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        Self {
+            seed: 2023,
+            attention: AttentionMode::SparsityFriendly,
+            time_lag: TimeLagMode::Encoder,
+            epochs: None,
+            threads: 0,
+            batch_size: None,
+            precision: Precision::F64,
+            snapshot_dtype: SnapshotDtype::Native,
+        }
+    }
 }
 
 /// Configuration of the end-to-end pipeline.
@@ -280,6 +368,19 @@ pub struct PipelineConfig {
     /// epsilon-bounded against the f32 path and still bit-identical across
     /// thread counts. Only meaningful with [`Precision::F32`].
     pub snapshot_dtype: SnapshotDtype,
+    /// Spatial shard count for the sharded pipeline mode ([`VenueShards`]).
+    /// `None` means auto: the `RM_SHARDS` environment variable if set, else
+    /// `1` (unsharded). With an effective count above 1,
+    /// [`ImputationPipeline::impute`] and
+    /// [`ImputationPipeline::export_sharded_snapshot`] partition the venue's
+    /// survey paths into spatial shards and stream differentiation and
+    /// imputation shard-by-shard (peak memory bounded by the largest shard),
+    /// with per-shard seeds from [`rm_runtime::derive_seed`]. A shard count
+    /// of 1 reproduces the unsharded pipeline bitwise; any fixed count is
+    /// bit-identical across thread counts. The held-out evaluation protocol
+    /// ([`ImputationPipeline::evaluate`]) always runs unsharded — it mirrors
+    /// the paper's whole-venue tables.
+    pub shards: Option<usize>,
     /// RNG seed controlling the test split and model initialisation.
     pub seed: u64,
 }
@@ -300,6 +401,7 @@ impl Default for PipelineConfig {
             batch_size: None,
             precision: Precision::F64,
             snapshot_dtype: SnapshotDtype::Native,
+            shards: None,
             seed: 2023,
         }
     }
@@ -337,6 +439,30 @@ pub struct VenueSnapshot {
     pub tensors: Vec<NamedTensor>,
 }
 
+/// A venue's serving artifact in per-shard form, produced by
+/// [`ImputationPipeline::export_sharded_snapshot`]: one [`VenueSnapshot`]
+/// per spatial shard plus the [`VenueShards`] partition that produced them
+/// (shard centroids route queries; member lists map shard-local record
+/// indices back to global collection order). Each shard snapshot is an
+/// independently publishable unit — an incremental update republishes only
+/// the dirty shards' snapshots.
+#[derive(Debug, Clone)]
+pub struct ShardedVenueSnapshot {
+    /// Stable venue identifier (artifact registry key).
+    pub venue: String,
+    /// One snapshot per shard, in shard-id order.
+    pub snapshots: Vec<VenueSnapshot>,
+    /// The partition the shards were computed under.
+    pub shards: VenueShards,
+}
+
+impl ShardedVenueSnapshot {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.snapshots.len()
+    }
+}
+
 /// The result of one end-to-end evaluation run.
 #[derive(Debug, Clone)]
 pub struct EvaluationResult {
@@ -365,29 +491,141 @@ impl ImputationPipeline {
         Self { config }
     }
 
-    /// Runs only the differentiation stage.
-    pub fn differentiate(&self, map: &RadioMap, topology: &MultiPolygon) -> MaskMatrix {
+    /// The imputer construction options this pipeline uses, at `seed` (the
+    /// venue seed for unsharded runs, a per-shard derived seed in sharded
+    /// mode).
+    pub fn build_options(&self, seed: u64) -> BuildOptions {
+        BuildOptions {
+            seed,
+            attention: self.config.attention,
+            time_lag: self.config.time_lag,
+            epochs: self.config.epochs,
+            threads: self.config.threads,
+            batch_size: self.config.batch_size,
+            precision: self.config.precision,
+            snapshot_dtype: self.config.snapshot_dtype,
+        }
+    }
+
+    /// The effective shard count: the configured value, else `RM_SHARDS`,
+    /// else 1.
+    pub fn effective_shards(&self) -> usize {
+        self.config.shards.unwrap_or_else(default_shards).max(1)
+    }
+
+    /// The seed a shard's differentiation and imputation run with. With one
+    /// shard this is the venue seed itself — the sharded path reproduces the
+    /// unsharded pipeline bitwise — otherwise a per-shard derived stream.
+    fn shard_seed(&self, num_shards: usize, shard: usize) -> u64 {
+        if num_shards <= 1 {
+            self.config.seed
+        } else {
+            rm_runtime::derive_seed(self.config.seed, shard as u64)
+        }
+    }
+
+    /// Computes the venue's shard partition at the effective shard count —
+    /// a pure function of `(map, shards, seed)`.
+    pub fn shard(&self, map: &RadioMap) -> VenueShards {
+        let requested = self.effective_shards();
+        if requested <= 1 {
+            VenueShards::single(map)
+        } else {
+            VenueShards::compute(map, requested, self.config.seed)
+        }
+    }
+
+    /// Differentiates `map` with `seed` (factored out so sharded runs can
+    /// re-seed per shard).
+    fn differentiate_with_seed(
+        &self,
+        map: &RadioMap,
+        topology: &MultiPolygon,
+        seed: u64,
+    ) -> MaskMatrix {
         self.config
             .differentiator
-            .build(topology, self.config.eta, self.config.seed)
+            .build(topology, self.config.eta, seed)
             .differentiate(map)
+    }
+
+    /// Runs only the differentiation stage.
+    pub fn differentiate(&self, map: &RadioMap, topology: &MultiPolygon) -> MaskMatrix {
+        self.differentiate_with_seed(map, topology, self.config.seed)
     }
 
     /// Runs differentiation followed by imputation and returns the imputed map
     /// together with the mask.
+    ///
+    /// With an effective shard count above 1 (see [`PipelineConfig::shards`])
+    /// the venue is partitioned by [`VenueShards`] and each shard is
+    /// differentiated and imputed independently — fanned over the
+    /// deterministic pool with a per-shard derived seed — then the per-shard
+    /// results are merged back into global record order. Shard count 1
+    /// reproduces the unsharded path bitwise, and any fixed shard count is
+    /// bit-identical across thread counts.
     pub fn impute(&self, map: &RadioMap, topology: &MultiPolygon) -> (ImputedRadioMap, MaskMatrix) {
-        let mask = self.differentiate(map, topology);
-        let imputer = self.config.imputer.build(
-            self.config.seed,
-            self.config.attention,
-            self.config.time_lag,
-            self.config.epochs,
-            self.config.threads,
-            self.config.batch_size,
-            self.config.precision,
-            self.config.snapshot_dtype,
-        );
-        (imputer.impute(map, &mask), mask)
+        let shards = self.shard(map);
+        if shards.num_shards() <= 1 {
+            let mask = self.differentiate(map, topology);
+            let imputer = self
+                .config
+                .imputer
+                .build_with(&self.build_options(self.config.seed));
+            return (imputer.impute(map, &mask), mask);
+        }
+        let parts = shards.split(map);
+        let shard_ids: Vec<usize> = (0..shards.num_shards()).collect();
+        let results = rm_runtime::par_map(self.config.threads, &shard_ids, |_, &shard| {
+            let part = &parts[shard];
+            let seed = self.shard_seed(shards.num_shards(), shard);
+            let mask = self.differentiate_with_seed(part, topology, seed);
+            let imputer = self.config.imputer.build_with(&self.build_options(seed));
+            (imputer.impute(part, &mask), mask)
+        });
+        let masks: Vec<MaskMatrix> = results.iter().map(|(_, m)| m.clone()).collect();
+        let mask = shards.merge_masks(&masks, map.num_aps());
+        let mut fingerprints: Vec<Vec<f64>> = vec![Vec::new(); map.len()];
+        let mut locations: Vec<Option<Point>> = vec![None; map.len()];
+        for (shard, (imputed, _)) in results.into_iter().enumerate() {
+            for (local, &record) in shards.members_of(shard).iter().enumerate() {
+                fingerprints[record] = imputed.fingerprints[local].clone();
+                locations[record] = imputed.locations[local];
+            }
+        }
+        (
+            ImputedRadioMap {
+                fingerprints,
+                locations,
+            },
+            mask,
+        )
+    }
+
+    /// Differentiates and imputes one shard's sub-map with an explicit seed
+    /// and packages it as that shard's [`VenueSnapshot`] — the unit the
+    /// incremental ingest path recomputes and the per-shard registry swaps.
+    pub(crate) fn compute_shard(
+        &self,
+        venue: &str,
+        part: &RadioMap,
+        topology: &MultiPolygon,
+        seed: u64,
+    ) -> VenueSnapshot {
+        let mask = self.differentiate_with_seed(part, topology, seed);
+        let imputer = self.config.imputer.build_with(&self.build_options(seed));
+        let (imputed, tensors) = imputer.impute_with_snapshot(part, &mask);
+        VenueSnapshot {
+            venue: venue.to_string(),
+            map: imputed.to_dense(part.num_aps()),
+            mask,
+            estimator: self.config.estimator,
+            knn_k: self.config.knn_k,
+            seed,
+            precision: self.config.precision,
+            snapshot_dtype: self.config.snapshot_dtype,
+            tensors,
+        }
     }
 
     /// Runs differentiation + imputation and packages the result as a
@@ -407,28 +645,39 @@ impl ImputationPipeline {
         map: &RadioMap,
         topology: &MultiPolygon,
     ) -> VenueSnapshot {
-        let mask = self.differentiate(map, topology);
-        let imputer = self.config.imputer.build(
-            self.config.seed,
-            self.config.attention,
-            self.config.time_lag,
-            self.config.epochs,
-            self.config.threads,
-            self.config.batch_size,
-            self.config.precision,
-            self.config.snapshot_dtype,
-        );
-        let (imputed, tensors) = imputer.impute_with_snapshot(map, &mask);
-        VenueSnapshot {
-            venue: venue.into(),
-            map: imputed.to_dense(map.num_aps()),
-            mask,
-            estimator: self.config.estimator,
-            knn_k: self.config.knn_k,
-            seed: self.config.seed,
-            precision: self.config.precision,
-            snapshot_dtype: self.config.snapshot_dtype,
-            tensors,
+        self.compute_shard(&venue.into(), map, topology, self.config.seed)
+    }
+
+    /// Runs the sharded pipeline end to end and packages the result as a
+    /// [`ShardedVenueSnapshot`]: the venue is partitioned by
+    /// [`VenueShards`], every shard is differentiated and imputed
+    /// independently (per-shard derived seed, fanned over the deterministic
+    /// pool), and each shard becomes its own [`VenueSnapshot`] — the publish
+    /// unit of per-shard serving. With an effective shard count of 1 the
+    /// single shard snapshot is bitwise the [`ImputationPipeline::export_snapshot`]
+    /// output.
+    pub fn export_sharded_snapshot(
+        &self,
+        venue: impl Into<String>,
+        map: &RadioMap,
+        topology: &MultiPolygon,
+    ) -> ShardedVenueSnapshot {
+        let venue = venue.into();
+        let shards = self.shard(map);
+        let parts = shards.split(map);
+        let shard_ids: Vec<usize> = (0..shards.num_shards()).collect();
+        let snapshots = rm_runtime::par_map(self.config.threads, &shard_ids, |_, &shard| {
+            self.compute_shard(
+                &venue,
+                &parts[shard],
+                topology,
+                self.shard_seed(shards.num_shards(), shard),
+            )
+        });
+        ShardedVenueSnapshot {
+            venue,
+            snapshots,
+            shards,
         }
     }
 
@@ -462,16 +711,10 @@ impl ImputationPipeline {
         let differentiation_seconds = diff_start.elapsed().as_secs_f64();
         let mar_fraction = mask.mar_fraction();
 
-        let imputer = self.config.imputer.build(
-            self.config.seed,
-            self.config.attention,
-            self.config.time_lag,
-            self.config.epochs,
-            self.config.threads,
-            self.config.batch_size,
-            self.config.precision,
-            self.config.snapshot_dtype,
-        );
+        let imputer = self
+            .config
+            .imputer
+            .build_with(&self.build_options(self.config.seed));
         #[allow(clippy::disallowed_methods)]
         // rm-lint: allow(no-wallclock-in-deterministic-path): stage-timing telemetry — reported, never branched on
         let imp_start = Instant::now();

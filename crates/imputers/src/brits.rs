@@ -12,12 +12,10 @@ use rm_nn::{
     LstmCellWeightsBf16, LstmState, LstmStateMatrix, Optimizer,
 };
 use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{
-    Bf16Matrix, Matrix, NamedTensor, Precision, Scalar, SnapshotDtype, Var, Workspace,
-};
+use rm_tensor::{Matrix, NamedTensor, Precision, Scalar, SnapshotDtype, Var, Workspace};
 
 use crate::sequence::{build_sequences, Normalization, PathSequence};
-use crate::{gates, ImputedRadioMap, Imputer};
+use crate::{gates, snapshot, ImputedRadioMap, Imputer};
 
 /// Configuration shared by the recurrent imputers.
 #[derive(Debug, Clone)]
@@ -556,12 +554,10 @@ fn infer_mar_values_bf16(
     })
 }
 
-/// Exports one direction's trained snapshot as named tensors at the dtype
-/// the inference path keeps resident: `(F64, _)` exports the f64 training
-/// snapshot, `(F32, Native)` the one-time f32 rounding, `(F32, Bf16)` the
-/// bfloat16 truncation of that rounding. The truncation is the same
-/// `Bf16Matrix::from_matrix` the resident [`RecurrentImputerWeightsBf16`]
-/// applies, so the exported bits equal the serving bits in every mode.
+/// Exports one direction's trained snapshot as `brits.{prefix}.*` named
+/// tensors at the dtype the inference path keeps resident (see
+/// [`crate::snapshot::export_linear`] for the dtype contract: exported bits
+/// equal the serving bits in every mode).
 fn export_direction(
     prefix: &str,
     weights: &RecurrentImputerWeights,
@@ -569,41 +565,73 @@ fn export_direction(
     snapshot_dtype: SnapshotDtype,
     tensors: &mut Vec<NamedTensor>,
 ) {
-    let [input_gate, forget_gate, output_gate, candidate] = weights.cell.gates();
-    let layers: [(&str, &LinearWeights); 6] = [
-        ("estimate", &weights.estimate),
-        ("decay", &weights.decay),
-        ("cell.input_gate", input_gate),
-        ("cell.forget_gate", forget_gate),
-        ("cell.output_gate", output_gate),
-        ("cell.candidate", candidate),
-    ];
-    for (layer, lin) in layers {
-        let wname = format!("brits.{prefix}.{layer}.weight");
-        let bname = format!("brits.{prefix}.{layer}.bias");
-        match (precision, snapshot_dtype) {
-            (Precision::F64, _) => {
-                tensors.push(NamedTensor::new(wname, lin.weight().clone()));
-                tensors.push(NamedTensor::new(bname, lin.bias().clone()));
-            }
-            (Precision::F32, SnapshotDtype::Native) => {
-                let rounded: LinearWeights<f32> = lin.cast();
-                tensors.push(NamedTensor::new(wname, rounded.weight().clone()));
-                tensors.push(NamedTensor::new(bname, rounded.bias().clone()));
-            }
-            (Precision::F32, SnapshotDtype::Bf16) => {
-                let rounded: LinearWeights<f32> = lin.cast();
-                tensors.push(NamedTensor::new(
-                    wname,
-                    Bf16Matrix::from_matrix(rounded.weight()),
-                ));
-                tensors.push(NamedTensor::new(
-                    bname,
-                    Bf16Matrix::from_matrix(rounded.bias()),
-                ));
-            }
-        }
+    export_recurrent(
+        &format!("brits.{prefix}"),
+        weights,
+        precision,
+        snapshot_dtype,
+        tensors,
+    );
+}
+
+/// Exports one direction's trained weights under `{prefix}.{layer}` names
+/// via the shared [`crate::snapshot`] helpers (see [`export_direction`] for
+/// the BRITS naming; SSGAN reuses this for its generator).
+pub(crate) fn export_recurrent(
+    prefix: &str,
+    weights: &RecurrentImputerWeights,
+    precision: Precision,
+    snapshot_dtype: SnapshotDtype,
+    tensors: &mut Vec<NamedTensor>,
+) {
+    snapshot::export_linear(
+        &format!("{prefix}.estimate"),
+        &weights.estimate,
+        precision,
+        snapshot_dtype,
+        tensors,
+    );
+    snapshot::export_linear(
+        &format!("{prefix}.decay"),
+        &weights.decay,
+        precision,
+        snapshot_dtype,
+        tensors,
+    );
+    snapshot::export_lstm_cell(prefix, &weights.cell, precision, snapshot_dtype, tensors);
+}
+
+/// Rebuilds one direction's weights from the tensors exported by
+/// [`export_recurrent`] under `prefix`, validating every shape against a
+/// `num_aps`-AP map. Returns `None` — the caller then falls back to cold
+/// training — when a tensor is missing or the snapshot was trained for a
+/// different map shape.
+pub(crate) fn import_recurrent(
+    prefix: &str,
+    tensors: &[NamedTensor],
+    num_aps: usize,
+) -> Option<RecurrentImputerWeights> {
+    let estimate = snapshot::import_linear(tensors, prefix, "estimate")?;
+    let decay = snapshot::import_linear(tensors, prefix, "decay")?;
+    let cell = snapshot::import_lstm_cell(tensors, prefix)?;
+
+    // `estimate` maps hidden → APs, `decay` maps APs → hidden, and each gate
+    // maps the concatenated `[x_c; mask]` input plus the hidden state to the
+    // hidden size — reject anything else before it can panic downstream.
+    let hidden_size = estimate.weight().cols();
+    if hidden_size == 0
+        || estimate.weight().shape() != (num_aps, hidden_size)
+        || decay.weight().shape() != (hidden_size, num_aps)
+        || cell.gates()[0].weight().shape() != (hidden_size, num_aps * 2 + hidden_size)
+    {
+        return None;
     }
+    Some(RecurrentImputerWeights {
+        estimate,
+        decay,
+        cell,
+        hidden_size,
+    })
 }
 
 /// The BRITS imputer.
@@ -619,69 +647,66 @@ impl Brits {
         Self { config }
     }
 
-    /// The shared train-then-infer body behind both [`Imputer`] entry
-    /// points; `export_snapshot` additionally serializes the trained weights
-    /// as named tensors (training and inference are unaffected by the flag).
-    fn impute_inner(
-        &self,
-        map: &RadioMap,
-        mask: &MaskMatrix,
-        export_snapshot: bool,
-    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
-        let num_aps = map.num_aps();
-        let norm = Normalization::from_map(map);
-        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
-
-        // Fallback result when there is nothing to train on.
-        let mut fingerprints: Vec<Vec<f64>> = map
-            .records()
-            .iter()
-            .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
-            .collect();
-        let locations = map.interpolate_rps();
-        if sequences.is_empty() || num_aps == 0 {
-            return (
-                ImputedRadioMap {
-                    fingerprints,
-                    locations,
-                },
-                Vec::new(),
-            );
+    /// The fallback result when there is nothing to train on: observed
+    /// entries pass through, MNARs take the fill floor, RPs interpolate.
+    /// (Shared with SSGAN, whose fallback is identical.)
+    pub(crate) fn passthrough(map: &RadioMap) -> ImputedRadioMap {
+        ImputedRadioMap {
+            fingerprints: map
+                .records()
+                .iter()
+                .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
+                .collect(),
+            locations: map.interpolate_rps(),
         }
+    }
 
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let forward = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
-        let backward = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
-        let mut params = forward.parameters();
-        params.extend(backward.parameters());
-        let mut optimizer = Adam::new(params, self.config.learning_rate).with_clip(5.0);
-
-        // Reversing a sequence is pure, so the backward-direction inputs are
-        // prepared in parallel (serially below the sequence count that
-        // amortises the spawn cost — see [`crate::gates`]).
+    /// Prepares the backward-direction inputs. Reversing a sequence is pure,
+    /// so they are prepared in parallel (serially below the sequence count
+    /// that amortises the spawn cost — see [`crate::gates`]).
+    fn reverse_sequences(
+        &self,
+        sequences: &[PathSequence],
+        norm: &Normalization,
+    ) -> Vec<PathSequence> {
         let reversal_threads = if sequences.len() < gates::brits_reversal_min_sequences() {
             1
         } else {
             self.config.threads
         };
-        let reversed: Vec<PathSequence> =
-            rm_runtime::par_map(reversal_threads, &sequences, |_, s| s.reversed(&norm));
+        rm_runtime::par_map(reversal_threads, sequences, |_, s| s.reversed(norm))
+    }
 
-        // Deterministic mini-batch training: the epoch is chunked into
-        // fixed-boundary batches of `batch_size` sequences. Within a batch
-        // the per-sequence losses are independent given the batch-start
-        // weights, so each sequence differentiates its own detached graph
-        // replica (rebuilt from a `Send + Sync` weight snapshot) on the
-        // worker pool, and only the extracted gradient matrices cross
-        // threads; the sums reduce in sequence-index order, so the model is
-        // bitwise thread-count independent. Single-sequence batches — the
-        // `batch_size = 1` default in particular — skip the snapshot/rebuild
-        // round-trip and differentiate the live graph directly, reproducing
-        // the classic serial SGD trajectory bitwise (parity-tested below).
+    /// Deterministic mini-batch training of one forward/backward model pair
+    /// for `epochs` epochs: the epoch is chunked into fixed-boundary batches
+    /// of `batch_size` sequences. Within a batch the per-sequence losses are
+    /// independent given the batch-start weights, so each sequence
+    /// differentiates its own detached graph replica (rebuilt from a
+    /// `Send + Sync` weight snapshot) on the worker pool, and only the
+    /// extracted gradient matrices cross threads; the sums reduce in
+    /// sequence-index order, so the model is bitwise thread-count
+    /// independent. Single-sequence batches — the `batch_size = 1` default
+    /// in particular — skip the snapshot/rebuild round-trip and
+    /// differentiate the live graph directly, reproducing the classic serial
+    /// SGD trajectory bitwise (parity-tested below). Shared by cold training
+    /// ([`Brits::impute_inner`]) and warm fine-tuning
+    /// ([`Brits::impute_warm_inner`]), which differ only in where the
+    /// starting weights come from.
+    fn train_pair(
+        &self,
+        forward: &RecurrentImputer,
+        backward: &RecurrentImputer,
+        sequences: &[PathSequence],
+        reversed: &[PathSequence],
+        epochs: usize,
+    ) {
+        let mut params = forward.parameters();
+        params.extend(backward.parameters());
+        let mut optimizer = Adam::new(params, self.config.learning_rate).with_clip(5.0);
         let threads = self.config.threads;
         train_in_batches(
             &mut optimizer,
-            self.config.epochs,
+            epochs,
             sequences.len(),
             self.config.batch_size,
             |chunk| {
@@ -690,8 +715,8 @@ impl Brits {
                         p.zero_grad();
                     }
                     vec![pair_gradients(
-                        &forward,
-                        &backward,
+                        forward,
+                        backward,
                         &sequences[i],
                         &reversed[i],
                     )]
@@ -704,22 +729,35 @@ impl Brits {
                 }
             },
         );
+    }
 
-        // Produce imputations: average of forward and backward complements at
-        // MAR positions. The trained weights are snapshotted into plain
-        // matrices — rounded once to f32 when the config asks for
-        // single-precision inference — and every sequence's inference fans
-        // out over the pool; each task only reads the shared snapshot and
-        // writes values for its own (disjoint) records, so the merge is
-        // order-independent.
-        let forward_weights = forward.snapshot();
-        let backward_weights = backward.snapshot();
+    /// Produces imputations from a trained weight pair — average of forward
+    /// and backward complements at MAR positions — plus the optional tensor
+    /// export. The weights are rounded once to f32 when the config asks for
+    /// single-precision inference, and every sequence's inference fans out
+    /// over the pool; each task only reads the shared snapshot and writes
+    /// values for its own (disjoint) records, so the merge is
+    /// order-independent.
+    fn infer_and_export(
+        &self,
+        forward_weights: &RecurrentImputerWeights,
+        backward_weights: &RecurrentImputerWeights,
+        sequences: &[PathSequence],
+        reversed: &[PathSequence],
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        norm: &Normalization,
+        export_snapshot: bool,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        let num_aps = map.num_aps();
+        let ImputedRadioMap {
+            mut fingerprints,
+            locations,
+        } = Self::passthrough(map);
         let tensors = if export_snapshot {
             let mut tensors = Vec::with_capacity(24);
-            for (prefix, weights) in [
-                ("forward", &forward_weights),
-                ("backward", &backward_weights),
-            ] {
+            for (prefix, weights) in [("forward", forward_weights), ("backward", backward_weights)]
+            {
                 export_direction(
                     prefix,
                     weights,
@@ -737,11 +775,11 @@ impl Brits {
         let threads = self.config.threads;
         let imputations = match (self.config.precision, self.config.snapshot_dtype) {
             (Precision::F64, _) => infer_mar_values(
-                &forward_weights,
-                &backward_weights,
+                forward_weights,
+                backward_weights,
                 &pairs,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 threads,
             ),
@@ -750,7 +788,7 @@ impl Brits {
                 &backward_weights.cast::<f32>(),
                 &pairs,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 threads,
             ),
@@ -759,7 +797,7 @@ impl Brits {
                 &RecurrentImputerWeightsBf16::from_weights(&backward_weights.cast::<f32>()),
                 &pairs,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 threads,
             ),
@@ -778,6 +816,96 @@ impl Brits {
             tensors,
         )
     }
+
+    /// The shared train-then-infer body behind both [`Imputer`] entry
+    /// points; `export_snapshot` additionally serializes the trained weights
+    /// as named tensors (training and inference are unaffected by the flag).
+    fn impute_inner(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        export_snapshot: bool,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        let num_aps = map.num_aps();
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+        if sequences.is_empty() || num_aps == 0 {
+            return (Self::passthrough(map), Vec::new());
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let forward = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
+        let backward = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
+        let reversed = self.reverse_sequences(&sequences, &norm);
+        self.train_pair(
+            &forward,
+            &backward,
+            &sequences,
+            &reversed,
+            self.config.epochs,
+        );
+        self.infer_and_export(
+            &forward.snapshot(),
+            &backward.snapshot(),
+            &sequences,
+            &reversed,
+            map,
+            mask,
+            &norm,
+            export_snapshot,
+        )
+    }
+
+    /// The warm-start body: `Some` when the snapshot round-trips into this
+    /// map's architecture, `None` to fall back to the cold path.
+    ///
+    /// With `fine_tune_epochs = 0` the imported weights run inference as-is:
+    /// importing widens every storage dtype losslessly to `f64`, and the
+    /// inference path re-applies the same one-time rounding the exporting
+    /// run applied, so on an unchanged map the replay is bit-identical to
+    /// the run that exported the snapshot. With `fine_tune_epochs > 0` the
+    /// weights seed a fresh optimizer for that many additional mini-batch
+    /// epochs — a cheap incremental refresh, not a replay.
+    fn impute_warm_inner(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        warm: &[NamedTensor],
+        fine_tune_epochs: usize,
+    ) -> Option<(ImputedRadioMap, Vec<NamedTensor>)> {
+        let num_aps = map.num_aps();
+        if num_aps == 0 {
+            return None;
+        }
+        let forward_weights = import_recurrent("brits.forward", warm, num_aps)?;
+        let backward_weights = import_recurrent("brits.backward", warm, num_aps)?;
+
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+        if sequences.is_empty() {
+            return None;
+        }
+        let reversed = self.reverse_sequences(&sequences, &norm);
+
+        let (forward_weights, backward_weights) = if fine_tune_epochs == 0 {
+            (forward_weights, backward_weights)
+        } else {
+            let forward = forward_weights.to_model();
+            let backward = backward_weights.to_model();
+            self.train_pair(&forward, &backward, &sequences, &reversed, fine_tune_epochs);
+            (forward.snapshot(), backward.snapshot())
+        };
+        Some(self.infer_and_export(
+            &forward_weights,
+            &backward_weights,
+            &sequences,
+            &reversed,
+            map,
+            mask,
+            &norm,
+            true,
+        ))
+    }
 }
 
 impl Imputer for Brits {
@@ -791,6 +919,19 @@ impl Imputer for Brits {
         mask: &MaskMatrix,
     ) -> (ImputedRadioMap, Vec<NamedTensor>) {
         self.impute_inner(map, mask, true)
+    }
+
+    fn impute_warm(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        warm: &[NamedTensor],
+        fine_tune_epochs: usize,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        match self.impute_warm_inner(map, mask, warm, fine_tune_epochs) {
+            Some(out) => out,
+            None => self.impute_with_snapshot(map, mask),
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -984,6 +1125,90 @@ pub(crate) mod tests {
         let (out, tensors) = li.impute_with_snapshot(&map, &mask);
         assert!(tensors.is_empty());
         assert_eq!(out.fingerprints, li.impute(&map, &mask).fingerprints);
+    }
+
+    /// The warm-start replay contract: at every point of the precision ×
+    /// dtype axis, importing a snapshot and re-running inference with
+    /// `fine_tune_epochs = 0` on the unchanged map reproduces the exporting
+    /// run's imputation — and re-exports the same tensor bits.
+    #[test]
+    fn warm_replay_reproduces_the_exporting_run_bitwise() {
+        let (map, mask) = smooth_map();
+        for (precision, snapshot_dtype) in [
+            (Precision::F64, SnapshotDtype::Native),
+            (Precision::F32, SnapshotDtype::Native),
+            (Precision::F32, SnapshotDtype::Bf16),
+        ] {
+            let brits = Brits::new(BritsConfig {
+                epochs: 3,
+                precision,
+                snapshot_dtype,
+                ..quick_config()
+            });
+            let (cold, tensors) = brits.impute_with_snapshot(&map, &mask);
+            let (warm, re_exported) = brits.impute_warm(&map, &mask, &tensors, 0);
+            for (a, b) in cold
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(warm.fingerprints.iter().flatten())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "warm replay drifted from cold run"
+                );
+            }
+            assert_eq!(re_exported.len(), tensors.len());
+            for (a, b) in tensors.iter().zip(re_exported.iter()) {
+                assert!(a.bits_eq(b), "re-exported tensor {} drifted", a.name);
+            }
+        }
+    }
+
+    /// Fine-tuning resumes training from the imported weights: the result
+    /// stays plausible, fresh tensors come back, and the weights actually
+    /// move (a fresh optimizer step is not a no-op).
+    #[test]
+    fn warm_fine_tune_updates_the_snapshot() {
+        let (map, mask) = smooth_map();
+        let brits = Brits::new(BritsConfig {
+            epochs: 3,
+            ..quick_config()
+        });
+        let (_, tensors) = brits.impute_with_snapshot(&map, &mask);
+        let (out, tuned) = brits.impute_warm(&map, &mask, &tensors, 2);
+        assert_eq!(tuned.len(), 24);
+        assert!((-90.0..=-40.0).contains(&out.rssi(5, 0)));
+        assert!(
+            tensors.iter().zip(tuned.iter()).any(|(a, b)| !a.bits_eq(b)),
+            "fine-tuning left every weight bit-unchanged"
+        );
+    }
+
+    /// Empty, foreign, or shape-incompatible snapshots fall back to the cold
+    /// path bitwise — warm-starting is always safe to attempt.
+    #[test]
+    fn warm_with_unusable_snapshot_falls_back_to_cold_training() {
+        let (map, mask) = smooth_map();
+        let brits = Brits::new(quick_config());
+        let (cold, _) = brits.impute_with_snapshot(&map, &mask);
+        let foreign = vec![NamedTensor::new(
+            "brits.forward.estimate.weight",
+            Matrix::<f64>::filled(3, 7, 0.5),
+        )];
+        for warm in [&Vec::new(), &foreign] {
+            let (out, tensors) = brits.impute_warm(&map, &mask, warm, 0);
+            assert_eq!(tensors.len(), 24);
+            for (a, b) in cold
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(out.fingerprints.iter().flatten())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod mf;
 pub mod mice;
 pub mod sequence;
 pub mod simple;
+pub mod snapshot;
 pub mod ssgan;
 
 /// Minimum-work gates below which the imputers' internal fan-outs stay
@@ -198,6 +199,34 @@ pub trait Imputer {
         mask: &MaskMatrix,
     ) -> (ImputedRadioMap, Vec<rm_tensor::NamedTensor>) {
         (self.impute(map, mask), Vec::new())
+    }
+
+    /// Warm-start hook next to [`Imputer::impute_with_snapshot`]: resumes
+    /// from a previously exported tensor snapshot instead of training from
+    /// scratch.
+    ///
+    /// `warm` is a snapshot previously returned by
+    /// [`Imputer::impute_with_snapshot`] (or this method) for a model of the
+    /// same architecture. `fine_tune_epochs` bounds the additional training:
+    /// `0` means pure inference replay — decode the weights and impute with
+    /// them as-is, bit-identical to the run that exported them when the map
+    /// is unchanged — while `n > 0` resumes mini-batch training for `n`
+    /// epochs from the imported weights (a fresh optimizer; cheap
+    /// incremental refresh, not a bitwise replay of longer training).
+    ///
+    /// The default implementation — and any imputer handed an empty,
+    /// foreign, or shape-incompatible snapshot — falls back to the cold
+    /// [`Imputer::impute_with_snapshot`] path, so warm-starting is always
+    /// safe to attempt.
+    fn impute_warm(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        warm: &[rm_tensor::NamedTensor],
+        fine_tune_epochs: usize,
+    ) -> (ImputedRadioMap, Vec<rm_tensor::NamedTensor>) {
+        let _ = (warm, fine_tune_epochs);
+        self.impute_with_snapshot(map, mask)
     }
 
     /// Human-readable name used in experiment reports.

@@ -10,16 +10,16 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rm_nn::{loss, Activation, Adam, GradientBatch, Mlp, Optimizer};
-use rm_radiomap::{EntryKind, MaskMatrix, RadioMap, MNAR_FILL_VALUE};
-use rm_tensor::{Matrix, Precision, Scalar, SnapshotDtype, Var, Workspace};
+use rm_nn::{loss, Activation, Adam, GradientBatch, Mlp, MlpWeights, Optimizer};
+use rm_radiomap::{EntryKind, MaskMatrix, RadioMap};
+use rm_tensor::{Matrix, NamedTensor, Precision, Scalar, SnapshotDtype, Var, Workspace};
 
 use crate::brits::{
-    default_batch_size, default_epochs, RecurrentImputer, RecurrentImputerWeights,
-    RecurrentImputerWeightsBf16,
+    default_batch_size, default_epochs, export_recurrent, import_recurrent, Brits,
+    RecurrentImputer, RecurrentImputerWeights, RecurrentImputerWeightsBf16,
 };
 use crate::sequence::{build_sequences, Normalization, PathSequence};
-use crate::{ImputedRadioMap, Imputer};
+use crate::{snapshot, ImputedRadioMap, Imputer};
 
 /// Configuration for [`Ssgan`].
 #[derive(Debug, Clone)]
@@ -164,55 +164,35 @@ impl Ssgan {
     pub fn new(config: SsganConfig) -> Self {
         Self { config }
     }
-}
 
-impl Imputer for Ssgan {
-    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
-        let num_aps = map.num_aps();
-        let norm = Normalization::from_map(map);
-        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
-
-        let mut fingerprints: Vec<Vec<f64>> = map
-            .records()
-            .iter()
-            .map(|r| r.fingerprint.to_dense(MNAR_FILL_VALUE))
-            .collect();
-        let locations = map.interpolate_rps();
-        if sequences.is_empty() || num_aps == 0 {
-            return ImputedRadioMap {
-                fingerprints,
-                locations,
-            };
-        }
-
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let generator = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
-        let discriminator = Mlp::new(
-            &[num_aps, self.config.discriminator_hidden, num_aps],
-            Activation::Relu,
-            Activation::Sigmoid,
-            &mut rng,
-        );
+    /// Deterministic mini-batch adversarial training for `epochs` epochs:
+    /// each fixed-boundary chunk of sequences runs two phases —
+    /// discriminator, then generator against the just-updated discriminator
+    /// — with the per-sequence gradients of a phase computed against that
+    /// phase's starting weights, fanned out over the pool, and summed in
+    /// sequence-index order. Single-sequence chunks (the `batch_size = 1`
+    /// default) differentiate the live graphs directly, reproducing the
+    /// classic alternating loop bitwise; larger chunks ship detached
+    /// replicas (rebuilt from `Send + Sync` snapshots) to the workers, so
+    /// only plain gradient matrices cross threads. Shared by cold training
+    /// and warm fine-tuning, which differ only in the starting weights.
+    fn train_adversarial(
+        &self,
+        generator: &RecurrentImputer,
+        discriminator: &Mlp,
+        sequences: &[PathSequence],
+        num_aps: usize,
+        epochs: usize,
+    ) {
         let mut gen_opt =
             Adam::new(generator.parameters(), self.config.learning_rate).with_clip(5.0);
         let mut disc_opt =
             Adam::new(discriminator.parameters(), self.config.learning_rate).with_clip(5.0);
-
-        // Deterministic mini-batch adversarial training: each fixed-boundary
-        // chunk of sequences runs two phases — discriminator, then generator
-        // against the just-updated discriminator — with the per-sequence
-        // gradients of a phase computed against that phase's starting
-        // weights, fanned out over the pool, and summed in sequence-index
-        // order. Single-sequence chunks (the `batch_size = 1` default)
-        // differentiate the live graphs directly, reproducing the classic
-        // alternating loop bitwise; larger chunks ship detached replicas
-        // (rebuilt from `Send + Sync` snapshots) to the workers, so only
-        // plain gradient matrices cross threads.
         let batch_size = self.config.batch_size.max(1);
         let threads = self.config.threads;
         let adversarial_weight = self.config.adversarial_weight;
         let indices: Vec<usize> = (0..sequences.len()).collect();
-        for _ in 0..self.config.epochs {
+        for _ in 0..epochs {
             for chunk in indices.chunks(batch_size) {
                 // ---- Discriminator phase: predict the observation mask. ----
                 let disc_grads: Vec<Vec<Matrix<f64>>> = if let [i] = *chunk {
@@ -225,7 +205,7 @@ impl Imputer for Ssgan {
                     // The pass was only sampled (its values are detached
                     // above); recycle its graph before differentiating.
                     Var::recycle_all(pass.estimates.into_iter().chain(pass.complements));
-                    vec![disc_gradients(&discriminator, &sequences[i], &complements)]
+                    vec![disc_gradients(discriminator, &sequences[i], &complements)]
                 } else {
                     let gen_weights = generator.snapshot();
                     let disc_weights = discriminator.snapshot();
@@ -251,8 +231,8 @@ impl Imputer for Ssgan {
                         p.zero_grad();
                     }
                     vec![gen_gradients(
-                        &generator,
-                        &discriminator,
+                        generator,
+                        discriminator,
                         &sequences[i],
                         num_aps,
                         adversarial_weight,
@@ -277,35 +257,73 @@ impl Imputer for Ssgan {
                 gen_opt.apply_batch(&batch);
             }
         }
+    }
 
-        // Final imputation from the trained generator: snapshot the weights
-        // into plain matrices — rounded once to f32 when the config asks for
-        // single-precision inference — and fan the per-sequence inference out
-        // over the pool (each task writes values for its own disjoint
-        // records).
-        let generator_weights = generator.snapshot();
+    /// Produces imputations from the trained generator — snapshot weights
+    /// rounded once to f32 when the config asks for single-precision
+    /// inference, per-sequence inference fanned out over the pool (each task
+    /// writes values for its own disjoint records) — plus the optional
+    /// tensor export: the generator under `ssgan.generator.*` and the
+    /// discriminator under `ssgan.discriminator.N.*` (the discriminator
+    /// does not impute, but warm fine-tuning resumes the adversarial game,
+    /// so both players persist).
+    fn infer_and_export(
+        &self,
+        generator_weights: &RecurrentImputerWeights,
+        discriminator_weights: &MlpWeights<f64>,
+        sequences: &[PathSequence],
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        norm: &Normalization,
+        export_snapshot: bool,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        let num_aps = map.num_aps();
+        let ImputedRadioMap {
+            mut fingerprints,
+            locations,
+        } = Brits::passthrough(map);
+        let tensors = if export_snapshot {
+            let mut tensors = Vec::with_capacity(16);
+            export_recurrent(
+                "ssgan.generator",
+                generator_weights,
+                self.config.precision,
+                self.config.snapshot_dtype,
+                &mut tensors,
+            );
+            snapshot::export_mlp(
+                "ssgan.discriminator",
+                discriminator_weights,
+                self.config.precision,
+                self.config.snapshot_dtype,
+                &mut tensors,
+            );
+            tensors
+        } else {
+            Vec::new()
+        };
         let imputations = match (self.config.precision, self.config.snapshot_dtype) {
             (Precision::F64, _) => infer_mar_values(
-                &generator_weights,
-                &sequences,
+                generator_weights,
+                sequences,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 self.config.threads,
             ),
             (Precision::F32, SnapshotDtype::Native) => infer_mar_values(
                 &generator_weights.cast::<f32>(),
-                &sequences,
+                sequences,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 self.config.threads,
             ),
             (Precision::F32, SnapshotDtype::Bf16) => infer_mar_values_bf16(
                 &RecurrentImputerWeightsBf16::from_weights(&generator_weights.cast::<f32>()),
-                &sequences,
+                sequences,
                 mask,
-                &norm,
+                norm,
                 num_aps,
                 self.config.threads,
             ),
@@ -316,9 +334,151 @@ impl Imputer for Ssgan {
             }
         }
 
-        ImputedRadioMap {
-            fingerprints,
-            locations,
+        (
+            ImputedRadioMap {
+                fingerprints,
+                locations,
+            },
+            tensors,
+        )
+    }
+
+    /// The shared train-then-infer body behind the [`Imputer`] entry points.
+    fn impute_inner(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        export_snapshot: bool,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        let num_aps = map.num_aps();
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+        if sequences.is_empty() || num_aps == 0 {
+            return (Brits::passthrough(map), Vec::new());
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let generator = RecurrentImputer::new(num_aps, self.config.hidden_size, &mut rng);
+        let discriminator = Mlp::new(
+            &[num_aps, self.config.discriminator_hidden, num_aps],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        self.train_adversarial(
+            &generator,
+            &discriminator,
+            &sequences,
+            num_aps,
+            self.config.epochs,
+        );
+        self.infer_and_export(
+            &generator.snapshot(),
+            &discriminator.snapshot(),
+            &sequences,
+            map,
+            mask,
+            &norm,
+            export_snapshot,
+        )
+    }
+
+    /// Rebuilds both players from a warm snapshot, validating every shape
+    /// against a `num_aps`-AP map; `None` falls back to cold training.
+    fn import_players(
+        &self,
+        warm: &[NamedTensor],
+        num_aps: usize,
+    ) -> Option<(RecurrentImputerWeights, MlpWeights<f64>)> {
+        let generator = import_recurrent("ssgan.generator", warm, num_aps)?;
+        let discriminator = snapshot::import_mlp(
+            warm,
+            "ssgan.discriminator",
+            Activation::Relu,
+            Activation::Sigmoid,
+        )?;
+        let layers = discriminator.layers();
+        if layers.first()?.weight().cols() != num_aps || layers.last()?.weight().rows() != num_aps {
+            return None;
+        }
+        Some((generator, discriminator))
+    }
+
+    /// The warm-start body: `Some` when the snapshot round-trips into this
+    /// map's architecture, `None` to fall back to the cold path. Replay and
+    /// fine-tune semantics match BRITS ([`Brits::impute_warm_inner`]): with
+    /// `fine_tune_epochs = 0` the imported generator runs inference as-is —
+    /// bit-identical to the exporting run on an unchanged map — and with
+    /// `fine_tune_epochs > 0` both players resume the adversarial game from
+    /// their imported weights under a fresh optimizer pair.
+    fn impute_warm_inner(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        warm: &[NamedTensor],
+        fine_tune_epochs: usize,
+    ) -> Option<(ImputedRadioMap, Vec<NamedTensor>)> {
+        let num_aps = map.num_aps();
+        if num_aps == 0 {
+            return None;
+        }
+        let (generator_weights, discriminator_weights) = self.import_players(warm, num_aps)?;
+
+        let norm = Normalization::from_map(map);
+        let sequences = build_sequences(map, mask, self.config.sequence_length, &norm);
+        if sequences.is_empty() {
+            return None;
+        }
+
+        let (generator_weights, discriminator_weights) = if fine_tune_epochs == 0 {
+            (generator_weights, discriminator_weights)
+        } else {
+            let generator = generator_weights.to_model();
+            let discriminator = discriminator_weights.to_mlp();
+            self.train_adversarial(
+                &generator,
+                &discriminator,
+                &sequences,
+                num_aps,
+                fine_tune_epochs,
+            );
+            (generator.snapshot(), discriminator.snapshot())
+        };
+        Some(self.infer_and_export(
+            &generator_weights,
+            &discriminator_weights,
+            &sequences,
+            map,
+            mask,
+            &norm,
+            true,
+        ))
+    }
+}
+
+impl Imputer for Ssgan {
+    fn impute(&self, map: &RadioMap, mask: &MaskMatrix) -> ImputedRadioMap {
+        self.impute_inner(map, mask, false).0
+    }
+
+    fn impute_with_snapshot(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        self.impute_inner(map, mask, true)
+    }
+
+    fn impute_warm(
+        &self,
+        map: &RadioMap,
+        mask: &MaskMatrix,
+        warm: &[NamedTensor],
+        fine_tune_epochs: usize,
+    ) -> (ImputedRadioMap, Vec<NamedTensor>) {
+        match self.impute_warm_inner(map, mask, warm, fine_tune_epochs) {
+            Some(out) => out,
+            None => self.impute_with_snapshot(map, mask),
         }
     }
 
@@ -562,6 +722,95 @@ mod tests {
                 value.to_bits(),
                 "batch_size = 1 diverged from the alternating reference at ({record}, {ap})"
             );
+        }
+    }
+
+    /// SSGAN now round-trips trained weights through named tensors like
+    /// BRITS: both players export (generator 12 tensors, discriminator 4),
+    /// and a `fine_tune_epochs = 0` warm replay on the unchanged map
+    /// reproduces the exporting run bitwise at every dtype.
+    #[test]
+    fn warm_replay_reproduces_the_exporting_run_bitwise() {
+        let (map, mask) = smooth_map();
+        for (precision, snapshot_dtype) in [
+            (Precision::F64, SnapshotDtype::Native),
+            (Precision::F32, SnapshotDtype::Native),
+            (Precision::F32, SnapshotDtype::Bf16),
+        ] {
+            let ssgan = Ssgan::new(SsganConfig {
+                epochs: 3,
+                precision,
+                snapshot_dtype,
+                ..quick_config()
+            });
+            let (cold, tensors) = ssgan.impute_with_snapshot(&map, &mask);
+            assert_eq!(tensors.len(), 16);
+            assert!(tensors
+                .iter()
+                .any(|t| t.name == "ssgan.generator.estimate.weight"));
+            assert!(tensors
+                .iter()
+                .any(|t| t.name == "ssgan.discriminator.1.bias"));
+            let (warm, re_exported) = ssgan.impute_warm(&map, &mask, &tensors, 0);
+            for (a, b) in cold
+                .fingerprints
+                .iter()
+                .flatten()
+                .zip(warm.fingerprints.iter().flatten())
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "warm replay drifted from cold run"
+                );
+            }
+            for (a, b) in tensors.iter().zip(re_exported.iter()) {
+                assert!(a.bits_eq(b), "re-exported tensor {} drifted", a.name);
+            }
+        }
+    }
+
+    /// Fine-tuning resumes the adversarial game from the imported weights:
+    /// fresh tensors come back and the weights actually move.
+    #[test]
+    fn warm_fine_tune_updates_both_players() {
+        let (map, mask) = smooth_map();
+        let ssgan = Ssgan::new(SsganConfig {
+            epochs: 3,
+            ..quick_config()
+        });
+        let (_, tensors) = ssgan.impute_with_snapshot(&map, &mask);
+        let (out, tuned) = ssgan.impute_warm(&map, &mask, &tensors, 2);
+        assert_eq!(tuned.len(), 16);
+        // Two extra adversarial epochs from a 3-epoch checkpoint need not
+        // land in the converged band yet — just keep the value sane.
+        assert!(out.rssi(5, 0).is_finite());
+        let moved = |prefix: &str| {
+            tensors
+                .iter()
+                .zip(tuned.iter())
+                .filter(|(a, _)| a.name.starts_with(prefix))
+                .any(|(a, b)| !a.bits_eq(b))
+        };
+        assert!(moved("ssgan.generator."), "generator never moved");
+        assert!(moved("ssgan.discriminator."), "discriminator never moved");
+    }
+
+    /// Empty or foreign snapshots fall back to the cold path bitwise.
+    #[test]
+    fn warm_with_unusable_snapshot_falls_back_to_cold_training() {
+        let (map, mask) = smooth_map();
+        let ssgan = Ssgan::new(quick_config());
+        let (cold, _) = ssgan.impute_with_snapshot(&map, &mask);
+        let (out, tensors) = ssgan.impute_warm(&map, &mask, &[], 0);
+        assert_eq!(tensors.len(), 16);
+        for (a, b) in cold
+            .fingerprints
+            .iter()
+            .flatten()
+            .zip(out.fingerprints.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

@@ -203,6 +203,38 @@ fn hashmap_in_doc_comment_is_clean() {
     assert_clean("/// Unlike a `HashMap`, iteration order here is stable.\nfn f() {}\n");
 }
 
+/// The shard-set near-miss from the live-venue pipeline: accumulating dirty
+/// shard ids in a `HashSet` would make the recompute fan-out (and hence any
+/// per-shard RNG stream consumption order) scheduling-dependent, so it must
+/// trip; the sorted-`Vec` + `binary_search` idiom the ingest path actually
+/// uses is clean.
+#[test]
+fn unordered_dirty_shard_set_trips_and_the_sorted_vec_idiom_is_clean() {
+    assert_trips(
+        concat!(
+            "fn dirty_shards(assignments: &[usize]) -> Vec<usize> {\n",
+            "    let mut dirty: std::collections::HashSet<usize> = Default::default();\n",
+            "    for &shard in assignments {\n",
+            "        dirty.insert(shard);\n",
+            "    }\n",
+            "    dirty.into_iter().collect()\n",
+            "}\n",
+        ),
+        "no-unordered-iteration",
+    );
+    assert_clean(concat!(
+        "fn dirty_shards(assignments: &[usize]) -> Vec<usize> {\n",
+        "    let mut dirty: Vec<usize> = Vec::new();\n",
+        "    for &shard in assignments {\n",
+        "        if let Err(i) = dirty.binary_search(&shard) {\n",
+        "            dirty.insert(i, shard);\n",
+        "        }\n",
+        "    }\n",
+        "    dirty\n",
+        "}\n",
+    ));
+}
+
 // ---------------------------------------------------------------- wallclock
 
 #[test]

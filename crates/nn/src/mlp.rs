@@ -151,6 +151,38 @@ pub struct MlpWeights<T: Scalar = f64> {
 }
 
 impl<T: Scalar> MlpWeights<T> {
+    /// Assembles a snapshot from per-layer weights — the import constructor
+    /// for weights decoded from a persisted artifact (the inverse of
+    /// [`MlpWeights::layers`], as [`LinearWeights::from_parts`]
+    /// (crate::LinearWeights::from_parts) is for one layer).
+    ///
+    /// # Panics
+    /// Panics if `layers` is empty or consecutive layer shapes disagree.
+    pub fn from_layers(
+        layers: Vec<LinearWeights<T>>,
+        hidden_activation: Activation,
+        output_activation: Activation,
+    ) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].weight().rows(),
+                pair[1].weight().cols(),
+                "consecutive MLP layer shapes disagree"
+            );
+        }
+        Self {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    /// The per-layer weight snapshots, input to output.
+    pub fn layers(&self) -> &[LinearWeights<T>] {
+        &self.layers
+    }
+
     /// Rounds the snapshot to another precision.
     pub fn cast<U: Scalar>(&self) -> MlpWeights<U> {
         MlpWeights {

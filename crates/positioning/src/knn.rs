@@ -16,6 +16,67 @@ use rm_radiomap::DenseRadioMap;
 use crate::quant::{QuantizedFingerprints, RERANK_MARGIN};
 use crate::LocationEstimator;
 
+/// One ranked KNN candidate: the exact f64 fingerprint distance, the record's
+/// index within the ranking map, and its reference point. The index space is
+/// the caller's map — shard-local for a per-shard scan; the sharded serving
+/// layer rewrites it to the global record index before merging shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnCandidate {
+    /// Exact f64 Euclidean distance between query and record fingerprint.
+    pub distance: f64,
+    /// Record index within the map the candidate was ranked against.
+    pub index: u32,
+    /// The record's reference point.
+    pub location: Point,
+}
+
+/// Merges candidate lists from independent scans (e.g. one per spatial shard,
+/// with indices rewritten to the global record space) into the overall top-`k`,
+/// replicating the whole-map scan's order exactly: ascending exact distance,
+/// ties broken by ascending index. Because each per-shard list holds that
+/// shard's true top-`k`, the merged list equals the whole-map top-`k` — the
+/// cross-shard re-rank that makes sharded serving answer like whole-venue
+/// serving.
+pub fn merge_candidates(k: usize, mut candidates: Vec<KnnCandidate>) -> Vec<KnnCandidate> {
+    candidates.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(Ordering::Equal)
+            .then(a.index.cmp(&b.index))
+    });
+    candidates.truncate(k.max(1));
+    candidates
+}
+
+/// Folds ranked neighbours into the unweighted KNN estimate (mean of the
+/// reference points, in rank order). Extracted so the sharded serving path
+/// applies bit-identical arithmetic to merged cross-shard candidates.
+pub fn knn_estimate(neighbours: &[KnnCandidate]) -> Option<Point> {
+    if neighbours.is_empty() {
+        return None;
+    }
+    let sum = neighbours
+        .iter()
+        .fold(Point::origin(), |acc, c| acc + c.location);
+    Some(sum / neighbours.len() as f64)
+}
+
+/// Folds ranked neighbours into the inverse-distance-weighted WKNN estimate,
+/// in rank order (see [`knn_estimate`] for why this is a free function).
+pub fn wknn_estimate(neighbours: &[KnnCandidate]) -> Option<Point> {
+    if neighbours.is_empty() {
+        return None;
+    }
+    let mut weight_sum = 0.0;
+    let mut acc = Point::origin();
+    for c in neighbours {
+        let w = 1.0 / (c.distance + 1e-6);
+        weight_sum += w;
+        acc = acc + c.location * w;
+    }
+    Some(acc / weight_sum)
+}
+
 /// K-nearest-neighbour location estimation: the estimated location is the mean
 /// of the reference points of the `k` radio-map fingerprints closest (in
 /// Euclidean RSSI space) to the online fingerprint.
@@ -39,7 +100,12 @@ impl Knn {
         }
     }
 
-    /// The `k` nearest entries as `(distance, location)` pairs, sorted by
+    /// The neighbour count `k` this estimator ranks with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `k` nearest entries as ranked [`KnnCandidate`]s, sorted by
     /// increasing exact f64 distance (ties broken by record index, like the
     /// full scan's stable sort).
     ///
@@ -47,8 +113,10 @@ impl Knn {
     /// `k + RERANK_MARGIN` best quantized candidates are selected, and those
     /// are re-ranked exactly. Both phases break ties by record index and the
     /// int8 kernel is bit-identical across its variants, so the result is a
-    /// pure function of `(map, fingerprint, k)`.
-    fn nearest(&self, fingerprint: &[f64]) -> Vec<(f64, Point)> {
+    /// pure function of `(map, fingerprint, k)`. Public so the sharded
+    /// serving layer can merge per-shard candidates into a venue-wide
+    /// top-`k` ([`merge_candidates`]).
+    pub fn candidates(&self, fingerprint: &[f64]) -> Vec<KnnCandidate> {
         let n = self.map.len();
         if n == 0 {
             return Vec::new();
@@ -82,19 +150,18 @@ impl Knn {
         exact.truncate(self.k);
         exact
             .into_iter()
-            .map(|(d, i)| (d, self.map.locations()[i as usize]))
+            .map(|(distance, i)| KnnCandidate {
+                distance,
+                index: i,
+                location: self.map.locations()[i as usize],
+            })
             .collect()
     }
 }
 
 impl LocationEstimator for Knn {
     fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
-        let nearest = self.nearest(fingerprint);
-        if nearest.is_empty() {
-            return None;
-        }
-        let sum = nearest.iter().fold(Point::origin(), |acc, &(_, p)| acc + p);
-        Some(sum / nearest.len() as f64)
+        knn_estimate(&self.candidates(fingerprint))
     }
 
     fn name(&self) -> &'static str {
@@ -116,22 +183,17 @@ impl Wknn {
             knn: Knn::new(map, k),
         }
     }
+
+    /// The underlying ranking core (candidate generation is identical to
+    /// [`Knn`]; only the fold differs).
+    pub fn inner(&self) -> &Knn {
+        &self.knn
+    }
 }
 
 impl LocationEstimator for Wknn {
     fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
-        let nearest = self.knn.nearest(fingerprint);
-        if nearest.is_empty() {
-            return None;
-        }
-        let mut weight_sum = 0.0;
-        let mut acc = Point::origin();
-        for &(d, p) in &nearest {
-            let w = 1.0 / (d + 1e-6);
-            weight_sum += w;
-            acc = acc + p * w;
-        }
-        Some(acc / weight_sum)
+        wknn_estimate(&self.knn.candidates(fingerprint))
     }
 
     fn name(&self) -> &'static str {
@@ -208,6 +270,63 @@ mod tests {
     fn k_larger_than_map_uses_all_entries() {
         let knn = Knn::new(map(), 100);
         assert!(knn.estimate(&[-60.0, -60.0, -60.0]).is_some());
+    }
+
+    /// Splitting a map into two halves, taking per-half candidates with
+    /// rewritten indices, and merging reproduces the whole-map ranking and
+    /// both folds bitwise — the contract sharded serving relies on.
+    #[test]
+    fn merged_per_shard_candidates_equal_the_whole_map_scan() {
+        let fingerprints: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![-50.0 - 3.0 * i as f64, -90.0 + 2.0 * i as f64, -70.0])
+            .collect();
+        let locations: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 2.0)).collect();
+        let whole = Knn::new(
+            DenseRadioMap::new(fingerprints.clone(), locations.clone(), 3),
+            3,
+        );
+        // Interleaved "shards": evens and odds.
+        let part = |parity: usize| -> (Knn, Vec<u32>) {
+            let idx: Vec<usize> = (0..10).filter(|i| i % 2 == parity).collect();
+            let knn = Knn::new(
+                DenseRadioMap::new(
+                    idx.iter().map(|&i| fingerprints[i].clone()).collect(),
+                    idx.iter().map(|&i| locations[i]).collect(),
+                    3,
+                ),
+                3,
+            );
+            (knn, idx.into_iter().map(|i| i as u32).collect())
+        };
+        let query = [-58.0, -85.0, -70.0];
+        let mut pooled = Vec::new();
+        for parity in 0..2 {
+            let (knn, globals) = part(parity);
+            pooled.extend(knn.candidates(&query).into_iter().map(|c| KnnCandidate {
+                index: globals[c.index as usize],
+                ..c
+            }));
+        }
+        let merged = merge_candidates(3, pooled);
+        let reference = whole.candidates(&query);
+        assert_eq!(merged, reference);
+        let ke = knn_estimate(&merged).unwrap();
+        let we = wknn_estimate(&merged).unwrap();
+        let kr = whole.estimate(&query).unwrap();
+        assert_eq!(
+            (ke.x.to_bits(), ke.y.to_bits()),
+            (kr.x.to_bits(), kr.y.to_bits())
+        );
+        let wknn = Wknn::new(
+            DenseRadioMap::new(fingerprints.clone(), locations.clone(), 3),
+            3,
+        );
+        let wr = wknn.estimate(&query).unwrap();
+        assert_eq!(
+            (we.x.to_bits(), we.y.to_bits()),
+            (wr.x.to_bits(), wr.y.to_bits())
+        );
+        assert_eq!(wknn.inner().k(), 3);
     }
 
     #[test]

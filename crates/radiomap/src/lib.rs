@@ -13,12 +13,15 @@
 //! * [`DenseRadioMap`] — a fully-imputed map usable by location estimation,
 //! * [`perturb`] — controlled removal of observations (the `α`/`β` removal
 //!   ratios of the evaluation) with ground truth for error measurement,
+//! * [`VenueShards`] — deterministic spatial sharding of a venue's survey
+//!   paths, the partition behind the sharded pipeline and per-shard serving,
 //! * [`RadioMapStats`] — Table V-style venue statistics.
 
 pub mod fingerprint;
 pub mod mask;
 pub mod perturb;
 pub mod radiomap;
+pub mod shard;
 pub mod stats;
 pub mod survey;
 
@@ -28,5 +31,6 @@ pub use perturb::{
     remove_random_rps, remove_random_rssis, split_test_records, RemovedRp, RemovedRssi,
 };
 pub use radiomap::{DenseRadioMap, RadioMap, RadioMapRecord};
+pub use shard::VenueShards;
 pub use stats::RadioMapStats;
 pub use survey::{SurveyEntry, SurveyMeasurement, WalkingSurveyTable};

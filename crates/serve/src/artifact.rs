@@ -35,14 +35,21 @@
 
 use std::fmt;
 
-use radiomap_core::VenueSnapshot;
+use radiomap_core::{ShardedVenueSnapshot, VenueSnapshot};
 use rm_geometry::Point;
 use rm_positioning::EstimatorKind;
-use rm_radiomap::{DenseRadioMap, EntryKind, MaskMatrix};
+use rm_radiomap::{DenseRadioMap, EntryKind, MaskMatrix, VenueShards};
 use rm_tensor::{Bf16Matrix, Matrix, NamedTensor, Precision, SnapshotDtype, TensorPayload};
 
 /// The artifact magic: "RMVM" (Radio-Map Venue Model).
 pub const MAGIC: [u8; 4] = *b"RMVM";
+
+/// The sharded-container magic: "RMVS" (Radio-Map Venue Shards). A sharded
+/// artifact is a checksummed container of the venue's partition plus one
+/// complete inner [`MAGIC`] artifact per shard — each shard blob is exactly
+/// the bytes [`encode`] produces, so a shard can be extracted and republished
+/// without re-encoding.
+pub const SHARDED_MAGIC: [u8; 4] = *b"RMVS";
 
 /// The format version this build writes and the only one it reads.
 pub const FORMAT_VERSION: u32 = 1;
@@ -65,7 +72,8 @@ pub enum ArtifactError {
         /// Bytes that were available.
         available: usize,
     },
-    /// The first four bytes are not [`MAGIC`].
+    /// The first four bytes are not the expected magic ([`MAGIC`] for a
+    /// venue artifact, [`SHARDED_MAGIC`] for a sharded container).
     BadMagic([u8; 4]),
     /// A version this build does not read.
     UnsupportedVersion(u32),
@@ -103,6 +111,10 @@ pub enum ArtifactError {
         /// Number of unconsumed payload bytes.
         extra: usize,
     },
+    /// A sharded container whose partition fields are inconsistent: an
+    /// assignment or routing pair referencing a nonexistent shard, or a
+    /// shard-snapshot count that disagrees with the partition.
+    InconsistentShards,
 }
 
 impl fmt::Display for ArtifactError {
@@ -137,6 +149,9 @@ impl fmt::Display for ArtifactError {
             ArtifactError::InvalidUtf8 { field } => write!(f, "`{field}` is not valid UTF-8"),
             ArtifactError::TrailingBytes { extra } => {
                 write!(f, "{extra} unexpected trailing payload bytes")
+            }
+            ArtifactError::InconsistentShards => {
+                write!(f, "sharded container's partition fields are inconsistent")
             }
         }
     }
@@ -235,13 +250,100 @@ pub fn encode(snapshot: &VenueSnapshot) -> Vec<u8> {
         }
     }
 
+    seal(MAGIC, payload)
+}
+
+/// Prepends the checksummed artifact header to `payload`.
+fn seal(magic: [u8; 4], payload: Vec<u8>) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&magic);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
     out.extend_from_slice(&payload);
     out
+}
+
+/// Serializes a sharded snapshot into a self-contained [`SHARDED_MAGIC`]
+/// container: the venue's partition (assignments, centroids, path routing)
+/// followed by one complete inner artifact per shard.
+pub fn encode_sharded(snapshot: &ShardedVenueSnapshot) -> Vec<u8> {
+    let mut payload = Vec::new();
+    write_string(&mut payload, &snapshot.venue);
+    let shards = &snapshot.shards;
+    payload.extend_from_slice(&(shards.assignments().len() as u32).to_le_bytes());
+    for &shard in shards.assignments() {
+        payload.extend_from_slice(&(shard as u32).to_le_bytes());
+    }
+    payload.extend_from_slice(&(shards.num_shards() as u32).to_le_bytes());
+    for centroid in shards.centroids() {
+        payload.extend_from_slice(&centroid.x.to_bits().to_le_bytes());
+        payload.extend_from_slice(&centroid.y.to_bits().to_le_bytes());
+    }
+    payload.extend_from_slice(&(shards.path_shards().len() as u32).to_le_bytes());
+    for &(path_id, shard) in shards.path_shards() {
+        payload.extend_from_slice(&(path_id as u32).to_le_bytes());
+        payload.extend_from_slice(&(shard as u32).to_le_bytes());
+    }
+    payload.extend_from_slice(&(snapshot.snapshots.len() as u32).to_le_bytes());
+    for shard_snapshot in &snapshot.snapshots {
+        let inner = encode(shard_snapshot);
+        payload.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+        payload.extend_from_slice(&inner);
+    }
+    seal(SHARDED_MAGIC, payload)
+}
+
+/// Deserializes a sharded container produced by [`encode_sharded`], with the
+/// same guarantees as [`decode`]: bitwise round-trip, typed errors, no
+/// panics, and no length field trusted before the bytes are present.
+pub fn decode_sharded(bytes: &[u8]) -> Result<ShardedVenueSnapshot, ArtifactError> {
+    let payload = validated_payload(bytes, SHARDED_MAGIC)?;
+    let mut r = Reader::new(payload);
+    let venue = r.string("venue")?;
+    let num_records = r.u32("shards.records")? as usize;
+    let mut assignments =
+        Vec::with_capacity(r.bounded_count("shards.assignments", num_records, 4)?);
+    for _ in 0..num_records {
+        assignments.push(r.u32("shards.assignments")? as usize);
+    }
+    let num_shards = r.u32("shards.len")? as usize;
+    let mut centroids = Vec::with_capacity(r.bounded_count("shards.centroids", num_shards, 16)?);
+    for _ in 0..num_shards {
+        let x = f64::from_bits(r.u64("shards.centroids")?);
+        let y = f64::from_bits(r.u64("shards.centroids")?);
+        centroids.push(Point::new(x, y));
+    }
+    let num_paths = r.u32("shards.paths")? as usize;
+    let mut path_shards = Vec::with_capacity(r.bounded_count("shards.paths", num_paths, 8)?);
+    for _ in 0..num_paths {
+        let path_id = r.u32("shards.paths")? as usize;
+        let shard = r.u32("shards.paths")? as usize;
+        path_shards.push((path_id, shard));
+    }
+    let shards = VenueShards::from_parts(assignments, centroids, path_shards)
+        .ok_or(ArtifactError::InconsistentShards)?;
+
+    let snapshot_count = r.u32("snapshots.len")? as usize;
+    if snapshot_count != shards.num_shards() {
+        return Err(ArtifactError::InconsistentShards);
+    }
+    let mut snapshots = Vec::with_capacity(r.bounded_count("snapshots", snapshot_count, 8)?);
+    for _ in 0..snapshot_count {
+        let len = r.u64("shard.artifact.len")? as usize;
+        let inner = r.take("shard.artifact", len)?;
+        snapshots.push(decode(inner)?);
+    }
+    if r.remaining() > 0 {
+        return Err(ArtifactError::TrailingBytes {
+            extra: r.remaining(),
+        });
+    }
+    Ok(ShardedVenueSnapshot {
+        venue,
+        snapshots,
+        shards,
+    })
 }
 
 fn write_string(out: &mut Vec<u8>, s: &str) {
@@ -259,38 +361,7 @@ fn write_tensor_header(out: &mut Vec<u8>, dtype: u8, rows: usize, cols: usize) {
 /// every float bit-identical to the encoded one, or a typed error for any
 /// malformed input.
 pub fn decode(bytes: &[u8]) -> Result<VenueSnapshot, ArtifactError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(ArtifactError::Truncated {
-            field: "header",
-            needed: HEADER_LEN,
-            available: bytes.len(),
-        });
-    }
-    let magic: [u8; 4] = bytes[0..4].try_into().expect("sliced 4 bytes");
-    if magic != MAGIC {
-        return Err(ArtifactError::BadMagic(magic));
-    }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced 4 bytes"));
-    if version != FORMAT_VERSION {
-        return Err(ArtifactError::UnsupportedVersion(version));
-    }
-    let stored_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sliced 8 bytes"));
-    let payload = &bytes[HEADER_LEN..];
-    if stored_len != payload.len() as u64 {
-        return Err(ArtifactError::PayloadLengthMismatch {
-            stored: stored_len,
-            actual: payload.len() as u64,
-        });
-    }
-    let stored_checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("sliced 8 bytes"));
-    let computed = fnv1a64(payload);
-    if stored_checksum != computed {
-        return Err(ArtifactError::ChecksumMismatch {
-            stored: stored_checksum,
-            computed,
-        });
-    }
-
+    let payload = validated_payload(bytes, MAGIC)?;
     let mut r = Reader::new(payload);
     let venue = r.string("venue")?;
     let estimator = match r.u8("estimator")? {
@@ -426,6 +497,43 @@ pub fn decode(bytes: &[u8]) -> Result<VenueSnapshot, ArtifactError> {
         snapshot_dtype,
         tensors,
     })
+}
+
+/// Validates an artifact header (expected magic, version, payload length,
+/// checksum) and returns the payload slice that follows it.
+fn validated_payload(bytes: &[u8], magic: [u8; 4]) -> Result<&[u8], ArtifactError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ArtifactError::Truncated {
+            field: "header",
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    let found: [u8; 4] = bytes[0..4].try_into().expect("sliced 4 bytes");
+    if found != magic {
+        return Err(ArtifactError::BadMagic(found));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced 4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion(version));
+    }
+    let stored_len = u64::from_le_bytes(bytes[8..16].try_into().expect("sliced 8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if stored_len != payload.len() as u64 {
+        return Err(ArtifactError::PayloadLengthMismatch {
+            stored: stored_len,
+            actual: payload.len() as u64,
+        });
+    }
+    let stored_checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("sliced 8 bytes"));
+    let computed = fnv1a64(payload);
+    if stored_checksum != computed {
+        return Err(ArtifactError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+    Ok(payload)
 }
 
 /// A bounds-checked little-endian payload reader: every read either yields
@@ -687,6 +795,115 @@ mod tests {
                 field: "tensors",
                 ..
             })
+        ));
+    }
+
+    fn tiny_sharded_snapshot() -> ShardedVenueSnapshot {
+        let shards = VenueShards::from_parts(
+            vec![0, 1, 0],
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)],
+            vec![(0, 0), (1, 1)],
+        )
+        .expect("consistent partition");
+        let snapshots = vec![
+            VenueSnapshot {
+                venue: "hall-α/shard0".to_string(),
+                ..tiny_snapshot()
+            },
+            VenueSnapshot {
+                venue: "hall-α/shard1".to_string(),
+                tensors: Vec::new(),
+                ..tiny_snapshot()
+            },
+        ];
+        ShardedVenueSnapshot {
+            venue: "hall-α".to_string(),
+            snapshots,
+            shards,
+        }
+    }
+
+    #[test]
+    fn sharded_round_trip_is_bitwise_identity() {
+        let snapshot = tiny_sharded_snapshot();
+        let bytes = encode_sharded(&snapshot);
+        let decoded = decode_sharded(&bytes).expect("decode sharded");
+        assert_eq!(decoded.venue, snapshot.venue);
+        assert_eq!(decoded.shards.assignments(), snapshot.shards.assignments());
+        assert_eq!(decoded.shards.num_shards(), snapshot.shards.num_shards());
+        for (a, b) in decoded
+            .shards
+            .centroids()
+            .iter()
+            .zip(snapshot.shards.centroids())
+        {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+        }
+        assert_eq!(decoded.shards.path_shards(), snapshot.shards.path_shards());
+        assert_eq!(decoded.snapshots.len(), snapshot.snapshots.len());
+        for (a, b) in decoded.snapshots.iter().zip(&snapshot.snapshots) {
+            assert_snapshots_bits_eq(a, b);
+        }
+        // Re-encoding the decoded container reproduces the byte stream.
+        assert_eq!(bytes, encode_sharded(&decoded));
+    }
+
+    #[test]
+    fn sharded_magic_is_distinct_and_checked_both_ways() {
+        let sharded = encode_sharded(&tiny_sharded_snapshot());
+        let plain = encode(&tiny_snapshot());
+        // A plain artifact is not a sharded container and vice versa.
+        assert!(matches!(
+            decode_sharded(&plain),
+            Err(ArtifactError::BadMagic(m)) if m == MAGIC
+        ));
+        assert!(matches!(
+            decode(&sharded),
+            Err(ArtifactError::BadMagic(m)) if m == SHARDED_MAGIC
+        ));
+    }
+
+    #[test]
+    fn every_sharded_truncation_point_is_a_typed_error_never_a_panic() {
+        let bytes = encode_sharded(&tiny_sharded_snapshot());
+        for len in 0..bytes.len() {
+            let err =
+                decode_sharded(&bytes[..len]).expect_err("truncated container must not decode");
+            assert!(
+                matches!(
+                    err,
+                    ArtifactError::Truncated { .. } | ArtifactError::PayloadLengthMismatch { .. }
+                ),
+                "unexpected error at length {len}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn inconsistent_partitions_are_rejected() {
+        // An assignment referencing a nonexistent shard must fail decoding
+        // even though the bytes themselves are well-formed. Forge the first
+        // assignment (right after the venue string) and fix up the checksum.
+        let snapshot = tiny_sharded_snapshot();
+        let bytes = encode_sharded(&snapshot);
+        let assignment_off = HEADER_LEN + 4 + snapshot.venue.len() + 4;
+        let mut forged = bytes.clone();
+        forged[assignment_off..assignment_off + 4].copy_from_slice(&99u32.to_le_bytes());
+        let payload = forged[HEADER_LEN..].to_vec();
+        forged[16..24].copy_from_slice(&fnv1a64(&payload).to_le_bytes());
+        assert!(matches!(
+            decode_sharded(&forged),
+            Err(ArtifactError::InconsistentShards)
+        ));
+
+        // A snapshot count that disagrees with the partition is also
+        // inconsistent: encode with one shard snapshot missing.
+        let mut short = snapshot;
+        short.snapshots.pop();
+        assert!(matches!(
+            decode_sharded(&encode_sharded(&short)),
+            Err(ArtifactError::InconsistentShards)
         ));
     }
 

@@ -145,6 +145,128 @@ impl<'a> QueryEngine<'a> {
     }
 }
 
+/// One answered query against a sharded venue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedQueryResponse {
+    /// Position of the query in this engine's submission order (0-based).
+    pub index: u64,
+    /// The estimated location (cross-shard re-rank; see
+    /// [`ShardedVenueModel`](crate::model::ShardedVenueModel)).
+    pub position: Option<Point>,
+    /// The primary shard the query routed to (AP overlap, ties by nearest
+    /// signal centroid).
+    pub shard: usize,
+    /// The generation of the primary shard's model — after an incremental
+    /// republish, queries routing to clean shards keep reporting those
+    /// shards' old generations.
+    pub generation: u64,
+}
+
+/// The sharded counterpart of [`QueryEngine`]: batching, flush rules, and
+/// determinism contract are identical, but each flush acquires the venue's
+/// composed [`ShardedVenueModel`](crate::model::ShardedVenueModel) once, and
+/// every response carries the primary shard it routed to plus that shard's
+/// generation. A batch can therefore never straddle a per-shard republish:
+/// all its answers come from one consistent set of shard models.
+pub struct ShardedQueryEngine<'a> {
+    registry: &'a ModelRegistry,
+    venue: String,
+    threads: usize,
+    max_batch: usize,
+    next_index: u64,
+    pending: Vec<(u64, Vec<f64>)>,
+    answered: Vec<ShardedQueryResponse>,
+}
+
+impl<'a> ShardedQueryEngine<'a> {
+    /// An engine serving the sharded venue `venue` from `registry`, flushing
+    /// at [`MAX_MICRO_BATCH`] pending requests (`threads` as in
+    /// [`QueryEngine::new`]).
+    pub fn new(registry: &'a ModelRegistry, venue: impl Into<String>, threads: usize) -> Self {
+        Self::with_max_batch(registry, venue, threads, MAX_MICRO_BATCH)
+    }
+
+    /// [`ShardedQueryEngine::new`] with an explicit micro-batch capacity,
+    /// clamped to `1..=MAX_MICRO_BATCH`. Capacity changes scheduling, never
+    /// results.
+    pub fn with_max_batch(
+        registry: &'a ModelRegistry,
+        venue: impl Into<String>,
+        threads: usize,
+        max_batch: usize,
+    ) -> Self {
+        Self {
+            registry,
+            venue: venue.into(),
+            threads,
+            max_batch: max_batch.clamp(1, MAX_MICRO_BATCH),
+            next_index: 0,
+            pending: Vec::new(),
+            answered: Vec::new(),
+        }
+    }
+
+    /// The venue this engine serves.
+    pub fn venue(&self) -> &str {
+        &self.venue
+    }
+
+    /// Enqueues one query; flushes automatically when the micro-batch is
+    /// full. Returns the query's submission index.
+    pub fn submit(&mut self, fingerprint: Vec<f64>) -> u64 {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.pending.push((index, fingerprint));
+        if self.pending.len() >= self.max_batch {
+            self.flush();
+        }
+        index
+    }
+
+    /// Flushes the pending (possibly partial) micro-batch. Panics if no
+    /// sharded model was ever published for this venue.
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let model = self
+            .registry
+            .sharded_model(&self.venue)
+            .unwrap_or_else(|| panic!("no sharded model published for venue `{}`", self.venue));
+        let batch = std::mem::take(&mut self.pending);
+        let answers = rm_runtime::par_map(self.threads, &batch, |_, (_, fingerprint)| {
+            (model.route(fingerprint), model.estimate(fingerprint))
+        });
+        self.answered.extend(
+            batch
+                .iter()
+                .zip(answers)
+                .map(|(&(index, _), (shard, position))| ShardedQueryResponse {
+                    index,
+                    position,
+                    shard,
+                    generation: model.models()[shard].generation(),
+                }),
+        );
+    }
+
+    /// Flushes any partial batch and returns every response answered since
+    /// the last drain, in submission order.
+    pub fn drain(&mut self) -> Vec<ShardedQueryResponse> {
+        self.flush();
+        std::mem::take(&mut self.answered)
+    }
+
+    /// Submits every fingerprint of a fixed query log, flushes, and returns
+    /// all responses in submission order.
+    pub fn run_log(&mut self, log: &[Vec<f64>]) -> Vec<ShardedQueryResponse> {
+        for fingerprint in log {
+            self.submit(fingerprint.clone());
+        }
+        self.drain()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,15 @@
 //!   responses at any thread count, and each response equals the offline
 //!   `evaluate_estimator` path's estimate on the same model.
 //!
+//! Sharded venues get a parallel set of types: [`encode_sharded`] /
+//! [`decode_sharded`] persist a
+//! [`ShardedVenueSnapshot`](radiomap_core::ShardedVenueSnapshot) as a
+//! container of per-shard artifacts, [`ShardedVenueModel`] composes one
+//! [`ShardModel`] per shard (each independently republishable via
+//! [`ModelRegistry::publish_shard`] without rebuilding clean shards), and
+//! [`ShardedQueryEngine`] routes queries by AP overlap with exact
+//! cross-shard KNN re-ranking, so answers match whole-venue serving.
+//!
 //! ```no_run
 //! use radiomap_core::prelude::*;
 //! use rm_serve::{load_artifact, ModelRegistry, QueryEngine};
@@ -36,14 +45,18 @@ pub mod engine;
 pub mod model;
 pub mod registry;
 
-pub use artifact::{decode, encode, ArtifactError, FORMAT_VERSION};
-pub use engine::{QueryEngine, QueryResponse, MAX_MICRO_BATCH};
-pub use model::VenueModel;
+pub use artifact::{
+    decode, decode_sharded, encode, encode_sharded, ArtifactError, FORMAT_VERSION, SHARDED_MAGIC,
+};
+pub use engine::{
+    QueryEngine, QueryResponse, ShardedQueryEngine, ShardedQueryResponse, MAX_MICRO_BATCH,
+};
+pub use model::{ShardModel, ShardedVenueModel, VenueModel};
 pub use registry::ModelRegistry;
 
 use std::path::Path;
 
-use radiomap_core::VenueSnapshot;
+use radiomap_core::{ShardedVenueSnapshot, VenueSnapshot};
 
 /// Why [`load_artifact`] failed: the file couldn't be read, or it could but
 /// its bytes are not a valid artifact.
@@ -94,6 +107,21 @@ pub fn save_artifact(path: impl AsRef<Path>, snapshot: &VenueSnapshot) -> std::i
 /// I/O failures from malformed artifacts.
 pub fn load_artifact(path: impl AsRef<Path>) -> Result<VenueSnapshot, LoadError> {
     Ok(decode(&std::fs::read(path)?)?)
+}
+
+/// Encodes a sharded snapshot and writes it to `path`
+/// ([`encode_sharded`] + `fs::write`).
+pub fn save_sharded_artifact(
+    path: impl AsRef<Path>,
+    snapshot: &ShardedVenueSnapshot,
+) -> std::io::Result<()> {
+    std::fs::write(path, encode_sharded(snapshot))
+}
+
+/// Reads `path` and decodes it as a sharded container
+/// ([`decode_sharded`] + `fs::read`).
+pub fn load_sharded_artifact(path: impl AsRef<Path>) -> Result<ShardedVenueSnapshot, LoadError> {
+    Ok(decode_sharded(&std::fs::read(path)?)?)
 }
 
 #[cfg(test)]

@@ -1,9 +1,17 @@
 //! A loaded, immutable venue model: the unit the registry swaps and the
-//! query engine estimates against.
+//! query engine estimates against. Sharded venues load one [`ShardModel`]
+//! per spatial shard and compose them into a [`ShardedVenueModel`] whose
+//! answers match whole-venue serving via a cross-shard candidate re-rank.
 
-use radiomap_core::VenueSnapshot;
+use std::sync::Arc;
+
+use radiomap_core::{ShardedVenueSnapshot, VenueSnapshot};
 use rm_geometry::Point;
-use rm_positioning::LocationEstimator;
+use rm_positioning::{
+    knn_estimate, merge_candidates, wknn_estimate, EstimatorKind, Knn, KnnCandidate,
+    LocationEstimator,
+};
+use rm_radiomap::{VenueShards, MNAR_FILL_VALUE};
 
 /// An immutable serving model for one venue: the decoded [`VenueSnapshot`]
 /// plus the location estimator built from it, tagged with the registry
@@ -63,6 +71,305 @@ impl VenueModel {
     /// The estimator's display name (for reports).
     pub fn estimator_name(&self) -> &'static str {
         self.estimator.name()
+    }
+}
+
+/// The ranking core of one shard: KNN-family estimators keep the concrete
+/// [`Knn`] so the venue model can merge their per-shard candidates exactly;
+/// anything else serves through the trait object and answers shard-locally.
+enum ShardEstimator {
+    Knn(Knn),
+    Wknn(Knn),
+    Other(Box<dyn LocationEstimator>),
+}
+
+/// An immutable serving model for one spatial shard — the per-shard publish
+/// unit. Like [`VenueModel`] it is never mutated after construction; an
+/// incremental republish swaps a single shard's `Arc` and leaves the clean
+/// shards' models (and generations) untouched.
+pub struct ShardModel {
+    snapshot: VenueSnapshot,
+    estimator: ShardEstimator,
+    /// Global record index per shard-local row (the shard's sorted member
+    /// list) — rewrites local candidate indices into the venue-wide space.
+    global_indices: Vec<usize>,
+    /// Per-AP coverage: `true` when any record in this shard hears the AP
+    /// above the −100 dBm floor. Drives AP-overlap routing.
+    ap_coverage: Vec<bool>,
+    /// Mean fingerprint of the shard's records (the shard's signal
+    /// centroid); routing tie-break for queries overlapping several shards
+    /// equally.
+    signal_centroid: Vec<f64>,
+    generation: u64,
+}
+
+impl ShardModel {
+    /// Builds the serving model for one shard under registry `generation`.
+    /// `global_indices` is the shard's member list (shard-local row →
+    /// global record index); `threads` bounds estimator training as in
+    /// [`VenueModel::load`].
+    pub fn load(
+        snapshot: VenueSnapshot,
+        global_indices: Vec<usize>,
+        generation: u64,
+        threads: usize,
+    ) -> Self {
+        assert_eq!(
+            snapshot.map.len(),
+            global_indices.len(),
+            "shard member list does not match its snapshot"
+        );
+        let estimator = match snapshot.estimator {
+            EstimatorKind::Knn => {
+                ShardEstimator::Knn(Knn::new(snapshot.map.clone(), snapshot.knn_k))
+            }
+            EstimatorKind::Wknn => {
+                ShardEstimator::Wknn(Knn::new(snapshot.map.clone(), snapshot.knn_k))
+            }
+            other => ShardEstimator::Other(other.build_threads(
+                snapshot.map.clone(),
+                snapshot.knn_k,
+                threads,
+            )),
+        };
+        let num_aps = snapshot.map.num_aps();
+        let mut ap_coverage = vec![false; num_aps];
+        let mut signal_centroid = vec![0.0; num_aps];
+        for fingerprint in snapshot.map.fingerprints() {
+            for (ap, &v) in fingerprint.iter().enumerate() {
+                if v > MNAR_FILL_VALUE {
+                    ap_coverage[ap] = true;
+                }
+                signal_centroid[ap] += v;
+            }
+        }
+        if !snapshot.map.is_empty() {
+            let n = snapshot.map.len() as f64;
+            for v in &mut signal_centroid {
+                *v /= n;
+            }
+        }
+        Self {
+            snapshot,
+            estimator,
+            global_indices,
+            ap_coverage,
+            signal_centroid,
+            generation,
+        }
+    }
+
+    /// The registry generation that published this shard.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The shard's snapshot.
+    pub fn snapshot(&self) -> &VenueSnapshot {
+        &self.snapshot
+    }
+
+    /// Shard-local estimate (exactly the configured estimator over this
+    /// shard's sub-map).
+    pub fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
+        match &self.estimator {
+            ShardEstimator::Knn(knn) => knn_estimate(&knn.candidates(fingerprint)),
+            ShardEstimator::Wknn(knn) => wknn_estimate(&knn.candidates(fingerprint)),
+            ShardEstimator::Other(e) => e.estimate(fingerprint),
+        }
+    }
+
+    /// This shard's top-`k` candidates with indices rewritten into the
+    /// global record space, or `None` when the estimator has no KNN ranking
+    /// core to merge.
+    fn global_candidates(&self, fingerprint: &[f64]) -> Option<Vec<KnnCandidate>> {
+        let knn = match &self.estimator {
+            ShardEstimator::Knn(knn) | ShardEstimator::Wknn(knn) => knn,
+            ShardEstimator::Other(_) => return None,
+        };
+        Some(
+            knn.candidates(fingerprint)
+                .into_iter()
+                .map(|c| KnnCandidate {
+                    index: self.global_indices[c.index as usize] as u32,
+                    ..c
+                })
+                .collect(),
+        )
+    }
+
+    /// How many APs this query and shard both cover (query above the −100
+    /// floor on an AP some shard record hears).
+    fn ap_overlap(&self, fingerprint: &[f64]) -> usize {
+        fingerprint
+            .iter()
+            .zip(&self.ap_coverage)
+            .filter(|&(&v, &covered)| covered && v > MNAR_FILL_VALUE)
+            .count()
+    }
+
+    /// Squared distance between the query and the shard's signal centroid
+    /// (routing tie-break).
+    fn signal_distance_sq(&self, fingerprint: &[f64]) -> f64 {
+        fingerprint
+            .iter()
+            .zip(&self.signal_centroid)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+/// A composed serving model for a sharded venue: one immutable
+/// [`ShardModel`] per spatial shard plus the partition that produced them.
+///
+/// Queries are **routed** to a primary shard by AP overlap (the shard
+/// hearing the most of the query's APs, ties broken by nearest signal
+/// centroid, then lowest shard id) — that shard's generation stamps the
+/// response. For the KNN-family estimators the **answer** is computed by
+/// cross-shard re-rank: every shard contributes its top-`k` candidates with
+/// global record indices, the union is merged exactly like the whole-venue
+/// scan (ascending exact distance, ties by global index) and folded with the
+/// same arithmetic — so a sharded model answers bit-identically to the
+/// whole-venue model over the merged map whenever the per-shard quantized
+/// windows capture their true top-`k` (the same standing assumption the
+/// whole-venue scan makes). Non-ranking estimators (the forest) answer from
+/// the primary shard alone.
+pub struct ShardedVenueModel {
+    venue: String,
+    shards: VenueShards,
+    models: Vec<Arc<ShardModel>>,
+}
+
+impl ShardedVenueModel {
+    /// Loads every shard of `snapshot`, stamping shard `i` with
+    /// `generations[i]`.
+    pub(crate) fn load(
+        snapshot: ShardedVenueSnapshot,
+        generations: &[u64],
+        threads: usize,
+    ) -> Self {
+        let ShardedVenueSnapshot {
+            venue,
+            snapshots,
+            shards,
+        } = snapshot;
+        assert_eq!(
+            snapshots.len(),
+            shards.num_shards(),
+            "sharded snapshot is missing shards"
+        );
+        assert_eq!(snapshots.len(), generations.len());
+        let models = snapshots
+            .into_iter()
+            .zip(generations)
+            .enumerate()
+            .map(|(shard, (snap, &generation))| {
+                Arc::new(ShardModel::load(
+                    snap,
+                    shards.members_of(shard).to_vec(),
+                    generation,
+                    threads,
+                ))
+            })
+            .collect();
+        Self {
+            venue,
+            shards,
+            models,
+        }
+    }
+
+    /// Replaces one shard's model, leaving every other shard's `Arc` (and
+    /// generation) untouched. The partition is replaced too — an incremental
+    /// ingest may have appended records to the dirty shard's member list.
+    pub(crate) fn with_shard(
+        &self,
+        shard: usize,
+        model: Arc<ShardModel>,
+        shards: VenueShards,
+    ) -> Self {
+        let mut models = self.models.clone();
+        models[shard] = model;
+        Self {
+            venue: self.venue.clone(),
+            shards,
+            models,
+        }
+    }
+
+    /// The venue this model serves.
+    pub fn venue(&self) -> &str {
+        &self.venue
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The partition this model serves under.
+    pub fn shards(&self) -> &VenueShards {
+        &self.shards
+    }
+
+    /// The shard models, in shard-id order.
+    pub fn models(&self) -> &[Arc<ShardModel>] {
+        &self.models
+    }
+
+    /// Per-shard generations, in shard-id order. After an incremental
+    /// republish only the dirty shards' entries change.
+    pub fn shard_generations(&self) -> Vec<u64> {
+        self.models.iter().map(|m| m.generation()).collect()
+    }
+
+    /// The newest generation across shards — the venue's publish version.
+    pub fn generation(&self) -> u64 {
+        self.models
+            .iter()
+            .map(|m| m.generation())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The primary shard for `fingerprint`: most APs in common, ties broken
+    /// by nearest signal centroid, then lowest shard id.
+    pub fn route(&self, fingerprint: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_overlap = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (shard, model) in self.models.iter().enumerate() {
+            let overlap = model.ap_overlap(fingerprint);
+            let dist = model.signal_distance_sq(fingerprint);
+            if overlap > best_overlap || (overlap == best_overlap && dist < best_dist) {
+                best = shard;
+                best_overlap = overlap;
+                best_dist = dist;
+            }
+        }
+        best
+    }
+
+    /// Estimates the query's location (see the type docs for the cross-shard
+    /// re-rank contract).
+    pub fn estimate(&self, fingerprint: &[f64]) -> Option<Point> {
+        let mut pooled: Vec<KnnCandidate> = Vec::new();
+        let mut k = 0usize;
+        for model in &self.models {
+            match model.global_candidates(fingerprint) {
+                Some(candidates) => {
+                    k = k.max(model.snapshot().knn_k.max(1));
+                    pooled.extend(candidates);
+                }
+                // A non-ranking estimator: answer from the primary shard.
+                None => return self.models[self.route(fingerprint)].estimate(fingerprint),
+            }
+        }
+        let merged = merge_candidates(k, pooled);
+        match self.models.first().map(|m| m.snapshot().estimator) {
+            Some(EstimatorKind::Wknn) => wknn_estimate(&merged),
+            _ => knn_estimate(&merged),
+        }
     }
 }
 

@@ -4,9 +4,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-use radiomap_core::VenueSnapshot;
+use radiomap_core::{ShardedVenueSnapshot, VenueSnapshot};
+use rm_radiomap::VenueShards;
 
-use crate::model::VenueModel;
+use crate::model::{ShardModel, ShardedVenueModel, VenueModel};
 
 /// A registry of live [`VenueModel`]s, one slot per venue, with
 /// atomic-swap semantics:
@@ -31,7 +32,14 @@ use crate::model::VenueModel;
 pub struct ModelRegistry {
     /// Sorted by venue name; the `Arc` per slot is the swap unit.
     models: RwLock<Vec<(String, Arc<VenueModel>)>>,
+    /// Sharded venues, sorted by name. The swap unit is the composed venue
+    /// `Arc`, but an incremental publish rebuilds only the dirty shard's
+    /// [`ShardModel`] — the clean shards' `Arc`s (and generations) are
+    /// carried over unchanged.
+    sharded: RwLock<Vec<(String, Arc<ShardedVenueModel>)>>,
     /// Monotonic generation source; the first publish is generation 1.
+    /// Shared between whole-venue and per-shard publishes, so every swap in
+    /// the process is totally ordered.
     generations: AtomicU64,
 }
 
@@ -61,6 +69,84 @@ impl ModelRegistry {
                 None
             }
         }
+    }
+
+    /// Builds one [`ShardModel`] per shard of `snapshot` and publishes the
+    /// composed [`ShardedVenueModel`] under the snapshot's venue name. Every
+    /// shard gets its own generation stamp (in shard-id order). Returns the
+    /// retired venue model, as [`ModelRegistry::publish`] does.
+    ///
+    /// Like the unsharded path, all estimator construction happens outside
+    /// the write lock; readers only ever see a torn-free pointer swap.
+    pub fn publish_sharded(
+        &self,
+        snapshot: ShardedVenueSnapshot,
+        threads: usize,
+    ) -> Option<Arc<ShardedVenueModel>> {
+        let generations: Vec<u64> = (0..snapshot.snapshots.len())
+            .map(|_| self.generations.fetch_add(1, Ordering::Relaxed) + 1)
+            .collect();
+        let model = Arc::new(ShardedVenueModel::load(snapshot, &generations, threads));
+        let venue = model.venue().to_string();
+        let mut slots = self.sharded.write().expect("registry lock poisoned");
+        match slots.binary_search_by(|(name, _)| name.as_str().cmp(&venue)) {
+            Ok(i) => Some(std::mem::replace(&mut slots[i].1, model)),
+            Err(i) => {
+                slots.insert(i, (venue, model));
+                None
+            }
+        }
+    }
+
+    /// Incrementally republishes **one** shard of an already-published
+    /// sharded venue: builds the replacement [`ShardModel`] from
+    /// `snapshot` (stamped with a fresh generation), carries every clean
+    /// shard's `Arc` over untouched, and swaps the composed venue model.
+    /// `shards` is the venue's current partition — ingest may have appended
+    /// records, so the dirty shard's member list (and the routing centroids)
+    /// ride along with the republish. Returns the retired shard model.
+    ///
+    /// # Panics
+    /// Panics when the venue was never sharded-published or `shard` is out
+    /// of range — republishing into the void is a deployment error.
+    pub fn publish_shard(
+        &self,
+        venue: &str,
+        shard: usize,
+        snapshot: VenueSnapshot,
+        shards: &VenueShards,
+        threads: usize,
+    ) -> Arc<ShardModel> {
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        // The expensive part — estimator construction — happens before the
+        // lock; under the lock only the cheap slot-vector compose runs, and
+        // it composes against whatever is current *at swap time*, so a
+        // concurrent publish of another shard is never discarded.
+        let replacement = Arc::new(ShardModel::load(
+            snapshot,
+            shards.members_of(shard).to_vec(),
+            generation,
+            threads,
+        ));
+        let mut slots = self.sharded.write().expect("registry lock poisoned");
+        match slots.binary_search_by(|(name, _)| name.as_str().cmp(venue)) {
+            Ok(i) => {
+                let composed = Arc::new(slots[i].1.with_shard(shard, replacement, shards.clone()));
+                let retired = std::mem::replace(&mut slots[i].1, composed);
+                Arc::clone(&retired.models()[shard])
+            }
+            Err(_) => panic!("no sharded model published for venue `{venue}`"),
+        }
+    }
+
+    /// The current sharded model for `venue`, or `None` if nothing sharded
+    /// was published under that name.
+    pub fn sharded_model(&self, venue: &str) -> Option<Arc<ShardedVenueModel>> {
+        let slots = self.sharded.read().expect("registry lock poisoned");
+        slots
+            .binary_search_by(|(name, _)| name.as_str().cmp(venue))
+            .ok()
+            .map(|i| Arc::clone(&slots[i].1))
     }
 
     /// The current model for `venue`, or `None` if nothing was published.

@@ -1,0 +1,352 @@
+//! The sharded-serving suite: sharded pipeline export → sharded container →
+//! registry → routed query engine, proving the per-shard serving contracts.
+//!
+//! 1. **Sharded ≡ whole-venue** — for the KNN-family estimators, a sharded
+//!    model answers every query bit-identically to the whole-venue model
+//!    over the same records (cross-shard re-rank), and a shard count of 1
+//!    reproduces the unsharded artifact byte for byte.
+//! 2. **Incremental republish** — ingesting a survey log dirties exactly
+//!    the shards it touches; republishing them swaps only those shards'
+//!    `Arc`s and generations while the clean shards are carried over
+//!    pointer-identically, and the incremental snapshots equal a full
+//!    recompute bitwise.
+//! 3. **Determinism** — a fixed query log through the sharded engine is
+//!    bit-identical at any thread count.
+
+use std::sync::Arc;
+
+use radiomap_core::prelude::*;
+use radiomap_core::{LiveVenue, PipelineConfig};
+use rm_radiomap::MNAR_FILL_VALUE;
+use rm_serve::{
+    decode_sharded, encode, encode_sharded, load_sharded_artifact, save_sharded_artifact,
+    ModelRegistry, QueryEngine, ShardedQueryEngine,
+};
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+const NUM_PATHS: usize = 4;
+const RECORDS_PER_PATH: usize = 5;
+const NUM_APS: usize = 8;
+
+/// A venue surveyed along `NUM_PATHS` spatially separated paths: path `p`
+/// lives around `x = 50 p` and hears APs `2p` and `2p + 1` (the rest are
+/// missing → MAR → filled with the −100 floor). Every record carries its RP,
+/// so the MAR-only + linear-interpolation pipeline is seed-free and
+/// record-local — a per-shard imputation produces exactly the whole-venue
+/// imputation restricted to the shard's members, which is what lets the
+/// sharded-vs-whole comparisons below assert bitwise equality.
+fn multi_path_map() -> RadioMap {
+    let mut records = Vec::new();
+    for path in 0..NUM_PATHS {
+        for i in 0..RECORDS_PER_PATH {
+            let values: Vec<Option<f64>> = (0..NUM_APS)
+                .map(|ap| {
+                    if ap / 2 == path {
+                        Some(-45.0 - i as f64 - ap as f64 * 3.0)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let rp = Point::new(path as f64 * 50.0 + i as f64 * 2.0, path as f64 * 10.0);
+            records.push(RadioMapRecord::new(
+                Fingerprint::new(values),
+                Some(rp),
+                i as f64,
+                path,
+            ));
+        }
+    }
+    RadioMap::new(records, NUM_APS)
+}
+
+/// A seed-free pipeline (see [`multi_path_map`]) with `knn_k` large enough
+/// that every quantized scan window covers its entire map — the standing
+/// assumption under which the cross-shard re-rank is exact holds trivially,
+/// so every equality below is bitwise, not approximate.
+fn seedfree_config(estimator: EstimatorKind, shards: usize) -> PipelineConfig {
+    PipelineConfig {
+        differentiator: DifferentiatorKind::MarOnly,
+        imputer: ImputerKind::LinearInterpolation,
+        estimator,
+        knn_k: 12,
+        threads: 1,
+        shards: Some(shards),
+        ..PipelineConfig::default()
+    }
+}
+
+/// Query log: every record's dense fingerprint plus jittered variants, so
+/// the estimators face exact hits, near misses and cross-shard blends.
+fn query_log(map: &RadioMap) -> Vec<Vec<f64>> {
+    let mut log = Vec::new();
+    for pass in 0..6 {
+        for (i, record) in map.records().iter().enumerate() {
+            let jitter = (pass * 17 + i) as f64 * 0.23;
+            log.push(
+                record
+                    .fingerprint
+                    .to_dense(MNAR_FILL_VALUE)
+                    .iter()
+                    .map(|&v| v + jitter)
+                    .collect(),
+            );
+        }
+    }
+    log
+}
+
+// ---------------------------------------------------------------------------
+// 1. Sharded ≡ whole-venue
+// ---------------------------------------------------------------------------
+
+/// For both KNN-family estimators, the sharded engine (serving a container
+/// that went through the sharded codec) answers every query bit-identically
+/// to the whole-venue engine over the same records.
+#[test]
+fn sharded_serving_answers_match_whole_venue_serving_bitwise() {
+    let map = multi_path_map();
+    let topology = MultiPolygon::empty();
+    for estimator in [EstimatorKind::Knn, EstimatorKind::Wknn] {
+        let whole = ImputationPipeline::new(seedfree_config(estimator, 1))
+            .export_snapshot("venue", &map, &topology);
+        let sharded = ImputationPipeline::new(seedfree_config(estimator, NUM_PATHS))
+            .export_sharded_snapshot("venue", &map, &topology);
+        assert_eq!(sharded.num_shards(), NUM_PATHS);
+        for shard in 0..NUM_PATHS {
+            assert!(
+                !sharded.shards.members_of(shard).is_empty(),
+                "every shard must hold records"
+            );
+        }
+
+        // The sharded model is published from bytes that round-tripped the
+        // container codec, so the on-disk format is on the serving path.
+        let reloaded = decode_sharded(&encode_sharded(&sharded)).expect("container decodes");
+        let registry = ModelRegistry::new();
+        registry.publish(whole, 1);
+        registry.publish_sharded(reloaded, 1);
+
+        let log = query_log(&map);
+        let whole_responses = QueryEngine::new(&registry, "venue", 1).run_log(&log);
+        let sharded_responses = ShardedQueryEngine::new(&registry, "venue", 1).run_log(&log);
+        assert_eq!(whole_responses.len(), sharded_responses.len());
+        for (whole_response, sharded_response) in whole_responses.iter().zip(&sharded_responses) {
+            assert_eq!(whole_response.index, sharded_response.index);
+            assert!(sharded_response.shard < NUM_PATHS);
+            let a = whole_response.position.expect("dense maps answer");
+            let b = sharded_response.position.expect("dense maps answer");
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits()),
+                (b.x.to_bits(), b.y.to_bits()),
+                "{} query {} diverged between sharded and whole-venue serving",
+                estimator.name(),
+                whole_response.index
+            );
+        }
+    }
+}
+
+/// Routing sends a query heard only on one shard's APs to that shard — the
+/// response is attributable to the shard whose survey covers the query.
+#[test]
+fn queries_route_to_the_shard_covering_their_aps() {
+    let map = multi_path_map();
+    let topology = MultiPolygon::empty();
+    let sharded = ImputationPipeline::new(seedfree_config(EstimatorKind::Knn, NUM_PATHS))
+        .export_sharded_snapshot("venue", &map, &topology);
+    let registry = ModelRegistry::new();
+    registry.publish_sharded(sharded, 1);
+    let model = registry.sharded_model("venue").expect("published");
+
+    for path in 0..NUM_PATHS {
+        // A query hearing exactly path `p`'s APs routes to the shard that
+        // holds path `p` (the shard covering those APs).
+        let mut fingerprint = vec![MNAR_FILL_VALUE; NUM_APS];
+        fingerprint[2 * path] = -50.0;
+        fingerprint[2 * path + 1] = -55.0;
+        let routed = model.route(&fingerprint);
+        let expected = model
+            .shards()
+            .shard_of_path(path)
+            .expect("surveyed path is registered");
+        assert_eq!(routed, expected, "path {path} query misrouted");
+    }
+}
+
+/// A one-shard container reproduces the unsharded artifact byte for byte,
+/// and the container codec round-trips through the filesystem.
+#[test]
+fn a_single_shard_container_reproduces_the_unsharded_artifact_bitwise() {
+    let map = multi_path_map();
+    let topology = MultiPolygon::empty();
+    let whole = ImputationPipeline::new(seedfree_config(EstimatorKind::Wknn, 1))
+        .export_snapshot("venue", &map, &topology);
+    let sharded = ImputationPipeline::new(seedfree_config(EstimatorKind::Wknn, 1))
+        .export_sharded_snapshot("venue", &map, &topology);
+    assert_eq!(sharded.num_shards(), 1);
+    assert_eq!(
+        encode(&sharded.snapshots[0]),
+        encode(&whole),
+        "shard count 1 must reproduce the unsharded snapshot bitwise"
+    );
+
+    let dir = std::env::temp_dir().join(format!("rm-serve-sharded-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("venue.rmvs");
+    save_sharded_artifact(&path, &sharded).unwrap();
+    let loaded = load_sharded_artifact(&path).unwrap();
+    assert_eq!(encode_sharded(&loaded), encode_sharded(&sharded));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 2. Incremental republish
+// ---------------------------------------------------------------------------
+
+/// The live-venue flow end to end: build → publish_sharded → ingest a log
+/// touching one shard → republish exactly the dirty shard. The clean
+/// shards' models must be carried over pointer-identically with their
+/// generations untouched; the dirty shard gets a fresh model and
+/// generation; the retired shard model is returned to the publisher; and
+/// the incremental snapshots equal a full recompute bitwise.
+#[test]
+fn incremental_republish_swaps_only_the_dirty_shard() {
+    let map = multi_path_map();
+    let mut live = LiveVenue::build(
+        "live",
+        map,
+        MultiPolygon::empty(),
+        seedfree_config(EstimatorKind::Knn, NUM_PATHS),
+    );
+    assert_eq!(live.shards().num_shards(), NUM_PATHS);
+
+    let registry = ModelRegistry::new();
+    registry.publish_sharded(live.sharded_snapshot(), 1);
+    let before = registry.sharded_model("live").expect("published");
+    let generations_before = before.shard_generations();
+
+    // A fresh survey pass on a new path spatially inside one existing
+    // shard's region: routed by nearest centroid, it dirties exactly that
+    // shard.
+    let new_rp = Point::new(105.0, 21.0);
+    let log: Vec<RadioMapRecord> = (0..3)
+        .map(|i| {
+            let values: Vec<Option<f64>> = (0..NUM_APS)
+                .map(|ap| {
+                    if ap / 2 == 2 {
+                        Some(-40.0 - i as f64 - ap as f64)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            RadioMapRecord::new(Fingerprint::new(values), Some(new_rp), i as f64, 99)
+        })
+        .collect();
+    let dirty = live.ingest(&log);
+    assert_eq!(dirty.len(), 1, "the log touches one shard's region");
+    let dirty_shard = dirty[0];
+
+    // Incremental ≡ full: every live snapshot (recomputed or carried) is
+    // bitwise what a full rebuild from the current map would produce.
+    for (incremental, full) in live.snapshots().iter().zip(live.recompute_all()) {
+        assert_eq!(encode(incremental), encode(&full));
+    }
+
+    let retired = registry.publish_shard(
+        "live",
+        dirty_shard,
+        live.snapshots()[dirty_shard].clone(),
+        live.shards(),
+        1,
+    );
+    assert!(
+        Arc::ptr_eq(&retired, &before.models()[dirty_shard]),
+        "the retired model is the dirty shard's previous model"
+    );
+
+    let after = registry.sharded_model("live").expect("still published");
+    for shard in 0..NUM_PATHS {
+        if shard == dirty_shard {
+            assert!(
+                !Arc::ptr_eq(&before.models()[shard], &after.models()[shard]),
+                "dirty shard must be a fresh model"
+            );
+            assert!(
+                after.models()[shard].generation() > generations_before[shard],
+                "dirty shard must carry a fresh generation"
+            );
+        } else {
+            assert!(
+                Arc::ptr_eq(&before.models()[shard], &after.models()[shard]),
+                "clean shard {shard} must be carried over pointer-identically"
+            );
+            assert_eq!(after.shard_generations()[shard], generations_before[shard]);
+        }
+    }
+    assert_eq!(after.generation(), registry.generation());
+
+    // The republished shard actually serves the ingested survey: with the
+    // new record's exact fingerprint and k = 1 the answer is its RP.
+    let probe = log[0].fingerprint.to_dense(MNAR_FILL_VALUE);
+    let nearest = after.models()[dirty_shard]
+        .snapshot()
+        .map
+        .fingerprints()
+        .iter()
+        .any(|f| {
+            f.iter()
+                .zip(&probe)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+        });
+    assert!(nearest, "ingested record must be in the republished shard");
+    let answer = ShardedQueryEngine::new(&registry, "live", 1)
+        .run_log(&[probe])
+        .pop()
+        .expect("one response");
+    assert_eq!(answer.shard, dirty_shard, "probe routes to the dirty shard");
+    assert_eq!(
+        answer.generation,
+        after.models()[dirty_shard].generation(),
+        "response attributes to the republished generation"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 3. Determinism
+// ---------------------------------------------------------------------------
+
+/// A fixed query log through the sharded engine is bit-identical at any
+/// thread count — routing, re-rank and generation attribution included.
+#[test]
+fn a_sharded_query_log_is_bit_identical_at_any_thread_count() {
+    let map = multi_path_map();
+    let topology = MultiPolygon::empty();
+    let sharded = ImputationPipeline::new(seedfree_config(EstimatorKind::Wknn, NUM_PATHS))
+        .export_sharded_snapshot("det", &map, &topology);
+    let registry = ModelRegistry::new();
+    registry.publish_sharded(sharded, 1);
+    let log = query_log(&map);
+
+    let reference = ShardedQueryEngine::new(&registry, "det", 1).run_log(&log);
+    for threads in [2, 8, rm_runtime::default_threads(), 0] {
+        let responses = ShardedQueryEngine::new(&registry, "det", threads).run_log(&log);
+        assert_eq!(responses.len(), reference.len());
+        for (a, b) in reference.iter().zip(&responses) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.shard, b.shard);
+            assert_eq!(a.generation, b.generation);
+            let (pa, pb) = (a.position.unwrap(), b.position.unwrap());
+            assert_eq!(
+                (pa.x.to_bits(), pa.y.to_bits()),
+                (pb.x.to_bits(), pb.y.to_bits()),
+                "query {} differs between threads=1 and threads={threads}",
+                a.index
+            );
+        }
+    }
+}

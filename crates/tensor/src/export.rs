@@ -62,6 +62,24 @@ impl TensorPayload {
         }
     }
 
+    /// Widens the payload to a double-precision matrix — the import
+    /// direction of the export axis, used to warm-start training from a
+    /// persisted snapshot. Training always runs at f64, so an f32 or bf16
+    /// payload widens losslessly (every f32/bf16 value is exactly
+    /// representable in f64); the round trip back through a same-dtype
+    /// export reproduces the original bits.
+    pub fn to_f64_matrix(&self) -> Matrix<f64> {
+        match self {
+            TensorPayload::F64(m) => m.clone(),
+            TensorPayload::F32(m) => {
+                Matrix::from_fn(m.rows(), m.cols(), |r, c| f64::from(m.get(r, c)))
+            }
+            TensorPayload::Bf16(m) => {
+                Matrix::from_fn(m.rows(), m.cols(), |r, c| f64::from(m.get(r, c)))
+            }
+        }
+    }
+
     /// Bitwise equality: same dtype, same shape, same raw bits everywhere.
     /// (IEEE `==` would declare `-0.0 == 0.0` and `NaN != NaN`; the artifact
     /// round-trip contract is about *bits*, not values.)

@@ -8,7 +8,7 @@
 //! the last bit of every imputed RSSI, imputed RP and APE metric.
 
 use radiomap_core::prelude::*;
-use rm_integration_tests::{straight_path_map, tiny_dataset};
+use rm_integration_tests::{multi_path_map, straight_path_map, tiny_dataset};
 
 /// Imputers with internal fan-outs plus a fast baseline; BiSIM is covered by
 /// the integration tests and trains serially anyway.
@@ -463,6 +463,135 @@ fn batched_serving_is_bit_identical_and_equals_the_offline_path() {
                 "serving differs between threads=1 and threads={threads}"
             );
         }
+    }
+}
+
+/// The sharded pipeline joins the contract (PR 10): a fixed shard count
+/// produces bit-identical per-shard snapshots at any thread count — the
+/// shard fan-out, like every other fan-out, is a pure wall-clock knob.
+#[test]
+fn sharded_exports_are_bit_identical_across_thread_counts() {
+    use rm_serve::encode_sharded;
+
+    let map = multi_path_map(4, 6, 8);
+    let topology = MultiPolygon::empty();
+    let export = |threads: usize| {
+        ImputationPipeline::new(PipelineConfig {
+            differentiator: DifferentiatorKind::MarOnly,
+            imputer: ImputerKind::Brits,
+            epochs: Some(2),
+            threads,
+            shards: Some(3),
+            ..PipelineConfig::default()
+        })
+        .export_sharded_snapshot("det", &map, &topology)
+    };
+    let reference = encode_sharded(&export(1));
+    for threads in [2, rm_runtime::default_threads()] {
+        assert_eq!(
+            encode_sharded(&export(threads)),
+            reference,
+            "sharded export differs between threads=1 and threads={threads}"
+        );
+    }
+}
+
+/// A shard count of 1 reproduces the unsharded pipeline bitwise — sharding
+/// is a pure partitioning knob, with no hidden perturbation of the seeds or
+/// the imputation itself.
+#[test]
+fn a_shard_count_of_one_reproduces_the_unsharded_pipeline_bitwise() {
+    use rm_serve::encode;
+
+    let map = multi_path_map(3, 6, 6);
+    let topology = MultiPolygon::empty();
+    let config = || PipelineConfig {
+        differentiator: DifferentiatorKind::MarOnly,
+        imputer: ImputerKind::Brits,
+        epochs: Some(2),
+        threads: 1,
+        shards: Some(1),
+        ..PipelineConfig::default()
+    };
+    let whole = ImputationPipeline::new(config()).export_snapshot("det", &map, &topology);
+    let sharded = ImputationPipeline::new(config()).export_sharded_snapshot("det", &map, &topology);
+    assert_eq!(sharded.num_shards(), 1);
+    assert_eq!(encode(&sharded.snapshots[0]), encode(&whole));
+}
+
+/// A fixed ingest log replayed through `LiveVenue` is bit-identical at any
+/// thread count — dirty-shard routing, recomputation and generations
+/// included — and the incremental snapshots equal a full recompute of the
+/// final map bitwise (clean shards are untouched by construction).
+#[test]
+fn a_fixed_ingest_log_is_bit_identical_across_thread_counts() {
+    use rm_serve::{encode, encode_sharded};
+
+    let ingest_log = |path: usize, base_x: f64| -> Vec<RadioMapRecord> {
+        (0..3)
+            .map(|i| {
+                let values: Vec<Option<f64>> = (0..8)
+                    .map(|ap| {
+                        if (i + ap) % 3 == 0 {
+                            None
+                        } else {
+                            Some(-48.0 - i as f64 - ap as f64)
+                        }
+                    })
+                    .collect();
+                RadioMapRecord::new(
+                    Fingerprint::new(values),
+                    Some(Point::new(base_x + i as f64, 4.0)),
+                    i as f64,
+                    path,
+                )
+            })
+            .collect()
+    };
+
+    let run = |threads: usize| {
+        let mut live = LiveVenue::build(
+            "live",
+            multi_path_map(4, 6, 8),
+            MultiPolygon::empty(),
+            PipelineConfig {
+                differentiator: DifferentiatorKind::MarOnly,
+                imputer: ImputerKind::Brits,
+                epochs: Some(2),
+                threads,
+                shards: Some(3),
+                ..PipelineConfig::default()
+            },
+        );
+        // Two ingest rounds: a new path spatially inside an existing shard's
+        // region, then more records on that same path.
+        let first = live.ingest(&ingest_log(100, 41.0));
+        let second = live.ingest(&ingest_log(100, 44.0));
+        (first, second, live)
+    };
+
+    let (first_1, second_1, live_1) = run(1);
+    assert!(!first_1.is_empty(), "the log must dirty at least one shard");
+    assert_eq!(first_1, second_1, "the same path routes to the same shard");
+
+    // Incremental ≡ full: recomputing every shard of the final map with the
+    // build-time seeds reproduces the incrementally maintained snapshots.
+    for (incremental, full) in live_1.snapshots().iter().zip(live_1.recompute_all()) {
+        assert_eq!(encode(incremental), encode(&full));
+    }
+
+    let reference = encode_sharded(&live_1.sharded_snapshot());
+    for threads in [2, rm_runtime::default_threads()] {
+        let (first, second, live) = run(threads);
+        assert_eq!(first, first_1);
+        assert_eq!(second, second_1);
+        assert_eq!(live.generation(), live_1.generation());
+        assert_eq!(live.shard_generations(), live_1.shard_generations());
+        assert_eq!(
+            encode_sharded(&live.sharded_snapshot()),
+            reference,
+            "ingest log differs between threads=1 and threads={threads}"
+        );
     }
 }
 

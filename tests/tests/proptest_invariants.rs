@@ -125,4 +125,59 @@ proptest! {
             prop_assert_eq!(map.record(r.record).fingerprint.get(r.ap), Some(r.value));
         }
     }
+
+    /// The spatial sharder is a permutation of the venue: every record lands
+    /// in exactly one shard, member lists are sorted, disjoint, and cover
+    /// `0..n`, whole survey paths stay together, and concatenating the
+    /// per-shard sub-maps in member order reproduces every record.
+    #[test]
+    fn sharder_is_a_permutation_of_the_venue(
+        map in arb_radio_map(),
+        num_shards in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let shards = VenueShards::compute(&map, num_shards, seed);
+        prop_assert!(shards.num_shards() >= 1);
+        prop_assert!(shards.num_shards() <= num_shards.max(1));
+        prop_assert_eq!(shards.assignments().len(), map.len());
+
+        // Member lists: sorted, disjoint, and exactly the assignment sets.
+        let mut seen = vec![false; map.len()];
+        for (shard, members) in shards.members().iter().enumerate() {
+            for window in members.windows(2) {
+                prop_assert!(window[0] < window[1], "members must be sorted unique");
+            }
+            for &record in members {
+                prop_assert!(!seen[record], "record {} in two shards", record);
+                seen[record] = true;
+                prop_assert_eq!(shards.shard_of_record(record), shard);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every record must land in a shard");
+
+        // Whole paths stay together: two records on the same path share a
+        // shard, and the path routing table agrees with the assignments.
+        for (i, record) in map.records().iter().enumerate() {
+            prop_assert_eq!(
+                shards.shard_of_path(record.path_id),
+                Some(shards.shard_of_record(i)),
+            );
+        }
+
+        // Splitting and re-reading in member order is the identity on
+        // records (fingerprints, RPs, timestamps, path ids).
+        let parts = shards.split(&map);
+        prop_assert_eq!(parts.len(), shards.num_shards());
+        for (shard, part) in parts.iter().enumerate() {
+            let members = shards.members_of(shard);
+            prop_assert_eq!(part.len(), members.len());
+            for (local, &global) in members.iter().enumerate() {
+                let (a, b) = (part.record(local), map.record(global));
+                prop_assert_eq!(&a.fingerprint, &b.fingerprint);
+                prop_assert_eq!(a.rp, b.rp);
+                prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+                prop_assert_eq!(a.path_id, b.path_id);
+            }
+        }
+    }
 }
